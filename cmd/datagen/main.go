@@ -1,0 +1,70 @@
+// Command datagen generates the synthetic datasets of the paper's Section
+// 6.1 and writes them in the library's text format (one ranking per line;
+// datasets separated by a comment header).
+//
+// Usage:
+//
+//	datagen -kind uniform -n 35 -m 7 -count 10
+//	datagen -kind markov -n 35 -m 7 -steps 1000
+//	datagen -kind websearch|f1|skicross|biomedical
+//	datagen -kind mallows -n 20 -m 5 -phi 0.5
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"rankagg/internal/gen"
+	"rankagg/internal/rankings"
+)
+
+func main() {
+	kind := flag.String("kind", "uniform", "uniform, markov, mallows, plackettluce, websearch, f1, skicross, biomedical, ratings")
+	n := flag.Int("n", 35, "elements per ranking (uniform/markov/mallows/plackettluce)")
+	m := flag.Int("m", 7, "rankings per dataset")
+	steps := flag.Int("steps", 1000, "Markov chain steps (markov)")
+	phi := flag.Float64("phi", 0.7, "Mallows dispersion (mallows)")
+	decay := flag.Float64("decay", 0.8, "weight decay (plackettluce)")
+	count := flag.Int("count", 1, "number of datasets")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	for i := 0; i < *count; i++ {
+		var d *rankings.Dataset
+		switch *kind {
+		case "uniform":
+			d = gen.UniformDataset(rng, *m, *n)
+		case "markov":
+			seedRank := gen.UniformRanking(rng, *n)
+			d = gen.MarkovDataset(rng, seedRank, *n, *m, *steps)
+		case "mallows":
+			d = gen.MallowsDataset(rng, *m, *n, *phi)
+		case "plackettluce":
+			d = gen.PlackettLuceDataset(rng, *m, *n, *decay)
+		case "websearch":
+			d = gen.WebSearchQuery(rng, gen.DefaultWebSearch())
+		case "f1":
+			d = gen.F1Season(rng, gen.DefaultF1())
+		case "skicross":
+			d = gen.SkiCrossEvent(rng, gen.DefaultSkiCross())
+		case "biomedical":
+			d = gen.BioMedicalQuery(rng, gen.DefaultBioMedical())
+		case "ratings":
+			d = gen.RatingsDataset(rng, gen.DefaultRatings())
+		default:
+			fmt.Fprintf(os.Stderr, "datagen: unknown kind %q\n", *kind)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "# dataset %d: kind=%s n=%d m=%d\n", i+1, *kind, d.N, d.M())
+		for _, r := range d.Rankings {
+			fmt.Fprintln(w, r.String())
+		}
+	}
+}

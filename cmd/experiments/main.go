@@ -1,0 +1,181 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation section (Tables 4–5, Figures 2–6) on simulated data, plus the
+// Section 7.4 guidance demo.
+//
+// Usage:
+//
+//	experiments table5 [-datasets 30] [-maxn 12]
+//	experiments table4 [-per-family 8]
+//	experiments fig2 [-quick]
+//	experiments fig3
+//	experiments fig4 | fig5 [-n 20] [-per-step 5]
+//	experiments fig6 [-n 20] [-datasets 10]
+//	experiments guidance
+//
+// Scales default to laptop-friendly sizes; raise the flags to approach the
+// paper's full setup (see EXPERIMENTS.md for the mapping).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rankagg/internal/eval"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	datasets := fs.Int("datasets", 0, "number of datasets (0 = default)")
+	maxN := fs.Int("maxn", 0, "max elements (table5)")
+	perFamily := fs.Int("per-family", 0, "datasets per family (table4/fig3)")
+	n := fs.Int("n", 0, "elements (fig4/fig5/fig6)")
+	perStep := fs.Int("per-step", 0, "datasets per step (fig4/fig5)")
+	seed := fs.Int64("seed", 1, "random seed")
+	quick := fs.Bool("quick", false, "smaller sweep (fig2)")
+	exactTime := fs.Duration("exact-time", 0, "per-dataset exact budget")
+	workers := fs.Int("workers", 4, "parallel dataset workers (quality-only experiments)")
+	csvPath := fs.String("csv", "", "also write machine-readable CSV to this file")
+	fs.Parse(os.Args[2:])
+
+	start := time.Now()
+	switch cmd {
+	case "table5":
+		cmp, err := eval.Table5(eval.Table5Config{
+			Datasets: *datasets, MaxN: *maxN, Seed: *seed, ExactTime: *exactTime,
+		})
+		check(err)
+		fmt.Println("Table 5 — uniformly generated datasets")
+		fmt.Print(eval.FormatTable5(cmp))
+		writeCSV(*csvPath, func(w *os.File) error { return eval.WriteComparisonCSV(w, cmp) })
+	case "table4":
+		res, err := eval.Table4(eval.Table4Config{
+			PerFamily: *perFamily, Seed: *seed, ExactTime: *exactTime,
+		})
+		check(err)
+		fmt.Println("Table 4 — simulated real-world dataset families (gap / m-gap, rank)")
+		fmt.Print(res.String())
+	case "fig2":
+		series, err := eval.Fig2(eval.Fig2Config{Seed: *seed, Quick: *quick})
+		check(err)
+		fmt.Println("Figure 2 — computing time vs number of elements (m = 7)")
+		fmt.Print(eval.FormatTimeSeries(series))
+		writeCSV(*csvPath, func(w *os.File) error { return eval.WriteSeriesCSV(w, series) })
+	case "fig3":
+		rows := eval.Fig3(eval.Table4Config{PerFamily: *perFamily, Seed: *seed}, nil, *seed)
+		fmt.Println("Figure 3 — similarity distribution per dataset group")
+		fmt.Print(eval.FormatFig3(rows))
+		writeCSV(*csvPath, func(w *os.File) error { return eval.WriteFig3CSV(w, rows) })
+	case "fig4", "fig5":
+		cfg := eval.SweepConfig{
+			N: *n, PerStep: *perStep, Seed: *seed,
+			Unified: cmd == "fig5", ExactTime: *exactTime,
+		}
+		series, sims, err := eval.GapSweep(cfg)
+		check(err)
+		if cmd == "fig4" {
+			fmt.Println("Figure 4 — gap vs Markov steps (synthetic datasets with similarity)")
+		} else {
+			fmt.Println("Figure 5 — gap vs Markov steps (unified top-k datasets)")
+		}
+		fmt.Print(eval.FormatGapSeries(series, sims, seriesSteps(series)))
+		writeCSV(*csvPath, func(w *os.File) error { return eval.WriteSeriesCSV(w, series) })
+	case "fig6":
+		points, err := eval.Fig6(*datasets, *n, *seed, *exactTime)
+		check(err)
+		fmt.Println("Figure 6 — computing time and gap (uniform datasets, m = 7)")
+		fmt.Print(eval.FormatFig6(points))
+		writeCSV(*csvPath, func(w *os.File) error { return eval.WriteFig6CSV(w, points) })
+	case "borda-scaling":
+		rows, err := eval.BordaScaling(eval.BordaScalingConfig{
+			PerN: *perStep, Seed: *seed, Workers: *workers,
+		})
+		check(err)
+		fmt.Println("Section 7.1.1 / 8 — BordaCount & CopelandMethod rank vs number of elements (m-gap)")
+		fmt.Print(eval.FormatBordaScaling(rows))
+	case "chain":
+		cmp, err := eval.ChainStudy(*datasets, *n, *seed, *workers)
+		check(err)
+		fmt.Println("Section 8 — chaining a fast first stage with an anytime refiner")
+		fmt.Print(eval.FormatTable5(cmp))
+		writeCSV(*csvPath, func(w *os.File) error { return eval.WriteComparisonCSV(w, cmp) })
+	case "guidance":
+		runGuidance(*seed)
+	default:
+		usage()
+	}
+	fmt.Fprintf(os.Stderr, "\n(%s in %v)\n", cmd, time.Since(start).Round(time.Millisecond))
+}
+
+// seriesSteps recovers the union of swept X values across series, in order.
+func seriesSteps(series []eval.Series) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, s := range series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				out = append(out, x)
+			}
+		}
+		for _, x := range s.Misses {
+			if !seen[x] {
+				seen[x] = true
+				out = append(out, x)
+			}
+		}
+	}
+	return out
+}
+
+func runGuidance(seed int64) {
+	fmt.Println("Section 7.4 — guidance based on known dataset properties")
+	cases := []struct {
+		desc         string
+		f            eval.Features
+		needOptimal  bool
+		timeCritical bool
+	}{
+		{"small dataset, optimal result required", eval.Features{N: 25, M: 7, Similarity: 0.3}, true, false},
+		{"moderate dataset, default priorities", eval.Features{N: 200, M: 7, Similarity: 0.1}, false, false},
+		{"huge dataset (n > 30000)", eval.Features{N: 50000, M: 5}, false, false},
+		{"time-critical, unified data with large ties", eval.Features{N: 2500, M: 6, LargeTies: true}, false, true},
+		{"time-critical, few ties", eval.Features{N: 2500, M: 6}, false, true},
+	}
+	for _, c := range cases {
+		fmt.Printf("\n%s:\n", c.desc)
+		for _, rec := range eval.Recommend(c.f, c.needOptimal, c.timeCritical) {
+			fmt.Printf("  -> %-16s %s\n", rec.Algorithm, rec.Reason)
+		}
+	}
+	_ = seed
+}
+
+// writeCSV writes an experiment's machine-readable form when -csv is set.
+func writeCSV(path string, write func(*os.File) error) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	check(err)
+	defer f.Close()
+	check(write(f))
+	fmt.Fprintf(os.Stderr, "csv written to %s\n", path)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: experiments <table4|table5|fig2|fig3|fig4|fig5|fig6|borda-scaling|chain|guidance> [flags]")
+	os.Exit(2)
+}

@@ -1,0 +1,156 @@
+// Command rankagg aggregates rankings with ties from a file (or stdin) into
+// a consensus ranking.
+//
+// Usage:
+//
+//	rankagg [-algo name] [-normalize unify|unify-broken|project|k-unify] [-k N]
+//	        [-format text|csv] [-eps E] [-json] [file]
+//	rankagg -list
+//
+// Text input holds one ranking per line in bracket notation ("[{A},{B,C}]")
+// or compact notation ("A > B=C"); '#' starts a comment. CSV input
+// (-format csv) holds "source,item,score" rows: one ranking with ties per
+// source, items within -eps of a score level tied. When rankings cover
+// different elements a normalization process must be chosen. The consensus
+// and its generalized Kemeny score are printed (or a JSON document with
+// -json).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"rankagg"
+)
+
+func main() {
+	algoName := flag.String("algo", "BioConsert", "aggregation algorithm (see -list)")
+	norm := flag.String("normalize", "", "normalization for incomplete datasets: unify, unify-broken, project, or k-unify")
+	kFlag := flag.Int("k", 2, "minimum rankings per element for -normalize k-unify")
+	format := flag.String("format", "text", "input format: text or csv")
+	eps := flag.Float64("eps", 0, "score tie tolerance for csv input")
+	jsonOut := flag.Bool("json", false, "emit a JSON result document")
+	list := flag.Bool("list", false, "list available algorithms and exit")
+	verbose := flag.Bool("v", false, "print dataset features and per-input distances")
+	flag.Parse()
+
+	if *list {
+		for _, n := range rankagg.Algorithms() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	in := os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	var (
+		d   *rankagg.Dataset
+		u   *rankagg.Universe
+		err error
+	)
+	switch *format {
+	case "text":
+		d, u, err = rankagg.ReadDataset(in)
+	case "csv":
+		d, u, err = rankagg.ParseScoreCSV(in, *eps)
+	default:
+		err = fmt.Errorf("unknown -format %q", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if d.M() == 0 {
+		fatal(fmt.Errorf("no rankings in input"))
+	}
+
+	if !d.Complete() {
+		var toOld []int
+		switch *norm {
+		case "unify":
+			d, toOld, _ = rankagg.Unify(d)
+		case "unify-broken":
+			d, toOld, _ = rankagg.UnifyBroken(d)
+		case "project":
+			d, toOld, _ = rankagg.Project(d)
+		case "k-unify":
+			d, toOld, _ = rankagg.KUnify(d, *kFlag)
+		case "":
+			fatal(fmt.Errorf("rankings cover different elements; pass -normalize unify|unify-broken|project|k-unify"))
+		default:
+			fatal(fmt.Errorf("unknown -normalize %q", *norm))
+		}
+		u = rankagg.SubUniverse(u, toOld)
+	}
+	if d.N == 0 {
+		fatal(fmt.Errorf("normalization removed every element"))
+	}
+
+	consensus, err := rankagg.Aggregate(*algoName, d)
+	if err != nil {
+		fatal(err)
+	}
+	score := rankagg.Score(consensus, d)
+
+	if *jsonOut {
+		printJSON(consensus, u, d, *algoName, score)
+		return
+	}
+	fmt.Println(u.Format(consensus))
+	fmt.Printf("generalized Kemeny score: %d\n", score)
+	if *verbose {
+		f := rankagg.ExtractFeatures(d)
+		fmt.Printf("n=%d m=%d similarity=%.3f largeTies=%v\n", f.N, f.M, f.Similarity, f.LargeTies)
+		for i, r := range d.Rankings {
+			fmt.Printf("G(consensus, input %d) = %d\n", i+1, rankagg.Dist(consensus, r, d.N))
+		}
+		for _, rec := range rankagg.Recommend(f, false, false) {
+			fmt.Printf("recommended: %s — %s\n", rec.Algorithm, rec.Reason)
+		}
+	}
+}
+
+// jsonResult is the -json output document.
+type jsonResult struct {
+	Algorithm  string     `json:"algorithm"`
+	Score      int64      `json:"score"`
+	Similarity float64    `json:"similarity"`
+	N          int        `json:"n"`
+	M          int        `json:"m"`
+	Consensus  [][]string `json:"consensus"`
+}
+
+func printJSON(consensus *rankagg.Ranking, u *rankagg.Universe, d *rankagg.Dataset, algoName string, score int64) {
+	res := jsonResult{
+		Algorithm:  algoName,
+		Score:      score,
+		Similarity: rankagg.Similarity(d),
+		N:          d.N,
+		M:          d.M(),
+	}
+	for _, b := range consensus.Buckets {
+		names := make([]string, len(b))
+		for i, e := range b {
+			names[i] = u.Name(e)
+		}
+		res.Consensus = append(res.Consensus, names)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(res); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rankagg:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,96 @@
+package rankagg_test
+
+import (
+	"fmt"
+	"strings"
+
+	"rankagg"
+)
+
+// ExampleAggregate reproduces the paper's Section 2.2 running example.
+func ExampleAggregate() {
+	u := rankagg.NewUniverse()
+	r1, _ := rankagg.ParseRanking("[{A},{D},{B,C}]", u)
+	r2, _ := rankagg.ParseRanking("[{A},{B,C},{D}]", u)
+	r3, _ := rankagg.ParseRanking("[{D},{A,C},{B}]", u)
+	d := rankagg.FromRankings(r1, r2, r3)
+
+	consensus, _ := rankagg.Aggregate("ExactAlgorithm", d)
+	fmt.Println(u.Format(consensus))
+	fmt.Println(rankagg.Score(consensus, d))
+	// Output:
+	// [{A},{D},{B,C}]
+	// 5
+}
+
+// ExampleDist shows the generalized Kendall-τ distance: one inversion plus
+// one pair tied in exactly one ranking.
+func ExampleDist() {
+	u := rankagg.NewUniverse()
+	r, _ := rankagg.ParseRanking("[{A},{B},{C}]", u)
+	s, _ := rankagg.ParseRanking("[{B},{A,C}]", u)
+	fmt.Println(rankagg.Dist(r, s, 3))
+	// Output:
+	// 2
+}
+
+// ExampleUnify applies the unification process of Table 3.
+func ExampleUnify() {
+	d, u, _ := rankagg.ReadDataset(strings.NewReader(
+		"[{A},{D},{B}]\n[{B},{E,A}]\n[{D},{A,B},{C}]\n"))
+	unified, toOld, _ := rankagg.Unify(d)
+	nu := rankagg.SubUniverse(u, toOld)
+	for _, r := range unified.Rankings {
+		fmt.Println(nu.Format(r))
+	}
+	// Output:
+	// [{A},{D},{B},{C,E}]
+	// [{B},{A,E},{C,D}]
+	// [{D},{A,B},{C},{E}]
+}
+
+// ExampleFromScores turns noisy scores into a ranking with ties.
+func ExampleFromScores() {
+	r := rankagg.FromScores(map[int]float64{0: 9.8, 1: 9.7, 2: 4.0}, 0.25)
+	fmt.Println(r)
+	// Output:
+	// [{0,1},{2}]
+}
+
+// ExampleParseScoreCSV builds a dataset from scored lists and aggregates it.
+func ExampleParseScoreCSV() {
+	csv := `engineA,x,10
+engineA,y,8
+engineB,y,9
+engineB,x,7
+`
+	d, u, _ := rankagg.ParseScoreCSV(strings.NewReader(csv), 0)
+	consensus, _ := rankagg.Aggregate("BioConsert", d)
+	fmt.Println(u.Format(consensus))
+	// Output:
+	// [{x},{y}]
+}
+
+// ExampleRecommend applies the Section 7.4 guidance.
+func ExampleRecommend() {
+	recs := rankagg.Recommend(rankagg.Features{N: 50000}, false, false)
+	fmt.Println(recs[0].Algorithm)
+	// Output:
+	// KwikSort
+}
+
+// ExampleKUnify shows the intermediate standardization between projection
+// and unification.
+func ExampleKUnify() {
+	d, u, _ := rankagg.ReadDataset(strings.NewReader(
+		"[{A},{D},{B}]\n[{B},{E,A}]\n[{D},{A,B},{C}]\n"))
+	k2, toOld, _ := rankagg.KUnify(d, 2) // keep elements in ≥ 2 rankings
+	nu := rankagg.SubUniverse(u, toOld)
+	for _, r := range k2.Rankings {
+		fmt.Println(nu.Format(r))
+	}
+	// Output:
+	// [{A},{D},{B}]
+	// [{B},{A},{D}]
+	// [{D},{A,B}]
+}

@@ -1,0 +1,65 @@
+// Biomedical gene ranking: merge the ranked (and tied) gene lists returned
+// by several database queries into one consensus — the ConQuR-Bio use case
+// [10, 12] behind the paper's BioMedical datasets. Sources score genes
+// coarsely, so their rankings contain many ties, which is exactly the
+// setting the generalized Kendall-τ distance was designed for.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"rankagg"
+	"rankagg/internal/gen"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(12))
+	cfg := gen.DefaultBioMedical()
+	cfg.Genes = 16 // small enough for an interactive exact solve
+	cfg.Sources = 4
+	raw := gen.BioMedicalQuery(rng, cfg)
+	d, _, _ := rankagg.Unify(raw)
+
+	fmt.Printf("%d sources ranked %d genes (with ties); similarity s(R) = %.3f\n\n",
+		d.M(), d.N, rankagg.Similarity(d))
+
+	// Ties matter: compare a ties-aware algorithm with one producing
+	// permutations.
+	bio, err := rankagg.Aggregate("BioConsert", d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	borda, err := rankagg.Aggregate("BordaCount", d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact, err := rankagg.Aggregate("ExactAlgorithm", d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := rankagg.Score(exact, d)
+
+	fmt.Printf("%-16s %-8s %-8s %s\n", "algorithm", "score", "gap", "buckets")
+	for _, row := range []struct {
+		name string
+		r    *rankagg.Ranking
+	}{
+		{"ExactAlgorithm", exact}, {"BioConsert", bio}, {"BordaCount", borda},
+	} {
+		s := rankagg.Score(row.r, d)
+		fmt.Printf("%-16s %-8d %6.1f%%  %d\n", row.name, s, 100*rankagg.Gap(s, opt), row.r.NumBuckets())
+	}
+
+	fmt.Println("\ntop consensus genes (ExactAlgorithm):")
+	for i, bucket := range exact.Buckets {
+		if i == 3 {
+			break
+		}
+		fmt.Printf("  tier %d: %d gene(s) %v\n", i+1, len(bucket), bucket)
+	}
+	fmt.Println("\nBordaCount is forced to break ties arbitrarily, paying the untying")
+	fmt.Println("cost the generalized distance charges — the ties-aware methods keep")
+	fmt.Println("genuinely equivalent genes together.")
+}

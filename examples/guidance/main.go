@@ -1,0 +1,58 @@
+// Guidance: measure a dataset's features (size, similarity, tie structure)
+// and apply the paper's Section 7.4 recommendations, then verify the advice
+// by actually running the suggested algorithm against alternatives.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"rankagg"
+	"rankagg/internal/gen"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(74))
+
+	scenarios := []struct {
+		desc string
+		d    *rankagg.Dataset
+	}{
+		{"similar rankings (50 Markov steps)", markov(rng, 18, 7, 50)},
+		{"dissimilar rankings (50000 Markov steps)", markov(rng, 18, 7, 50000)},
+		{"unified top-k lists (large ending ties)", unifiedTopK(rng)},
+	}
+	for _, sc := range scenarios {
+		f := rankagg.ExtractFeatures(sc.d)
+		fmt.Printf("--- %s: n=%d m=%d similarity=%.2f largeTies=%v\n",
+			sc.desc, f.N, f.M, f.Similarity, f.LargeTies)
+		recs := rankagg.Recommend(f, false, false)
+		fmt.Printf("    recommended: %s\n", recs[0].Algorithm)
+
+		for _, name := range []string{recs[0].Algorithm, "BordaCount", "KwikSort"} {
+			start := time.Now()
+			c, err := rankagg.Aggregate(name, sc.d)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("    %-14s score=%-6d time=%v\n",
+				name, rankagg.Score(c, sc.d), time.Since(start).Round(time.Microsecond))
+		}
+		fmt.Println()
+	}
+}
+
+func markov(rng *rand.Rand, n, m, steps int) *rankagg.Dataset {
+	seed := gen.UniformRanking(rng, n)
+	return gen.MarkovDataset(rng, seed, n, m, steps)
+}
+
+func unifiedTopK(rng *rand.Rand) *rankagg.Dataset {
+	seed := gen.UniformRanking(rng, 60)
+	raw := gen.MarkovDataset(rng, seed, 60, 7, 100000)
+	top := rankagg.TopK(raw, 8)
+	u, _, _ := rankagg.Unify(top)
+	return u
+}

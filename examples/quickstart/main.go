@@ -1,0 +1,44 @@
+// Quickstart: aggregate three rankings with ties (the running example of
+// the paper's Section 2.2) and compare several algorithms against the
+// optimal consensus.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rankagg"
+)
+
+func main() {
+	u := rankagg.NewUniverse()
+	r1, err := rankagg.ParseRanking("[{A},{D},{B,C}]", u)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r2, _ := rankagg.ParseRanking("[{A},{B,C},{D}]", u)
+	r3, _ := rankagg.ParseRanking("[{D},{A,C},{B}]", u)
+	d := rankagg.FromRankings(r1, r2, r3)
+
+	fmt.Println("input rankings:")
+	for i, r := range d.Rankings {
+		fmt.Printf("  r%d = %s\n", i+1, u.Format(r))
+	}
+	fmt.Printf("dataset similarity s(R) = %.3f\n\n", rankagg.Similarity(d))
+
+	exact, err := rankagg.Aggregate("ExactAlgorithm", d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := rankagg.Score(exact, d)
+	fmt.Printf("optimal consensus: %s (generalized Kemeny score %d)\n\n", u.Format(exact), opt)
+
+	for _, name := range []string{"BioConsert", "KwikSort", "BordaCount", "MEDRank(0.5)", "Pick-a-Perm"} {
+		c, err := rankagg.Aggregate(name, d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := rankagg.Score(c, d)
+		fmt.Printf("%-14s %-22s score=%d gap=%.1f%%\n", name, u.Format(c), s, 100*rankagg.Gap(s, opt))
+	}
+}

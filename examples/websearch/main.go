@@ -1,0 +1,64 @@
+// Meta-search: combine the top-k result lists of several (simulated) web
+// search engines into one consensus ranking — the motivating application of
+// Dwork et al. [20] that the paper's WebSearch datasets come from.
+//
+// The engines return overlapping but different URL sets, so the example
+// demonstrates both normalization processes and shows why unification's
+// large ending bucket matters for algorithm choice (Section 7.3).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"rankagg"
+	"rankagg/internal/gen"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	cfg := gen.DefaultWebSearch()
+	cfg.Engines = 5
+	cfg.TopK = 25
+	cfg.Universe = 90
+	raw := gen.WebSearchQuery(rng, cfg)
+
+	fmt.Printf("5 engines returned top-%d lists; union covers %d URLs, all engines agree on %d\n\n",
+		cfg.TopK, len(raw.ElementsInAny()), len(raw.ElementsInAll()))
+
+	// Projection keeps only URLs every engine returned.
+	proj, _, _ := rankagg.Project(raw)
+	// Unification keeps every URL, tied at the end of engines that missed it.
+	unif, _, _ := rankagg.Unify(raw)
+
+	for _, tc := range []struct {
+		name string
+		d    *rankagg.Dataset
+	}{
+		{"projected", proj},
+		{"unified", unif},
+	} {
+		f := rankagg.ExtractFeatures(tc.d)
+		fmt.Printf("--- %s dataset: n=%d, similarity=%.3f, large ties=%v\n", tc.name, f.N, f.Similarity, f.LargeTies)
+		for _, rec := range rankagg.Recommend(f, false, false) {
+			fmt.Printf("    guidance: %s\n", rec.Algorithm)
+		}
+		best := int64(-1)
+		for _, name := range []string{"BioConsert", "KwikSortMin", "BordaCount", "MEDRank(0.5)"} {
+			c, err := rankagg.Aggregate(name, tc.d)
+			if err != nil {
+				log.Fatal(err)
+			}
+			s := rankagg.Score(c, tc.d)
+			if best < 0 || s < best {
+				best = s
+			}
+			fmt.Printf("    %-14s score=%-6d buckets=%d\n", name, s, c.NumBuckets())
+		}
+		fmt.Printf("    (best score %d)\n\n", best)
+	}
+	fmt.Println("Note how BordaCount degrades on the unified dataset (the unification")
+	fmt.Println("bucket is a huge tie it cannot price) while BioConsert and MEDRank stay")
+	fmt.Println("stable — the Figure 5 effect.")
+}

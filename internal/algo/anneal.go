@@ -1,0 +1,187 @@
+package algo
+
+import (
+	"math"
+	"math/rand"
+
+	"rankagg/internal/core"
+	"rankagg/internal/kendall"
+	"rankagg/internal/rankings"
+)
+
+// Anneal is a simulated-annealing aggregator over rankings with ties — the
+// anytime approach Section 8 of the paper singles out ("simulated annealing
+// techniques are known to produce high-quality consensus, but are time
+// consuming"). It explores the same neighbourhood as BioConsert (move an
+// element into an existing bucket, or into a new bucket at any boundary)
+// but accepts worsening moves with probability exp(−Δ/T) under a geometric
+// cooling schedule, escaping the local optima a pure descent gets stuck in.
+// The best state ever visited is returned.
+type Anneal struct {
+	// Sweeps is the number of temperature levels; each level attempts
+	// MovesPerSweep random moves. Defaults: 60 sweeps, 8·n moves.
+	Sweeps        int
+	MovesPerSweep int
+	// InitialTemp seeds the schedule; 0 derives it from the dataset (the
+	// mean pair cost, so early acceptance is high).
+	InitialTemp float64
+	// Cooling is the per-sweep multiplier in (0,1); default 0.9.
+	Cooling float64
+	// Seed fixes the random walk.
+	Seed int64
+	// StartFrom overrides the default start (the best input ranking).
+	StartFrom *rankings.Ranking
+}
+
+// Name implements core.Aggregator.
+func (a *Anneal) Name() string { return "Anneal" }
+
+// Aggregate implements core.Aggregator.
+func (a *Anneal) Aggregate(d *rankings.Dataset) (*rankings.Ranking, error) {
+	if err := core.CheckInput(d); err != nil {
+		return nil, err
+	}
+	seed := a.StartFrom
+	if seed == nil {
+		best, err := (PickAPerm{}).Aggregate(d)
+		if err != nil {
+			return nil, err
+		}
+		seed = best
+	}
+	return a.AggregateFrom(d, seed)
+}
+
+// AggregateFrom implements Seedable: anneal starting from the given
+// solution.
+func (a *Anneal) AggregateFrom(d *rankings.Dataset, seed *rankings.Ranking) (*rankings.Ranking, error) {
+	if err := core.CheckInput(d); err != nil {
+		return nil, err
+	}
+	p := kendall.NewPairs(d)
+	rng := rand.New(rand.NewSource(a.Seed + 0x5a))
+	st := newSearchState(p, seed)
+
+	sweeps := a.Sweeps
+	if sweeps <= 0 {
+		sweeps = 60
+	}
+	moves := a.MovesPerSweep
+	if moves <= 0 {
+		moves = 8 * d.N
+	}
+	cooling := a.Cooling
+	if cooling <= 0 || cooling >= 1 {
+		cooling = 0.9
+	}
+	temp := a.InitialTemp
+	if temp <= 0 {
+		temp = meanPairCost(p)
+	}
+
+	cur := p.Score(st.ranking())
+	best := st.ranking()
+	bestScore := cur
+	for s := 0; s < sweeps; s++ {
+		for mv := 0; mv < moves; mv++ {
+			x := st.elems[rng.Intn(len(st.elems))]
+			tie, newAt := st.randomMove(x, rng)
+			delta := st.moveDelta(x, tie, newAt)
+			if delta <= 0 || rng.Float64() < math.Exp(-float64(delta)/temp) {
+				st.apply(x, tie, newAt)
+				cur += delta
+				if cur < bestScore {
+					bestScore = cur
+					best = st.ranking()
+				}
+			}
+		}
+		temp *= cooling
+	}
+	// Final descent polishes the annealed state into a local optimum.
+	polished, score := localSearch(p, best)
+	if score <= bestScore {
+		return polished, nil
+	}
+	return best, nil
+}
+
+// meanPairCost estimates a temperature from the average disagreement mass
+// per pair.
+func meanPairCost(p *kendall.Pairs) float64 {
+	n := p.N
+	if n < 2 {
+		return 1
+	}
+	var total int64
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			total += p.CostTied(a, b)
+		}
+	}
+	mean := float64(total) / float64(n*(n-1)/2)
+	if mean < 1 {
+		return 1
+	}
+	return mean
+}
+
+// randomMove draws a uniformly random placement for x among existing
+// buckets and new-bucket boundaries (excluding the identity placement).
+func (st *searchState) randomMove(x int, rng *rand.Rand) (tie, newAt int) {
+	k := len(st.buckets)
+	cur := st.bucketOf[x]
+	for {
+		c := rng.Intn(2*k + 1)
+		if c < k {
+			if c == cur {
+				continue
+			}
+			return c, -1
+		}
+		q := c - k
+		// Recreating a singleton at its own boundary is the identity.
+		if len(st.buckets[cur]) == 1 && (q == cur || q == cur+1) {
+			continue
+		}
+		return -1, q
+	}
+}
+
+// moveDelta computes the score change of placing x into existing bucket tie
+// (or a new bucket at boundary newAt) without mutating the state.
+func (st *searchState) moveDelta(x, tie, newAt int) int64 {
+	k := len(st.buckets)
+	st.ensureScratch(k)
+	p := st.p
+	for j, b := range st.buckets {
+		var tc, bc, ac int64
+		for _, y := range b {
+			if y == x {
+				continue
+			}
+			tc += p.CostTied(x, y)
+			bc += p.CostBefore(x, y)
+			ac += p.CostBefore(y, x)
+		}
+		st.tieCost[j], st.befCost[j], st.aftCost[j] = tc, bc, ac
+	}
+	st.preB[0] = 0
+	for j := 0; j < k; j++ {
+		st.preB[j+1] = st.preB[j] + st.aftCost[j]
+	}
+	st.sufA[k] = 0
+	for j := k - 1; j >= 0; j-- {
+		st.sufA[j] = st.sufA[j+1] + st.befCost[j]
+	}
+	cur := st.bucketOf[x]
+	curCost := st.preB[cur] + st.sufA[cur+1] + st.tieCost[cur]
+	if tie >= 0 {
+		return st.preB[tie] + st.sufA[tie+1] + st.tieCost[tie] - curCost
+	}
+	return st.preB[newAt] + st.sufA[newAt] - curCost
+}
+
+func init() {
+	core.Register("Anneal", func() core.Aggregator { return &Anneal{} })
+}

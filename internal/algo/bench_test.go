@@ -1,0 +1,121 @@
+package algo
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"rankagg/internal/gen"
+	"rankagg/internal/rankings"
+)
+
+func benchDataset(seed int64, m, n int) *rankings.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	return gen.UniformDataset(rng, m, n)
+}
+
+// BenchmarkBioConsertByN tracks the flagship heuristic's growth (the
+// paper's §7.4 warns about its O(n²) memory/time at very large n).
+func BenchmarkBioConsertByN(b *testing.B) {
+	for _, n := range []int{25, 50, 100, 200} {
+		d := benchDataset(1, 7, n)
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := (&BioConsert{}).Aggregate(d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkKwikSortByN tracks the large-n recommendation.
+func BenchmarkKwikSortByN(b *testing.B) {
+	for _, n := range []int{50, 200, 1000} {
+		d := benchDataset(2, 7, n)
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := (&KwikSort{}).Aggregate(d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPositionalByN confirms the positional family's near-linear cost.
+func BenchmarkPositionalByN(b *testing.B) {
+	for _, n := range []int{100, 1000} {
+		d := benchDataset(3, 7, n)
+		for _, a := range []interface {
+			Name() string
+			Aggregate(*rankings.Dataset) (*rankings.Ranking, error)
+		}{&Borda{}, &Copeland{}, &MEDRank{H: 0.5}} {
+			b.Run(fmt.Sprintf("%s_n%d", a.Name(), n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := a.Aggregate(d); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFaginDP measures the O(n²) bucketization DP.
+func BenchmarkFaginDP(b *testing.B) {
+	for _, n := range []int{100, 400} {
+		d := benchDataset(4, 7, n)
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := (&FaginDyn{}).Aggregate(d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExactBnBByN shows the exponential wall of the exact search on
+// uniform (hard) instances.
+func BenchmarkExactBnBByN(b *testing.B) {
+	for _, n := range []int{8, 12, 16} {
+		d := benchDataset(5, 5, n)
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e := &ExactBnB{TimeLimit: time.Minute}
+				if _, _, err := e.AggregateExact(d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAilonLP measures the LP-relaxation pipeline at sizes below its
+// wall.
+func BenchmarkAilonLP(b *testing.B) {
+	for _, n := range []int{10, 20} {
+		d := benchDataset(6, 5, n)
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := (&Ailon{}).Aggregate(d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAnneal measures the §8 anytime refiner.
+func BenchmarkAnneal(b *testing.B) {
+	d := benchDataset(7, 7, 40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (&Anneal{}).Aggregate(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

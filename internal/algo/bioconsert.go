@@ -1,0 +1,216 @@
+package algo
+
+import (
+	"rankagg/internal/core"
+	"rankagg/internal/kendall"
+	"rankagg/internal/rankings"
+)
+
+// BioConsert implements the local search of Cohen-Boulakia, Denise & Hamel
+// [12] (Section 3.1), the algorithm the paper finds best "in a very large
+// majority of the cases". It starts from a solution and applies the two
+// edition operations while the generalized Kemeny score decreases:
+//
+//   - remove an element from its bucket and place it in a NEW bucket at any
+//     position, and
+//   - move an element into an already existing bucket (tying it there).
+//
+// By default the search is restarted from every input ranking and the best
+// local optimum is returned, as in [12]. Memory is O(n²) (the pair matrix),
+// the scaling limit Section 7.4 notes for n > 30000.
+type BioConsert struct {
+	// StartFrom, when non-nil, replaces the input rankings as the unique
+	// starting solution (used for algorithm chaining and ablations).
+	StartFrom *rankings.Ranking
+}
+
+// Name implements core.Aggregator.
+func (a *BioConsert) Name() string { return "BioConsert" }
+
+// Aggregate implements core.Aggregator.
+func (a *BioConsert) Aggregate(d *rankings.Dataset) (*rankings.Ranking, error) {
+	if err := core.CheckInput(d); err != nil {
+		return nil, err
+	}
+	p := kendall.NewPairs(d)
+	seeds := d.Rankings
+	if a.StartFrom != nil {
+		seeds = []*rankings.Ranking{a.StartFrom}
+	}
+	var best *rankings.Ranking
+	var bestScore int64
+	seen := map[string]bool{}
+	for _, seed := range seeds {
+		key := seed.Clone().Canonicalize().String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		cand, score := localSearch(p, seed)
+		if best == nil || score < bestScore {
+			best, bestScore = cand, score
+		}
+	}
+	return best, nil
+}
+
+// localSearch runs BioConsert's descent from the given seed and returns the
+// local optimum and its score. The seed may cover a subset of the universe;
+// only its elements are moved (and scored).
+func localSearch(p *kendall.Pairs, seed *rankings.Ranking) (*rankings.Ranking, int64) {
+	st := newSearchState(p, seed)
+	for improved := true; improved; {
+		improved = false
+		for _, x := range st.elems {
+			if st.improveElement(x) {
+				improved = true
+			}
+		}
+	}
+	return st.ranking(), p.Score(st.ranking())
+}
+
+// searchState is the mutable bucket order of a running local search.
+type searchState struct {
+	p        *kendall.Pairs
+	elems    []int
+	buckets  [][]int
+	bucketOf []int
+	// scratch, reused across improveElement calls:
+	tieCost []int64 // per existing bucket: Σ costTied(x, y∈bucket)
+	befCost []int64 // per bucket: Σ costBefore(x, y) — x before the bucket
+	aftCost []int64 // per bucket: Σ costBefore(y, x) — x after the bucket
+	preB    []int64
+	sufA    []int64
+}
+
+func newSearchState(p *kendall.Pairs, seed *rankings.Ranking) *searchState {
+	st := &searchState{p: p, elems: seed.Elements(), bucketOf: make([]int, p.N)}
+	st.buckets = make([][]int, len(seed.Buckets))
+	for i, b := range seed.Buckets {
+		st.buckets[i] = append([]int(nil), b...)
+		for _, e := range b {
+			st.bucketOf[e] = i
+		}
+	}
+	return st
+}
+
+// improveElement evaluates every placement of x (into each existing bucket,
+// or as a new singleton bucket at each boundary) in O(n + k) using prefix
+// sums, and applies the best strictly-improving move. Reports whether a
+// move was made.
+func (st *searchState) improveElement(x int) bool {
+	k := len(st.buckets)
+	st.ensureScratch(k)
+	p := st.p
+	for j, b := range st.buckets {
+		var tc, bc, ac int64
+		for _, y := range b {
+			if y == x {
+				continue
+			}
+			tc += p.CostTied(x, y)
+			bc += p.CostBefore(x, y)
+			ac += p.CostBefore(y, x)
+		}
+		st.tieCost[j], st.befCost[j], st.aftCost[j] = tc, bc, ac
+	}
+	// preB[q] = cost of x being after buckets 0..q-1; sufA[q] = cost of x
+	// being before buckets q..k-1.
+	st.preB[0] = 0
+	for j := 0; j < k; j++ {
+		st.preB[j+1] = st.preB[j] + st.aftCost[j]
+	}
+	st.sufA[k] = 0
+	for j := k - 1; j >= 0; j-- {
+		st.sufA[j] = st.sufA[j+1] + st.befCost[j]
+	}
+	cur := st.bucketOf[x]
+	curCost := st.preB[cur] + st.sufA[cur+1] + st.tieCost[cur]
+
+	bestDelta := int64(0)
+	bestTie, bestNew := -1, -1
+	for j := 0; j < k; j++ {
+		if j == cur {
+			continue
+		}
+		if d := st.preB[j] + st.sufA[j+1] + st.tieCost[j] - curCost; d < bestDelta {
+			bestDelta, bestTie, bestNew = d, j, -1
+		}
+	}
+	for q := 0; q <= k; q++ {
+		if d := st.preB[q] + st.sufA[q] - curCost; d < bestDelta {
+			bestDelta, bestTie, bestNew = d, -1, q
+		}
+	}
+	if bestTie < 0 && bestNew < 0 {
+		return false
+	}
+	st.apply(x, bestTie, bestNew)
+	return true
+}
+
+// apply moves x into existing bucket tie (if tie >= 0) or into a new
+// singleton bucket before boundary pos new (if new >= 0). Indices refer to
+// the bucket slice BEFORE x is removed.
+func (st *searchState) apply(x, tie, newPos int) {
+	cur := st.bucketOf[x]
+	b := st.buckets[cur]
+	for i, e := range b {
+		if e == x {
+			b[i] = b[len(b)-1]
+			st.buckets[cur] = b[:len(b)-1]
+			break
+		}
+	}
+	removed := len(st.buckets[cur]) == 0
+	if removed {
+		st.buckets = append(st.buckets[:cur], st.buckets[cur+1:]...)
+		if tie > cur {
+			tie--
+		}
+		if newPos > cur {
+			newPos--
+		}
+	}
+	if tie >= 0 {
+		st.buckets[tie] = append(st.buckets[tie], x)
+	} else {
+		st.buckets = append(st.buckets, nil)
+		copy(st.buckets[newPos+1:], st.buckets[newPos:])
+		st.buckets[newPos] = []int{x}
+	}
+	for j, bk := range st.buckets {
+		for _, e := range bk {
+			st.bucketOf[e] = j
+		}
+	}
+}
+
+func (st *searchState) ensureScratch(k int) {
+	if cap(st.tieCost) < k {
+		st.tieCost = make([]int64, k)
+		st.befCost = make([]int64, k)
+		st.aftCost = make([]int64, k)
+		st.preB = make([]int64, k+1)
+		st.sufA = make([]int64, k+1)
+	}
+	st.tieCost = st.tieCost[:k]
+	st.befCost = st.befCost[:k]
+	st.aftCost = st.aftCost[:k]
+	st.preB = st.preB[:k+1]
+	st.sufA = st.sufA[:k+1]
+}
+
+func (st *searchState) ranking() *rankings.Ranking {
+	out := &rankings.Ranking{Buckets: make([][]int, len(st.buckets))}
+	for i, b := range st.buckets {
+		out.Buckets[i] = append([]int(nil), b...)
+	}
+	return out
+}
+
+func init() {
+	core.Register("BioConsert", func() core.Aggregator { return &BioConsert{} })
+}

@@ -1,0 +1,192 @@
+package algo
+
+import (
+	"sort"
+	"time"
+
+	"rankagg/internal/core"
+	"rankagg/internal/kendall"
+	"rankagg/internal/rankings"
+)
+
+// BnB implements the permutation-only branch & bound of Ali & Meilă [3]
+// (Section 3.2): a DFS over prefixes of the output permutation where a leaf
+// at depth j fixes the first j elements, pruned with the pairwise lower
+// bound min(cost(a<b), cost(b<a)) over undecided pairs. With Beam > 0 the
+// search degrades into a beam search keeping the Beam most promising
+// prefixes per depth — the heuristic variant [3] recommends as a
+// KwikSort/ChanasBoth trade-off. Output never contains ties (the paper
+// notes handling ties "would require designing a fully new algorithm" —
+// that new algorithm is ExactBnB).
+type BnB struct {
+	// Beam > 0 switches to beam search with that width (heuristic).
+	Beam int
+	// TimeLimit stops the exact search, returning the incumbent.
+	TimeLimit time.Duration
+}
+
+// Name implements core.Aggregator.
+func (a *BnB) Name() string {
+	if a.Beam > 0 {
+		return "BnBBeam"
+	}
+	return "BnB"
+}
+
+// Aggregate implements core.Aggregator.
+func (a *BnB) Aggregate(d *rankings.Dataset) (*rankings.Ranking, error) {
+	r, _, err := a.AggregateExact(d)
+	return r, err
+}
+
+// AggregateExact implements core.ExactAggregator: exact only when Beam = 0
+// and the time limit was not hit, and then only over permutations (the
+// optimum *with ties* can be strictly better).
+func (a *BnB) AggregateExact(d *rankings.Dataset) (*rankings.Ranking, bool, error) {
+	if err := core.CheckInput(d); err != nil {
+		return nil, false, err
+	}
+	p := kendall.NewPairs(d)
+	order := bordaOrderAll(d)
+	if a.Beam > 0 {
+		return beamSearch(p, order, a.Beam), false, nil
+	}
+	deadline := time.Time{}
+	if a.TimeLimit > 0 {
+		deadline = time.Now().Add(a.TimeLimit)
+	}
+	// Incumbent: Chanas-style descent from Borda order.
+	inc := append([]int(nil), order...)
+	upper := chanasOptimize(p, inc)
+
+	// minRest[j]: Σ over pairs with deeper endpoint ≥ j of the cheaper
+	// strict orientation.
+	minRest := make([]int64, len(order)+1)
+	for j := len(order) - 1; j >= 0; j-- {
+		var lvl int64
+		for i := 0; i < j; i++ {
+			cb, ca := p.CostBefore(order[i], order[j]), p.CostBefore(order[j], order[i])
+			if ca < cb {
+				cb = ca
+			}
+			lvl += cb
+		}
+		minRest[j] = minRest[j+1] + lvl
+	}
+	s := &permSearch{p: p, order: order, upper: upper, best: inc, minRest: minRest, deadline: deadline}
+	s.dfs(0, 0, nil)
+	return rankings.FromPermutation(s.best), !s.timedOut, nil
+}
+
+type permSearch struct {
+	p        *kendall.Pairs
+	order    []int
+	upper    int64
+	best     []int
+	minRest  []int64
+	deadline time.Time
+	timedOut bool
+	nodes    int64
+}
+
+// dfs inserts order[depth] at every position of the current prefix.
+func (s *permSearch) dfs(depth int, placed int64, prefix []int) {
+	if s.timedOut {
+		return
+	}
+	s.nodes++
+	if s.nodes%1024 == 0 && !s.deadline.IsZero() && time.Now().After(s.deadline) {
+		s.timedOut = true
+		return
+	}
+	if depth == len(s.order) {
+		if placed < s.upper {
+			s.upper = placed
+			s.best = append([]int(nil), prefix...)
+		}
+		return
+	}
+	if placed+s.minRest[depth] >= s.upper {
+		return
+	}
+	x := s.order[depth]
+	// cost of inserting x at position q: Σ_{i<q} cost(prefix[i] before x) +
+	// Σ_{i≥q} cost(x before prefix[i]); computed via prefix sums.
+	k := len(prefix)
+	pre := make([]int64, k+1)
+	suf := make([]int64, k+1)
+	for i := 0; i < k; i++ {
+		pre[i+1] = pre[i] + s.p.CostBefore(prefix[i], x)
+	}
+	for i := k - 1; i >= 0; i-- {
+		suf[i] = suf[i+1] + s.p.CostBefore(x, prefix[i])
+	}
+	type ins struct {
+		q     int
+		added int64
+	}
+	cands := make([]ins, 0, k+1)
+	for q := 0; q <= k; q++ {
+		cands = append(cands, ins{q, pre[q] + suf[q]})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].added < cands[j].added })
+	buf := make([]int, k+1)
+	for _, c := range cands {
+		copy(buf, prefix[:c.q])
+		buf[c.q] = x
+		copy(buf[c.q+1:], prefix[c.q:])
+		s.dfs(depth+1, placed+c.added, buf)
+		if s.timedOut {
+			return
+		}
+	}
+}
+
+// beamSearch keeps the width best prefixes per depth.
+func beamSearch(p *kendall.Pairs, order []int, width int) *rankings.Ranking {
+	type state struct {
+		perm []int
+		cost int64
+	}
+	beam := []state{{perm: nil, cost: 0}}
+	for _, x := range order {
+		var next []state
+		for _, st := range beam {
+			k := len(st.perm)
+			pre := make([]int64, k+1)
+			suf := make([]int64, k+1)
+			for i := 0; i < k; i++ {
+				pre[i+1] = pre[i] + p.CostBefore(st.perm[i], x)
+			}
+			for i := k - 1; i >= 0; i-- {
+				suf[i] = suf[i+1] + p.CostBefore(x, st.perm[i])
+			}
+			for q := 0; q <= k; q++ {
+				np := make([]int, k+1)
+				copy(np, st.perm[:q])
+				np[q] = x
+				copy(np[q+1:], st.perm[q:])
+				next = append(next, state{perm: np, cost: st.cost + pre[q] + suf[q]})
+			}
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i].cost < next[j].cost })
+		if len(next) > width {
+			next = next[:width]
+		}
+		beam = next
+	}
+	return rankings.FromPermutation(beam[0].perm)
+}
+
+func bordaOrderAll(d *rankings.Dataset) []int {
+	elems := make([]int, d.N)
+	for i := range elems {
+		elems[i] = i
+	}
+	return bordaOrder(d, elems)
+}
+
+func init() {
+	core.Register("BnB", func() core.Aggregator { return &BnB{TimeLimit: 5 * time.Minute} })
+	core.Register("BnBBeam", func() core.Aggregator { return &BnB{Beam: 32} })
+}

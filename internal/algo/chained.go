@@ -1,0 +1,71 @@
+package algo
+
+import (
+	"fmt"
+
+	"rankagg/internal/core"
+	"rankagg/internal/rankings"
+)
+
+// Seedable is implemented by refinement algorithms that can start from a
+// given solution (BioConsert's local search, Anneal).
+type Seedable interface {
+	core.Aggregator
+	// AggregateFrom refines the seed into a (hopefully better) consensus.
+	AggregateFrom(d *rankings.Dataset, seed *rankings.Ranking) (*rankings.Ranking, error)
+}
+
+// Chained runs a fast first-stage algorithm and refines its output with a
+// seedable second stage — the strategy Section 8 of the paper proposes
+// ("chaining this kind of anytime approach to refine the solution produced
+// by another (less time consuming) algorithm"). The default chain
+// BordaCount→BioConsert gives near-BioConsert quality from a single
+// positional pass plus one descent.
+type Chained struct {
+	// First produces the initial solution (default BordaCount).
+	First core.Aggregator
+	// Refiner improves it (default BioConsert's descent).
+	Refiner Seedable
+}
+
+// Name implements core.Aggregator.
+func (c *Chained) Name() string {
+	first, refiner := c.stages()
+	return fmt.Sprintf("%s+%s", first.Name(), refiner.Name())
+}
+
+func (c *Chained) stages() (core.Aggregator, Seedable) {
+	first := c.First
+	if first == nil {
+		first = &Borda{}
+	}
+	refiner := c.Refiner
+	if refiner == nil {
+		refiner = &BioConsert{}
+	}
+	return first, refiner
+}
+
+// Aggregate implements core.Aggregator.
+func (c *Chained) Aggregate(d *rankings.Dataset) (*rankings.Ranking, error) {
+	first, refiner := c.stages()
+	seed, err := first.Aggregate(d)
+	if err != nil {
+		return nil, err
+	}
+	return refiner.AggregateFrom(d, seed)
+}
+
+// AggregateFrom implements Seedable so that BioConsert can itself be used
+// as a chain stage: the local search restarts from the given seed.
+func (a *BioConsert) AggregateFrom(d *rankings.Dataset, seed *rankings.Ranking) (*rankings.Ranking, error) {
+	b := &BioConsert{StartFrom: seed}
+	return b.Aggregate(d)
+}
+
+func init() {
+	core.Register("Borda+BioConsert", func() core.Aggregator { return &Chained{} })
+	core.Register("Borda+Anneal", func() core.Aggregator {
+		return &Chained{Refiner: &Anneal{}}
+	})
+}

@@ -1,0 +1,43 @@
+package algo
+
+import (
+	"rankagg/internal/core"
+	"rankagg/internal/rankings"
+)
+
+// Copeland implements CopelandMethod [Copeland 1951] as described in the
+// paper (Section 3.3): the score of an element is the sum, over the input
+// rankings, of the number of elements placed strictly after it. Elements
+// are ranked by descending score. On permutations this coincides with
+// BordaCount's ordering; with ties the two differ because tied elements
+// count in neither "before" nor "after".
+type Copeland struct {
+	// TieEqualScores keeps equal-score elements tied in the output.
+	TieEqualScores bool
+}
+
+// Name implements core.Aggregator.
+func (c *Copeland) Name() string { return "CopelandMethod" }
+
+// Aggregate implements core.Aggregator.
+func (c *Copeland) Aggregate(d *rankings.Dataset) (*rankings.Ranking, error) {
+	if err := core.CheckInput(d); err != nil {
+		return nil, err
+	}
+	scores := make([]int64, d.N)
+	for _, r := range d.Rankings {
+		after := r.Len()
+		for _, bucket := range r.Buckets {
+			after -= len(bucket)
+			for _, e := range bucket {
+				scores[e] += int64(after)
+			}
+		}
+	}
+	return rankByScore(scores, false, c.TieEqualScores), nil
+}
+
+func init() {
+	core.Register("CopelandMethod", func() core.Aggregator { return &Copeland{} })
+	core.Register("CopelandMethodTies", func() core.Aggregator { return &Copeland{TieEqualScores: true} })
+}

@@ -1,0 +1,317 @@
+package algo
+
+import (
+	"sort"
+	"time"
+
+	"rankagg/internal/core"
+	"rankagg/internal/kendall"
+	"rankagg/internal/rankings"
+)
+
+// ExactBnB is a ties-aware exact branch & bound: the combinatorial
+// counterpart of the paper's LPB formulation (Section 4.2) and of the
+// branch & bound of Ali & Meilă [3], extended with the third branching
+// choice ties require (Section 4.1.1: "the presence of ties brings a third
+// choice: putting them in the same bucket").
+//
+// Elements are inserted one at a time (in Borda order, which tightens early
+// bounds): each new element may join any existing bucket or open a new
+// bucket at any boundary, so every bucket order over the prefix is
+// enumerated exactly once. A node is pruned when
+//
+//	cost(placed pairs) + Σ_{pairs not both placed} min-pair-cost ≥ incumbent.
+//
+// The incumbent is primed with BioConsert's solution, so the search only
+// has to prove optimality or improve on it. With Preprocess enabled the
+// instance is first split by the unanimity decomposition (the data
+// reduction idea of [5, 6]).
+type ExactBnB struct {
+	// TimeLimit stops the search and returns the incumbent (reported as
+	// non-exact). Zero means no limit — exponential worst case.
+	TimeLimit time.Duration
+	// MaxElements refuses instances larger than this (0 = no cap). The
+	// paper computes optima "for moderately large datasets only".
+	MaxElements int
+	// Preprocess enables the unanimity decomposition.
+	Preprocess bool
+	// DisablePairBound turns off the pairwise lower bound (ablation only).
+	DisablePairBound bool
+}
+
+// Name implements core.Aggregator.
+func (a *ExactBnB) Name() string { return "ExactAlgorithm" }
+
+// Aggregate implements core.Aggregator.
+func (a *ExactBnB) Aggregate(d *rankings.Dataset) (*rankings.Ranking, error) {
+	r, _, err := a.AggregateExact(d)
+	return r, err
+}
+
+// AggregateExact implements core.ExactAggregator.
+func (a *ExactBnB) AggregateExact(d *rankings.Dataset) (*rankings.Ranking, bool, error) {
+	if err := core.CheckInput(d); err != nil {
+		return nil, false, err
+	}
+	if a.MaxElements > 0 && d.N > a.MaxElements {
+		return nil, false, &TooLargeError{N: d.N, Max: a.MaxElements}
+	}
+	p := kendall.NewPairs(d)
+	deadline := time.Time{}
+	if a.TimeLimit > 0 {
+		deadline = time.Now().Add(a.TimeLimit)
+	}
+	elems := make([]int, d.N)
+	for i := range elems {
+		elems[i] = i
+	}
+	groups := [][]int{elems}
+	if a.Preprocess {
+		groups = UnanimityDecomposition(p, elems)
+	}
+	out := &rankings.Ranking{}
+	exact := true
+	for _, g := range groups {
+		br, ok := a.solveGroup(d, p, g, deadline)
+		exact = exact && ok
+		out.Buckets = append(out.Buckets, br.Buckets...)
+	}
+	return out, exact, nil
+}
+
+// solveGroup runs the branch & bound restricted to the given elements.
+func (a *ExactBnB) solveGroup(d *rankings.Dataset, p *kendall.Pairs, elems []int, deadline time.Time) (*rankings.Ranking, bool) {
+	if len(elems) == 1 {
+		return rankings.New([]int{elems[0]}), true
+	}
+	order := bordaOrder(d, elems)
+	// Incumbent: BioConsert on the sub-instance. Restrict each input ranking
+	// to the group's elements.
+	incumbent := bioConsertOn(d, p, elems)
+	upper := scoreWithin(p, incumbent, elems)
+
+	s := &bnbSearch{
+		p:        p,
+		order:    order,
+		upper:    upper,
+		best:     incumbent,
+		deadline: deadline,
+		noBound:  a.DisablePairBound,
+	}
+	// minRest[j] = Σ min-pair-cost over pairs with at least one endpoint in
+	// order[j:] (a pair (order[i], order[j']) with i < j' is charged to its
+	// deeper endpoint j'); bound(node at depth j) = placedCost + minRest[j].
+	s.minRest = make([]int64, len(order)+1)
+	for j := len(order) - 1; j >= 0; j-- {
+		var lvl int64
+		for i := 0; i < j; i++ {
+			lvl += p.MinPairCost(order[i], order[j])
+		}
+		s.minRest[j] = s.minRest[j+1] + lvl
+	}
+	s.run()
+	return s.best, !s.timedOut
+}
+
+// bnbSearch holds the DFS state of one branch & bound run.
+type bnbSearch struct {
+	p        *kendall.Pairs
+	order    []int
+	upper    int64
+	best     *rankings.Ranking
+	deadline time.Time
+	timedOut bool
+	noBound  bool
+	minRest  []int64
+
+	buckets [][]int
+	nodes   int64
+}
+
+func (s *bnbSearch) run() {
+	s.buckets = s.buckets[:0]
+	s.dfs(0, 0)
+}
+
+// dfs places order[depth] given the partial cost of placed pairs.
+func (s *bnbSearch) dfs(depth int, placed int64) {
+	if s.timedOut {
+		return
+	}
+	s.nodes++
+	if s.nodes%1024 == 0 && !s.deadline.IsZero() && time.Now().After(s.deadline) {
+		s.timedOut = true
+		return
+	}
+	if depth == len(s.order) {
+		if placed < s.upper {
+			s.upper = placed
+			s.best = snapshot(s.buckets)
+		}
+		return
+	}
+	bound := placed
+	if !s.noBound {
+		// Pairs among unplaced elements plus pairs (placed, unplaced) are all
+		// still free to take their cheapest relation.
+		bound += s.minRest[depth]
+	}
+	if bound >= s.upper {
+		return
+	}
+	x := s.order[depth]
+	k := len(s.buckets)
+	// Aggregate costs of x against each existing bucket.
+	befX := make([]int64, k) // x strictly before bucket j
+	aftX := make([]int64, k) // x strictly after bucket j
+	tieX := make([]int64, k)
+	for j, b := range s.buckets {
+		for _, y := range b {
+			befX[j] += s.p.CostBefore(x, y)
+			aftX[j] += s.p.CostBefore(y, x)
+			tieX[j] += s.p.CostTied(x, y)
+		}
+	}
+	preB := make([]int64, k+1)
+	for j := 0; j < k; j++ {
+		preB[j+1] = preB[j] + aftX[j]
+	}
+	sufA := make([]int64, k+1)
+	for j := k - 1; j >= 0; j-- {
+		sufA[j] = sufA[j+1] + befX[j]
+	}
+	type choice struct {
+		tie, newAt int
+		added      int64
+	}
+	choices := make([]choice, 0, 2*k+1)
+	for j := 0; j < k; j++ {
+		choices = append(choices, choice{tie: j, newAt: -1, added: preB[j] + sufA[j+1] + tieX[j]})
+	}
+	for q := 0; q <= k; q++ {
+		choices = append(choices, choice{tie: -1, newAt: q, added: preB[q] + sufA[q]})
+	}
+	sort.Slice(choices, func(i, j int) bool { return choices[i].added < choices[j].added })
+	for _, c := range choices {
+		if c.tie >= 0 {
+			s.buckets[c.tie] = append(s.buckets[c.tie], x)
+			s.dfs(depth+1, placed+c.added)
+			s.buckets[c.tie] = s.buckets[c.tie][:len(s.buckets[c.tie])-1]
+		} else {
+			s.buckets = append(s.buckets, nil)
+			copy(s.buckets[c.newAt+1:], s.buckets[c.newAt:])
+			s.buckets[c.newAt] = []int{x}
+			s.dfs(depth+1, placed+c.added)
+			s.buckets = append(s.buckets[:c.newAt], s.buckets[c.newAt+1:]...)
+		}
+		if s.timedOut {
+			return
+		}
+	}
+}
+
+func snapshot(buckets [][]int) *rankings.Ranking {
+	out := &rankings.Ranking{Buckets: make([][]int, len(buckets))}
+	for i, b := range buckets {
+		out.Buckets[i] = append([]int(nil), b...)
+	}
+	return out
+}
+
+// bordaOrder sorts the group's elements by tie-adapted Borda score.
+func bordaOrder(d *rankings.Dataset, elems []int) []int {
+	scores := make(map[int]int64, len(elems))
+	in := make(map[int]bool, len(elems))
+	for _, e := range elems {
+		in[e] = true
+	}
+	for _, r := range d.Rankings {
+		before := 0
+		for _, bucket := range r.Buckets {
+			for _, e := range bucket {
+				if in[e] {
+					scores[e] += int64(before + 1)
+				}
+			}
+			before += len(bucket)
+		}
+	}
+	order := append([]int(nil), elems...)
+	sort.Slice(order, func(i, j int) bool {
+		if scores[order[i]] != scores[order[j]] {
+			return scores[order[i]] < scores[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	return order
+}
+
+// bioConsertOn runs BioConsert restricted to a subset of elements to prime
+// the incumbent.
+func bioConsertOn(d *rankings.Dataset, p *kendall.Pairs, elems []int) *rankings.Ranking {
+	in := make(map[int]bool, len(elems))
+	for _, e := range elems {
+		in[e] = true
+	}
+	var best *rankings.Ranking
+	var bestScore int64
+	for _, r := range d.Rankings {
+		seed := &rankings.Ranking{}
+		for _, b := range r.Buckets {
+			var nb []int
+			for _, e := range b {
+				if in[e] {
+					nb = append(nb, e)
+				}
+			}
+			if len(nb) > 0 {
+				seed.Buckets = append(seed.Buckets, nb)
+			}
+		}
+		if seed.Len() != len(elems) {
+			continue
+		}
+		cand, _ := localSearch(p, seed)
+		if s := scoreWithin(p, cand, elems); best == nil || s < bestScore {
+			best, bestScore = cand, s
+		}
+	}
+	if best == nil {
+		best = rankings.New(append([]int(nil), elems...))
+	}
+	return best
+}
+
+// scoreWithin computes the Kemeny contribution of pairs inside the group.
+func scoreWithin(p *kendall.Pairs, r *rankings.Ranking, elems []int) int64 {
+	pos := r.Positions(p.N)
+	var k int64
+	for i, x := range elems {
+		for _, y := range elems[i+1:] {
+			px, py := pos[x], pos[y]
+			switch {
+			case px == 0 || py == 0:
+			case px < py:
+				k += p.CostBefore(x, y)
+			case px > py:
+				k += p.CostBefore(y, x)
+			default:
+				k += p.CostTied(x, y)
+			}
+		}
+	}
+	return k
+}
+
+// TooLargeError reports an instance exceeding an exact solver's size cap.
+type TooLargeError struct{ N, Max int }
+
+func (e *TooLargeError) Error() string {
+	return "algo: instance too large for exact solver"
+}
+
+func init() {
+	core.Register("ExactAlgorithm", func() core.Aggregator {
+		return &ExactBnB{Preprocess: true, TimeLimit: 5 * time.Minute}
+	})
+}

@@ -1,0 +1,102 @@
+package algo
+
+import (
+	"math/rand"
+
+	"rankagg/internal/core"
+	"rankagg/internal/kendall"
+	"rankagg/internal/rankings"
+)
+
+// KwikSort implements the divide & conquer 11/7-approximation of Ailon,
+// Charikar & Newman [2], adapted to ties following Section 4.1.2: a random
+// pivot is chosen and every other element is placed before the pivot, after
+// it, or *tied with it*, whichever minimizes its pairwise disagreement cost
+// against the pivot (including the (un)tying cost). The two strict sides
+// are aggregated recursively. Memory is at worst pseudo-linear in n beyond
+// the shared pair matrix, which makes it the paper's recommendation for
+// very large datasets (n > 30000, Section 7.4).
+type KwikSort struct {
+	// Runs > 1 evaluates several randomized runs and keeps the best
+	// ("KwikSortMin").
+	Runs int
+	// Seed makes pivot choices deterministic.
+	Seed int64
+}
+
+// Name implements core.Aggregator.
+func (a *KwikSort) Name() string {
+	if a.runs() > 1 {
+		return "KwikSortMin"
+	}
+	return "KwikSort"
+}
+
+func (a *KwikSort) runs() int {
+	if a.Runs <= 0 {
+		return 1
+	}
+	return a.Runs
+}
+
+// Aggregate implements core.Aggregator.
+func (a *KwikSort) Aggregate(d *rankings.Dataset) (*rankings.Ranking, error) {
+	if err := core.CheckInput(d); err != nil {
+		return nil, err
+	}
+	p := kendall.NewPairs(d)
+	rng := rand.New(rand.NewSource(a.Seed + 0x6b71))
+	elems := make([]int, d.N)
+	for i := range elems {
+		elems[i] = i
+	}
+	var best *rankings.Ranking
+	var bestScore int64
+	for run := 0; run < a.runs(); run++ {
+		r := &rankings.Ranking{}
+		kwiksort(p, rng, append([]int(nil), elems...), r)
+		if s := p.Score(r); best == nil || s < bestScore {
+			best, bestScore = r, s
+		}
+	}
+	return best, nil
+}
+
+// kwiksort recursively partitions elems around a random pivot, appending
+// the resulting buckets to out in order.
+func kwiksort(p *kendall.Pairs, rng *rand.Rand, elems []int, out *rankings.Ranking) {
+	switch len(elems) {
+	case 0:
+		return
+	case 1:
+		out.Buckets = append(out.Buckets, elems)
+		return
+	}
+	pivot := elems[rng.Intn(len(elems))]
+	var left, right []int
+	tied := []int{pivot}
+	for _, e := range elems {
+		if e == pivot {
+			continue
+		}
+		cb := p.CostBefore(e, pivot) // e strictly before pivot
+		ca := p.CostBefore(pivot, e) // e strictly after pivot
+		ct := p.CostTied(e, pivot)   // e tied with pivot
+		switch {
+		case cb <= ca && cb <= ct:
+			left = append(left, e)
+		case ca <= ct:
+			right = append(right, e)
+		default:
+			tied = append(tied, e)
+		}
+	}
+	kwiksort(p, rng, left, out)
+	out.Buckets = append(out.Buckets, tied)
+	kwiksort(p, rng, right, out)
+}
+
+func init() {
+	core.Register("KwikSort", func() core.Aggregator { return &KwikSort{} })
+	core.Register("KwikSortMin", func() core.Aggregator { return &KwikSort{Runs: 16} })
+}

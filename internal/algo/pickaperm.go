@@ -1,0 +1,37 @@
+package algo
+
+import (
+	"rankagg/internal/core"
+	"rankagg/internal/kendall"
+	"rankagg/internal/rankings"
+)
+
+// PickAPerm implements the de-randomized Pick-a-Perm of Ailon et al. [2] /
+// Schalekamp & van Zuylen [31]: it returns the input ranking with minimal
+// generalized Kemeny score. It is a 2-approximation and works unchanged
+// with ties ("can produce ties: yes" in Table 1) since it simply returns
+// one of the inputs.
+type PickAPerm struct{}
+
+// Name implements core.Aggregator.
+func (PickAPerm) Name() string { return "Pick-a-Perm" }
+
+// Aggregate implements core.Aggregator.
+func (PickAPerm) Aggregate(d *rankings.Dataset) (*rankings.Ranking, error) {
+	if err := core.CheckInput(d); err != nil {
+		return nil, err
+	}
+	p := kendall.NewPairs(d)
+	best := d.Rankings[0]
+	bestScore := p.Score(best)
+	for _, r := range d.Rankings[1:] {
+		if s := p.Score(r); s < bestScore {
+			best, bestScore = r, s
+		}
+	}
+	return best.Clone(), nil
+}
+
+func init() {
+	core.Register("Pick-a-Perm", func() core.Aggregator { return PickAPerm{} })
+}

@@ -1,0 +1,116 @@
+package algo
+
+import (
+	"sort"
+
+	"rankagg/internal/kendall"
+)
+
+// UnanimityDecomposition partitions the elements into consecutive groups
+// G1 < G2 < ... such that for every a ∈ Gi, b ∈ Gj with i < j, EVERY input
+// ranking places a strictly before b. An exchange argument shows some
+// optimal consensus ranks the groups in that order with no inter-group
+// ties, so each group can be solved independently and the results
+// concatenated — the spirit of the polynomial data reduction of Betzler et
+// al. [5, 6] cited in Section 3.2.
+//
+// Safety sketch: for a unanimous pair (a, b), relation a<b costs 0 while
+// tying or inverting costs m each; given any consensus, moving every
+// element of a later group's block after every element of an earlier one
+// never increases pair costs (unanimous cross pairs drop to 0; pairs inside
+// groups are untouched).
+//
+// The construction merges (union-find) every pair that is NOT unanimous in
+// either direction, then repeatedly merges blocks whose cross pairs are not
+// all unanimous in a single consistent direction, and finally orders blocks
+// by their unanimous relation.
+func UnanimityDecomposition(p *kendall.Pairs, elems []int) [][]int {
+	m := 0 // number of rankings = before+tied+after of any pair; recover lazily
+	if len(elems) >= 2 {
+		a, b := elems[0], elems[1]
+		m = p.Before(a, b) + p.Before(b, a) + p.Tied(a, b)
+	}
+	if m == 0 {
+		return [][]int{append([]int(nil), elems...)}
+	}
+	unanimous := func(a, b int) bool { return p.Before(a, b) == m }
+
+	parent := make(map[int]int, len(elems))
+	var find func(x int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	for _, e := range elems {
+		parent[e] = e
+	}
+	for i, a := range elems {
+		for _, b := range elems[i+1:] {
+			if !unanimous(a, b) && !unanimous(b, a) {
+				union(a, b)
+			}
+		}
+	}
+	// Fixpoint: blocks whose cross pairs disagree in direction must merge.
+	for changed := true; changed; {
+		changed = false
+		blocks := blocksOf(elems, find)
+		for i := 0; i < len(blocks) && !changed; i++ {
+			for j := i + 1; j < len(blocks) && !changed; j++ {
+				dir := 0 // +1: all i-before-j so far, -1: all j-before-i
+				for _, a := range blocks[i] {
+					for _, b := range blocks[j] {
+						var d int
+						switch {
+						case unanimous(a, b):
+							d = 1
+						case unanimous(b, a):
+							d = -1
+						default:
+							d = 0
+						}
+						if d == 0 || (dir != 0 && d != dir) {
+							union(a, b)
+							changed = true
+						}
+						if changed {
+							break
+						}
+						dir = d
+					}
+					if changed {
+						break
+					}
+				}
+			}
+		}
+	}
+	blocks := blocksOf(elems, find)
+	// Order blocks: block A precedes B iff its representative cross pair is
+	// unanimous A-before-B (consistent by the fixpoint above).
+	sort.Slice(blocks, func(i, j int) bool {
+		return unanimous(blocks[i][0], blocks[j][0])
+	})
+	return blocks
+}
+
+func blocksOf(elems []int, find func(int) int) [][]int {
+	groups := map[int][]int{}
+	var roots []int
+	for _, e := range elems {
+		r := find(e)
+		if _, ok := groups[r]; !ok {
+			roots = append(roots, r)
+		}
+		groups[r] = append(groups[r], e)
+	}
+	out := make([][]int, 0, len(roots))
+	for _, r := range roots {
+		sort.Ints(groups[r])
+		out = append(out, groups[r])
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+package algo
+
+import (
+	"math/rand"
+	"testing"
+
+	"rankagg/internal/gen"
+	"rankagg/internal/kendall"
+	"rankagg/internal/rankings"
+)
+
+// TestPermutationInputsHavePermutationOptimum verifies the theorem of
+// Brancotte & Milosz [9] the paper relies on (Section 4): "Considering a
+// set of such rankings [permutations], we have proved that under the
+// generalized Kendall-τ distance the optimal consensus obtained has
+// necessarily only buckets of size one." Consequently the ties-aware exact
+// optimum must coincide with the permutation-only exact optimum (BnB).
+func TestPermutationInputsHavePermutationOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 15; trial++ {
+		n := 3 + rng.Intn(4)
+		m := 2 + rng.Intn(4)
+		rks := make([]*rankings.Ranking, m)
+		for i := range rks {
+			rks[i] = gen.UniformPermutation(rng, n)
+		}
+		d := rankings.NewDataset(n, rks...)
+
+		tied, exact1, err := (&ExactBnB{}).AggregateExact(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perm, exact2, err := (&BnB{}).AggregateExact(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !exact1 || !exact2 {
+			t.Fatal("both searches must be exact at this size")
+		}
+		st, sp := kendall.Score(tied, d), kendall.Score(perm, d)
+		if st != sp {
+			t.Fatalf("trial %d: ties-aware optimum %d != permutation optimum %d (violates [9])",
+				trial, st, sp)
+		}
+		// The returned ties-aware optimum itself need not be a permutation
+		// only if multiple optima exist; but its score must not be improved
+		// by any bucket order, which the equality above already certifies.
+		// Additionally check a brute-force sweep for small n.
+		if n <= 5 {
+			_, want := bruteForceOptimum(d)
+			if st != want {
+				t.Fatalf("trial %d: exact %d != brute force %d", trial, st, want)
+			}
+		}
+	}
+}
+
+// TestTiesOptimumCanBeatPermutations: the converse situation — with tied
+// inputs, allowing ties in the output can strictly lower the score, which
+// is the whole point of the generalized distance.
+func TestTiesOptimumCanBeatPermutations(t *testing.T) {
+	// Three rankings tying A and B; any permutation must untie them, paying
+	// 3, while the tied consensus pays 0.
+	d, _ := mustDS(t, "[{A,B},{C}]", "[{A,B},{C}]", "[{A,B},{C}]")
+	tied, _, err := (&ExactBnB{}).AggregateExact(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm, _, err := (&BnB{}).AggregateExact(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, sp := kendall.Score(tied, d), kendall.Score(perm, d)
+	if st != 0 || sp != 3 {
+		t.Errorf("tied optimum %d (want 0), permutation optimum %d (want 3)", st, sp)
+	}
+}

@@ -1,0 +1,97 @@
+// Package core defines the Aggregator contract every rank aggregation
+// algorithm implements, and a registry mapping algorithm names (as used in
+// the paper's tables) to constructors.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"rankagg/internal/rankings"
+)
+
+// Aggregator computes a consensus ranking (with or without ties) for a
+// dataset of input rankings, aiming to minimize the generalized Kemeny
+// score. Implementations are safe for concurrent use unless documented
+// otherwise.
+type Aggregator interface {
+	// Name returns the algorithm's display name, matching the paper's
+	// terminology (e.g. "BioConsert", "KwikSortMin", "MEDRank(0.5)").
+	Name() string
+	// Aggregate returns a consensus ranking over the dataset's universe.
+	// The dataset must be complete (every ranking over the same elements);
+	// ErrIncomplete is returned otherwise. Aggregate must not mutate d.
+	Aggregate(d *rankings.Dataset) (*rankings.Ranking, error)
+}
+
+// ExactAggregator is implemented by exact methods that can prove optimality.
+type ExactAggregator interface {
+	Aggregator
+	// AggregateExact additionally reports whether the returned consensus was
+	// proved optimal (false when a time or size limit stopped the search and
+	// the best incumbent was returned).
+	AggregateExact(d *rankings.Dataset) (*rankings.Ranking, bool, error)
+}
+
+// ErrIncomplete is returned when a dataset is not normalized: aggregation
+// algorithms require all rankings to cover the same elements (apply a
+// process from package normalize first).
+var ErrIncomplete = errors.New("core: dataset rankings do not cover the same elements (normalize first)")
+
+// ErrEmpty is returned for datasets with no rankings or no elements.
+var ErrEmpty = errors.New("core: empty dataset")
+
+// CheckInput validates a dataset for aggregation.
+func CheckInput(d *rankings.Dataset) error {
+	if d == nil || d.M() == 0 || d.N == 0 {
+		return ErrEmpty
+	}
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	if !d.Complete() {
+		return ErrIncomplete
+	}
+	return nil
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]func() Aggregator{}
+)
+
+// Register adds a named constructor. It panics on duplicates (registration
+// happens at init time).
+func Register(name string, factory func() Aggregator) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("core: duplicate aggregator %q", name))
+	}
+	registry[name] = factory
+}
+
+// New constructs a registered aggregator by name.
+func New(name string) (Aggregator, error) {
+	regMu.RLock()
+	f, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("core: unknown aggregator %q (known: %v)", name, Names())
+	}
+	return f(), nil
+}
+
+// Names lists registered aggregator names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,78 @@
+package eval
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"rankagg/internal/algo"
+	"rankagg/internal/core"
+	"rankagg/internal/rankings"
+)
+
+// Auto is an aggregator that measures the dataset's features and delegates
+// to the algorithm the Section 7.4 guidance recommends. It is the
+// "batteries included" entry point for users who do not want to study the
+// paper's decision table themselves.
+type Auto struct {
+	// NeedOptimal requests a proved optimum when feasible (falls back to
+	// BioConsert beyond exact reach or budget).
+	NeedOptimal bool
+	// TimeCritical prefers the fastest acceptable method.
+	TimeCritical bool
+	// ExactBudget bounds the exact solver when NeedOptimal (default 30s).
+	ExactBudget time.Duration
+}
+
+// Name implements core.Aggregator.
+func (a *Auto) Name() string { return "Auto" }
+
+// Aggregate implements core.Aggregator.
+func (a *Auto) Aggregate(d *rankings.Dataset) (*rankings.Ranking, error) {
+	r, _, err := a.AggregateExplained(d)
+	return r, err
+}
+
+// AggregateExplained additionally returns the recommendation that was
+// applied (algorithm plus rationale).
+func (a *Auto) AggregateExplained(d *rankings.Dataset) (*rankings.Ranking, Recommendation, error) {
+	if err := core.CheckInput(d); err != nil {
+		return nil, Recommendation{}, err
+	}
+	f := ExtractFeatures(d)
+	recs := Recommend(f, a.NeedOptimal, a.TimeCritical)
+	for _, rec := range recs {
+		r, err := a.run(rec.Algorithm, d)
+		if err == nil {
+			return r, rec, nil
+		}
+		// A size cap triggered: fall through to the next suggestion.
+		var tooLarge *algo.TooLargeError
+		if !errors.As(err, &tooLarge) {
+			return nil, rec, err
+		}
+	}
+	// Guidance exhausted (should not happen: BioConsert always applies).
+	r, err := (&algo.BioConsert{}).Aggregate(d)
+	return r, Recommendation{Algorithm: "BioConsert", Reason: "fallback"}, err
+}
+
+func (a *Auto) run(name string, d *rankings.Dataset) (*rankings.Ranking, error) {
+	if name == "ExactAlgorithm" {
+		budget := a.ExactBudget
+		if budget == 0 {
+			budget = 30 * time.Second
+		}
+		e := &algo.ExactBnB{Preprocess: true, TimeLimit: budget}
+		return e.Aggregate(d)
+	}
+	ag, err := core.New(name)
+	if err != nil {
+		return nil, fmt.Errorf("eval: guidance produced unknown algorithm %q: %w", name, err)
+	}
+	return ag.Aggregate(d)
+}
+
+func init() {
+	core.Register("Auto", func() core.Aggregator { return &Auto{} })
+}

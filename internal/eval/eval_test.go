@@ -1,0 +1,330 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"rankagg/internal/algo"
+	"rankagg/internal/core"
+	"rankagg/internal/gen"
+	"rankagg/internal/rankings"
+
+	"math/rand"
+)
+
+func TestGap(t *testing.T) {
+	cases := []struct {
+		score, opt int64
+		want       float64
+	}{
+		{10, 10, 0},
+		{15, 10, 0.5},
+		{0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Gap(c.score, c.opt); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Gap(%d,%d) = %v, want %v", c.score, c.opt, got, c.want)
+		}
+	}
+	if got := Gap(3, 0); !math.IsInf(got, 1) {
+		t.Errorf("Gap(3,0) = %v, want +Inf", got)
+	}
+}
+
+func smallDatasets(seed int64, k, m, n int) []*rankings.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*rankings.Dataset, k)
+	for i := range out {
+		out[i] = gen.UniformDataset(rng, m, n)
+	}
+	return out
+}
+
+func TestCompareBasics(t *testing.T) {
+	ds := smallDatasets(51, 6, 4, 7)
+	algos := []core.Aggregator{
+		&algo.BioConsert{},
+		&algo.Borda{},
+		algo.PickAPerm{},
+	}
+	cmp, err := Compare(algos, ds, Options{Exact: referenceExact(10, 10*time.Second)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Summaries) != 3 {
+		t.Fatalf("want 3 summaries, got %d", len(cmp.Summaries))
+	}
+	if cmp.ExactShare != 1 {
+		t.Errorf("exact share = %v, want 1 at n=7", cmp.ExactShare)
+	}
+	for _, s := range cmp.Summaries {
+		if s.Runs != len(ds) {
+			t.Errorf("%s ran %d of %d datasets", s.Name, s.Runs, len(ds))
+		}
+		if s.MeanGap < 0 {
+			t.Errorf("%s negative mean gap %v", s.Name, s.MeanGap)
+		}
+		if s.Rank < 1 || s.Rank > 3 {
+			t.Errorf("%s bad rank %d", s.Name, s.Rank)
+		}
+	}
+	// BioConsert must rank at least as well as Borda on uniform data.
+	var bio, borda AlgoSummary
+	for _, s := range cmp.Summaries {
+		switch s.Name {
+		case "BioConsert":
+			bio = s
+		case "BordaCount":
+			borda = s
+		}
+	}
+	if bio.MeanGap > borda.MeanGap+1e-9 {
+		t.Errorf("BioConsert gap %v worse than Borda %v on uniform data", bio.MeanGap, borda.MeanGap)
+	}
+}
+
+func TestCompareHandlesDNF(t *testing.T) {
+	ds := smallDatasets(52, 3, 3, 12)
+	algos := []core.Aggregator{
+		&algo.Ailon{MaxElements: 5}, // always DNF at n=12
+		&algo.Borda{},
+	}
+	cmp, err := Compare(algos, ds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Summaries[0].Failures != len(ds) || cmp.Summaries[0].Runs != 0 {
+		t.Errorf("Ailon should DNF on all: %+v", cmp.Summaries[0])
+	}
+	if !math.IsNaN(cmp.Summaries[0].MeanGap) {
+		t.Errorf("DNF-only algorithm must have NaN mean gap")
+	}
+	if cmp.Summaries[1].Rank != 1 {
+		t.Errorf("the only finisher must rank first")
+	}
+}
+
+func TestCompareMGapWithoutExact(t *testing.T) {
+	ds := smallDatasets(53, 4, 4, 8)
+	algos := []core.Aggregator{&algo.BioConsert{}, &algo.Borda{}}
+	cmp, err := Compare(algos, ds, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// m-gap: the best algorithm per dataset has gap 0 by construction.
+	best := cmp.Summaries[0]
+	if cmp.Summaries[1].MeanGap < best.MeanGap {
+		best = cmp.Summaries[1]
+	}
+	if best.MeanGap != 0 {
+		t.Errorf("m-gap of the per-dataset winner must be 0, got %v", best.MeanGap)
+	}
+}
+
+func TestTable5Smoke(t *testing.T) {
+	cmp, err := Table5(Table5Config{Datasets: 4, MaxN: 8, ExactTime: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatTable5(cmp)
+	for _, want := range []string{"BioConsert", "BordaCount", "%gap=0", "Ailon3/2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 5 output missing %q:\n%s", want, out)
+		}
+	}
+	// BioConsert must be at or near the top.
+	for _, s := range cmp.Summaries {
+		if s.Name == "BioConsert" && s.Rank > 3 {
+			t.Errorf("BioConsert ranked #%d on uniform datasets; paper has it #1", s.Rank)
+		}
+	}
+}
+
+func TestFig3Shapes(t *testing.T) {
+	rows := Fig3(Table4Config{PerFamily: 3}, []int{100, 50000}, 7)
+	if len(rows) != 11 {
+		t.Fatalf("want 7 families + 2 markov + ratings + uniform = 11 rows, got %d", len(rows))
+	}
+	byName := map[string]Fig3Row{}
+	for _, r := range rows {
+		byName[r.Name] = r
+		if r.Min > r.Median || r.Median > r.Max {
+			t.Errorf("%s: min/median/max out of order: %+v", r.Name, r)
+		}
+	}
+	// Similar Markov datasets must be far more correlated than uniform ones.
+	if byName["Syn. w/ sim. 100 steps"].Mean < byName["Syn. uniform"].Mean+0.2 {
+		t.Errorf("100-step Markov datasets should be much more similar than uniform: %+v vs %+v",
+			byName["Syn. w/ sim. 100 steps"], byName["Syn. uniform"])
+	}
+	out := FormatFig3(rows)
+	if !strings.Contains(out, "BioMedical Unif") {
+		t.Errorf("missing family in output:\n%s", out)
+	}
+}
+
+func TestGapSweepSmoke(t *testing.T) {
+	cfg := SweepConfig{
+		Steps:     []int{50, 5000},
+		N:         10,
+		PerStep:   3,
+		ExactTime: 10 * time.Second,
+	}
+	series, sims, err := GapSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sims) != 2 || sims[0] < sims[1] {
+		t.Errorf("similarity must decrease with steps: %v", sims)
+	}
+	var bio Series
+	for _, s := range series {
+		if s.Name == "BioConsert" {
+			bio = s
+		}
+	}
+	if len(bio.X) != 2 {
+		t.Fatalf("BioConsert missing points: %+v", bio)
+	}
+	out := FormatGapSeries(series, sims, cfg.Steps)
+	if !strings.Contains(out, "similarity") {
+		t.Error("missing similarity row")
+	}
+}
+
+func TestFig6Smoke(t *testing.T) {
+	points, err := Fig6(3, 8, 1, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) == 0 {
+		t.Fatal("no points")
+	}
+	var medrankTime, bioTime time.Duration
+	for _, p := range points {
+		if p.DNF {
+			continue
+		}
+		if p.Gap < 0 {
+			t.Errorf("%s negative gap", p.Name)
+		}
+		switch p.Name {
+		case "MEDRank(0.5)":
+			medrankTime = p.Time
+		case "BioConsert":
+			bioTime = p.Time
+		}
+	}
+	if medrankTime == 0 || bioTime == 0 {
+		t.Fatal("missing expected algorithms")
+	}
+	if medrankTime > bioTime {
+		t.Errorf("MEDRank (%v) should be faster than BioConsert (%v)", medrankTime, bioTime)
+	}
+	_ = FormatFig6(points)
+}
+
+func TestRecommend(t *testing.T) {
+	cases := []struct {
+		f            Features
+		needOptimal  bool
+		timeCritical bool
+		want         string
+	}{
+		{Features{N: 20}, true, false, "ExactAlgorithm"},
+		{Features{N: 500}, true, false, "BioConsert"},
+		{Features{N: 50000}, false, false, "KwikSort"},
+		{Features{N: 100, LargeTies: true}, false, true, "MEDRank(0.5)"},
+		{Features{N: 100}, false, true, "BordaCount"},
+		{Features{N: 100}, false, false, "BioConsert"},
+	}
+	for i, c := range cases {
+		got := Recommend(c.f, c.needOptimal, c.timeCritical)
+		if len(got) == 0 || got[0].Algorithm != c.want {
+			t.Errorf("case %d: got %+v, want %s first", i, got, c.want)
+		}
+	}
+}
+
+func TestExtractFeatures(t *testing.T) {
+	u := rankings.NewUniverse()
+	d := rankings.NewDataset(8,
+		rankings.MustParse("[{A},{B,C,D,E,F,G,H}]", u),
+		rankings.MustParse("[{A},{B,C,D,E,F,G,H}]", u),
+	)
+	f := ExtractFeatures(d)
+	if !f.LargeTies {
+		t.Error("7-of-8-element bucket must count as a large tie")
+	}
+	if f.N != 8 || f.M != 2 {
+		t.Errorf("N=%d M=%d", f.N, f.M)
+	}
+	if f.Similarity < 0.99 {
+		t.Errorf("identical rankings similarity = %v", f.Similarity)
+	}
+}
+
+func TestRunTimedProtocol(t *testing.T) {
+	ds := smallDatasets(54, 1, 3, 6)[0]
+	a := &algo.Borda{}
+	_, elapsed, err := runTimed(a, ds, Options{MeasureTime: true, MinTiming: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The amortized per-run time of Borda on n=6 must be far below the
+	// 2ms accumulation target.
+	if elapsed > time.Millisecond {
+		t.Errorf("amortized time suspiciously high: %v", elapsed)
+	}
+}
+
+func TestFig2Smoke(t *testing.T) {
+	series, err := Fig2(Fig2Config{Ns: []int{5, 8}, PerN: 1, SkipExact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Series{}
+	for _, s := range series {
+		byName[s.Name] = s
+	}
+	borda := byName["BordaCount"]
+	if len(borda.X) != 2 || borda.Y[0] <= 0 {
+		t.Fatalf("BordaCount series incomplete: %+v", borda)
+	}
+	if _, ok := byName["ExactAlgorithm"]; ok {
+		t.Error("SkipExact must drop the exact reference from the sweep")
+	}
+	out := FormatTimeSeries(series)
+	if !strings.Contains(out, "n=5") {
+		t.Errorf("missing sweep point:\n%s", out)
+	}
+}
+
+func TestTable4Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table 4 runs every algorithm over seven families")
+	}
+	res, err := Table4(Table4Config{PerFamily: 1, ExactTime: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Families) != 7 || len(res.Results) != 7 {
+		t.Fatalf("want 7 families, got %d/%d", len(res.Families), len(res.Results))
+	}
+	out := res.String()
+	for _, want := range []string{"WebSearch Proj", "F1 Unif", "BioMedical Unif", "%1st"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 4 output missing %q", want)
+		}
+	}
+	// BioConsert should be first somewhere near 100% overall.
+	for _, cmp := range res.Results {
+		for _, s := range cmp.Summaries {
+			if s.Name == "BioConsert" && s.Runs > 0 && s.Rank > 3 {
+				t.Errorf("BioConsert ranked #%d in a family; paper has it #1-2", s.Rank)
+			}
+		}
+	}
+}

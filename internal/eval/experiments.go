@@ -1,0 +1,618 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"rankagg/internal/algo"
+	"rankagg/internal/core"
+	"rankagg/internal/gen"
+	"rankagg/internal/kendall"
+	"rankagg/internal/normalize"
+	"rankagg/internal/rankings"
+	"rankagg/internal/stats"
+)
+
+// PaperAlgorithms returns the algorithm set the paper re-implemented and
+// evaluated (the bold rows of Table 1), in the order of Table 5.
+// Size-capped methods (Ailon 3/2) report DNF on instances above their cap,
+// mirroring the paper's time-limit policy.
+func PaperAlgorithms() []core.Aggregator {
+	return []core.Aggregator{
+		&algo.Ailon{MaxElements: 45},
+		&algo.BioConsert{},
+		&algo.Borda{},
+		&algo.Copeland{},
+		&algo.FaginDyn{},                  // FaginSmall
+		&algo.FaginDyn{PreferLarge: true}, // FaginLarge
+		&algo.KwikSort{},
+		&algo.KwikSort{Runs: 16}, // KwikSortMin
+		&algo.MEDRank{H: 0.5},
+		&algo.MEDRank{H: 0.7},
+		algo.PickAPerm{},
+		&algo.RepeatChoice{},
+		&algo.RepeatChoice{Runs: 16}, // RepeatChoiceMin
+	}
+}
+
+// FastAlgorithms is the subset usable at large n (no LP, no exact).
+func FastAlgorithms() []core.Aggregator {
+	return []core.Aggregator{
+		&algo.BioConsert{},
+		&algo.Borda{},
+		&algo.Copeland{},
+		&algo.FaginDyn{},
+		&algo.FaginDyn{PreferLarge: true},
+		&algo.KwikSort{},
+		&algo.MEDRank{H: 0.5},
+		&algo.RepeatChoice{},
+	}
+}
+
+// referenceExact is the optimum provider used for gap computation.
+func referenceExact(maxN int, limit time.Duration) core.ExactAggregator {
+	return &algo.ExactBnB{Preprocess: true, MaxElements: maxN, TimeLimit: limit}
+}
+
+// ---------------------------------------------------------------- Table 5
+
+// Table5Config parameterizes the uniform-dataset quality study (paper:
+// m ∈ [3;10], n ≤ 60, 100 datasets per <m,n>; scale down for quick runs).
+type Table5Config struct {
+	Datasets  int           // number of datasets (default 30)
+	MaxN      int           // elements per dataset drawn from [5, MaxN] (default 12)
+	Seed      int64         //
+	ExactTime time.Duration // per-dataset exact budget (default 10s)
+}
+
+func (c *Table5Config) defaults() {
+	if c.Datasets == 0 {
+		c.Datasets = 30
+	}
+	if c.MaxN == 0 {
+		c.MaxN = 12
+	}
+	if c.ExactTime == 0 {
+		c.ExactTime = 10 * time.Second
+	}
+}
+
+// Table5 reproduces Table 5: average gap (and rank), percentage of datasets
+// where the optimum is found, and percentage where the algorithm is first,
+// on uniformly generated datasets.
+func Table5(cfg Table5Config) (*Comparison, error) {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed + 5))
+	datasets := make([]*rankings.Dataset, cfg.Datasets)
+	for i := range datasets {
+		m := 3 + rng.Intn(8) // [3,10]
+		n := 5 + rng.Intn(cfg.MaxN-4)
+		datasets[i] = gen.UniformDataset(rng, m, n)
+	}
+	return Compare(PaperAlgorithms(), datasets, Options{
+		Exact: referenceExact(cfg.MaxN+1, cfg.ExactTime),
+	})
+}
+
+// FormatTable5 renders a Comparison in the layout of Table 5.
+func FormatTable5(c *Comparison) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %12s %10s %8s\n", "Algo", "avg gap", "%gap=0", "%first")
+	rows := append([]AlgoSummary(nil), c.Summaries...)
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Rank < rows[j].Rank })
+	for _, s := range rows {
+		fmt.Fprintf(&b, "%-18s %7.2f%%(#%2d) %9.2f%% %7.2f%%\n",
+			s.Name, 100*s.MeanGap, s.Rank, s.PctOptimal, s.PctFirst)
+	}
+	fmt.Fprintf(&b, "exact reference available for %.1f%% of datasets\n", 100*c.ExactShare)
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Table 4
+
+// Family is one simulated real-world dataset group of Table 4.
+type Family struct {
+	Name     string
+	Datasets []*rankings.Dataset
+}
+
+// Table4Config parameterizes the real-dataset study. Every family is a
+// seeded simulator (see internal/gen and DESIGN.md for the substitution).
+type Table4Config struct {
+	PerFamily int           // datasets per family (default 8)
+	Seed      int64         //
+	ExactMaxN int           // exact reference cap (default 18)
+	ExactTime time.Duration // (default 5s)
+}
+
+func (c *Table4Config) defaults() {
+	if c.PerFamily == 0 {
+		c.PerFamily = 8
+	}
+	if c.ExactMaxN == 0 {
+		c.ExactMaxN = 18
+	}
+	if c.ExactTime == 0 {
+		c.ExactTime = 5 * time.Second
+	}
+}
+
+// RealFamilies builds the seven simulated dataset families of Table 4:
+// WebSearch (projected and unified), F1 (both), SkiCross (both), and
+// BioMedical (unified, with ties).
+func RealFamilies(cfg Table4Config) []Family {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed + 4))
+	var wsP, wsU, f1P, f1U, skP, skU, bioU []*rankings.Dataset
+	for i := 0; i < cfg.PerFamily; i++ {
+		ws := gen.WebSearchQuery(rng, gen.DefaultWebSearch())
+		if p, _, _ := normalize.Projection(ws); p.N >= 2 {
+			wsP = append(wsP, p)
+		}
+		u, _, _ := normalize.Unification(ws)
+		wsU = append(wsU, u)
+
+		f1 := gen.F1Season(rng, gen.DefaultF1())
+		if p, _, _ := normalize.Projection(f1); p.N >= 2 {
+			f1P = append(f1P, p)
+		}
+		u2, _, _ := normalize.Unification(f1)
+		f1U = append(f1U, u2)
+
+		sk := gen.SkiCrossEvent(rng, gen.DefaultSkiCross())
+		if p, _, _ := normalize.Projection(sk); p.N >= 2 {
+			skP = append(skP, p)
+		}
+		u3, _, _ := normalize.Unification(sk)
+		skU = append(skU, u3)
+
+		bio := gen.BioMedicalQuery(rng, gen.DefaultBioMedical())
+		u4, _, _ := normalize.Unification(bio)
+		bioU = append(bioU, u4)
+	}
+	return []Family{
+		{"WebSearch Proj", wsP},
+		{"WebSearch Unif", wsU},
+		{"F1 Proj", f1P},
+		{"F1 Unif", f1U},
+		{"SkiCross Proj", skP},
+		{"SkiCross Unif", skU},
+		{"BioMedical Unif", bioU},
+	}
+}
+
+// Table4Result maps each family to its comparison.
+type Table4Result struct {
+	Families []Family
+	Results  []*Comparison
+}
+
+// Table4 reproduces Table 4: average gap (m-gap where the exact reference
+// is unavailable) and rank per algorithm on each simulated real family.
+func Table4(cfg Table4Config) (*Table4Result, error) {
+	cfg.defaults()
+	fams := RealFamilies(cfg)
+	out := &Table4Result{Families: fams}
+	for _, f := range fams {
+		cmp, err := Compare(PaperAlgorithms(), f.Datasets, Options{
+			Exact: referenceExact(cfg.ExactMaxN, cfg.ExactTime),
+		})
+		if err != nil {
+			return nil, err
+		}
+		out.Results = append(out.Results, cmp)
+	}
+	return out, nil
+}
+
+// String renders Table 4: one column block per family.
+func (t *Table4Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s", "Algo")
+	for _, f := range t.Families {
+		fmt.Fprintf(&b, " | %-16s", f.Name)
+	}
+	fmt.Fprintf(&b, " | %%1st\n")
+	if len(t.Results) == 0 {
+		return b.String()
+	}
+	// Overall %first weighted by runs.
+	firsts := map[string]float64{}
+	runs := map[string]float64{}
+	for _, cmp := range t.Results {
+		for _, s := range cmp.Summaries {
+			firsts[s.Name] += s.PctFirst * float64(s.Runs) / 100
+			runs[s.Name] += float64(s.Runs)
+		}
+	}
+	for ai, s0 := range t.Results[0].Summaries {
+		fmt.Fprintf(&b, "%-18s", s0.Name)
+		for _, cmp := range t.Results {
+			s := cmp.Summaries[ai]
+			if s.Runs == 0 {
+				fmt.Fprintf(&b, " | %-16s", "—")
+				continue
+			}
+			fmt.Fprintf(&b, " | %6.1f%% (#%2d)  ", 100*s.MeanGap, s.Rank)
+		}
+		pct := 0.0
+		if runs[s0.Name] > 0 {
+			pct = 100 * firsts[s0.Name] / runs[s0.Name]
+		}
+		fmt.Fprintf(&b, " | %5.1f%%\n", pct)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Figure 2
+
+// Fig2Config parameterizes the time-vs-n study (paper: n ∈ [5;400], m = 7).
+type Fig2Config struct {
+	Ns        []int // default {5, 10, 25, 50, 100, 200, 400}
+	M         int   // default 7
+	PerN      int   // datasets per n (default 3)
+	Seed      int64
+	Quick     bool          // skip the slowest sizes
+	SkipExact bool          // drop the exact reference from the sweep
+	ExactTime time.Duration // exact budget per dataset (default 30s)
+}
+
+func (c *Fig2Config) defaults() {
+	if len(c.Ns) == 0 {
+		c.Ns = []int{5, 10, 25, 50, 100, 200, 400}
+		if c.Quick {
+			c.Ns = []int{5, 10, 25, 50}
+		}
+	}
+	if c.M == 0 {
+		c.M = 7
+	}
+	if c.PerN == 0 {
+		c.PerN = 3
+	}
+}
+
+// Series is one algorithm's measurement across a swept parameter.
+type Series struct {
+	Name   string
+	X      []int
+	Y      []float64 // meaning depends on the figure (seconds, gap, ...)
+	Misses []int     // X values where the algorithm did not finish
+}
+
+// Fig2 reproduces Figure 2: average computing time per algorithm as n grows
+// (uniform datasets). Exact and LP-based methods drop out as n passes their
+// caps, exactly as in the paper's plot.
+func Fig2(cfg Fig2Config) ([]Series, error) {
+	cfg.defaults()
+	rng := rand.New(rand.NewSource(cfg.Seed + 2))
+	exactBudget := cfg.ExactTime
+	if exactBudget == 0 {
+		exactBudget = 30 * time.Second
+	}
+	algos := PaperAlgorithms()
+	if !cfg.SkipExact {
+		algos = append(algos, referenceExact(60, exactBudget))
+	}
+	series := make([]Series, len(algos))
+	for i, a := range algos {
+		series[i].Name = a.Name()
+	}
+	for _, n := range cfg.Ns {
+		datasets := make([]*rankings.Dataset, cfg.PerN)
+		for i := range datasets {
+			datasets[i] = gen.UniformDataset(rng, cfg.M, n)
+		}
+		for ai, a := range algos {
+			var total time.Duration
+			ok := 0
+			for _, d := range datasets {
+				_, elapsed, err := runTimed(a, d, Options{MeasureTime: true, MinTiming: 5 * time.Millisecond})
+				if err != nil {
+					continue
+				}
+				total += elapsed
+				ok++
+			}
+			if ok == 0 {
+				series[ai].Misses = append(series[ai].Misses, n)
+				continue
+			}
+			series[ai].X = append(series[ai].X, n)
+			series[ai].Y = append(series[ai].Y, (total / time.Duration(ok)).Seconds())
+		}
+	}
+	return series, nil
+}
+
+// FormatTimeSeries renders Fig 2-style series (seconds per n).
+func FormatTimeSeries(series []Series) string {
+	var b strings.Builder
+	for _, s := range series {
+		fmt.Fprintf(&b, "%-18s", s.Name)
+		for i, x := range s.X {
+			fmt.Fprintf(&b, "  n=%d:%s", x, fmtDuration(s.Y[i]))
+		}
+		for _, x := range s.Misses {
+			fmt.Fprintf(&b, "  n=%d:DNF", x)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func fmtDuration(sec float64) string {
+	switch {
+	case sec < 1e-3:
+		return fmt.Sprintf("%.0fµs", sec*1e6)
+	case sec < 1:
+		return fmt.Sprintf("%.1fms", sec*1e3)
+	default:
+		return fmt.Sprintf("%.2fs", sec)
+	}
+}
+
+// ---------------------------------------------------------------- Figure 3
+
+// Fig3Row is the similarity distribution of one dataset group.
+type Fig3Row struct {
+	Name                     string
+	Min, Q1, Median, Q3, Max float64
+	Mean                     float64
+}
+
+// Fig3 reproduces Figure 3: the distribution of the intrinsic similarity
+// s(R) for each dataset group, including Markov-chain synthetic groups at
+// three step counts.
+func Fig3(cfg Table4Config, markovSteps []int, seed int64) []Fig3Row {
+	cfg.defaults()
+	var rows []Fig3Row
+	for _, f := range RealFamilies(cfg) {
+		rows = append(rows, similarityRow(f.Name, f.Datasets))
+	}
+	if len(markovSteps) == 0 {
+		markovSteps = []int{1000, 5000, 50000}
+	}
+	rng := rand.New(rand.NewSource(seed + 3))
+	for _, t := range markovSteps {
+		var ds []*rankings.Dataset
+		for i := 0; i < cfg.PerFamily; i++ {
+			seedRank := gen.UniformRanking(rng, 35)
+			ds = append(ds, gen.MarkovDataset(rng, seedRank, 35, 7, t))
+		}
+		rows = append(rows, similarityRow(fmt.Sprintf("Syn. w/ sim. %d steps", t), ds))
+	}
+	var ratings []*rankings.Dataset
+	for i := 0; i < cfg.PerFamily; i++ {
+		raw := gen.RatingsDataset(rng, gen.DefaultRatings())
+		u, _, _ := normalize.Unification(raw)
+		ratings = append(ratings, u)
+	}
+	rows = append(rows, similarityRow("Ratings Unif", ratings))
+	var uniform []*rankings.Dataset
+	for i := 0; i < cfg.PerFamily; i++ {
+		uniform = append(uniform, gen.UniformDataset(rng, 7, 35))
+	}
+	rows = append(rows, similarityRow("Syn. uniform", uniform))
+	return rows
+}
+
+func similarityRow(name string, ds []*rankings.Dataset) Fig3Row {
+	var sims []float64
+	for _, d := range ds {
+		sims = append(sims, kendall.Similarity(d))
+	}
+	row := Fig3Row{Name: name}
+	if len(sims) == 0 {
+		return row
+	}
+	row.Min, row.Q1, row.Median, row.Q3, row.Max = stats.FiveNumber(sims)
+	row.Mean = stats.Mean(sims)
+	return row
+}
+
+// FormatFig3 renders the similarity distributions.
+func FormatFig3(rows []Fig3Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %7s %7s %7s %7s %7s %7s\n", "group", "min", "q1", "median", "q3", "max", "mean")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-24s %7.3f %7.3f %7.3f %7.3f %7.3f %7.3f\n",
+			r.Name, r.Min, r.Q1, r.Median, r.Q3, r.Max, r.Mean)
+	}
+	return b.String()
+}
+
+// ------------------------------------------------------- Figures 4, 5, 6
+
+// SweepConfig parameterizes the similarity sweeps of Figures 4 and 5.
+type SweepConfig struct {
+	Steps     []int // Markov steps (defaults depend on the figure)
+	N         int   // elements (paper: 35; default 20 for speed)
+	M         int   // rankings (default 7)
+	PerStep   int   // datasets per step (default 5)
+	Seed      int64
+	ExactMaxN int           // exact reference cap (default N)
+	ExactTime time.Duration // default 10s
+	// Unified enables the Figure 5 pipeline: generate over UnifiedSourceN
+	// elements, retain top-k (k chosen so the union reaches N), unify.
+	Unified        bool
+	UnifiedSourceN int // default 3×N
+}
+
+func (c *SweepConfig) defaults(fig5 bool) {
+	if len(c.Steps) == 0 {
+		if fig5 {
+			c.Steps = []int{1000, 5000, 25000, 100000, 1000000}
+		} else {
+			c.Steps = []int{50, 250, 1000, 5000, 25000, 50000}
+		}
+	}
+	if c.N == 0 {
+		c.N = 20
+	}
+	if c.M == 0 {
+		c.M = 7
+	}
+	if c.PerStep == 0 {
+		c.PerStep = 5
+	}
+	if c.ExactMaxN == 0 {
+		c.ExactMaxN = c.N
+	}
+	if c.ExactTime == 0 {
+		c.ExactTime = 10 * time.Second
+	}
+	if c.UnifiedSourceN == 0 {
+		c.UnifiedSourceN = 3 * c.N
+	}
+}
+
+// GapSweep runs Figures 4 (Unified=false) and 5 (Unified=true): the average
+// gap per algorithm as dataset similarity decreases with the Markov step
+// count. It also returns the measured similarity per step for calibration.
+func GapSweep(cfg SweepConfig) ([]Series, []float64, error) {
+	cfg.defaults(cfg.Unified)
+	rng := rand.New(rand.NewSource(cfg.Seed + 45))
+	algos := PaperAlgorithms()
+	series := make([]Series, len(algos))
+	for i, a := range algos {
+		series[i].Name = a.Name()
+	}
+	var sims []float64
+	for _, steps := range cfg.Steps {
+		var datasets []*rankings.Dataset
+		for i := 0; i < cfg.PerStep; i++ {
+			if cfg.Unified {
+				seedRank := gen.UniformRanking(rng, cfg.UnifiedSourceN)
+				raw := gen.MarkovDataset(rng, seedRank, cfg.UnifiedSourceN, cfg.M, steps)
+				k, _ := normalize.KForUnionSize(raw, cfg.N)
+				u, _, _ := normalize.TopKUnified(raw, k)
+				datasets = append(datasets, u)
+			} else {
+				seedRank := gen.UniformRanking(rng, cfg.N)
+				datasets = append(datasets, gen.MarkovDataset(rng, seedRank, cfg.N, cfg.M, steps))
+			}
+		}
+		var simSum float64
+		for _, d := range datasets {
+			simSum += kendall.Similarity(d)
+		}
+		sims = append(sims, simSum/float64(len(datasets)))
+		cmp, err := Compare(algos, datasets, Options{
+			Exact: referenceExact(cfg.ExactMaxN*2, cfg.ExactTime),
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		for ai, s := range cmp.Summaries {
+			if s.Runs == 0 {
+				series[ai].Misses = append(series[ai].Misses, steps)
+				continue
+			}
+			series[ai].X = append(series[ai].X, steps)
+			series[ai].Y = append(series[ai].Y, s.MeanGap)
+		}
+	}
+	return series, sims, nil
+}
+
+// FormatGapSeries renders gap sweeps (percent per step count).
+func FormatGapSeries(series []Series, sims []float64, steps []int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s", "steps")
+	for _, s := range steps {
+		fmt.Fprintf(&b, " %9d", s)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-18s", "similarity")
+	for _, s := range sims {
+		fmt.Fprintf(&b, " %9.3f", s)
+	}
+	b.WriteByte('\n')
+	for _, s := range series {
+		fmt.Fprintf(&b, "%-18s", s.Name)
+		i := 0
+		for _, x := range steps {
+			if i < len(s.X) && s.X[i] == x {
+				fmt.Fprintf(&b, " %8.2f%%", 100*s.Y[i])
+				i++
+			} else {
+				fmt.Fprintf(&b, " %9s", "DNF")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Fig6Point is one algorithm's (time, gap) position in the Figure 6 scatter.
+type Fig6Point struct {
+	Name string
+	Time time.Duration
+	Gap  float64
+	DNF  bool
+}
+
+// Fig6 reproduces Figure 6: computing time against gap for uniformly
+// generated datasets (paper: m = 7, n = 35).
+func Fig6(datasets int, n int, seed int64, exactTime time.Duration) ([]Fig6Point, error) {
+	if datasets == 0 {
+		datasets = 10
+	}
+	if n == 0 {
+		n = 20
+	}
+	if exactTime == 0 {
+		exactTime = 10 * time.Second
+	}
+	rng := rand.New(rand.NewSource(seed + 6))
+	ds := make([]*rankings.Dataset, datasets)
+	for i := range ds {
+		ds[i] = gen.UniformDataset(rng, 7, n)
+	}
+	algos := append(PaperAlgorithms(), referenceExact(n+1, exactTime))
+	cmp, err := Compare(algos, ds, Options{
+		Exact:       referenceExact(n+1, exactTime),
+		MeasureTime: true,
+		MinTiming:   5 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig6Point
+	for _, s := range cmp.Summaries {
+		out = append(out, Fig6Point{Name: s.Name, Time: s.MeanTime, Gap: s.MeanGap, DNF: s.Runs == 0})
+	}
+	return out, nil
+}
+
+// FormatFig6 renders the scatter as a table sorted by time.
+func FormatFig6(points []Fig6Point) string {
+	rows := append([]Fig6Point(nil), points...)
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Time < rows[j].Time })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %12s %10s\n", "Algo", "time", "gap")
+	for _, p := range rows {
+		if p.DNF {
+			fmt.Fprintf(&b, "%-18s %12s %10s\n", p.Name, "DNF", "-")
+			continue
+		}
+		fmt.Fprintf(&b, "%-18s %12s %9.2f%%\n", p.Name, p.Time.Round(time.Microsecond), 100*p.Gap)
+	}
+	return b.String()
+}
+
+// ChainAlgorithms is the Section 8 chaining study set: each chain next to
+// its components.
+func ChainAlgorithms() []core.Aggregator {
+	return []core.Aggregator{
+		&algo.Borda{},
+		&algo.BioConsert{},
+		&algo.Chained{},
+		&algo.Chained{Refiner: &algo.Anneal{}},
+		&algo.Anneal{},
+	}
+}

@@ -1,0 +1,103 @@
+package eval
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"time"
+)
+
+// WriteComparisonCSV exports a Comparison as CSV (one row per algorithm),
+// so regenerated tables can be diffed or plotted outside Go.
+func WriteComparisonCSV(w io.Writer, c *Comparison) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"algorithm", "rank", "mean_gap", "pct_optimal", "pct_first", "mean_time_us", "runs", "failures"}); err != nil {
+		return err
+	}
+	for _, s := range c.Summaries {
+		gap := ""
+		if !math.IsNaN(s.MeanGap) {
+			gap = strconv.FormatFloat(s.MeanGap, 'f', 6, 64)
+		}
+		row := []string{
+			s.Name,
+			strconv.Itoa(s.Rank),
+			gap,
+			strconv.FormatFloat(s.PctOptimal, 'f', 2, 64),
+			strconv.FormatFloat(s.PctFirst, 'f', 2, 64),
+			strconv.FormatFloat(float64(s.MeanTime)/float64(time.Microsecond), 'f', 1, 64),
+			strconv.Itoa(s.Runs),
+			strconv.Itoa(s.Failures),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSeriesCSV exports sweep series (Figures 2, 4, 5) as long-format CSV:
+// algorithm, x, y. DNF points are written with an empty y.
+func WriteSeriesCSV(w io.Writer, series []Series) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"algorithm", "x", "y"}); err != nil {
+		return err
+	}
+	for _, s := range series {
+		for i, x := range s.X {
+			if err := cw.Write([]string{s.Name, strconv.Itoa(x), strconv.FormatFloat(s.Y[i], 'g', -1, 64)}); err != nil {
+				return err
+			}
+		}
+		for _, x := range s.Misses {
+			if err := cw.Write([]string{s.Name, strconv.Itoa(x), ""}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig3CSV exports similarity distributions.
+func WriteFig3CSV(w io.Writer, rows []Fig3Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"group", "min", "q1", "median", "q3", "max", "mean"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{
+			r.Name,
+			fmt.Sprintf("%.6f", r.Min), fmt.Sprintf("%.6f", r.Q1),
+			fmt.Sprintf("%.6f", r.Median), fmt.Sprintf("%.6f", r.Q3),
+			fmt.Sprintf("%.6f", r.Max), fmt.Sprintf("%.6f", r.Mean),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig6CSV exports the time/gap scatter.
+func WriteFig6CSV(w io.Writer, points []Fig6Point) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"algorithm", "time_us", "gap", "dnf"}); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if err := cw.Write([]string{
+			p.Name,
+			strconv.FormatFloat(float64(p.Time)/float64(time.Microsecond), 'f', 1, 64),
+			strconv.FormatFloat(p.Gap, 'f', 6, 64),
+			strconv.FormatBool(p.DNF),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

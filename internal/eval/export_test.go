@@ -1,0 +1,82 @@
+package eval
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+	"time"
+
+	"rankagg/internal/algo"
+	"rankagg/internal/core"
+)
+
+func TestWriteComparisonCSV(t *testing.T) {
+	ds := smallDatasets(81, 3, 3, 6)
+	cmp, err := Compare([]core.Aggregator{&algo.Borda{}, &algo.BioConsert{}}, ds,
+		Options{Exact: referenceExact(8, 10*time.Second)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteComparisonCSV(&buf, cmp); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("want header + 2 rows, got %d", len(rows))
+	}
+	if rows[0][0] != "algorithm" || len(rows[0]) != 8 {
+		t.Errorf("bad header: %v", rows[0])
+	}
+	found := false
+	for _, r := range rows[1:] {
+		if r[0] == "BioConsert" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("BioConsert row missing")
+	}
+}
+
+func TestWriteSeriesCSVWithDNF(t *testing.T) {
+	series := []Series{
+		{Name: "A", X: []int{5, 10}, Y: []float64{0.1, 0.2}},
+		{Name: "B", X: []int{5}, Y: []float64{0.3}, Misses: []int{10}},
+	}
+	var buf bytes.Buffer
+	if err := WriteSeriesCSV(&buf, series); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "B,10,\n") {
+		t.Errorf("DNF row missing:\n%s", out)
+	}
+	rows, _ := csv.NewReader(strings.NewReader(out)).ReadAll()
+	if len(rows) != 5 {
+		t.Errorf("want header + 4 rows, got %d", len(rows))
+	}
+}
+
+func TestWriteFig3AndFig6CSV(t *testing.T) {
+	rows := []Fig3Row{{Name: "g", Min: -1, Q1: 0, Median: 0.1, Q3: 0.2, Max: 1, Mean: 0.05}}
+	var buf bytes.Buffer
+	if err := WriteFig3CSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "g,-1.000000") {
+		t.Errorf("fig3 csv wrong:\n%s", buf.String())
+	}
+	points := []Fig6Point{{Name: "X", Time: 1500 * time.Microsecond, Gap: 0.25}}
+	buf.Reset()
+	if err := WriteFig6CSV(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "X,1500.0,0.250000,false") {
+		t.Errorf("fig6 csv wrong:\n%s", buf.String())
+	}
+}

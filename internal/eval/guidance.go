@@ -1,0 +1,68 @@
+package eval
+
+import (
+	"fmt"
+
+	"rankagg/internal/kendall"
+	"rankagg/internal/rankings"
+)
+
+// Features summarizes the dataset properties Section 7 identifies as the
+// drivers of algorithm behaviour: size, similarity, and the presence of
+// large ties (typically produced by the unification process).
+type Features struct {
+	N          int     // number of elements
+	M          int     // number of rankings
+	Similarity float64 // s(R), equation (5)
+	// LargeTies reports buckets much larger than average (e.g. a
+	// unification bucket).
+	LargeTies bool
+}
+
+// ExtractFeatures measures a dataset.
+func ExtractFeatures(d *rankings.Dataset) Features {
+	f := Features{N: d.N, M: d.M(), Similarity: kendall.Similarity(d)}
+	for _, r := range d.Rankings {
+		for _, b := range r.Buckets {
+			if len(b) >= 5 && len(b)*4 >= d.N {
+				f.LargeTies = true
+			}
+		}
+	}
+	return f
+}
+
+// Recommendation names an algorithm with the reason it was picked.
+type Recommendation struct {
+	Algorithm string
+	Reason    string
+}
+
+// Recommend applies the guidance of Section 7.4 to the dataset features and
+// the caller's priorities.
+//
+//   - Highest quality: ExactAlgorithm when feasible, else BioConsert.
+//   - Very large datasets (n > 30000): KwikSort (BioConsert's O(n²) memory
+//     becomes the bottleneck).
+//   - Time-critical: BordaCount with few ties, MEDRank(0.5) with large ties.
+//   - Default: BioConsert.
+func Recommend(f Features, needOptimal, timeCritical bool) []Recommendation {
+	var out []Recommendation
+	switch {
+	case needOptimal && f.N <= 60:
+		out = append(out,
+			Recommendation{"ExactAlgorithm", "optimal consensus required and n is moderate; similarity further speeds the search (§7.2)"},
+			Recommendation{"BioConsert", "near-optimal fallback if the exact search exceeds its budget"})
+	case needOptimal:
+		out = append(out, Recommendation{"BioConsert", fmt.Sprintf("n = %d is beyond exact reach; BioConsert gives the best quality (§7.4)", f.N)})
+	case f.N > 30000:
+		out = append(out, Recommendation{"KwikSort", "n > 30000: BioConsert's O(n²) memory hits physical limits; KwikSort is the best-quality alternative and benefits from similarity (§7.4)"})
+	case timeCritical && f.LargeTies:
+		out = append(out, Recommendation{"MEDRank(0.5)", "time is critical and the dataset has large ties (e.g. unification buckets): MEDRank is tie-stable and O(nm) (§7.4)"})
+	case timeCritical:
+		out = append(out, Recommendation{"BordaCount", "time is critical and ties are few: positional scoring is the fastest option (§7.4)"})
+	default:
+		out = append(out, Recommendation{"BioConsert", "best quality in the very large majority of cases; benefits from similarity and is normalization-independent (§7.4)"})
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"rankagg/internal/algo"
+	"rankagg/internal/core"
+)
+
+func TestCompareParallelMatchesSequential(t *testing.T) {
+	ds := smallDatasets(71, 8, 4, 8)
+	algos := []core.Aggregator{&algo.BioConsert{}, &algo.Borda{}, algo.PickAPerm{}}
+	seq, err := Compare(algos, ds, Options{Exact: referenceExact(10, 10*time.Second)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Compare(algos, ds, Options{Exact: referenceExact(10, 10*time.Second), Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq.Summaries {
+		s, p := seq.Summaries[i], par.Summaries[i]
+		if s.Name != p.Name || s.MeanGap != p.MeanGap || s.Rank != p.Rank ||
+			s.PctFirst != p.PctFirst || s.PctOptimal != p.PctOptimal {
+			t.Errorf("parallel run diverged for %s: %+v vs %+v", s.Name, s, p)
+		}
+	}
+	if seq.ExactShare != par.ExactShare {
+		t.Errorf("exact share diverged: %v vs %v", seq.ExactShare, par.ExactShare)
+	}
+}
+
+func TestBordaScalingImproves(t *testing.T) {
+	rows, err := BordaScaling(BordaScalingConfig{
+		Ns: []int{10, 80}, PerN: 4, Seed: 2, Workers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("want 2 rows, got %d", len(rows))
+	}
+	// The Section 7.1.1 observation: Borda's m-gap shrinks as n grows.
+	if rows[1].BordaGap >= rows[0].BordaGap {
+		t.Errorf("Borda gap should shrink with n: %.3f @ n=10 vs %.3f @ n=80",
+			rows[0].BordaGap, rows[1].BordaGap)
+	}
+	out := FormatBordaScaling(rows)
+	if !strings.Contains(out, "BordaCount") {
+		t.Errorf("missing column:\n%s", out)
+	}
+}
+
+func TestChainStudy(t *testing.T) {
+	cmp, err := ChainStudy(4, 12, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]AlgoSummary{}
+	for _, s := range cmp.Summaries {
+		byName[s.Name] = s
+	}
+	chain := byName["BordaCount+BioConsert"]
+	borda := byName["BordaCount"]
+	if chain.Runs == 0 || borda.Runs == 0 {
+		t.Fatalf("missing summaries: %v", cmp.Summaries)
+	}
+	if chain.MeanGap > borda.MeanGap {
+		t.Errorf("chain (%.3f) must not be worse than its first stage (%.3f)",
+			chain.MeanGap, borda.MeanGap)
+	}
+}

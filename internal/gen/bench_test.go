@@ -1,0 +1,82 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkFubini measures the counting substrate of the uniform sampler
+// (cache cleared per size by requesting increasing n on a cold cache is not
+// possible with the package-level cache; this tracks amortized access).
+func BenchmarkFubini(b *testing.B) {
+	Fubini(500) // warm
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Fubini(500)
+	}
+}
+
+// BenchmarkUniformRanking measures exact-uniform sampling per size (the
+// paper's datasets go up to n = 500).
+func BenchmarkUniformRanking(b *testing.B) {
+	for _, n := range []int{35, 100, 500} {
+		Fubini(n)
+		rng := rand.New(rand.NewSource(1))
+		b.Run(fmt.Sprintf("n%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				UniformRanking(rng, n)
+			}
+		})
+	}
+}
+
+// BenchmarkMarkovWalk measures the §6.1.2 walker (Figure 5 needs up to 10⁶
+// steps per ranking).
+func BenchmarkMarkovWalk(b *testing.B) {
+	for _, n := range []int{35, 100} {
+		rng := rand.New(rand.NewSource(2))
+		seed := UniformRanking(rng, n)
+		b.Run(fmt.Sprintf("n%d_1000steps", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w := NewWalker(seed, n)
+				w.Walk(rng, 1000)
+			}
+		})
+	}
+}
+
+// BenchmarkMallows measures the repeated-insertion sampler.
+func BenchmarkMallows(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	ref := rng.Perm(100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MallowsPermutation(rng, ref, 0.8)
+	}
+}
+
+// BenchmarkRealWorldSimulators measures one dataset per family.
+func BenchmarkRealWorldSimulators(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	b.Run("WebSearch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			WebSearchQuery(rng, DefaultWebSearch())
+		}
+	})
+	b.Run("F1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			F1Season(rng, DefaultF1())
+		}
+	})
+	b.Run("BioMedical", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			BioMedicalQuery(rng, DefaultBioMedical())
+		}
+	})
+	b.Run("Ratings", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			RatingsDataset(rng, DefaultRatings())
+		}
+	})
+}

@@ -1,0 +1,371 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rankagg/internal/kendall"
+	"rankagg/internal/rankings"
+)
+
+func TestFubiniKnownValues(t *testing.T) {
+	// OEIS A000670.
+	want := []int64{1, 1, 3, 13, 75, 541, 4683, 47293, 545835}
+	for n, w := range want {
+		if got := Fubini(n); got.Int64() != w {
+			t.Errorf("Fubini(%d) = %v, want %d", n, got, w)
+		}
+	}
+}
+
+func TestFubiniLargeDoesNotOverflow(t *testing.T) {
+	v := Fubini(200)
+	if v.Sign() <= 0 {
+		t.Error("Fubini(200) must be positive")
+	}
+	if v.BitLen() < 500 {
+		t.Errorf("Fubini(200) suspiciously small: %d bits", v.BitLen())
+	}
+}
+
+func TestEnumerateBucketOrders(t *testing.T) {
+	for n := 0; n <= 5; n++ {
+		all := EnumerateBucketOrders(n)
+		if int64(len(all)) != Fubini(n).Int64() {
+			t.Errorf("n=%d: enumerated %d bucket orders, want %v", n, len(all), Fubini(n))
+		}
+		seen := make(map[string]bool)
+		for _, r := range all {
+			if err := r.Validate(); err != nil {
+				t.Fatalf("n=%d: invalid enumerated ranking %v: %v", n, r, err)
+			}
+			if r.Len() != n {
+				t.Fatalf("n=%d: ranking %v has wrong length", n, r)
+			}
+			k := r.String()
+			if seen[k] {
+				t.Fatalf("n=%d: duplicate ranking %s", n, k)
+			}
+			seen[k] = true
+		}
+	}
+}
+
+func TestUniformRankingValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		n := 1 + rng.Intn(60)
+		r := UniformRanking(rng, n)
+		if err := r.Validate(); err != nil {
+			t.Fatalf("invalid uniform ranking: %v", err)
+		}
+		if r.Len() != n {
+			t.Fatalf("uniform ranking covers %d of %d elements", r.Len(), n)
+		}
+	}
+}
+
+func TestUniformRankingZeroAndOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if r := UniformRanking(rng, 0); r.Len() != 0 {
+		t.Error("n=0 should give empty ranking")
+	}
+	if r := UniformRanking(rng, 1); r.Len() != 1 || r.NumBuckets() != 1 {
+		t.Error("n=1 should give a single singleton bucket")
+	}
+}
+
+// TestUniformRankingIsUniform draws many samples for n=3 and checks each of
+// the 13 bucket orders appears with frequency 1/13 within 5 standard
+// deviations.
+func TestUniformRankingIsUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	const samples = 26000
+	counts := make(map[string]int)
+	for i := 0; i < samples; i++ {
+		counts[UniformRanking(rng, 3).Canonicalize().String()]++
+	}
+	if len(counts) != 13 {
+		t.Fatalf("saw %d distinct bucket orders, want 13", len(counts))
+	}
+	p := 1.0 / 13
+	mean := samples * p
+	sd := math.Sqrt(samples * p * (1 - p))
+	for k, c := range counts {
+		if math.Abs(float64(c)-mean) > 5*sd {
+			t.Errorf("state %s count %d deviates from mean %.1f by > 5σ (σ=%.1f)", k, c, mean, sd)
+		}
+	}
+}
+
+// TestMarkovChainDoublyStochastic verifies, by exhaustive enumeration for
+// n = 3 and 4, that the number of (element, operator) pairs mapping state r
+// to r' equals the number mapping r' to r — the symmetry that makes the
+// chain's stationary distribution uniform.
+func TestMarkovChainDoublyStochastic(t *testing.T) {
+	for _, n := range []int{3, 4} {
+		states := EnumerateBucketOrders(n)
+		count := make(map[[2]string]int)
+		for _, r := range states {
+			from := r.Clone().Canonicalize().String()
+			for x := 0; x < n; x++ {
+				for op := 0; op < 4; op++ {
+					w := NewWalker(r, n)
+					w.ApplyOp(x, op)
+					to := w.Ranking().Canonicalize().String()
+					if to != from {
+						count[[2]string{from, to}]++
+					}
+				}
+			}
+		}
+		for k, c := range count {
+			rev := [2]string{k[1], k[0]}
+			if count[rev] != c {
+				t.Fatalf("n=%d: transitions %s->%s = %d but reverse = %d",
+					n, k[0], k[1], c, count[rev])
+			}
+		}
+	}
+}
+
+func TestWalkerStatesStayValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(20)
+		w := NewWalker(UniformRanking(rng, n), n)
+		for s := 0; s < 2000; s++ {
+			w.Step(rng)
+		}
+		r := w.Ranking()
+		if err := r.Validate(); err != nil {
+			t.Fatalf("walker produced invalid state: %v", err)
+		}
+		if r.Len() != n {
+			t.Fatalf("walker lost elements: %d of %d", r.Len(), n)
+		}
+	}
+}
+
+// TestWalkerReachesAllStates: the chain is irreducible — starting from a
+// fixed state, a long walk over n=3 visits all 13 bucket orders.
+func TestWalkerReachesAllStates(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	seed := rankings.FromPermutation([]int{0, 1, 2})
+	w := NewWalker(seed, 3)
+	seen := make(map[string]bool)
+	for s := 0; s < 5000; s++ {
+		w.Step(rng)
+		seen[w.Ranking().Canonicalize().String()] = true
+	}
+	if len(seen) != 13 {
+		t.Errorf("walk visited %d states, want 13", len(seen))
+	}
+}
+
+// TestMarkovSimilarityDecreasesWithSteps mirrors Section 7.2's calibration:
+// few steps keep the dataset similar to the seed; many steps approach the
+// uniform regime (low similarity).
+func TestMarkovSimilarityDecreasesWithSteps(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n, m := 35, 7
+	seed := UniformRanking(rng, n)
+	simAt := func(steps int) float64 {
+		total := 0.0
+		const reps = 5
+		for i := 0; i < reps; i++ {
+			total += kendall.Similarity(MarkovDataset(rng, seed, n, m, steps))
+		}
+		return total / reps
+	}
+	s50, s5000 := simAt(50), simAt(5000)
+	if s50 < 0.5 {
+		t.Errorf("similarity after 50 steps = %.3f, want high (paper: ≈0.88)", s50)
+	}
+	if s5000 > s50-0.2 {
+		t.Errorf("similarity should drop markedly: 50 steps %.3f vs 5000 steps %.3f", s50, s5000)
+	}
+}
+
+func TestMallowsConcentration(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	n := 20
+	ref := make([]int, n)
+	for i := range ref {
+		ref[i] = i
+	}
+	refR := rankings.FromPermutation(ref)
+	avgTau := func(phi float64) float64 {
+		total := 0.0
+		const reps = 50
+		for i := 0; i < reps; i++ {
+			total += kendall.Tau(MallowsPermutation(rng, ref, phi), refR, n)
+		}
+		return total / reps
+	}
+	tight, loose := avgTau(0.3), avgTau(1.0)
+	if tight < 0.8 {
+		t.Errorf("phi=0.3 should concentrate near the reference, tau = %.3f", tight)
+	}
+	if loose > 0.3 {
+		t.Errorf("phi=1.0 should be near-uniform, tau = %.3f", loose)
+	}
+}
+
+func TestMallowsValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ref := rng.Perm(15)
+	r := MallowsPermutation(rng, ref, 0.5)
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !r.IsPermutation() || r.Len() != 15 {
+		t.Error("Mallows must produce a full permutation")
+	}
+}
+
+func TestPlackettLuceSteepWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	w := []float64{1000, 1, 0.001}
+	firstIsZero := 0
+	for i := 0; i < 200; i++ {
+		r := PlackettLucePermutation(rng, w)
+		if r.Buckets[0][0] == 0 {
+			firstIsZero++
+		}
+	}
+	if firstIsZero < 190 {
+		t.Errorf("element with dominant weight won only %d/200 times", firstIsZero)
+	}
+}
+
+func TestTieByQuantizationProducesTies(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	perm := rankings.FromPermutation(rng.Perm(30))
+	tied := TieByQuantization(rng, perm, 5, 0.2)
+	if err := tied.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tied.Len() != 30 {
+		t.Fatalf("quantization lost elements: %d", tied.Len())
+	}
+	if tied.NumBuckets() > 5 {
+		t.Errorf("quantization into 5 levels produced %d buckets", tied.NumBuckets())
+	}
+	if tied.IsPermutation() {
+		t.Error("quantization of 30 elements into 5 levels must create ties")
+	}
+}
+
+func TestF1SeasonShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	cfg := DefaultF1()
+	d := F1Season(rng, cfg)
+	if d.M() != cfg.Races {
+		t.Fatalf("races = %d, want %d", d.M(), cfg.Races)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range d.Rankings {
+		if !r.IsPermutation() {
+			t.Error("race results must be strict orders")
+		}
+	}
+	// The defining feature: projection removes a large share of drivers.
+	common := len(d.ElementsInAll())
+	union := len(d.ElementsInAny())
+	if union == 0 || float64(common)/float64(union) > 0.8 {
+		t.Errorf("F1 overlap too high: %d common of %d", common, union)
+	}
+}
+
+func TestWebSearchShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	cfg := DefaultWebSearch()
+	d := WebSearchQuery(rng, cfg)
+	if d.M() != cfg.Engines {
+		t.Fatalf("engines = %d, want %d", d.M(), cfg.Engines)
+	}
+	for _, r := range d.Rankings {
+		if r.Len() != cfg.TopK {
+			t.Errorf("engine list length %d, want %d", r.Len(), cfg.TopK)
+		}
+	}
+	union := len(d.ElementsInAny())
+	if union <= cfg.TopK {
+		t.Errorf("union %d should exceed a single top-k %d (imperfect overlap)", union, cfg.TopK)
+	}
+}
+
+func TestSkiCrossShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	d := SkiCrossEvent(rng, DefaultSkiCross())
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.M() != DefaultSkiCross().Runs {
+		t.Fatalf("runs = %d", d.M())
+	}
+}
+
+func TestBioMedicalHasTies(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	d := BioMedicalQuery(rng, DefaultBioMedical())
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ties := 0
+	for _, r := range d.Rankings {
+		if !r.IsPermutation() {
+			ties++
+		}
+	}
+	if ties == 0 {
+		t.Error("biomedical rankings should contain ties")
+	}
+}
+
+func TestRatingsDatasetShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	cfg := DefaultRatings()
+	d := RatingsDataset(rng, cfg)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.M() != cfg.Users {
+		t.Fatalf("users = %d, want %d", d.M(), cfg.Users)
+	}
+	ties, coveredTotal := 0, 0
+	for _, r := range d.Rankings {
+		if r.NumBuckets() > cfg.Levels {
+			t.Errorf("ranking has %d buckets, max %d rating levels", r.NumBuckets(), cfg.Levels)
+		}
+		if !r.IsPermutation() {
+			ties++
+		}
+		coveredTotal += r.Len()
+	}
+	if ties == 0 {
+		t.Error("ratings rankings should contain ties (rating levels)")
+	}
+	avgCover := float64(coveredTotal) / float64(d.M()) / float64(cfg.Items)
+	if avgCover < cfg.Coverage-0.2 || avgCover > cfg.Coverage+0.2 {
+		t.Errorf("average coverage %.2f far from configured %.2f", avgCover, cfg.Coverage)
+	}
+}
+
+func TestRatingsTasteCorrelation(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	cfg := DefaultRatings()
+	cfg.Coverage = 1
+	cfg.Taste = 0.95
+	dTight := RatingsDataset(rng, cfg)
+	cfg.Taste = 0
+	dRandom := RatingsDataset(rng, cfg)
+	if kendall.Similarity(dTight) < kendall.Similarity(dRandom)+0.2 {
+		t.Errorf("high taste correlation should raise similarity: %.3f vs %.3f",
+			kendall.Similarity(dTight), kendall.Similarity(dRandom))
+	}
+}

@@ -1,0 +1,158 @@
+package gen
+
+import (
+	"math/rand"
+
+	"rankagg/internal/rankings"
+)
+
+// Walker performs the Markov-chain random walk of Section 6.1.2 over the
+// space of rankings with ties. States are bucket orders; one step picks a
+// uniform element and one of four edit operators:
+//
+//  1. move the element into the previous bucket,
+//  2. move it into the following bucket,
+//  3. put it in a new bucket right before its current bucket,
+//  4. put it in a new bucket right after its current bucket.
+//
+// Operators 3 and 4 are restricted to elements whose bucket holds at least
+// two elements (for a singleton they would reproduce the current state); a
+// vacated bucket disappears. Every valid transition r→r' then has a reverse
+// transition r'→r chosen with the same probability 1/(4n), so the chain is
+// symmetric and converges to the uniform distribution over bucket orders —
+// the property the paper relies on ("such operators ensure ... that the
+// Markov chain converges to the uniform stationary distribution").
+// TestMarkovChainDoublyStochastic verifies the symmetry by exhaustive
+// enumeration for small n.
+type Walker struct {
+	buckets  [][]int
+	bucketOf []int // element -> index into buckets
+	n        int
+}
+
+// NewWalker starts a walk at the given seed ranking, which must be complete
+// over n elements.
+func NewWalker(seed *rankings.Ranking, n int) *Walker {
+	w := &Walker{n: n, bucketOf: make([]int, n)}
+	w.buckets = make([][]int, len(seed.Buckets))
+	for i, b := range seed.Buckets {
+		w.buckets[i] = append([]int(nil), b...)
+		for _, e := range b {
+			w.bucketOf[e] = i
+		}
+	}
+	return w
+}
+
+// Step applies one random (element, operator) pair; invalid choices leave
+// the state unchanged (self-loop).
+func (w *Walker) Step(rng *rand.Rand) {
+	w.ApplyOp(rng.Intn(w.n), rng.Intn(4))
+}
+
+// ApplyOp applies operator op ∈ [0,4) to element x: 0 = move to previous
+// bucket, 1 = move to following bucket, 2 = new bucket right before,
+// 3 = new bucket right after. Invalid applications are no-ops.
+func (w *Walker) ApplyOp(x, op int) {
+	bi := w.bucketOf[x]
+	switch op {
+	case 0: // move to previous bucket
+		if bi == 0 {
+			return
+		}
+		w.removeFrom(bi, x)
+		// If the vacated bucket disappeared, indices shifted left by one.
+		target := bi - 1
+		w.buckets[target] = append(w.buckets[target], x)
+		w.bucketOf[x] = target
+	case 1: // move to following bucket
+		if bi == len(w.buckets)-1 {
+			return
+		}
+		removed := w.removeFrom(bi, x)
+		target := bi + 1
+		if removed {
+			target = bi // following bucket shifted into position bi
+		}
+		w.buckets[target] = append(w.buckets[target], x)
+		w.bucketOf[x] = target
+	case 2: // new bucket right before
+		if len(w.buckets[bi]) < 2 {
+			return
+		}
+		w.removeFrom(bi, x)
+		w.insertBucket(bi, x)
+	case 3: // new bucket right after
+		if len(w.buckets[bi]) < 2 {
+			return
+		}
+		w.removeFrom(bi, x)
+		w.insertBucket(bi+1, x)
+	}
+}
+
+// Walk performs t steps.
+func (w *Walker) Walk(rng *rand.Rand, t int) {
+	for i := 0; i < t; i++ {
+		w.Step(rng)
+	}
+}
+
+// removeFrom deletes x from bucket bi. It reports whether the bucket became
+// empty and was removed (shifting subsequent bucket indices down by one).
+func (w *Walker) removeFrom(bi int, x int) bool {
+	b := w.buckets[bi]
+	for i, e := range b {
+		if e == x {
+			b[i] = b[len(b)-1]
+			w.buckets[bi] = b[:len(b)-1]
+			break
+		}
+	}
+	if len(w.buckets[bi]) == 0 {
+		w.buckets = append(w.buckets[:bi], w.buckets[bi+1:]...)
+		for j := bi; j < len(w.buckets); j++ {
+			for _, e := range w.buckets[j] {
+				w.bucketOf[e] = j
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// insertBucket inserts the singleton bucket {x} at index at.
+func (w *Walker) insertBucket(at int, x int) {
+	w.buckets = append(w.buckets, nil)
+	copy(w.buckets[at+1:], w.buckets[at:])
+	w.buckets[at] = []int{x}
+	w.bucketOf[x] = at
+	for j := at + 1; j < len(w.buckets); j++ {
+		for _, e := range w.buckets[j] {
+			w.bucketOf[e] = j
+		}
+	}
+}
+
+// Ranking returns a snapshot of the current state.
+func (w *Walker) Ranking() *rankings.Ranking {
+	b := make([][]int, len(w.buckets))
+	for i, bk := range w.buckets {
+		b[i] = append([]int(nil), bk...)
+	}
+	return &rankings.Ranking{Buckets: b}
+}
+
+// MarkovDataset builds a dataset of m rankings over n elements by walking t
+// steps from the seed ranking, independently for each ranking (Section
+// 6.1.2). Small t yields datasets similar to the seed (high similarity);
+// large t approaches the uniform distribution.
+func MarkovDataset(rng *rand.Rand, seed *rankings.Ranking, n, m, t int) *rankings.Dataset {
+	rks := make([]*rankings.Ranking, m)
+	for i := range rks {
+		w := NewWalker(seed, n)
+		w.Walk(rng, t)
+		rks[i] = w.Ranking()
+	}
+	return rankings.NewDataset(n, rks...)
+}

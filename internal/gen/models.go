@@ -1,0 +1,138 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+
+	"rankagg/internal/rankings"
+)
+
+// MallowsPermutation samples a permutation from the Mallows model with
+// dispersion phi ∈ (0, 1] around the reference permutation ref, using the
+// repeated-insertion method: the i-th reference element is inserted at
+// distance d from the bottom of the partial ranking with probability
+// proportional to phi^d. phi → 0 concentrates on ref; phi = 1 is uniform.
+// Mallows-model datasets are among the synthetic families of Table 2.
+func MallowsPermutation(rng *rand.Rand, ref []int, phi float64) *rankings.Ranking {
+	if phi <= 0 {
+		phi = 1e-9
+	}
+	out := make([]int, 0, len(ref))
+	for i, e := range ref {
+		// Insertion position j ∈ [0, i] (0 = front); displacement from the
+		// "agree with ref" position i is i-j, weighted phi^(i-j).
+		j := sampleInsertPos(rng, i, phi)
+		out = append(out, 0)
+		copy(out[j+1:], out[j:])
+		out[j] = e
+	}
+	return rankings.FromPermutation(out)
+}
+
+// sampleInsertPos draws j ∈ [0, i] with P(j) ∝ phi^(i-j).
+func sampleInsertPos(rng *rand.Rand, i int, phi float64) int {
+	if i == 0 {
+		return 0
+	}
+	if phi >= 1 {
+		return rng.Intn(i + 1)
+	}
+	// Total = Σ_{d=0..i} phi^d = (1 - phi^{i+1}) / (1 - phi).
+	total := (1 - math.Pow(phi, float64(i+1))) / (1 - phi)
+	u := rng.Float64() * total
+	cum, term := 0.0, 1.0 // term = phi^d for d = i-j
+	for d := 0; d <= i; d++ {
+		cum += term
+		if u < cum {
+			return i - d
+		}
+		term *= phi
+	}
+	return 0
+}
+
+// PlackettLucePermutation samples a permutation from the Plackett-Luce model
+// with positive weights w: elements are drawn without replacement with
+// probability proportional to their weight; higher weight ranks earlier.
+func PlackettLucePermutation(rng *rand.Rand, w []float64) *rankings.Ranking {
+	n := len(w)
+	remaining := make([]int, n)
+	weights := append([]float64(nil), w...)
+	total := 0.0
+	for i := range remaining {
+		remaining[i] = i
+		total += weights[i]
+	}
+	perm := make([]int, 0, n)
+	for len(remaining) > 0 {
+		u := rng.Float64() * total
+		cum := 0.0
+		pick := len(remaining) - 1
+		for i, e := range remaining {
+			cum += weights[e]
+			if u < cum {
+				pick = i
+				break
+			}
+		}
+		e := remaining[pick]
+		perm = append(perm, e)
+		total -= weights[e]
+		remaining = append(remaining[:pick], remaining[pick+1:]...)
+	}
+	return rankings.FromPermutation(perm)
+}
+
+// MallowsDataset samples m Mallows permutations over n elements around the
+// identity reference.
+func MallowsDataset(rng *rand.Rand, m, n int, phi float64) *rankings.Dataset {
+	ref := make([]int, n)
+	for i := range ref {
+		ref[i] = i
+	}
+	rks := make([]*rankings.Ranking, m)
+	for i := range rks {
+		rks[i] = MallowsPermutation(rng, ref, phi)
+	}
+	return rankings.NewDataset(n, rks...)
+}
+
+// PlackettLuceDataset samples m Plackett-Luce permutations over n elements
+// with geometric weights w_i = decay^i (decay ∈ (0,1): smaller = steeper,
+// more consistent rankings).
+func PlackettLuceDataset(rng *rand.Rand, m, n int, decay float64) *rankings.Dataset {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = math.Pow(decay, float64(i))
+	}
+	rks := make([]*rankings.Ranking, m)
+	for i := range rks {
+		rks[i] = PlackettLucePermutation(rng, w)
+	}
+	return rankings.NewDataset(n, rks...)
+}
+
+// TieByQuantization groups a permutation into a ranking with ties by
+// assigning each element a noisy score from its rank and quantizing scores
+// into levels buckets. It is the mechanism the BioMedical simulator uses to
+// produce realistic tie patterns (equal database scores).
+func TieByQuantization(rng *rand.Rand, perm *rankings.Ranking, levels int, noise float64) *rankings.Ranking {
+	elems := perm.Elements()
+	n := len(elems)
+	if n == 0 || levels < 1 {
+		return perm.Clone()
+	}
+	posArr := make([]int, perm.MaxElement()+1)
+	for rank, e := range elems {
+		s := float64(rank)/float64(n)*float64(levels) + rng.NormFloat64()*noise
+		lvl := int(s)
+		if lvl < 0 {
+			lvl = 0
+		}
+		if lvl >= levels {
+			lvl = levels - 1
+		}
+		posArr[e] = lvl + 1
+	}
+	return rankings.FromPositions(posArr)
+}

@@ -1,0 +1,63 @@
+package gen
+
+import (
+	"math/rand"
+
+	"rankagg/internal/rankings"
+)
+
+// RatingsConfig parameterizes the EachMovie-style ratings simulator (the
+// EachMovie datasets of Table 2, used by Coleman & Wirth [13]): each user
+// rates a subset of items on a small discrete scale, and a user's ranking
+// orders the items they rated by rating — a ranking with large ties (every
+// rating level is one bucket). Taste correlation controls how much users
+// agree with a hidden ground-truth quality.
+type RatingsConfig struct {
+	Items    int     // universe of items
+	Users    int     // m: one ranking per user
+	Levels   int     // rating scale size (EachMovie: 6)
+	Coverage float64 // fraction of items each user rates
+	Taste    float64 // 0 = random ratings, 1 = pure ground-truth quality
+}
+
+// DefaultRatings mirrors a small EachMovie slice.
+func DefaultRatings() RatingsConfig {
+	return RatingsConfig{Items: 60, Users: 8, Levels: 6, Coverage: 0.6, Taste: 0.7}
+}
+
+// RatingsDataset generates one ratings dataset (raw: users rate different
+// subsets; normalize before aggregating).
+func RatingsDataset(rng *rand.Rand, cfg RatingsConfig) *rankings.Dataset {
+	if cfg.Levels < 2 {
+		cfg.Levels = 2
+	}
+	// Hidden quality of each item in [0, 1).
+	quality := make([]float64, cfg.Items)
+	for i := range quality {
+		quality[i] = rng.Float64()
+	}
+	rks := make([]*rankings.Ranking, cfg.Users)
+	for uid := 0; uid < cfg.Users; uid++ {
+		pos := make([]int, cfg.Items)
+		rated := 0
+		for item := 0; item < cfg.Items; item++ {
+			if rng.Float64() >= cfg.Coverage {
+				continue
+			}
+			v := cfg.Taste*quality[item] + (1-cfg.Taste)*rng.Float64()
+			level := int(v * float64(cfg.Levels))
+			if level >= cfg.Levels {
+				level = cfg.Levels - 1
+			}
+			// Higher value = better = earlier bucket.
+			pos[item] = cfg.Levels - level
+			rated++
+		}
+		if rated == 0 {
+			item := rng.Intn(cfg.Items)
+			pos[item] = 1
+		}
+		rks[uid] = rankings.FromPositions(pos)
+	}
+	return rankings.NewDataset(cfg.Items, rks...)
+}

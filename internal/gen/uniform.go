@@ -1,0 +1,112 @@
+package gen
+
+import (
+	"math/big"
+	"math/rand"
+
+	"rankagg/internal/rankings"
+)
+
+// UniformRanking samples a ranking with ties over n elements exactly
+// uniformly among all Fubini(n) bucket orders (Section 6.1.1: "all rankings
+// have the same probability to be present").
+//
+// The sampler draws the first bucket size k with probability
+// C(n,k)·a(n-k)/a(n), fills it with a uniform k-subset, and recurses: the
+// probability of any specific bucket order telescopes to 1/a(n).
+func UniformRanking(rng *rand.Rand, n int) *rankings.Ranking {
+	if n == 0 {
+		return &rankings.Ranking{}
+	}
+	elems := rng.Perm(n)
+	r := &rankings.Ranking{}
+	remaining := n
+	idx := 0
+	for remaining > 0 {
+		k := sampleFirstBucketSize(rng, remaining)
+		r.Buckets = append(r.Buckets, append([]int(nil), elems[idx:idx+k]...))
+		idx += k
+		remaining -= k
+	}
+	return r
+}
+
+// sampleFirstBucketSize draws k ∈ [1, n] with probability C(n,k)·a(n-k)/a(n).
+func sampleFirstBucketSize(rng *rand.Rand, n int) int {
+	total := Fubini(n)
+	u := new(big.Int).Rand(rng, total) // uniform in [0, a(n))
+	cum := new(big.Int)
+	binom := big.NewInt(1)
+	term := new(big.Int)
+	for k := 1; k <= n; k++ {
+		binom.Mul(binom, big.NewInt(int64(n-k+1)))
+		binom.Div(binom, big.NewInt(int64(k)))
+		term.Mul(binom, fubiniAt(n-k))
+		cum.Add(cum, term)
+		if u.Cmp(cum) < 0 {
+			return k
+		}
+	}
+	return n // unreachable if arithmetic is exact; safe fallback
+}
+
+// fubiniAt returns a borrowed pointer to a(n) (do not mutate).
+func fubiniAt(n int) *big.Int {
+	Fubini(n) // ensure cached
+	fubini.mu.Lock()
+	defer fubini.mu.Unlock()
+	return fubini.vals[n]
+}
+
+// UniformDataset samples m independent uniform rankings with ties over n
+// elements, mimicking the paper's uniformly generated synthetic datasets
+// (m ∈ [3;10], n ∈ [5;500]).
+func UniformDataset(rng *rand.Rand, m, n int) *rankings.Dataset {
+	rks := make([]*rankings.Ranking, m)
+	for i := range rks {
+		rks[i] = UniformRanking(rng, n)
+	}
+	return rankings.NewDataset(n, rks...)
+}
+
+// UniformPermutation samples a uniform permutation ranking of n elements.
+func UniformPermutation(rng *rand.Rand, n int) *rankings.Ranking {
+	return rankings.FromPermutation(rng.Perm(n))
+}
+
+// EnumerateBucketOrders returns every ranking with ties over n elements
+// (all Fubini(n) of them). Intended for brute-force baselines and tests;
+// n should stay small (a(8) = 545835).
+func EnumerateBucketOrders(n int) []*rankings.Ranking {
+	var out []*rankings.Ranking
+	elems := make([]int, n)
+	for i := range elems {
+		elems[i] = i
+	}
+	var rec func(rest []int, acc [][]int)
+	rec = func(rest []int, acc [][]int) {
+		if len(rest) == 0 {
+			cp := make([][]int, len(acc))
+			for i, b := range acc {
+				cp[i] = append([]int(nil), b...)
+			}
+			out = append(out, &rankings.Ranking{Buckets: cp})
+			return
+		}
+		// The next bucket is any non-empty subset of the remaining elements
+		// (bucket orders are *ordered* set partitions).
+		for mask := 1; mask < 1<<len(rest); mask++ {
+			var bucket, remain []int
+			for i, e := range rest {
+				if mask&(1<<i) != 0 {
+					bucket = append(bucket, e)
+				} else {
+					remain = append(remain, e)
+				}
+			}
+			rec(remain, append(acc, bucket))
+		}
+	}
+	rec(elems, nil)
+	return out
+}

@@ -1,0 +1,206 @@
+// Package ilp solves linear pseudo-boolean optimization problems (0-1
+// integer linear programs) by branch & bound over the LP relaxation, with
+// optional lazy constraint generation. It is the pure-Go stand-in for CPLEX
+// used by the paper's ties-aware exact algorithm (Section 4.2): the LPB
+// model's O(n³) transitivity constraints are generated lazily through the
+// Separator callback, keeping each relaxation small.
+package ilp
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"rankagg/internal/lp"
+)
+
+// Options tunes the branch & bound.
+type Options struct {
+	// InitialUpper primes the incumbent bound (exclusive): nodes whose
+	// relaxation reaches it are pruned. Zero means +Inf.
+	InitialUpper float64
+	// InitialX optionally provides a feasible 0/1 assignment matching
+	// InitialUpper, returned if nothing better is found.
+	InitialX []float64
+	// Separator, if non-nil, is called with a (possibly fractional) LP
+	// solution and returns violated constraints to add, or nil when the
+	// point satisfies the full model. Added constraints must be globally
+	// valid: they are kept for the rest of the search.
+	Separator func(x []float64) []lp.Constraint
+	// TimeLimit bounds the wall-clock search time. Zero means unlimited.
+	TimeLimit time.Duration
+	// IntegerCosts declares that every feasible objective value is integral,
+	// enabling ceiling-based pruning.
+	IntegerCosts bool
+	// MaxLPIter bounds simplex iterations per relaxation solve.
+	MaxLPIter int
+}
+
+// Status of a branch & bound run.
+type Status int
+
+// Run outcomes.
+const (
+	Optimal  Status = iota // proved optimal
+	Feasible               // time limit hit; best incumbent returned
+	Infeasible
+	TimedOut // time limit hit with no incumbent
+)
+
+// Result of a solve.
+type Result struct {
+	Status Status
+	X      []float64 // 0/1 assignment of the incumbent
+	Obj    float64
+	Nodes  int // branch & bound nodes explored
+	Cuts   int // lazy constraints added
+}
+
+const intTol = 1e-6
+
+// SolveBinary minimizes the problem with every variable restricted to {0,1}.
+// The problem's constraints plus any lazily separated ones define
+// feasibility. An upper bound x ≤ 1 is implied for every variable.
+func SolveBinary(base *lp.Problem, opt Options) (*Result, error) {
+	n := base.NumVars
+	upper := opt.InitialUpper
+	if upper == 0 {
+		upper = math.Inf(1)
+	}
+	var bestX []float64
+	if opt.InitialX != nil {
+		bestX = append([]float64(nil), opt.InitialX...)
+	}
+	maxIter := opt.MaxLPIter
+	if maxIter == 0 {
+		maxIter = 200000
+	}
+
+	// work is the mutable model: base constraints + bound rows + lazy cuts.
+	// Variable upper bounds x_i ≤ 1 are explicit rows so fixings can reuse
+	// them (a fixing x_i = v replaces the bound row pair).
+	work := &lp.Problem{NumVars: n, Minimize: base.Minimize}
+	work.Cons = append(work.Cons, base.Cons...)
+	ubRow := make([]int, n)
+	for i := 0; i < n; i++ {
+		ubRow[i] = len(work.Cons)
+		work.Add(map[int]float64{i: 1}, lp.LE, 1)
+	}
+
+	type node struct {
+		fixed []int8 // -1 free, 0 fixed to 0, 1 fixed to 1
+	}
+	freeAll := make([]int8, n)
+	for i := range freeAll {
+		freeAll[i] = -1
+	}
+	stack := []node{{fixed: freeAll}}
+	res := &Result{}
+	start := time.Now()
+
+	applyFixings := func(fixed []int8) {
+		for i := 0; i < n; i++ {
+			switch fixed[i] {
+			case -1:
+				work.Cons[ubRow[i]] = lp.Constraint{Coeffs: map[int]float64{i: 1}, Rel: lp.LE, RHS: 1}
+			case 0:
+				work.Cons[ubRow[i]] = lp.Constraint{Coeffs: map[int]float64{i: 1}, Rel: lp.EQ, RHS: 0}
+			case 1:
+				work.Cons[ubRow[i]] = lp.Constraint{Coeffs: map[int]float64{i: 1}, Rel: lp.EQ, RHS: 1}
+			}
+		}
+	}
+
+	prune := func(obj float64) bool {
+		bound := obj
+		if opt.IntegerCosts {
+			bound = math.Ceil(obj - 1e-7)
+		}
+		return bound >= upper-1e-9
+	}
+
+	for len(stack) > 0 {
+		if opt.TimeLimit > 0 && time.Since(start) > opt.TimeLimit {
+			if bestX != nil {
+				res.Status, res.X, res.Obj = Feasible, bestX, upper
+			} else {
+				res.Status = TimedOut
+			}
+			return res, nil
+		}
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		res.Nodes++
+
+		applyFixings(nd.fixed)
+		var sol *lp.Solution
+		var err error
+		// Solve, separating lazy cuts until the relaxation satisfies them.
+		for {
+			sol, err = lp.SolveIter(work, maxIter)
+			if err != nil {
+				return nil, err
+			}
+			if sol.Status != lp.Optimal {
+				break
+			}
+			if opt.Separator == nil {
+				break
+			}
+			cuts := opt.Separator(sol.X)
+			if len(cuts) == 0 {
+				break
+			}
+			work.Cons = append(work.Cons, cuts...)
+			res.Cuts += len(cuts)
+		}
+		switch sol.Status {
+		case lp.Infeasible:
+			continue
+		case lp.Unbounded:
+			return nil, fmt.Errorf("ilp: relaxation unbounded (binary model should be bounded)")
+		case lp.IterLimit:
+			return nil, fmt.Errorf("ilp: simplex iteration limit reached")
+		}
+		if prune(sol.Obj) {
+			continue
+		}
+		// Find most fractional variable.
+		branch := -1
+		worst := intTol
+		for i := 0; i < n; i++ {
+			f := math.Abs(sol.X[i] - math.Round(sol.X[i]))
+			if f > worst {
+				worst = f
+				branch = i
+			}
+		}
+		if branch < 0 {
+			// Integral: new incumbent.
+			x := make([]float64, n)
+			for i := range x {
+				x[i] = math.Round(sol.X[i])
+			}
+			if sol.Obj < upper-1e-9 {
+				upper = sol.Obj
+				bestX = x
+			}
+			continue
+		}
+		// Branch: explore the side closer to the fractional value last so it
+		// pops first (DFS).
+		near := int8(math.Round(sol.X[branch]))
+		far := 1 - near
+		fixNear := append([]int8(nil), nd.fixed...)
+		fixNear[branch] = near
+		fixFar := append([]int8(nil), nd.fixed...)
+		fixFar[branch] = far
+		stack = append(stack, node{fixed: fixFar}, node{fixed: fixNear})
+	}
+	if bestX == nil {
+		res.Status = Infeasible
+		return res, nil
+	}
+	res.Status, res.X, res.Obj = Optimal, bestX, upper
+	return res, nil
+}

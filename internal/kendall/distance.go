@@ -1,0 +1,231 @@
+// Package kendall implements the dissimilarity measures of the paper:
+// the classical Kendall-τ distance D between permutations, the generalized
+// Kendall-τ distance G between rankings with ties (Section 2.2, unit costs),
+// Kemeny scores, the Kendall-τ rank correlation coefficient extended to ties
+// (Section 6.2.2, eq. 4), dataset similarity (eq. 5), and the pairwise
+// disagreement-count matrices every aggregation algorithm is built on.
+//
+// Two implementations of G are provided: a naive O(n²) reference and a
+// log-linear merge-sort based one ("Computing the distance is equivalent to
+// sorting the elements and can be done, with adaptations, in log-linear
+// time"). Property tests check that they agree.
+package kendall
+
+import (
+	"sort"
+
+	"rankagg/internal/rankings"
+)
+
+// Dist returns the generalized Kendall-τ distance G(r, s) between two
+// rankings over a universe of n elements, using the log-linear algorithm.
+// A pair of elements costs one when it is inverted between the rankings or
+// tied in exactly one of them (unit untying cost, as in the paper). Pairs
+// where either element is absent from either ranking contribute nothing.
+func Dist(r, s *rankings.Ranking, n int) int64 {
+	return DistPositions(r.Positions(n), s.Positions(n))
+}
+
+// DistNaive is the O(n²) reference implementation of G.
+func DistNaive(r, s *rankings.Ranking, n int) int64 {
+	return distPositionsNaive(r.Positions(n), s.Positions(n))
+}
+
+// DistPositions computes G from position slices (1-based bucket index per
+// element, 0 = absent) in O(c log c) time where c is the number of elements
+// common to both rankings.
+func DistPositions(pr, ps []int) int64 {
+	type elem struct{ r, s int }
+	common := make([]elem, 0, len(pr))
+	for e := range pr {
+		if pr[e] != 0 && ps[e] != 0 {
+			common = append(common, elem{pr[e], ps[e]})
+		}
+	}
+	sort.Slice(common, func(i, j int) bool {
+		if common[i].r != common[j].r {
+			return common[i].r < common[j].r
+		}
+		return common[i].s < common[j].s
+	})
+	// tiesR: pairs tied in r; tiesS: pairs tied in s; tiesBoth: tied in both.
+	var tiesR, tiesS, tiesBoth int64
+	sVals := make([]int, len(common))
+	for i, e := range common {
+		sVals[i] = e.s
+	}
+	// Runs of equal r, and joint runs of equal (r, s), are contiguous after
+	// the sort above.
+	for i := 0; i < len(common); {
+		j := i
+		for j < len(common) && common[j].r == common[i].r {
+			j++
+		}
+		k := int64(j - i)
+		tiesR += k * (k - 1) / 2
+		for a := i; a < j; {
+			b := a
+			for b < j && common[b].s == common[a].s {
+				b++
+			}
+			kb := int64(b - a)
+			tiesBoth += kb * (kb - 1) / 2
+			a = b
+		}
+		i = j
+	}
+	// Pairs tied in s: count per s-value globally.
+	counts := make(map[int]int64, len(common))
+	for _, e := range common {
+		counts[e.s]++
+	}
+	for _, c := range counts {
+		tiesS += c * (c - 1) / 2
+	}
+	// Strictly discordant pairs: after sorting by (r asc, s asc), these are
+	// exactly the strict inversions of the s sequence.
+	inv := countInversions(sVals)
+	return inv + (tiesR - tiesBoth) + (tiesS - tiesBoth)
+}
+
+func distPositionsNaive(pr, ps []int) int64 {
+	var g int64
+	n := len(pr)
+	for i := 0; i < n; i++ {
+		if pr[i] == 0 || ps[i] == 0 {
+			continue
+		}
+		for j := i + 1; j < n; j++ {
+			if pr[j] == 0 || ps[j] == 0 {
+				continue
+			}
+			ri, rj, si, sj := pr[i], pr[j], ps[i], ps[j]
+			switch {
+			case ri < rj && si > sj, ri > rj && si < sj:
+				g++ // inverted
+			case ri != rj && si == sj, ri == rj && si != sj:
+				g++ // tied in exactly one
+			}
+		}
+	}
+	return g
+}
+
+// countInversions counts pairs i < j with v[i] > v[j] (strict) via merge
+// sort, in O(len log len). v is clobbered.
+func countInversions(v []int) int64 {
+	buf := make([]int, len(v))
+	return mergeCount(v, buf)
+}
+
+func mergeCount(v, buf []int) int64 {
+	n := len(v)
+	if n < 2 {
+		return 0
+	}
+	mid := n / 2
+	inv := mergeCount(v[:mid], buf[:mid]) + mergeCount(v[mid:], buf[mid:])
+	i, j, k := 0, mid, 0
+	for i < mid && j < n {
+		if v[i] <= v[j] {
+			buf[k] = v[i]
+			i++
+		} else {
+			buf[k] = v[j]
+			inv += int64(mid - i)
+			j++
+		}
+		k++
+	}
+	copy(buf[k:], v[i:mid])
+	copy(buf[k+mid-i:], v[j:])
+	copy(v, buf[:n])
+	return inv
+}
+
+// PermutationDist returns the classical Kendall-τ distance D(π, σ): the
+// number of pairwise order disagreements between two permutations over the
+// same elements. Ties, if present, are ignored (pairs tied in either ranking
+// contribute nothing), matching the classical formulation discussed in
+// Section 2.2.
+func PermutationDist(r, s *rankings.Ranking, n int) int64 {
+	pr, ps := r.Positions(n), s.Positions(n)
+	var d int64
+	for i := 0; i < n; i++ {
+		if pr[i] == 0 || ps[i] == 0 {
+			continue
+		}
+		for j := i + 1; j < n; j++ {
+			if pr[j] == 0 || ps[j] == 0 {
+				continue
+			}
+			if (pr[i] < pr[j] && ps[i] > ps[j]) || (pr[i] > pr[j] && ps[i] < ps[j]) {
+				d++
+			}
+		}
+	}
+	return d
+}
+
+// Score returns the generalized Kemeny score K(r, R) = Σ_{s∈R} G(r, s).
+func Score(r *rankings.Ranking, d *rankings.Dataset) int64 {
+	pr := r.Positions(d.N)
+	var k int64
+	for _, s := range d.Rankings {
+		k += DistPositions(pr, s.Positions(d.N))
+	}
+	return k
+}
+
+// Tau returns the Kendall-τ rank correlation coefficient extended to ties
+// (eq. 4): τ = (P - 2G) / P with P = n(n-1)/2, where n is the number of
+// elements common to both rankings. τ is 1 for identical rankings and -1 for
+// reversed permutations. Returns 0 when fewer than two common elements exist.
+func Tau(r, s *rankings.Ranking, n int) float64 {
+	pr, ps := r.Positions(n), s.Positions(n)
+	var c int64
+	for e := range pr {
+		if pr[e] != 0 && ps[e] != 0 {
+			c++
+		}
+	}
+	if c < 2 {
+		return 0
+	}
+	p := float64(c*(c-1)) / 2
+	g := float64(DistPositions(pr, ps))
+	return (p - 2*g) / p
+}
+
+// Similarity returns the intrinsic correlation s(R) of a dataset (eq. 5):
+// the average τ over all pairs of input rankings. Returns 0 for fewer than
+// two rankings.
+func Similarity(d *rankings.Dataset) float64 {
+	m := len(d.Rankings)
+	if m < 2 {
+		return 0
+	}
+	pos := d.PositionMatrix()
+	var sum float64
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			sum += tauPositions(pos[i], pos[j])
+		}
+	}
+	return sum * 2 / float64(m*(m-1))
+}
+
+func tauPositions(pr, ps []int) float64 {
+	var c int64
+	for e := range pr {
+		if pr[e] != 0 && ps[e] != 0 {
+			c++
+		}
+	}
+	if c < 2 {
+		return 0
+	}
+	p := float64(c*(c-1)) / 2
+	g := float64(DistPositions(pr, ps))
+	return (p - 2*g) / p
+}

@@ -1,0 +1,107 @@
+package kendall
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rankagg/internal/rankings"
+)
+
+func TestFootruleIdentityAndSymmetry(t *testing.T) {
+	u := rankings.NewUniverse()
+	r := rankings.MustParse("[{A},{B,C},{D}]", u)
+	s := rankings.MustParse("[{D},{A,C},{B}]", u)
+	if got := Footrule(r, r, 4); got != 0 {
+		t.Errorf("F(r,r) = %d, want 0", got)
+	}
+	if Footrule(r, s, 4) != Footrule(s, r, 4) {
+		t.Error("footrule not symmetric")
+	}
+}
+
+func TestFootrulePermutations(t *testing.T) {
+	// Classic footrule on permutations: F([0,1,2],[2,1,0]) = |1-3|+0+|3-1| = 4
+	// (we return 2×, i.e. 8).
+	fwd := rankings.FromPermutation([]int{0, 1, 2})
+	rev := rankings.FromPermutation([]int{2, 1, 0})
+	if got := Footrule(fwd, rev, 3); got != 8 {
+		t.Errorf("F = %d, want 8 (doubled 4)", got)
+	}
+}
+
+func TestFootruleTiedBucketsAveragePositions(t *testing.T) {
+	// r = [{A,B}]: both at average position 1.5 (doubled 3).
+	// s = [{A},{B}]: positions 1 and 2 (doubled 2 and 4).
+	// F = |3-2| + |3-4| = 2.
+	u := rankings.NewUniverse()
+	r := rankings.MustParse("[{A,B}]", u)
+	s := rankings.MustParse("[{A},{B}]", u)
+	if got := Footrule(r, s, 2); got != 2 {
+		t.Errorf("F = %d, want 2", got)
+	}
+}
+
+// TestQuickFootruleDiaconisGraham: for permutations over the same elements,
+// D ≤ F/2 ≤ 2·D (Diaconis–Graham), where D is Kendall-τ. We check the
+// two-sided bound with our doubled footrule: 2D ≤ F ≤ 4D.
+func TestQuickFootruleDiaconisGraham(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	f := func(uint8) bool {
+		n := 2 + rng.Intn(15)
+		r := rankings.FromPermutation(rng.Perm(n))
+		s := rankings.FromPermutation(rng.Perm(n))
+		d := Dist(r, s, n) // = classical Kendall-τ on permutations
+		fr := Footrule(r, s, n)
+		return 2*d <= fr && fr <= 4*d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFootruleScore(t *testing.T) {
+	u := rankings.NewUniverse()
+	r := rankings.MustParse("A>B", u)
+	d := rankings.FromRankings(
+		rankings.MustParse("A>B", u),
+		rankings.MustParse("B>A", u),
+	)
+	// F(r, r1)=0, F(r, r2)=2·2=4.
+	if got := FootruleScore(r, d); got != 4 {
+		t.Errorf("FootruleScore = %d, want 4", got)
+	}
+}
+
+func TestMedianPositions(t *testing.T) {
+	u := rankings.NewUniverse()
+	d := rankings.FromRankings(
+		rankings.MustParse("A>B>C", u),
+		rankings.MustParse("A>C>B", u),
+		rankings.MustParse("B>A>C", u),
+	)
+	med := MedianPositions(d)
+	a, _ := u.Lookup("A")
+	c, _ := u.Lookup("C")
+	if med[a] >= med[c] {
+		t.Errorf("median(A)=%v should be below median(C)=%v", med[a], med[c])
+	}
+	// A's doubled positions: 2,2,4 -> median 2.
+	if med[a] != 2 {
+		t.Errorf("median(A) = %v, want 2", med[a])
+	}
+}
+
+func TestMedianPositionsAbsentElements(t *testing.T) {
+	u := rankings.NewUniverse()
+	d := rankings.FromRankings(
+		rankings.MustParse("A>B", u),
+		rankings.MustParse("A", u),
+	)
+	med := MedianPositions(d)
+	b, _ := u.Lookup("B")
+	// B absent from ranking 2 takes the after-the-end position there.
+	if med[b] <= med[0] {
+		t.Errorf("B should rank after A: %v", med)
+	}
+}

@@ -1,0 +1,125 @@
+package kendall
+
+import "rankagg/internal/rankings"
+
+// Pairs holds, for every ordered pair of elements, the number of input
+// rankings that order them each way or tie them. It is the O(n²)-memory
+// substrate shared by most aggregation algorithms (BioConsert, KwikSort,
+// FaginDyn, the exact methods, the LPB objective weights w_{a<b}, w_{a≤b},
+// ...). Pairs where either element is absent from a ranking are not counted
+// by that ranking.
+type Pairs struct {
+	N      int
+	before []int32 // before[a*N+b] = #rankings with a strictly before b
+	tied   []int32 // tied[a*N+b] = #rankings with a and b in the same bucket
+}
+
+// NewPairs computes the pair matrix of a dataset in O(m·n²).
+func NewPairs(d *rankings.Dataset) *Pairs {
+	n := d.N
+	p := &Pairs{
+		N:      n,
+		before: make([]int32, n*n),
+		tied:   make([]int32, n*n),
+	}
+	for _, r := range d.Rankings {
+		pos := r.Positions(n)
+		for a := 0; a < n; a++ {
+			if pos[a] == 0 {
+				continue
+			}
+			for b := a + 1; b < n; b++ {
+				if pos[b] == 0 {
+					continue
+				}
+				switch {
+				case pos[a] < pos[b]:
+					p.before[a*n+b]++
+				case pos[a] > pos[b]:
+					p.before[b*n+a]++
+				default:
+					p.tied[a*n+b]++
+					p.tied[b*n+a]++
+				}
+			}
+		}
+	}
+	return p
+}
+
+// Before returns the number of rankings placing a strictly before b.
+func (p *Pairs) Before(a, b int) int { return int(p.before[a*p.N+b]) }
+
+// Tied returns the number of rankings tying a and b.
+func (p *Pairs) Tied(a, b int) int { return int(p.tied[a*p.N+b]) }
+
+// CostBefore returns the disagreement cost of placing a strictly before b in
+// the consensus: every input ranking with b before a, or with a and b tied,
+// disagrees (w_{b≤a} in the LPB objective of Section 4.2).
+func (p *Pairs) CostBefore(a, b int) int64 {
+	return int64(p.before[b*p.N+a]) + int64(p.tied[a*p.N+b])
+}
+
+// CostTied returns the disagreement cost of tying a and b in the consensus:
+// every input ranking ordering them strictly disagrees (w_{a<b} + w_{a>b}).
+func (p *Pairs) CostTied(a, b int) int64 {
+	return int64(p.before[a*p.N+b]) + int64(p.before[b*p.N+a])
+}
+
+// MinPairCost returns min(cost(a<b), cost(b<a), cost(a=b)) for the pair — the
+// per-pair lower bound used by the exact branch & bound.
+func (p *Pairs) MinPairCost(a, b int) int64 {
+	c := p.CostBefore(a, b)
+	if v := p.CostBefore(b, a); v < c {
+		c = v
+	}
+	if v := p.CostTied(a, b); v < c {
+		c = v
+	}
+	return c
+}
+
+// LowerBound returns Σ_{a<b} MinPairCost(a, b) over the given elements: a
+// valid lower bound on the generalized Kemeny score of any consensus.
+func (p *Pairs) LowerBound(elems []int) int64 {
+	var lb int64
+	for i, a := range elems {
+		for _, b := range elems[i+1:] {
+			lb += p.MinPairCost(a, b)
+		}
+	}
+	return lb
+}
+
+// Score computes the generalized Kemeny score K(r, R) of a consensus from
+// the pair matrix in O(n²), independent of m. The consensus must cover a
+// subset of the universe; uncovered elements are ignored.
+func (p *Pairs) Score(r *rankings.Ranking) int64 {
+	pos := r.Positions(p.N)
+	var k int64
+	for a := 0; a < p.N; a++ {
+		if pos[a] == 0 {
+			continue
+		}
+		for b := a + 1; b < p.N; b++ {
+			if pos[b] == 0 {
+				continue
+			}
+			switch {
+			case pos[a] < pos[b]:
+				k += p.CostBefore(a, b)
+			case pos[a] > pos[b]:
+				k += p.CostBefore(b, a)
+			default:
+				k += p.CostTied(a, b)
+			}
+		}
+	}
+	return k
+}
+
+// MajorityPrefers reports whether strictly more rankings place a before b
+// than b before a (the MC4 transition test).
+func (p *Pairs) MajorityPrefers(a, b int) bool {
+	return p.before[a*p.N+b] > p.before[b*p.N+a]
+}

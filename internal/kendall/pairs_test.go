@@ -1,0 +1,123 @@
+package kendall
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rankagg/internal/rankings"
+)
+
+func TestPairsPaperExample(t *testing.T) {
+	d, u := mustDS(t, "[{A},{D},{B,C}]", "[{A},{B,C},{D}]", "[{D},{A,C},{B}]")
+	p := NewPairs(d)
+	a, _ := u.Lookup("A")
+	b, _ := u.Lookup("B")
+	c, _ := u.Lookup("C")
+	dd, _ := u.Lookup("D")
+	if got := p.Before(a, b); got != 3 {
+		t.Errorf("Before(A,B) = %d, want 3", got)
+	}
+	if got := p.Tied(b, c); got != 2 {
+		t.Errorf("Tied(B,C) = %d, want 2", got)
+	}
+	if got := p.Tied(a, c); got != 1 {
+		t.Errorf("Tied(A,C) = %d, want 1", got)
+	}
+	if got := p.Before(dd, a); got != 1 {
+		t.Errorf("Before(D,A) = %d, want 1", got)
+	}
+	// Score of the optimal consensus via pairs must match the direct Kemeny
+	// score (5, from the paper).
+	star := rankings.MustParse("[{A},{D},{B,C}]", u)
+	if got := p.Score(star); got != 5 {
+		t.Errorf("Pairs.Score = %d, want 5", got)
+	}
+}
+
+func TestPairsCosts(t *testing.T) {
+	d, u := mustDS(t, "A>B", "A>B", "[{A,B}]")
+	p := NewPairs(d)
+	a, _ := u.Lookup("A")
+	b, _ := u.Lookup("B")
+	if got := p.CostBefore(a, b); got != 1 {
+		t.Errorf("CostBefore(A,B) = %d, want 1 (the tie must be broken)", got)
+	}
+	if got := p.CostBefore(b, a); got != 3 {
+		t.Errorf("CostBefore(B,A) = %d, want 3", got)
+	}
+	if got := p.CostTied(a, b); got != 2 {
+		t.Errorf("CostTied(A,B) = %d, want 2", got)
+	}
+	if got := p.MinPairCost(a, b); got != 1 {
+		t.Errorf("MinPairCost = %d, want 1", got)
+	}
+}
+
+// TestQuickPairsScoreMatchesKemeny: for random complete datasets and random
+// consensus candidates, the O(n²) pair-matrix score must equal the direct
+// sum of generalized Kendall-τ distances.
+func TestQuickPairsScoreMatchesKemeny(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func(uint8) bool {
+		n := 2 + rng.Intn(15)
+		m := 1 + rng.Intn(6)
+		rks := make([]*rankings.Ranking, m)
+		for i := range rks {
+			rks[i] = randomRanking(rng, n)
+		}
+		d := rankings.NewDataset(n, rks...)
+		p := NewPairs(d)
+		cand := randomRanking(rng, n)
+		return p.Score(cand) == Score(cand, d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLowerBoundHolds: the pairwise lower bound never exceeds the score
+// of any candidate consensus.
+func TestQuickLowerBoundHolds(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	f := func(uint8) bool {
+		n := 2 + rng.Intn(12)
+		m := 1 + rng.Intn(5)
+		rks := make([]*rankings.Ranking, m)
+		for i := range rks {
+			rks[i] = randomRanking(rng, n)
+		}
+		d := rankings.NewDataset(n, rks...)
+		p := NewPairs(d)
+		elems := make([]int, n)
+		for i := range elems {
+			elems[i] = i
+		}
+		cand := randomRanking(rng, n)
+		return p.LowerBound(elems) <= p.Score(cand)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMajorityPrefers(t *testing.T) {
+	d, u := mustDS(t, "A>B", "A>B", "B>A")
+	p := NewPairs(d)
+	a, _ := u.Lookup("A")
+	b, _ := u.Lookup("B")
+	if !p.MajorityPrefers(a, b) || p.MajorityPrefers(b, a) {
+		t.Error("MajorityPrefers wrong")
+	}
+}
+
+func TestPairsPartialRankings(t *testing.T) {
+	// B absent from the second ranking: only the first counts the (A,B) pair.
+	d, u := mustDS(t, "A>B", "A")
+	p := NewPairs(d)
+	a, _ := u.Lookup("A")
+	b, _ := u.Lookup("B")
+	if got := p.Before(a, b); got != 1 {
+		t.Errorf("Before(A,B) = %d, want 1", got)
+	}
+}

@@ -1,0 +1,55 @@
+package lp
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randomFeasibleLP builds a bounded LP with a known interior point, the
+// shape the Ailon 3/2 relaxation produces (box + inequality rows).
+func randomFeasibleLP(seed int64, n, m int) *Problem {
+	rng := rand.New(rand.NewSource(seed))
+	obj := make([]float64, n)
+	for i := range obj {
+		obj[i] = rng.NormFloat64()
+	}
+	p := NewProblem(obj)
+	for i := 0; i < n; i++ {
+		p.Add(map[int]float64{i: 1}, LE, 1)
+	}
+	for r := 0; r < m; r++ {
+		coeffs := map[int]float64{}
+		rhs := 0.0
+		for v := 0; v < n; v++ {
+			if rng.Intn(3) == 0 {
+				c := rng.NormFloat64()
+				coeffs[v] = c
+				rhs += c * 0.5
+			}
+		}
+		if len(coeffs) > 0 {
+			p.Add(coeffs, LE, rhs+rng.Float64())
+		}
+	}
+	return p
+}
+
+// BenchmarkSimplex tracks solver cost at the sizes the Ailon relaxation
+// reaches before its wall (pairs ≈ n(n-1)/2 variables).
+func BenchmarkSimplex(b *testing.B) {
+	for _, sz := range []struct{ vars, rows int }{{50, 30}, {200, 120}, {600, 300}} {
+		p := randomFeasibleLP(7, sz.vars, sz.rows)
+		b.Run(fmt.Sprintf("vars%d_rows%d", sz.vars, sz.rows), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s, err := Solve(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if s.Status != Optimal && s.Status != Unbounded {
+					b.Fatalf("status %v", s.Status)
+				}
+			}
+		})
+	}
+}

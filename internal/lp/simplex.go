@@ -1,0 +1,396 @@
+// Package lp provides a dense two-phase primal simplex solver for linear
+// programs in the form
+//
+//	minimize   c·x
+//	subject to A·x {≤,=,≥} b,  x ≥ 0.
+//
+// It is the pure-Go substrate standing in for LPSolve in the paper's
+// Ailon 3/2 implementation and for the relaxation engine of the LPB exact
+// algorithm (Section 4.2); see DESIGN.md for the substitution rationale.
+// The solver targets the moderate sizes of those models (thousands of rows
+// and columns), uses Dantzig pricing with a Bland fallback to guarantee
+// termination, and reports infeasibility and unboundedness explicitly.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Rel is a constraint relation.
+type Rel int
+
+// Constraint relations.
+const (
+	LE Rel = iota // Σ coeffs·x ≤ rhs
+	GE            // Σ coeffs·x ≥ rhs
+	EQ            // Σ coeffs·x = rhs
+)
+
+// Constraint is one linear constraint with sparse coefficients.
+type Constraint struct {
+	Coeffs map[int]float64
+	Rel    Rel
+	RHS    float64
+}
+
+// Problem is a linear program over NumVars non-negative variables.
+type Problem struct {
+	NumVars  int
+	Minimize []float64 // length NumVars; missing entries treated as 0
+	Cons     []Constraint
+}
+
+// NewProblem returns a problem with the given objective (minimized).
+func NewProblem(minimize []float64) *Problem {
+	return &Problem{NumVars: len(minimize), Minimize: minimize}
+}
+
+// Add appends a constraint. Variable indices must be in [0, NumVars).
+func (p *Problem) Add(coeffs map[int]float64, rel Rel, rhs float64) {
+	p.Cons = append(p.Cons, Constraint{Coeffs: coeffs, Rel: rel, RHS: rhs})
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+	IterLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration-limit"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Solution holds the primal solution of a solve.
+type Solution struct {
+	Status Status
+	X      []float64
+	Obj    float64
+}
+
+const (
+	eps          = 1e-9
+	defaultIters = 200000
+	blandAfter   = 20000 // switch from Dantzig to Bland pricing
+)
+
+// Solve runs the two-phase primal simplex. On Optimal the solution contains
+// the variable values and objective. Infeasible/Unbounded are reported in
+// the status with a nil X.
+func Solve(p *Problem) (*Solution, error) {
+	return SolveIter(p, defaultIters)
+}
+
+// SolveIter is Solve with an explicit simplex iteration budget.
+func SolveIter(p *Problem, maxIters int) (*Solution, error) {
+	if p.NumVars <= 0 {
+		return &Solution{Status: Optimal, X: nil, Obj: 0}, nil
+	}
+	for i := range p.Cons {
+		for v := range p.Cons[i].Coeffs {
+			if v < 0 || v >= p.NumVars {
+				return nil, fmt.Errorf("lp: constraint %d references variable %d outside [0,%d)", i, v, p.NumVars)
+			}
+		}
+	}
+	t := newTableau(p)
+	// Phase 1: drive artificials to zero.
+	if t.nArt > 0 {
+		st := t.iterate(t.phase1Costs(), maxIters)
+		if st == IterLimit {
+			return &Solution{Status: IterLimit}, nil
+		}
+		if t.objValue() > 1e-7 {
+			return &Solution{Status: Infeasible}, nil
+		}
+		t.purgeArtificials()
+	}
+	st := t.iterate(t.phase2Costs(p), maxIters)
+	switch st {
+	case Unbounded:
+		return &Solution{Status: Unbounded}, nil
+	case IterLimit:
+		return &Solution{Status: IterLimit}, nil
+	}
+	x := make([]float64, p.NumVars)
+	for i, bv := range t.basis {
+		if bv < p.NumVars {
+			x[bv] = t.b[i]
+		}
+	}
+	obj := 0.0
+	for j, c := range p.Minimize {
+		obj += c * x[j]
+	}
+	return &Solution{Status: Optimal, X: x, Obj: obj}, nil
+}
+
+// tableau is the dense simplex tableau: a[row][col] with basis columns kept
+// in canonical (identity) form, b the current rhs, and a reduced-cost row z
+// maintained by the same pivots.
+type tableau struct {
+	a       [][]float64
+	b       []float64
+	z       []float64 // reduced costs for current phase
+	zval    float64   // current (negated) objective value
+	basis   []int
+	nStruct int // structural variables
+	nSlack  int
+	nArt    int
+	artCol  int // first artificial column
+	barred  []bool
+}
+
+func newTableau(p *Problem) *tableau {
+	m := len(p.Cons)
+	nStruct := p.NumVars
+	nSlack, nArt := 0, 0
+	for _, c := range p.Cons {
+		rel, rhs := c.Rel, c.RHS
+		if rhs < 0 {
+			rel = flip(rel)
+		}
+		switch rel {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++
+			nArt++
+		case EQ:
+			nArt++
+		}
+	}
+	ncols := nStruct + nSlack + nArt
+	t := &tableau{
+		a:       make([][]float64, m),
+		b:       make([]float64, m),
+		basis:   make([]int, m),
+		nStruct: nStruct,
+		nSlack:  nSlack,
+		nArt:    nArt,
+		artCol:  nStruct + nSlack,
+		barred:  make([]bool, ncols),
+	}
+	slack, art := nStruct, t.artCol
+	for i, c := range p.Cons {
+		row := make([]float64, ncols)
+		sign := 1.0
+		rel := c.Rel
+		if c.RHS < 0 {
+			sign = -1
+			rel = flip(rel)
+		}
+		for v, coef := range c.Coeffs {
+			row[v] = sign * coef
+		}
+		t.b[i] = sign * c.RHS
+		switch rel {
+		case LE:
+			row[slack] = 1
+			t.basis[i] = slack
+			slack++
+		case GE:
+			row[slack] = -1
+			slack++
+			row[art] = 1
+			t.basis[i] = art
+			art++
+		case EQ:
+			row[art] = 1
+			t.basis[i] = art
+			art++
+		}
+		t.a[i] = row
+	}
+	return t
+}
+
+func flip(r Rel) Rel {
+	switch r {
+	case LE:
+		return GE
+	case GE:
+		return LE
+	default:
+		return EQ
+	}
+}
+
+// phase1Costs returns the phase-1 cost vector (1 for artificials).
+func (t *tableau) phase1Costs() []float64 {
+	c := make([]float64, len(t.barred))
+	for j := t.artCol; j < t.artCol+t.nArt; j++ {
+		c[j] = 1
+	}
+	return c
+}
+
+// phase2Costs returns the original cost vector padded with zeros.
+func (t *tableau) phase2Costs(p *Problem) []float64 {
+	c := make([]float64, len(t.barred))
+	copy(c, p.Minimize)
+	return c
+}
+
+// setCosts recomputes the reduced-cost row for cost vector c given the
+// current basis (price out basic columns).
+func (t *tableau) setCosts(c []float64) {
+	t.z = append(t.z[:0], c...)
+	t.zval = 0
+	for i, bv := range t.basis {
+		cb := c[bv]
+		if cb == 0 {
+			continue
+		}
+		row := t.a[i]
+		for j := range t.z {
+			t.z[j] -= cb * row[j]
+		}
+		t.zval -= cb * t.b[i]
+	}
+}
+
+func (t *tableau) objValue() float64 { return -t.zval }
+
+// iterate runs simplex pivots for the given cost vector until optimality.
+func (t *tableau) iterate(costs []float64, maxIters int) Status {
+	t.setCosts(costs)
+	for iter := 0; iter < maxIters; iter++ {
+		col := t.chooseEntering(iter)
+		if col < 0 {
+			return Optimal
+		}
+		row := t.chooseLeaving(col)
+		if row < 0 {
+			return Unbounded
+		}
+		t.pivot(row, col)
+	}
+	return IterLimit
+}
+
+// chooseEntering picks the entering column: Dantzig (most negative reduced
+// cost) early, Bland (first negative) after blandAfter iterations to ensure
+// termination in the presence of degeneracy.
+func (t *tableau) chooseEntering(iter int) int {
+	if iter >= blandAfter {
+		for j, zj := range t.z {
+			if !t.barred[j] && zj < -eps {
+				return j
+			}
+		}
+		return -1
+	}
+	best, bestv := -1, -eps
+	for j, zj := range t.z {
+		if !t.barred[j] && zj < bestv {
+			best, bestv = j, zj
+		}
+	}
+	return best
+}
+
+// chooseLeaving runs the ratio test, breaking ties by the smallest basis
+// variable index (Bland) to avoid cycling.
+func (t *tableau) chooseLeaving(col int) int {
+	row := -1
+	best := math.Inf(1)
+	for i := range t.a {
+		aij := t.a[i][col]
+		if aij <= eps {
+			continue
+		}
+		ratio := t.b[i] / aij
+		if ratio < best-eps || (ratio < best+eps && (row < 0 || t.basis[i] < t.basis[row])) {
+			best = ratio
+			row = i
+		}
+	}
+	return row
+}
+
+func (t *tableau) pivot(row, col int) {
+	piv := t.a[row][col]
+	arow := t.a[row]
+	inv := 1 / piv
+	for j := range arow {
+		arow[j] *= inv
+	}
+	t.b[row] *= inv
+	for i := range t.a {
+		if i == row {
+			continue
+		}
+		f := t.a[i][col]
+		if f == 0 {
+			continue
+		}
+		ri := t.a[i]
+		for j := range ri {
+			ri[j] -= f * arow[j]
+		}
+		t.b[i] -= f * t.b[row]
+		if t.b[i] < 0 && t.b[i] > -eps {
+			t.b[i] = 0
+		}
+	}
+	f := t.z[col]
+	if f != 0 {
+		for j := range t.z {
+			t.z[j] -= f * arow[j]
+		}
+		t.zval -= f * t.b[row]
+	}
+	t.basis[row] = col
+}
+
+// purgeArtificials removes artificial variables after phase 1: basic
+// artificials (at zero) are pivoted out when a non-artificial column with a
+// nonzero entry exists in their row; otherwise the row is redundant and is
+// neutralized. All artificial columns are then barred from entering.
+func (t *tableau) purgeArtificials() {
+	for i := 0; i < len(t.basis); i++ {
+		bv := t.basis[i]
+		if bv < t.artCol {
+			continue
+		}
+		pivoted := false
+		for j := 0; j < t.artCol; j++ {
+			if math.Abs(t.a[i][j]) > eps {
+				t.pivot(i, j)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Redundant row: zero it so it can never constrain pivoting.
+			for j := range t.a[i] {
+				t.a[i][j] = 0
+			}
+			t.b[i] = 0
+		}
+	}
+	for j := t.artCol; j < t.artCol+t.nArt; j++ {
+		t.barred[j] = true
+	}
+}
+
+// ErrBadModel reports a malformed problem.
+var ErrBadModel = errors.New("lp: malformed model")

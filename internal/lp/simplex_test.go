@@ -1,0 +1,223 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func solveOK(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSimpleMax(t *testing.T) {
+	// max x+y st x+y <= 1 -> min -(x+y) = -1.
+	p := NewProblem([]float64{-1, -1})
+	p.Add(map[int]float64{0: 1, 1: 1}, LE, 1)
+	s := solveOK(t, p)
+	if s.Status != Optimal {
+		t.Fatalf("status %v", s.Status)
+	}
+	if math.Abs(s.Obj+1) > 1e-8 {
+		t.Errorf("obj = %v, want -1", s.Obj)
+	}
+}
+
+func TestTwoConstraints(t *testing.T) {
+	// Classic: min -3x -5y st x<=4, 2y<=12, 3x+2y<=18 -> x=2, y=6, obj=-36.
+	p := NewProblem([]float64{-3, -5})
+	p.Add(map[int]float64{0: 1}, LE, 4)
+	p.Add(map[int]float64{1: 2}, LE, 12)
+	p.Add(map[int]float64{0: 3, 1: 2}, LE, 18)
+	s := solveOK(t, p)
+	if math.Abs(s.Obj+36) > 1e-8 {
+		t.Errorf("obj = %v, want -36", s.Obj)
+	}
+	if math.Abs(s.X[0]-2) > 1e-8 || math.Abs(s.X[1]-6) > 1e-8 {
+		t.Errorf("x = %v, want [2 6]", s.X)
+	}
+}
+
+func TestEqualityAndGE(t *testing.T) {
+	// min x+2y st x+y = 1, x >= 0.3 -> x=1, y=0, obj=1.
+	p := NewProblem([]float64{1, 2})
+	p.Add(map[int]float64{0: 1, 1: 1}, EQ, 1)
+	p.Add(map[int]float64{0: 1}, GE, 0.3)
+	s := solveOK(t, p)
+	if s.Status != Optimal {
+		t.Fatalf("status %v", s.Status)
+	}
+	if math.Abs(s.Obj-1) > 1e-8 {
+		t.Errorf("obj = %v, want 1", s.Obj)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem([]float64{1})
+	p.Add(map[int]float64{0: 1}, GE, 2)
+	p.Add(map[int]float64{0: 1}, LE, 1)
+	s := solveOK(t, p)
+	if s.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem([]float64{-1})
+	p.Add(map[int]float64{0: -1}, LE, 1)
+	s := solveOK(t, p)
+	if s.Status != Unbounded {
+		t.Errorf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// min x st -x <= -2  (i.e. x >= 2) -> obj 2.
+	p := NewProblem([]float64{1})
+	p.Add(map[int]float64{0: -1}, LE, -2)
+	s := solveOK(t, p)
+	if math.Abs(s.Obj-2) > 1e-8 {
+		t.Errorf("obj = %v, want 2", s.Obj)
+	}
+}
+
+func TestDegenerateDiet(t *testing.T) {
+	// min 2x+3y st x+y >= 4, x+3y >= 6 -> corner x=3, y=1, obj=9.
+	p := NewProblem([]float64{2, 3})
+	p.Add(map[int]float64{0: 1, 1: 1}, GE, 4)
+	p.Add(map[int]float64{0: 1, 1: 3}, GE, 6)
+	s := solveOK(t, p)
+	if math.Abs(s.Obj-9) > 1e-8 {
+		t.Errorf("obj = %v, want 9 (x=%v)", s.Obj, s.X)
+	}
+}
+
+func TestRedundantEqualities(t *testing.T) {
+	// x+y=1 stated twice: redundant row must not break phase 1.
+	p := NewProblem([]float64{1, 0})
+	p.Add(map[int]float64{0: 1, 1: 1}, EQ, 1)
+	p.Add(map[int]float64{0: 1, 1: 1}, EQ, 1)
+	s := solveOK(t, p)
+	if s.Status != Optimal || math.Abs(s.Obj) > 1e-8 {
+		t.Errorf("status %v obj %v, want optimal 0", s.Status, s.Obj)
+	}
+}
+
+func TestFractionalVertexTriangleLP(t *testing.T) {
+	// Vertex cover LP of a triangle: min Σx, x_i + x_j >= 1 for the three
+	// edges, x <= 1 implied. LP optimum is 1.5 at x = (.5,.5,.5).
+	p := NewProblem([]float64{1, 1, 1})
+	p.Add(map[int]float64{0: 1, 1: 1}, GE, 1)
+	p.Add(map[int]float64{1: 1, 2: 1}, GE, 1)
+	p.Add(map[int]float64{0: 1, 2: 1}, GE, 1)
+	s := solveOK(t, p)
+	if math.Abs(s.Obj-1.5) > 1e-8 {
+		t.Errorf("obj = %v, want 1.5", s.Obj)
+	}
+}
+
+func TestNoVariables(t *testing.T) {
+	s, err := Solve(&Problem{})
+	if err != nil || s.Status != Optimal {
+		t.Errorf("empty problem: %v %v", s, err)
+	}
+}
+
+func TestBadVariableIndex(t *testing.T) {
+	p := NewProblem([]float64{1})
+	p.Add(map[int]float64{3: 1}, LE, 1)
+	if _, err := Solve(p); err == nil {
+		t.Error("expected error for out-of-range variable")
+	}
+}
+
+// TestRandomLPsFeasibilityAndBound solves random feasible LPs and verifies
+// the returned point satisfies every constraint and is not worse than a
+// known feasible point.
+func TestRandomLPsFeasibilityAndBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(6)
+		m := 1 + rng.Intn(8)
+		// Known feasible point in [0,1]^n.
+		x0 := make([]float64, n)
+		for i := range x0 {
+			x0[i] = rng.Float64()
+		}
+		obj := make([]float64, n)
+		for i := range obj {
+			obj[i] = rng.NormFloat64()
+		}
+		p := NewProblem(obj)
+		for i := 0; i < m; i++ {
+			coeffs := map[int]float64{}
+			lhs := 0.0
+			for v := 0; v < n; v++ {
+				if rng.Intn(2) == 0 {
+					c := rng.NormFloat64()
+					coeffs[v] = c
+					lhs += c * x0[v]
+				}
+			}
+			if len(coeffs) == 0 {
+				continue
+			}
+			// Make x0 feasible for this row.
+			if rng.Intn(2) == 0 {
+				p.Add(coeffs, LE, lhs+rng.Float64())
+			} else {
+				p.Add(coeffs, GE, lhs-rng.Float64())
+			}
+		}
+		// Keep it bounded.
+		all := map[int]float64{}
+		for v := 0; v < n; v++ {
+			all[v] = 1
+		}
+		p.Add(all, LE, float64(n))
+		s := solveOK(t, p)
+		if s.Status != Optimal {
+			continue // random LP may be unbounded in rare corner; skip
+		}
+		objAt := func(x []float64) float64 {
+			v := 0.0
+			for i := range obj {
+				v += obj[i] * x[i]
+			}
+			return v
+		}
+		if s.Obj > objAt(x0)+1e-6 {
+			t.Fatalf("trial %d: optimal obj %v worse than feasible point %v", trial, s.Obj, objAt(x0))
+		}
+		for ci, c := range p.Cons {
+			lhs := 0.0
+			for v, coef := range c.Coeffs {
+				lhs += coef * s.X[v]
+			}
+			switch c.Rel {
+			case LE:
+				if lhs > c.RHS+1e-6 {
+					t.Fatalf("trial %d: constraint %d violated: %v > %v", trial, ci, lhs, c.RHS)
+				}
+			case GE:
+				if lhs < c.RHS-1e-6 {
+					t.Fatalf("trial %d: constraint %d violated: %v < %v", trial, ci, lhs, c.RHS)
+				}
+			case EQ:
+				if math.Abs(lhs-c.RHS) > 1e-6 {
+					t.Fatalf("trial %d: constraint %d violated: %v != %v", trial, ci, lhs, c.RHS)
+				}
+			}
+		}
+		for v, xv := range s.X {
+			if xv < -1e-9 {
+				t.Fatalf("trial %d: negative variable x[%d] = %v", trial, v, xv)
+			}
+		}
+	}
+}

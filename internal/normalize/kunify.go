@@ -1,0 +1,76 @@
+package normalize
+
+import "rankagg/internal/rankings"
+
+// KUnification is the intermediate standardization Section 8 of the paper
+// proposes as future work: "unification and projection processes can be
+// seen as two extreme variants of the same standardization process where
+// the elements belonging to less than k rankings are removed, and the
+// others are appended into a unification bucket when they are missing."
+//
+//	k = 1      → plain Unification (keep every element seen anywhere),
+//	k = m      → Projection followed by unification of nothing (= Projection),
+//	1 < k < m  → keep a reasonable amount of data while ensuring the
+//	             presence of relevant elements.
+//
+// Mappings are as in Projection: new→old IDs and old→new (-1 = dropped).
+func KUnification(d *rankings.Dataset, k int) (*rankings.Dataset, []int, []int) {
+	if k < 1 {
+		k = 1
+	}
+	count := make([]int, d.N)
+	for _, r := range d.Rankings {
+		for _, b := range r.Buckets {
+			for _, e := range b {
+				count[e]++
+			}
+		}
+	}
+	keep := make([]bool, d.N)
+	var kept []int
+	for e := 0; e < d.N; e++ {
+		if count[e] >= k {
+			keep[e] = true
+			kept = append(kept, e)
+		}
+	}
+	// Filter rankings to the kept elements, then unify over them.
+	filtered := &rankings.Dataset{N: d.N, Rankings: make([]*rankings.Ranking, len(d.Rankings))}
+	for i, r := range d.Rankings {
+		nr := &rankings.Ranking{}
+		for _, b := range r.Buckets {
+			var nb []int
+			for _, e := range b {
+				if keep[e] {
+					nb = append(nb, e)
+				}
+			}
+			if len(nb) > 0 {
+				nr.Buckets = append(nr.Buckets, nb)
+			}
+		}
+		filtered.Rankings[i] = nr
+	}
+	unified := make([]*rankings.Ranking, len(filtered.Rankings))
+	for i, r := range filtered.Rankings {
+		present := make([]bool, d.N)
+		for _, b := range r.Buckets {
+			for _, e := range b {
+				present[e] = true
+			}
+		}
+		nr := r.Clone()
+		var missing []int
+		for _, e := range kept {
+			if !present[e] {
+				missing = append(missing, e)
+			}
+		}
+		if len(missing) > 0 {
+			nr.Buckets = append(nr.Buckets, missing)
+		}
+		unified[i] = nr
+	}
+	nd := &rankings.Dataset{N: d.N, Rankings: unified}
+	return compactFiltered(nd, keep)
+}

@@ -1,0 +1,75 @@
+package normalize
+
+import "testing"
+
+func TestKUnificationExtremes(t *testing.T) {
+	d, u := table3Raw(t)
+	// k = 1 must equal plain unification.
+	k1, toOld1, _ := KUnification(d, 1)
+	u1, toOldU, _ := Unification(d)
+	if len(toOld1) != len(toOldU) {
+		t.Fatalf("k=1 kept %d elements, unification kept %d", len(toOld1), len(toOldU))
+	}
+	for i := range k1.Rankings {
+		if !k1.Rankings[i].Equal(u1.Rankings[i]) {
+			t.Errorf("k=1 ranking %d differs from unification: %v vs %v",
+				i, k1.Rankings[i], u1.Rankings[i])
+		}
+	}
+	// k = m must equal projection.
+	km, toOldM, _ := KUnification(d, d.M())
+	pm, toOldP, _ := Projection(d)
+	if len(toOldM) != len(toOldP) {
+		t.Fatalf("k=m kept %d elements, projection kept %d", len(toOldM), len(toOldP))
+	}
+	for i := range km.Rankings {
+		if !km.Rankings[i].Equal(pm.Rankings[i]) {
+			t.Errorf("k=m ranking %d differs from projection: %v vs %v",
+				i, km.Rankings[i], pm.Rankings[i])
+		}
+	}
+	_ = u
+}
+
+func TestKUnificationIntermediate(t *testing.T) {
+	d, u := table3Raw(t)
+	// Element counts in Table 3's raw data: A=3, B=3, D=2, C=1, E=1.
+	k2, toOld, _ := KUnification(d, 2)
+	nu := SubUniverse(u, toOld)
+	if k2.N != 3 {
+		t.Fatalf("k=2 should keep A, B, D; got %d elements", k2.N)
+	}
+	if !k2.Complete() {
+		t.Error("k-unification must produce a complete dataset")
+	}
+	got := fmtAll(k2, nu)
+	// Ranking 2 was [{B},{E,A}]: E dropped (count 1), D appended.
+	if got[1] != "[{B},{A},{D}]" {
+		t.Errorf("ranking 2 = %s, want [{B},{A},{D}]", got[1])
+	}
+}
+
+func TestKUnificationClampsK(t *testing.T) {
+	d, _ := table3Raw(t)
+	neg, toOld, _ := KUnification(d, -3)
+	if !neg.Complete() || len(toOld) != 5 {
+		t.Error("k < 1 must behave like k = 1 (keep everything)")
+	}
+	huge, toOldH, _ := KUnification(d, 100)
+	if len(toOldH) != 0 || huge.N != 0 {
+		t.Errorf("k > m keeps nothing: %d elements", huge.N)
+	}
+}
+
+func TestKUnificationValidOutput(t *testing.T) {
+	d, _ := table3Raw(t)
+	for k := 1; k <= 3; k++ {
+		nd, _, _ := KUnification(d, k)
+		if err := nd.Validate(); err != nil {
+			t.Fatalf("k=%d: invalid dataset: %v", k, err)
+		}
+		if !nd.Complete() && nd.N > 0 {
+			t.Fatalf("k=%d: incomplete output", k)
+		}
+	}
+}

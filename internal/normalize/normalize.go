@@ -1,0 +1,175 @@
+// Package normalize implements the dataset standardization processes of
+// Section 5.1 and 6.1.3 of the paper: projection, unification, broken
+// unification, and top-k retention. These convert a raw dataset whose
+// rankings cover different element subsets into a dataset over the same
+// elements, which is what the aggregation algorithms require.
+package normalize
+
+import "rankagg/internal/rankings"
+
+// Projection removes from every ranking all elements absent from at least
+// one ranking, producing a dataset over the common elements only ("projected
+// dataset", Table 3). The returned mapping gives, for each new dense ID, the
+// original element ID; the second slice maps old IDs to new IDs (-1 when
+// dropped).
+func Projection(d *rankings.Dataset) (*rankings.Dataset, []int, []int) {
+	common := d.ElementsInAll()
+	keep := make([]bool, d.N)
+	for _, e := range common {
+		keep[e] = true
+	}
+	return compactFiltered(d, keep)
+}
+
+// Unification appends to each ranking a final "unification bucket" holding
+// the elements present in other rankings but absent from it ("unified
+// dataset", Table 3). The universe is compacted to the union of present
+// elements. Mappings are as in Projection.
+func Unification(d *rankings.Dataset) (*rankings.Dataset, []int, []int) {
+	union := d.ElementsInAny()
+	inUnion := make([]bool, d.N)
+	for _, e := range union {
+		inUnion[e] = true
+	}
+	unified := make([]*rankings.Ranking, len(d.Rankings))
+	for i, r := range d.Rankings {
+		present := make([]bool, d.N)
+		for _, b := range r.Buckets {
+			for _, e := range b {
+				present[e] = true
+			}
+		}
+		nr := r.Clone()
+		var missing []int
+		for _, e := range union {
+			if !present[e] {
+				missing = append(missing, e)
+			}
+		}
+		if len(missing) > 0 {
+			nr.Buckets = append(nr.Buckets, missing)
+		}
+		unified[i] = nr
+	}
+	nd := &rankings.Dataset{N: d.N, Rankings: unified}
+	return compactFiltered(nd, inUnion)
+}
+
+// UnifyBroken unifies the dataset and then breaks every bucket into
+// singletons (ascending element ID), producing permutations as input
+// ("unif[ied] broken", Table 3, used by [3]).
+func UnifyBroken(d *rankings.Dataset) (*rankings.Dataset, []int, []int) {
+	nd, toOld, toNew := Unification(d)
+	for i, r := range nd.Rankings {
+		r.Canonicalize()
+		broken := &rankings.Ranking{}
+		for _, b := range r.Buckets {
+			for _, e := range b {
+				broken.Buckets = append(broken.Buckets, []int{e})
+			}
+		}
+		nd.Rankings[i] = broken
+	}
+	return nd, toOld, toNew
+}
+
+// TopK truncates each ranking to its best elements: buckets are retained in
+// order until at least k elements have been kept, so a bucket straddling the
+// k-th position is kept whole (Figure 1: top-2 of [{A},{B,C},...] is
+// [{A},{B,C}]). The universe is unchanged.
+func TopK(d *rankings.Dataset, k int) *rankings.Dataset {
+	out := &rankings.Dataset{N: d.N, Rankings: make([]*rankings.Ranking, len(d.Rankings))}
+	for i, r := range d.Rankings {
+		nr := &rankings.Ranking{}
+		count := 0
+		for _, b := range r.Buckets {
+			if count >= k {
+				break
+			}
+			nr.Buckets = append(nr.Buckets, append([]int(nil), b...))
+			count += len(b)
+		}
+		out.Rankings[i] = nr
+	}
+	return out
+}
+
+// TopKUnified retains the top-k of each ranking and unifies the result — the
+// Figure 1 pipeline used to build the "unified synthetic datasets with
+// similarities" of Section 6.1.3.
+func TopKUnified(d *rankings.Dataset, k int) (*rankings.Dataset, []int, []int) {
+	return Unification(TopK(d, k))
+}
+
+// KForUnionSize returns the smallest k such that the union of the top-k
+// element sets has size at least target, and the achieved union size.
+// It returns k = longest ranking length when the target is unreachable.
+// The paper picks k ∈ [1;35] "in order to have datasets of n = 35 elements".
+func KForUnionSize(d *rankings.Dataset, target int) (k, union int) {
+	maxLen := 0
+	for _, r := range d.Rankings {
+		if l := r.Len(); l > maxLen {
+			maxLen = l
+		}
+	}
+	for k = 1; k <= maxLen; k++ {
+		u := len(TopK(d, k).ElementsInAny())
+		if u >= target {
+			return k, u
+		}
+	}
+	return maxLen, len(d.ElementsInAny())
+}
+
+// Compact remaps the dataset onto a dense universe containing exactly the
+// elements present in at least one ranking. Returns the dataset, the
+// new→old ID mapping, and the old→new mapping (-1 for dropped IDs).
+func Compact(d *rankings.Dataset) (*rankings.Dataset, []int, []int) {
+	keep := make([]bool, d.N)
+	for _, e := range d.ElementsInAny() {
+		keep[e] = true
+	}
+	return compactFiltered(d, keep)
+}
+
+// compactFiltered keeps only elements with keep[e], remapping them to dense
+// IDs in ascending original order. Buckets left empty vanish.
+func compactFiltered(d *rankings.Dataset, keep []bool) (*rankings.Dataset, []int, []int) {
+	toNew := make([]int, d.N)
+	var toOld []int
+	for e := 0; e < d.N; e++ {
+		if keep[e] {
+			toNew[e] = len(toOld)
+			toOld = append(toOld, e)
+		} else {
+			toNew[e] = -1
+		}
+	}
+	out := &rankings.Dataset{N: len(toOld), Rankings: make([]*rankings.Ranking, len(d.Rankings))}
+	for i, r := range d.Rankings {
+		nr := &rankings.Ranking{}
+		for _, b := range r.Buckets {
+			var nb []int
+			for _, e := range b {
+				if keep[e] {
+					nb = append(nb, toNew[e])
+				}
+			}
+			if len(nb) > 0 {
+				nr.Buckets = append(nr.Buckets, nb)
+			}
+		}
+		out.Rankings[i] = nr
+	}
+	return out, toOld, toNew
+}
+
+// SubUniverse returns a Universe for the compacted dataset, renaming each new
+// ID with the original universe's name.
+func SubUniverse(u *rankings.Universe, toOld []int) *rankings.Universe {
+	nu := rankings.NewUniverse()
+	for _, old := range toOld {
+		nu.ID(u.Name(old))
+	}
+	return nu
+}

@@ -1,0 +1,331 @@
+package normalize
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rankagg/internal/rankings"
+)
+
+// table3Raw builds the raw dataset dr of Table 3 with IDs in alphabetical
+// order (A=0, ..., E=4) so that ascending-ID bucket breaking matches the
+// paper's alphabetical rendering.
+func table3Raw(t *testing.T) (*rankings.Dataset, *rankings.Universe) {
+	t.Helper()
+	u := rankings.NewUniverse()
+	for _, n := range []string{"A", "B", "C", "D", "E"} {
+		u.ID(n)
+	}
+	rks := []*rankings.Ranking{
+		rankings.MustParse("[{A},{D},{B}]", u),
+		rankings.MustParse("[{B},{E,A}]", u),
+		rankings.MustParse("[{D},{A,B},{C}]", u),
+	}
+	return rankings.NewDataset(u.Size(), rks...), u
+}
+
+func fmtAll(d *rankings.Dataset, u *rankings.Universe) []string {
+	out := make([]string, len(d.Rankings))
+	for i, r := range d.Rankings {
+		out[i] = u.Format(r)
+	}
+	return out
+}
+
+func TestProjectionTable3(t *testing.T) {
+	d, u := table3Raw(t)
+	dp, toOld, _ := Projection(d)
+	nu := SubUniverse(u, toOld)
+	got := fmtAll(dp, nu)
+	want := []string{"[{A},{B}]", "[{B},{A}]", "[{A,B}]"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("projected ranking %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+	if dp.N != 2 {
+		t.Errorf("projected N = %d, want 2", dp.N)
+	}
+	if !dp.Complete() {
+		t.Error("projection must yield a complete dataset")
+	}
+}
+
+func TestUnificationTable3(t *testing.T) {
+	d, u := table3Raw(t)
+	du, toOld, _ := Unification(d)
+	nu := SubUniverse(u, toOld)
+	got := fmtAll(du, nu)
+	want := []string{
+		"[{A},{D},{B},{C,E}]",
+		"[{B},{A,E},{C,D}]",
+		"[{D},{A,B},{C},{E}]",
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("unified ranking %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+	if !du.Complete() {
+		t.Error("unification must yield a complete dataset")
+	}
+}
+
+func TestUnifyBrokenTable3(t *testing.T) {
+	d, u := table3Raw(t)
+	db, toOld, _ := UnifyBroken(d)
+	nu := SubUniverse(u, toOld)
+	got := fmtAll(db, nu)
+	want := []string{
+		"[{A},{D},{B},{C},{E}]",
+		"[{B},{A},{E},{C},{D}]",
+		"[{D},{A},{B},{C},{E}]",
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("unif-broken ranking %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+	for _, r := range db.Rankings {
+		if !r.IsPermutation() {
+			t.Error("unify-broken must produce permutations")
+		}
+	}
+}
+
+func TestTopKKeepsWholeBuckets(t *testing.T) {
+	// Figure 1: top-2 of [{A},{B,C},{F},{D},{E}] is [{A},{B,C}].
+	u := rankings.NewUniverse()
+	r := rankings.MustParse("[{A},{B,C},{F},{D},{E}]", u)
+	d := rankings.NewDataset(u.Size(), r)
+	top := TopK(d, 2)
+	if got := u.Format(top.Rankings[0]); got != "[{A},{B,C}]" {
+		t.Errorf("TopK(2) = %s, want [{A},{B,C}]", got)
+	}
+	if got := u.Format(TopK(d, 1).Rankings[0]); got != "[{A}]" {
+		t.Errorf("TopK(1) = %s, want [{A}]", got)
+	}
+	if got := u.Format(TopK(d, 100).Rankings[0]); got != "[{A},{B,C},{F},{D},{E}]" {
+		t.Errorf("TopK(100) = %s, want full ranking", got)
+	}
+}
+
+func TestFigure1Pipeline(t *testing.T) {
+	// The full Figure 1 example: 3 rankings over 6 elements, top-2, unify.
+	u := rankings.NewUniverse()
+	for _, n := range []string{"A", "B", "C", "D", "E", "F"} {
+		u.ID(n)
+	}
+	d := rankings.NewDataset(u.Size(),
+		rankings.MustParse("[{A},{B,C},{F},{D},{E}]", u),
+		rankings.MustParse("[{D},{A,E},{F},{B},{C}]", u),
+		rankings.MustParse("[{A},{C},{D},{B},{E,F}]", u),
+	)
+	unified, toOld, _ := TopKUnified(d, 2)
+	nu := SubUniverse(u, toOld)
+	got := fmtAll(unified, nu)
+	want := []string{
+		"[{A},{B,C},{D,E}]",
+		"[{D},{A,E},{B,C}]",
+		"[{A},{C},{B,D,E}]",
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("figure-1 ranking %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestKForUnionSize(t *testing.T) {
+	u := rankings.NewUniverse()
+	for _, n := range []string{"A", "B", "C", "D", "E", "F"} {
+		u.ID(n)
+	}
+	d := rankings.NewDataset(u.Size(),
+		rankings.MustParse("[{A},{B,C},{F},{D},{E}]", u),
+		rankings.MustParse("[{D},{A,E},{F},{B},{C}]", u),
+		rankings.MustParse("[{A},{C},{D},{B},{E,F}]", u),
+	)
+	k, union := KForUnionSize(d, 5)
+	if union < 5 {
+		t.Errorf("union = %d, want >= 5", union)
+	}
+	if got := len(TopK(d, k-1).ElementsInAny()); k > 1 && got >= 5 {
+		t.Errorf("k = %d is not minimal: k-1 already reaches %d", k, got)
+	}
+}
+
+func TestKForUnionSizeUnreachable(t *testing.T) {
+	u := rankings.NewUniverse()
+	d := rankings.NewDataset(2, rankings.MustParse("A>B", u))
+	k, union := KForUnionSize(d, 10)
+	if k != 2 || union != 2 {
+		t.Errorf("k, union = %d, %d; want 2, 2 (capped at ranking length)", k, union)
+	}
+}
+
+func TestCompactDropsGaps(t *testing.T) {
+	// Universe of 10 but only elements 2, 7 appear.
+	d := rankings.NewDataset(10, rankings.New([]int{7}, []int{2}))
+	c, toOld, toNew := Compact(d)
+	if c.N != 2 {
+		t.Fatalf("compact N = %d, want 2", c.N)
+	}
+	if toOld[0] != 2 || toOld[1] != 7 {
+		t.Errorf("toOld = %v, want [2 7]", toOld)
+	}
+	if toNew[2] != 0 || toNew[7] != 1 || toNew[0] != -1 {
+		t.Errorf("toNew = %v", toNew)
+	}
+	if got := c.Rankings[0].String(); got != "[{1},{0}]" {
+		t.Errorf("compacted ranking = %s, want [{1},{0}]", got)
+	}
+}
+
+func TestProjectionEmptyIntersection(t *testing.T) {
+	u := rankings.NewUniverse()
+	d := rankings.NewDataset(2,
+		rankings.MustParse("A", u),
+		rankings.MustParse("B", u),
+	)
+	dp, _, _ := Projection(d)
+	if dp.N != 0 {
+		t.Errorf("projection of disjoint rankings: N = %d, want 0", dp.N)
+	}
+}
+
+func TestUnificationNoOpWhenComplete(t *testing.T) {
+	u := rankings.NewUniverse()
+	d := rankings.NewDataset(2,
+		rankings.MustParse("A>B", u),
+		rankings.MustParse("B>A", u),
+	)
+	du, _, _ := Unification(d)
+	for i, r := range du.Rankings {
+		if r.NumBuckets() != 2 {
+			t.Errorf("ranking %d gained a unification bucket: %v", i, r)
+		}
+	}
+}
+
+// randomPartialDataset builds a dataset whose rankings cover random subsets
+// of the universe.
+func randomPartialDataset(rng *rand.Rand, m, n int) *rankings.Dataset {
+	rks := make([]*rankings.Ranking, m)
+	for i := range rks {
+		perm := rng.Perm(n)
+		keep := 1 + rng.Intn(n)
+		r := &rankings.Ranking{}
+		for j := 0; j < keep; {
+			sz := 1 + rng.Intn(3)
+			if j+sz > keep {
+				sz = keep - j
+			}
+			r.Buckets = append(r.Buckets, append([]int(nil), perm[j:j+sz]...))
+			j += sz
+		}
+		rks[i] = r
+	}
+	return rankings.NewDataset(n, rks...)
+}
+
+// TestQuickNormalizationInvariants checks, on random partial datasets, the
+// defining properties of each process: projection keeps exactly the common
+// elements and preserves relative order; unification keeps the union and
+// only ever appends one bucket; both produce complete, valid datasets.
+func TestQuickNormalizationInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	f := func(uint8) bool {
+		m, n := 2+rng.Intn(4), 2+rng.Intn(10)
+		d := randomPartialDataset(rng, m, n)
+		common := d.ElementsInAll()
+		union := d.ElementsInAny()
+
+		dp, toOldP, _ := Projection(d)
+		if dp.N != len(common) || dp.Validate() != nil || (dp.N > 0 && !dp.Complete()) {
+			return false
+		}
+		for i, old := range toOldP {
+			if common[i] != old {
+				return false
+			}
+		}
+		du, toOldU, _ := Unification(d)
+		if du.N != len(union) || du.Validate() != nil || !du.Complete() {
+			return false
+		}
+		for i, r := range du.Rankings {
+			// Unification appends at most one bucket and never reorders.
+			orig := d.Rankings[i]
+			if r.NumBuckets() < orig.NumBuckets() || r.NumBuckets() > orig.NumBuckets()+1 {
+				return false
+			}
+		}
+		_ = toOldU
+		db, _, _ := UnifyBroken(d)
+		for _, r := range db.Rankings {
+			if !r.IsPermutation() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickProjectionPreservesOrder: for any two common elements, their
+// relative order (or tie) in each ranking is unchanged by projection.
+func TestQuickProjectionPreservesOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	f := func(uint8) bool {
+		m, n := 2+rng.Intn(3), 3+rng.Intn(8)
+		d := randomPartialDataset(rng, m, n)
+		dp, toOld, toNew := Projection(d)
+		for i, r := range d.Rankings {
+			origPos := r.Positions(n)
+			newPos := dp.Rankings[i].Positions(dp.N)
+			for a := 0; a < dp.N; a++ {
+				for b := a + 1; b < dp.N; b++ {
+					oa, ob := origPos[toOld[a]], origPos[toOld[b]]
+					na, nb := newPos[a], newPos[b]
+					if (oa < ob) != (na < nb) || (oa == ob) != (na == nb) {
+						return false
+					}
+				}
+			}
+		}
+		_ = toNew
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickKUnificationMonotone: raising k can only shrink the kept set,
+// and the kept set is exactly the elements with count ≥ k.
+func TestQuickKUnificationMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	f := func(uint8) bool {
+		m, n := 2+rng.Intn(4), 2+rng.Intn(10)
+		d := randomPartialDataset(rng, m, n)
+		prev := -1
+		for k := 1; k <= m; k++ {
+			dk, toOld, _ := KUnification(d, k)
+			if dk.Validate() != nil {
+				return false
+			}
+			if prev >= 0 && len(toOld) > prev {
+				return false
+			}
+			prev = len(toOld)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,75 @@
+package rankings
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// MarshalJSON encodes a ranking as its bucket array, e.g. [[0],[1,2]].
+func (r *Ranking) MarshalJSON() ([]byte, error) {
+	if r.Buckets == nil {
+		return []byte("[]"), nil
+	}
+	return json.Marshal(r.Buckets)
+}
+
+// UnmarshalJSON decodes a bucket array and validates it.
+func (r *Ranking) UnmarshalJSON(data []byte) error {
+	var buckets [][]int
+	if err := json.Unmarshal(data, &buckets); err != nil {
+		return err
+	}
+	tmp := Ranking{Buckets: buckets}
+	if err := tmp.Validate(); err != nil {
+		return fmt.Errorf("rankings: invalid ranking in JSON: %w", err)
+	}
+	r.Buckets = buckets
+	return nil
+}
+
+// datasetJSON is the wire form of a Dataset, with optional element names.
+type datasetJSON struct {
+	N        int        `json:"n"`
+	Names    []string   `json:"names,omitempty"`
+	Rankings []*Ranking `json:"rankings"`
+}
+
+// MarshalDatasetJSON encodes a dataset (and its universe's names, when
+// non-nil) as JSON.
+func MarshalDatasetJSON(d *Dataset, u *Universe) ([]byte, error) {
+	out := datasetJSON{N: d.N, Rankings: d.Rankings}
+	if u != nil {
+		out.Names = u.Names()
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// UnmarshalDatasetJSON decodes a dataset; the returned universe is nil when
+// the payload carried no names.
+func UnmarshalDatasetJSON(data []byte) (*Dataset, *Universe, error) {
+	var in datasetJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, nil, err
+	}
+	d := &Dataset{N: in.N, Rankings: in.Rankings}
+	if d.Rankings == nil {
+		d.Rankings = []*Ranking{}
+	}
+	if err := d.Validate(); err != nil {
+		return nil, nil, err
+	}
+	var u *Universe
+	if len(in.Names) > 0 {
+		if len(in.Names) != in.N {
+			return nil, nil, fmt.Errorf("rankings: %d names for %d elements", len(in.Names), in.N)
+		}
+		u = NewUniverse()
+		for _, nm := range in.Names {
+			u.ID(nm)
+		}
+		if u.Size() != in.N {
+			return nil, nil, fmt.Errorf("rankings: duplicate names in JSON dataset")
+		}
+	}
+	return d, u, nil
+}

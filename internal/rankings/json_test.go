@@ -1,0 +1,103 @@
+package rankings
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestRankingJSONRoundTrip(t *testing.T) {
+	r := New([]int{0}, []int{2, 1})
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "[[0],[2,1]]" {
+		t.Errorf("marshal = %s", data)
+	}
+	var back Ranking
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(r) {
+		t.Errorf("round trip changed ranking: %v vs %v", &back, r)
+	}
+}
+
+func TestRankingJSONRejectsInvalid(t *testing.T) {
+	for _, bad := range []string{"[[0],[0]]", "[[-1]]", "[[]]", "{"} {
+		var r Ranking
+		if err := json.Unmarshal([]byte(bad), &r); err == nil {
+			t.Errorf("unmarshal(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestEmptyRankingJSON(t *testing.T) {
+	var r Ranking
+	data, err := json.Marshal(&r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "[]" {
+		t.Errorf("empty ranking = %s, want []", data)
+	}
+}
+
+func TestDatasetJSONRoundTrip(t *testing.T) {
+	u := NewUniverse()
+	d := NewDataset(3,
+		MustParse("[{A},{B,C}]", u),
+		MustParse("[{C},{A},{B}]", u),
+	)
+	data, err := MarshalDatasetJSON(d, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, bu, err := UnmarshalDatasetJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N != 3 || back.M() != 2 {
+		t.Fatalf("shape changed: N=%d M=%d", back.N, back.M())
+	}
+	for i := range d.Rankings {
+		if !back.Rankings[i].Equal(d.Rankings[i]) {
+			t.Errorf("ranking %d changed", i)
+		}
+	}
+	if bu == nil || bu.Name(0) != "A" {
+		t.Errorf("names lost: %v", bu)
+	}
+}
+
+func TestDatasetJSONWithoutNames(t *testing.T) {
+	d := NewDataset(2, New([]int{0}, []int{1}))
+	data, err := MarshalDatasetJSON(d, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, u, err := UnmarshalDatasetJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u != nil {
+		t.Error("expected nil universe without names")
+	}
+	if back.N != 2 {
+		t.Errorf("N = %d", back.N)
+	}
+}
+
+func TestDatasetJSONErrors(t *testing.T) {
+	cases := []string{
+		`{"n":1,"names":["a","b"],"rankings":[]}`,  // name count mismatch
+		`{"n":1,"names":["a"],"rankings":[[[5]]]}`, // element outside universe
+		`{"n":2,"names":["a","a"],"rankings":[]}`,  // duplicate names
+		`not json`,
+	}
+	for _, c := range cases {
+		if _, _, err := UnmarshalDatasetJSON([]byte(c)); err == nil {
+			t.Errorf("UnmarshalDatasetJSON(%q) succeeded, want error", c)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package rankings
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseRanking parses the paper's bracket notation, e.g. "[{A},{B,C}]".
+// Element names are resolved (and created) in the universe. Whitespace is
+// ignored. Buckets may also be separated with ">" and tied elements with "="
+// in the alternative compact notation "A > B=C".
+func ParseRanking(s string, u *Universe) (*Ranking, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, fmt.Errorf("rankings: empty ranking string")
+	}
+	if strings.HasPrefix(s, "[") {
+		return parseBracket(s, u)
+	}
+	return parseCompact(s, u)
+}
+
+func parseBracket(s string, u *Universe) (*Ranking, error) {
+	if !strings.HasSuffix(s, "]") {
+		return nil, fmt.Errorf("rankings: missing closing ']' in %q", s)
+	}
+	body := strings.TrimSpace(s[1 : len(s)-1])
+	r := &Ranking{}
+	if body == "" {
+		return r, nil
+	}
+	for body != "" {
+		if body[0] != '{' {
+			return nil, fmt.Errorf("rankings: expected '{' at %q", body)
+		}
+		end := strings.IndexByte(body, '}')
+		if end < 0 {
+			return nil, fmt.Errorf("rankings: missing closing '}' in %q", body)
+		}
+		bucket, err := parseBucket(body[1:end], u)
+		if err != nil {
+			return nil, err
+		}
+		r.Buckets = append(r.Buckets, bucket)
+		body = strings.TrimSpace(body[end+1:])
+		body = strings.TrimPrefix(body, ",")
+		body = strings.TrimSpace(body)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func parseCompact(s string, u *Universe) (*Ranking, error) {
+	r := &Ranking{}
+	for _, part := range strings.Split(s, ">") {
+		bucket, err := parseBucketSep(part, "=", u)
+		if err != nil {
+			return nil, err
+		}
+		r.Buckets = append(r.Buckets, bucket)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func parseBucket(s string, u *Universe) ([]int, error) {
+	return parseBucketSep(s, ",", u)
+}
+
+func parseBucketSep(s, sep string, u *Universe) ([]int, error) {
+	var bucket []int
+	for _, name := range strings.Split(s, sep) {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return nil, fmt.Errorf("rankings: empty element name in bucket %q", s)
+		}
+		bucket = append(bucket, u.ID(name))
+	}
+	if len(bucket) == 0 {
+		return nil, fmt.Errorf("rankings: empty bucket in %q", s)
+	}
+	return bucket, nil
+}
+
+// ParseDataset reads one ranking per non-empty line from r. Lines starting
+// with '#' are comments. All rankings share the returned universe; the
+// dataset universe size is the number of distinct names seen.
+func ParseDataset(r io.Reader) (*Dataset, *Universe, error) {
+	u := NewUniverse()
+	var rks []*Ranking
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		rk, err := ParseRanking(text, u)
+		if err != nil {
+			return nil, nil, fmt.Errorf("line %d: %w", line, err)
+		}
+		rks = append(rks, rk)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	return &Dataset{N: u.Size(), Rankings: rks}, u, nil
+}
+
+// WriteDataset writes one ranking per line in bracket notation using the
+// universe's names.
+func WriteDataset(w io.Writer, d *Dataset, u *Universe) error {
+	for _, r := range d.Rankings {
+		if _, err := fmt.Fprintln(w, u.Format(r)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MustParse is a test/example helper: it parses a ranking in either notation
+// and panics on error.
+func MustParse(s string, u *Universe) *Ranking {
+	r, err := ParseRanking(s, u)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

@@ -1,0 +1,114 @@
+// Package stats provides the small statistical toolkit the evaluation
+// harness reports with: means, standard deviations, quantiles, and
+// bootstrap confidence intervals. Experimental-study reproductions live or
+// die on honest aggregates, so these helpers are exact (no streaming
+// approximations) and deterministic given a seed.
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Mean returns the arithmetic mean, or NaN for an empty slice.
+func Mean(v []float64) float64 {
+	if len(v) == 0 {
+		return math.NaN()
+	}
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// StdDev returns the sample standard deviation (n−1 denominator), or NaN
+// for fewer than two values.
+func StdDev(v []float64) float64 {
+	if len(v) < 2 {
+		return math.NaN()
+	}
+	m := Mean(v)
+	s := 0.0
+	for _, x := range v {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(v)-1))
+}
+
+// Quantile returns the p-quantile (p ∈ [0,1]) using linear interpolation
+// between order statistics (type-7, the R/NumPy default). The input need
+// not be sorted. NaN for empty input.
+func Quantile(v []float64, p float64) float64 {
+	if len(v) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	return quantileSorted(s, p)
+}
+
+func quantileSorted(s []float64, p float64) float64 {
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 1 {
+		return s[len(s)-1]
+	}
+	h := p * float64(len(s)-1)
+	lo := int(math.Floor(h))
+	hi := lo + 1
+	if hi >= len(s) {
+		return s[lo]
+	}
+	frac := h - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Median is Quantile(v, 0.5).
+func Median(v []float64) float64 { return Quantile(v, 0.5) }
+
+// FiveNumber returns min, q1, median, q3, max (the box-plot summary used by
+// Figure 3). NaNs for empty input.
+func FiveNumber(v []float64) (min, q1, med, q3, max float64) {
+	if len(v) == 0 {
+		nan := math.NaN()
+		return nan, nan, nan, nan, nan
+	}
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	return s[0], quantileSorted(s, 0.25), quantileSorted(s, 0.5), quantileSorted(s, 0.75), s[len(s)-1]
+}
+
+// BootstrapCI returns a percentile bootstrap confidence interval for the
+// mean at the given confidence level (e.g. 0.95), using rounds resamples
+// drawn with the seeded generator. For fewer than two values it returns the
+// single value (or NaNs) as both bounds.
+func BootstrapCI(v []float64, confidence float64, rounds int, seed int64) (lo, hi float64) {
+	if len(v) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	if len(v) == 1 {
+		return v[0], v[0]
+	}
+	if rounds <= 0 {
+		rounds = 1000
+	}
+	if confidence <= 0 || confidence >= 1 {
+		confidence = 0.95
+	}
+	rng := rand.New(rand.NewSource(seed))
+	means := make([]float64, rounds)
+	for r := 0; r < rounds; r++ {
+		s := 0.0
+		for i := 0; i < len(v); i++ {
+			s += v[rng.Intn(len(v))]
+		}
+		means[r] = s / float64(len(v))
+	}
+	sort.Float64s(means)
+	alpha := (1 - confidence) / 2
+	return quantileSorted(means, alpha), quantileSorted(means, 1-alpha)
+}

@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMeanAndStdDev(t *testing.T) {
+	v := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(v); !almost(got, 5) {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := StdDev(v); !almost(got, math.Sqrt(32.0/7)) {
+		t.Errorf("StdDev = %v, want sqrt(32/7)", got)
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(StdDev([]float64{1})) {
+		t.Error("degenerate inputs must give NaN")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	v := []float64{1, 2, 3, 4}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75}, {0.75, 3.25},
+	}
+	for _, c := range cases {
+		if got := Quantile(v, c.p); !almost(got, c.want) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if got := Median([]float64{3, 1, 2}); !almost(got, 2) {
+		t.Errorf("Median = %v, want 2", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty quantile must be NaN")
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	v := []float64{3, 1, 2}
+	Quantile(v, 0.5)
+	if v[0] != 3 || v[1] != 1 || v[2] != 2 {
+		t.Error("Quantile sorted its input in place")
+	}
+}
+
+func TestFiveNumber(t *testing.T) {
+	min, q1, med, q3, max := FiveNumber([]float64{5, 1, 3, 2, 4})
+	if !almost(min, 1) || !almost(q1, 2) || !almost(med, 3) || !almost(q3, 4) || !almost(max, 5) {
+		t.Errorf("FiveNumber = %v %v %v %v %v", min, q1, med, q3, max)
+	}
+}
+
+func TestQuickQuantileMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(uint8) bool {
+		n := 1 + rng.Intn(30)
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 1.0; p += 0.1 {
+			q := Quantile(v, p)
+			if q < prev-1e-12 {
+				return false
+			}
+			prev = q
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBootstrapCI(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	v := make([]float64, 200)
+	for i := range v {
+		v[i] = 10 + rng.NormFloat64()
+	}
+	lo, hi := BootstrapCI(v, 0.95, 2000, 3)
+	if lo >= hi {
+		t.Fatalf("degenerate interval [%v, %v]", lo, hi)
+	}
+	if lo > 10 || hi < 10 {
+		t.Errorf("CI [%v, %v] misses the true mean 10", lo, hi)
+	}
+	if hi-lo > 1 {
+		t.Errorf("CI [%v, %v] too wide for n=200, sd=1", lo, hi)
+	}
+	// Determinism.
+	lo2, hi2 := BootstrapCI(v, 0.95, 2000, 3)
+	if lo != lo2 || hi != hi2 {
+		t.Error("BootstrapCI not deterministic for a fixed seed")
+	}
+}
+
+func TestBootstrapCIDegenerate(t *testing.T) {
+	lo, hi := BootstrapCI(nil, 0.95, 100, 1)
+	if !math.IsNaN(lo) || !math.IsNaN(hi) {
+		t.Error("empty input should give NaN bounds")
+	}
+	lo, hi = BootstrapCI([]float64{7}, 0.95, 100, 1)
+	if lo != 7 || hi != 7 {
+		t.Error("single value should collapse the interval")
+	}
+}

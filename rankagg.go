@@ -1,0 +1,182 @@
+// Package rankagg is a Go library for rank aggregation with ties,
+// reproducing Brancotte et al., "Rank aggregation with ties: Experiments
+// and Analysis", PVLDB 8(11), 2015.
+//
+// Given a set of input rankings with ties (bucket orders) over the same
+// elements, the library computes consensus rankings minimizing the
+// generalized Kemeny score (the sum of generalized Kendall-τ distances to
+// the inputs, where a pair costs one when it is inverted or tied in exactly
+// one of the two rankings).
+//
+// # Quick start
+//
+//	u := rankagg.NewUniverse()
+//	r1, _ := rankagg.ParseRanking("[{A},{D},{B,C}]", u)
+//	r2, _ := rankagg.ParseRanking("[{A},{B,C},{D}]", u)
+//	r3, _ := rankagg.ParseRanking("[{D},{A,C},{B}]", u)
+//	d := rankagg.FromRankings(r1, r2, r3)
+//	consensus, _ := rankagg.Aggregate("BioConsert", d)
+//	fmt.Println(u.Format(consensus), rankagg.Score(consensus, d))
+//
+// # Algorithms
+//
+// Every algorithm of the paper's Table 1 is available through Aggregate /
+// NewAggregator by its paper name: BioConsert, FaginSmall, FaginLarge,
+// KwikSort, KwikSortMin, BordaCount, CopelandMethod, MEDRank(0.5),
+// MEDRank(0.7), MC4, Pick-a-Perm, RepeatChoice, RepeatChoiceMin, Chanas,
+// ChanasBoth, BnB, BnBBeam, Ailon3/2, and the exact methods ExactAlgorithm
+// (ties-aware branch & bound) and ExactLPB (the paper's Section 4.2 linear
+// pseudo-boolean program).
+//
+// Datasets whose rankings cover different element sets must first be
+// normalized with Unify, UnifyBroken, or Project (Section 5.1 of the
+// paper).
+package rankagg
+
+import (
+	"io"
+
+	"rankagg/internal/core"
+	"rankagg/internal/eval"
+	"rankagg/internal/kendall"
+	"rankagg/internal/normalize"
+	"rankagg/internal/rankings"
+)
+
+// Re-exported core types. A Ranking is a bucket order: elements in the same
+// bucket are tied. A Dataset is a set of input rankings over a universe of
+// N elements. A Universe maps element names to the dense integer IDs the
+// algorithms work with.
+type (
+	// Ranking is a ranking with ties (bucket order).
+	Ranking = rankings.Ranking
+	// Dataset is a set of input rankings to aggregate.
+	Dataset = rankings.Dataset
+	// Universe maps element names to dense IDs.
+	Universe = rankings.Universe
+	// Aggregator is the algorithm interface.
+	Aggregator = core.Aggregator
+	// ExactAggregator is implemented by methods that can prove optimality.
+	ExactAggregator = core.ExactAggregator
+	// Pairs is the pairwise disagreement-count matrix of a dataset.
+	Pairs = kendall.Pairs
+	// Features summarizes a dataset for algorithm recommendation.
+	Features = eval.Features
+	// Recommendation is an algorithm suggestion with its rationale.
+	Recommendation = eval.Recommendation
+)
+
+// NewUniverse returns an empty name↔ID mapping.
+func NewUniverse() *Universe { return rankings.NewUniverse() }
+
+// NewRanking builds a ranking from buckets of element IDs.
+func NewRanking(buckets ...[]int) *Ranking { return rankings.New(buckets...) }
+
+// FromPermutation builds a ranking with singleton buckets.
+func FromPermutation(perm []int) *Ranking { return rankings.FromPermutation(perm) }
+
+// ParseRanking parses "[{A},{B,C}]" or "A > B=C" notation, resolving names
+// in u.
+func ParseRanking(s string, u *Universe) (*Ranking, error) { return rankings.ParseRanking(s, u) }
+
+// NewDataset builds a dataset over a universe of n elements.
+func NewDataset(n int, rks ...*Ranking) *Dataset { return rankings.NewDataset(n, rks...) }
+
+// FromRankings builds a dataset sized to its rankings' largest element ID.
+func FromRankings(rks ...*Ranking) *Dataset { return rankings.FromRankings(rks...) }
+
+// ReadDataset parses one ranking per line (bracket or compact notation,
+// '#' comments) and returns the dataset with its universe.
+func ReadDataset(r io.Reader) (*Dataset, *Universe, error) { return rankings.ParseDataset(r) }
+
+// WriteDataset writes one ranking per line in bracket notation.
+func WriteDataset(w io.Writer, d *Dataset, u *Universe) error {
+	return rankings.WriteDataset(w, d, u)
+}
+
+// Aggregate runs the named algorithm (see package doc for names) on d.
+func Aggregate(name string, d *Dataset) (*Ranking, error) {
+	a, err := core.New(name)
+	if err != nil {
+		return nil, err
+	}
+	return a.Aggregate(d)
+}
+
+// NewAggregator constructs a registered algorithm by its paper name.
+func NewAggregator(name string) (Aggregator, error) { return core.New(name) }
+
+// Algorithms lists the registered algorithm names.
+func Algorithms() []string { return core.Names() }
+
+// Dist returns the generalized Kendall-τ distance G(r, s) over a universe
+// of n elements (Section 2.2 of the paper, unit untying cost).
+func Dist(r, s *Ranking, n int) int64 { return kendall.Dist(r, s, n) }
+
+// Score returns the generalized Kemeny score K(r, R) = Σ G(r, s).
+func Score(r *Ranking, d *Dataset) int64 { return kendall.Score(r, d) }
+
+// Tau returns the Kendall-τ correlation extended to ties (equation 4).
+func Tau(r, s *Ranking, n int) float64 { return kendall.Tau(r, s, n) }
+
+// Similarity returns the intrinsic correlation s(R) of a dataset
+// (equation 5): the average τ over all pairs of input rankings.
+func Similarity(d *Dataset) float64 { return kendall.Similarity(d) }
+
+// NewPairs computes the pairwise disagreement counts of a dataset.
+func NewPairs(d *Dataset) *Pairs { return kendall.NewPairs(d) }
+
+// Gap is the paper's quality measure (equation 6): K(c,R)/K(c*,R) − 1.
+func Gap(score, optimum int64) float64 { return eval.Gap(score, optimum) }
+
+// Project removes elements absent from at least one ranking, returning the
+// projected dataset and the new→old / old→new ID mappings.
+func Project(d *Dataset) (*Dataset, []int, []int) { return normalize.Projection(d) }
+
+// Unify appends a unification bucket with each ranking's missing elements.
+func Unify(d *Dataset) (*Dataset, []int, []int) { return normalize.Unification(d) }
+
+// UnifyBroken unifies and then breaks every bucket into singletons.
+func UnifyBroken(d *Dataset) (*Dataset, []int, []int) { return normalize.UnifyBroken(d) }
+
+// TopK truncates each ranking after its k best elements (whole buckets).
+func TopK(d *Dataset, k int) *Dataset { return normalize.TopK(d, k) }
+
+// SubUniverse renames a compacted dataset's IDs from the original universe.
+func SubUniverse(u *Universe, toOld []int) *Universe { return normalize.SubUniverse(u, toOld) }
+
+// ExtractFeatures measures the dataset properties driving algorithm choice
+// (size, similarity, large-tie presence — Section 7 of the paper).
+func ExtractFeatures(d *Dataset) Features { return eval.ExtractFeatures(d) }
+
+// Recommend applies the paper's Section 7.4 guidance to dataset features.
+func Recommend(f Features, needOptimal, timeCritical bool) []Recommendation {
+	return eval.Recommend(f, needOptimal, timeCritical)
+}
+
+// FromScores builds a ranking with ties from per-element scores: higher
+// scores rank first; elements within eps of a bucket's top score are tied.
+func FromScores(scores map[int]float64, eps float64) *Ranking {
+	return rankings.FromScores(scores, eps)
+}
+
+// ParseScoreCSV reads "source,item,score" rows and builds one ranking with
+// ties per source (items within eps of a score level are tied). The result
+// is raw — normalize before aggregating.
+func ParseScoreCSV(r io.Reader, eps float64) (*Dataset, *Universe, error) {
+	return rankings.ParseScoreCSV(r, eps)
+}
+
+// KUnify is the intermediate standardization of the paper's Section 8:
+// elements appearing in fewer than k rankings are removed and the rest are
+// unified. k = 1 is Unify; k = m is Project.
+func KUnify(d *Dataset, k int) (*Dataset, []int, []int) {
+	return normalize.KUnification(d, k)
+}
+
+// Footrule returns Spearman's footrule distance generalized to ties
+// (doubled so it stays integral; see internal/kendall.Footrule).
+func Footrule(r, s *Ranking, n int) int64 { return kendall.Footrule(r, s, n) }
+
+// FootruleScore is Σ_{s∈R} Footrule(r, s).
+func FootruleScore(r *Ranking, d *Dataset) int64 { return kendall.FootruleScore(r, d) }

@@ -1,0 +1,121 @@
+package rankagg
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestFacadeQuickstart exercises the README flow end to end through the
+// public API only.
+func TestFacadeQuickstart(t *testing.T) {
+	u := NewUniverse()
+	r1, err := ParseRanking("[{A},{D},{B,C}]", u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := ParseRanking("[{A},{B,C},{D}]", u)
+	r3, _ := ParseRanking("[{D},{A,C},{B}]", u)
+	d := FromRankings(r1, r2, r3)
+
+	consensus, err := Aggregate("BioConsert", d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Score(consensus, d); got != 5 {
+		t.Errorf("BioConsert score = %d, want the paper's optimum 5", got)
+	}
+
+	exact, err := Aggregate("ExactAlgorithm", d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Score(exact, d); got != 5 {
+		t.Errorf("exact score = %d, want 5", got)
+	}
+	if Gap(Score(consensus, d), Score(exact, d)) != 0 {
+		t.Error("gap of an optimal consensus must be 0")
+	}
+}
+
+func TestFacadeNormalizeAndIO(t *testing.T) {
+	in := "[{A},{D},{B}]\n[{B},{E,A}]\n[{D},{A,B},{C}]\n"
+	d, u, err := ReadDataset(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Complete() {
+		t.Fatal("raw Table 3 dataset is not complete")
+	}
+	unified, toOld, _ := Unify(d)
+	if !unified.Complete() {
+		t.Fatal("unified dataset must be complete")
+	}
+	nu := SubUniverse(u, toOld)
+	var buf bytes.Buffer
+	if err := WriteDataset(&buf, unified, nu); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "{C,E}") {
+		t.Errorf("unification bucket missing:\n%s", buf.String())
+	}
+
+	projected, _, _ := Project(d)
+	if projected.N != 2 {
+		t.Errorf("projection kept %d elements, want 2", projected.N)
+	}
+	if got := TopK(d, 1).Rankings[0].Len(); got != 1 {
+		t.Errorf("TopK(1) kept %d elements", got)
+	}
+}
+
+func TestFacadeAlgorithmsRegistryComplete(t *testing.T) {
+	names := Algorithms()
+	want := []string{
+		"Ailon3/2", "BioConsert", "BnB", "BnBBeam", "BordaCount",
+		"Chanas", "ChanasBoth", "CopelandMethod", "ExactAlgorithm",
+		"ExactLPB", "FaginLarge", "FaginSmall", "KwikSort", "KwikSortMin",
+		"MC4", "MEDRank(0.5)", "MEDRank(0.7)", "Pick-a-Perm",
+		"RepeatChoice", "RepeatChoiceMin",
+	}
+	have := map[string]bool{}
+	for _, n := range names {
+		have[n] = true
+	}
+	for _, w := range want {
+		if !have[w] {
+			t.Errorf("registry missing %q (have %v)", w, names)
+		}
+	}
+}
+
+func TestFacadeMetrics(t *testing.T) {
+	u := NewUniverse()
+	a, _ := ParseRanking("A>B>C", u)
+	b, _ := ParseRanking("C>B>A", u)
+	if got := Dist(a, b, 3); got != 3 {
+		t.Errorf("Dist = %d, want 3", got)
+	}
+	if got := Tau(a, b, 3); got != -1 {
+		t.Errorf("Tau = %v, want -1", got)
+	}
+	d := FromRankings(a, b)
+	if got := Similarity(d); got != -1 {
+		t.Errorf("Similarity = %v, want -1", got)
+	}
+	p := NewPairs(d)
+	if p.CostTied(0, 2) != 2 {
+		t.Errorf("CostTied = %d, want 2", p.CostTied(0, 2))
+	}
+}
+
+func TestFacadeRecommend(t *testing.T) {
+	u := NewUniverse()
+	r, _ := ParseRanking("A>B>C", u)
+	d := FromRankings(r, r.Clone())
+	f := ExtractFeatures(d)
+	recs := Recommend(f, false, false)
+	if len(recs) == 0 || recs[0].Algorithm != "BioConsert" {
+		t.Errorf("default recommendation should be BioConsert: %+v", recs)
+	}
+}
