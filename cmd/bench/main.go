@@ -1,0 +1,395 @@
+// Command bench measures the shared pair-matrix engine against the seed's
+// per-algorithm rebuild pipeline and emits a BENCH_*.json perf-trajectory
+// document.
+//
+// Two benchmarks:
+//
+//   - multi-algo: a k-algorithm experiment on one dataset. Before: every
+//     algorithm builds its own pair matrix with the seed's branchy
+//     position-compare construction and each consensus is re-scored from
+//     the raw dataset (the seed's eval loop). After: one matrix is built
+//     with the bucket-run sharded engine and shared by every algorithm and
+//     by the scoring.
+//   - bioconsert: BioConsert restarted from all input rankings. Before:
+//     the seed's localSearch (full bucketOf rebuild per move, final O(n²)
+//     rescore, double ranking() copies), sequential restarts, legacy matrix
+//     build. After: the incremental parallel implementation.
+//
+// The "before" numbers are a lower bound on the seed gap: the measured
+// legacy paths still profit from today's row-local pair matrix layout.
+//
+// Usage:
+//
+//	bench [-n 300] [-m 25] [-bio-n 240] [-bio-m 30] [-runs 3] [-out BENCH_1.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"rankagg/internal/algo"
+	"rankagg/internal/core"
+	"rankagg/internal/gen"
+	"rankagg/internal/kendall"
+	"rankagg/internal/rankings"
+)
+
+type benchResult struct {
+	Name     string  `json:"name"`
+	N        int     `json:"n"`
+	M        int     `json:"m"`
+	Algos    int     `json:"algos,omitempty"`
+	BeforeMS float64 `json:"before_ms"`
+	AfterMS  float64 `json:"after_ms"`
+	Speedup  float64 `json:"speedup"`
+	Note     string  `json:"note,omitempty"`
+}
+
+type benchDoc struct {
+	Schema  string        `json:"schema"`
+	Date    string        `json:"date"`
+	GoVer   string        `json:"go"`
+	NumCPU  int           `json:"num_cpu"`
+	Results []benchResult `json:"results"`
+}
+
+func main() {
+	n := flag.Int("n", 300, "elements for the multi-algo benchmark")
+	m := flag.Int("m", 50, "rankings for the multi-algo benchmark")
+	bioN := flag.Int("bio-n", 240, "elements for the BioConsert benchmark (paper floor: 200)")
+	bioM := flag.Int("bio-m", 30, "rankings (= restarts) for the BioConsert benchmark")
+	runs := flag.Int("runs", 3, "repetitions; the best run of each side is kept")
+	seed := flag.Int64("seed", 1, "dataset seed")
+	out := flag.String("out", "", "write the JSON document to this file (default stdout)")
+	flag.Parse()
+
+	doc := benchDoc{
+		Schema: "rankagg-bench/v1",
+		Date:   time.Now().UTC().Format(time.RFC3339),
+		GoVer:  runtime.Version(),
+		NumCPU: runtime.NumCPU(),
+	}
+	doc.Results = append(doc.Results, benchMultiAlgo(*n, *m, *runs, *seed))
+	doc.Results = append(doc.Results, benchBioConsert(*bioN, *bioM, *runs, *seed))
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		enc = json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+	}
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+// fastPairwiseAlgos is the multi-algorithm experiment set: every registered
+// pairwise method cheap enough that the matrix build dominates (BioConsert
+// has a dedicated benchmark).
+func fastPairwiseAlgos() []core.Aggregator {
+	return []core.Aggregator{
+		&algo.FaginDyn{},
+		&algo.FaginDyn{PreferLarge: true},
+		&algo.KwikSort{},
+		&algo.KwikSort{Runs: 16},
+		algo.PickAPerm{},
+		&algo.RepeatChoice{},
+		&algo.RepeatChoice{Runs: 16},
+		&algo.CopelandPairwise{},
+	}
+}
+
+func benchMultiAlgo(n, m, runs int, seed int64) benchResult {
+	rng := rand.New(rand.NewSource(seed))
+	d := gen.UniformDataset(rng, m, n)
+	algos := fastPairwiseAlgos()
+
+	var checkBefore, checkAfter int64
+	before := best(runs, func() {
+		checkBefore = 0
+		for _, a := range algos {
+			p := kendall.NewPairsLegacy(d)
+			r, err := core.AggregateWithPairs(a, d, p)
+			must(err)
+			checkBefore += kendall.Score(r, d) // seed eval re-scored from the dataset
+		}
+	})
+	after := best(runs, func() {
+		checkAfter = 0
+		p := kendall.NewPairs(d)
+		for _, a := range algos {
+			r, err := core.AggregateWithPairs(a, d, p)
+			must(err)
+			checkAfter += p.Score(r)
+		}
+	})
+	if checkBefore != checkAfter {
+		fmt.Fprintf(os.Stderr, "bench: multi-algo consensus scores diverge (%d vs %d)\n", checkBefore, checkAfter)
+		os.Exit(1)
+	}
+	return benchResult{
+		Name: "multi-algo-shared-matrix", N: n, M: m, Algos: len(algos),
+		BeforeMS: before, AfterMS: after, Speedup: before / after,
+		Note: "per-algorithm legacy matrix rebuild + dataset re-scoring vs one shared bucket-run matrix",
+	}
+}
+
+func benchBioConsert(n, m, runs int, seed int64) benchResult {
+	rng := rand.New(rand.NewSource(seed + 1))
+	d := gen.UniformDataset(rng, m, n)
+
+	var scoreBefore, scoreAfter int64
+	before := best(runs, func() {
+		p := kendall.NewPairsLegacy(d)
+		_, scoreBefore = legacyBioConsert(p, d)
+	})
+	after := best(runs, func() {
+		p := kendall.NewPairs(d)
+		r, err := (&algo.BioConsert{}).AggregateWithPairs(d, p)
+		must(err)
+		scoreAfter = p.Score(r)
+	})
+	if scoreBefore != scoreAfter {
+		fmt.Fprintf(os.Stderr, "bench: BioConsert scores diverge (legacy %d vs current %d)\n", scoreBefore, scoreAfter)
+		os.Exit(1)
+	}
+	return benchResult{
+		Name: "bioconsert-all-seeds", N: n, M: m,
+		BeforeMS: before, AfterMS: after, Speedup: before / after,
+		Note: "seed localSearch (sequential restarts, per-move bucketOf rebuild, final full rescore) vs incremental parallel restarts",
+	}
+}
+
+// best runs f repeatedly and returns the fastest wall time in milliseconds.
+func best(runs int, f func()) float64 {
+	bestMS := 0.0
+	for i := 0; i < runs; i++ {
+		start := time.Now()
+		f()
+		if ms := float64(time.Since(start).Nanoseconds()) / 1e6; i == 0 || ms < bestMS {
+			bestMS = ms
+		}
+	}
+	return bestMS
+}
+
+func must(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+// ----------------------------------------------------------------------
+// Verbatim seed BioConsert (commit a69b439), kept as the benchmark
+// baseline. It only touches the public Pairs API, so it lives here rather
+// than in the library. The seed's pair costs read one matrix row and one
+// matrix COLUMN (before[b*N+a]); the column access is reproduced here via
+// Before(b, a), since today's Pairs keeps a transpose precisely to avoid
+// that strided load.
+
+func legacyCostBefore(p *kendall.Pairs, a, b int) int64 {
+	return int64(p.Before(b, a)) + int64(p.Tied(a, b))
+}
+
+func legacyCostTied(p *kendall.Pairs, a, b int) int64 {
+	return int64(p.Before(a, b)) + int64(p.Before(b, a))
+}
+
+// legacyScore is the seed's O(n²) position-compare Pairs.Score.
+func legacyScore(p *kendall.Pairs, r *rankings.Ranking) int64 {
+	pos := r.Positions(p.N)
+	var k int64
+	for a := 0; a < p.N; a++ {
+		if pos[a] == 0 {
+			continue
+		}
+		for b := a + 1; b < p.N; b++ {
+			if pos[b] == 0 {
+				continue
+			}
+			switch {
+			case pos[a] < pos[b]:
+				k += legacyCostBefore(p, a, b)
+			case pos[a] > pos[b]:
+				k += legacyCostBefore(p, b, a)
+			default:
+				k += legacyCostTied(p, a, b)
+			}
+		}
+	}
+	return k
+}
+
+func legacyBioConsert(p *kendall.Pairs, d *rankings.Dataset) (*rankings.Ranking, int64) {
+	var bst *rankings.Ranking
+	var bestScore int64
+	seen := map[string]bool{}
+	for _, sd := range d.Rankings {
+		key := sd.Clone().Canonicalize().String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		cand, score := legacyLocalSearch(p, sd)
+		if bst == nil || score < bestScore {
+			bst, bestScore = cand, score
+		}
+	}
+	return bst, bestScore
+}
+
+func legacyLocalSearch(p *kendall.Pairs, seed *rankings.Ranking) (*rankings.Ranking, int64) {
+	st := newLegacyState(p, seed)
+	for improved := true; improved; {
+		improved = false
+		for _, x := range st.elems {
+			if st.improveElement(x) {
+				improved = true
+			}
+		}
+	}
+	return st.ranking(), legacyScore(p, st.ranking())
+}
+
+type legacyState struct {
+	p        *kendall.Pairs
+	elems    []int
+	buckets  [][]int
+	bucketOf []int
+	tieCost  []int64
+	befCost  []int64
+	aftCost  []int64
+	preB     []int64
+	sufA     []int64
+}
+
+func newLegacyState(p *kendall.Pairs, seed *rankings.Ranking) *legacyState {
+	st := &legacyState{p: p, elems: seed.Elements(), bucketOf: make([]int, p.N)}
+	st.buckets = make([][]int, len(seed.Buckets))
+	for i, b := range seed.Buckets {
+		st.buckets[i] = append([]int(nil), b...)
+		for _, e := range b {
+			st.bucketOf[e] = i
+		}
+	}
+	return st
+}
+
+func (st *legacyState) improveElement(x int) bool {
+	k := len(st.buckets)
+	st.ensureScratch(k)
+	p := st.p
+	for j, b := range st.buckets {
+		var tc, bc, ac int64
+		for _, y := range b {
+			if y == x {
+				continue
+			}
+			tc += legacyCostTied(p, x, y)
+			bc += legacyCostBefore(p, x, y)
+			ac += legacyCostBefore(p, y, x)
+		}
+		st.tieCost[j], st.befCost[j], st.aftCost[j] = tc, bc, ac
+	}
+	st.preB[0] = 0
+	for j := 0; j < k; j++ {
+		st.preB[j+1] = st.preB[j] + st.aftCost[j]
+	}
+	st.sufA[k] = 0
+	for j := k - 1; j >= 0; j-- {
+		st.sufA[j] = st.sufA[j+1] + st.befCost[j]
+	}
+	cur := st.bucketOf[x]
+	curCost := st.preB[cur] + st.sufA[cur+1] + st.tieCost[cur]
+
+	bestDelta := int64(0)
+	bestTie, bestNew := -1, -1
+	for j := 0; j < k; j++ {
+		if j == cur {
+			continue
+		}
+		if d := st.preB[j] + st.sufA[j+1] + st.tieCost[j] - curCost; d < bestDelta {
+			bestDelta, bestTie, bestNew = d, j, -1
+		}
+	}
+	for q := 0; q <= k; q++ {
+		if d := st.preB[q] + st.sufA[q] - curCost; d < bestDelta {
+			bestDelta, bestTie, bestNew = d, -1, q
+		}
+	}
+	if bestTie < 0 && bestNew < 0 {
+		return false
+	}
+	st.apply(x, bestTie, bestNew)
+	return true
+}
+
+func (st *legacyState) apply(x, tie, newPos int) {
+	cur := st.bucketOf[x]
+	b := st.buckets[cur]
+	for i, e := range b {
+		if e == x {
+			b[i] = b[len(b)-1]
+			st.buckets[cur] = b[:len(b)-1]
+			break
+		}
+	}
+	removed := len(st.buckets[cur]) == 0
+	if removed {
+		st.buckets = append(st.buckets[:cur], st.buckets[cur+1:]...)
+		if tie > cur {
+			tie--
+		}
+		if newPos > cur {
+			newPos--
+		}
+	}
+	if tie >= 0 {
+		st.buckets[tie] = append(st.buckets[tie], x)
+	} else {
+		st.buckets = append(st.buckets, nil)
+		copy(st.buckets[newPos+1:], st.buckets[newPos:])
+		st.buckets[newPos] = []int{x}
+	}
+	for j, bk := range st.buckets {
+		for _, e := range bk {
+			st.bucketOf[e] = j
+		}
+	}
+}
+
+func (st *legacyState) ensureScratch(k int) {
+	if cap(st.tieCost) < k {
+		st.tieCost = make([]int64, k)
+		st.befCost = make([]int64, k)
+		st.aftCost = make([]int64, k)
+		st.preB = make([]int64, k+1)
+		st.sufA = make([]int64, k+1)
+	}
+	st.tieCost = st.tieCost[:k]
+	st.befCost = st.befCost[:k]
+	st.aftCost = st.aftCost[:k]
+	st.preB = st.preB[:k+1]
+	st.sufA = st.sufA[:k+1]
+}
+
+func (st *legacyState) ranking() *rankings.Ranking {
+	out := &rankings.Ranking{Buckets: make([][]int, len(st.buckets))}
+	for i, b := range st.buckets {
+		out.Buckets[i] = append([]int(nil), b...)
+	}
+	return out
+}

@@ -1,0 +1,3 @@
+module rankagg
+
+go 1.24.0

@@ -56,6 +56,12 @@ func (e *TimeLimitError) Error() string {
 
 // Aggregate implements core.Aggregator.
 func (a *Ailon) Aggregate(d *rankings.Dataset) (*rankings.Ranking, error) {
+	return a.AggregateWithPairs(d, nil)
+}
+
+// AggregateWithPairs implements core.PairsAggregator: a nil p is computed
+// from d, a non-nil p must be the pair matrix of d.
+func (a *Ailon) AggregateWithPairs(d *rankings.Dataset, p *kendall.Pairs) (*rankings.Ranking, error) {
 	if err := core.CheckInput(d); err != nil {
 		return nil, err
 	}
@@ -66,7 +72,9 @@ func (a *Ailon) Aggregate(d *rankings.Dataset) (*rankings.Ranking, error) {
 	if d.N > maxN {
 		return nil, &TooLargeError{N: d.N, Max: maxN}
 	}
-	p := kendall.NewPairs(d)
+	if p == nil {
+		p = kendall.NewPairs(d)
+	}
 	u, err := a.solveRelaxation(p, d.N)
 	if err != nil {
 		return nil, err

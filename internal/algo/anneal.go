@@ -38,27 +38,44 @@ func (a *Anneal) Name() string { return "Anneal" }
 
 // Aggregate implements core.Aggregator.
 func (a *Anneal) Aggregate(d *rankings.Dataset) (*rankings.Ranking, error) {
+	return a.AggregateWithPairs(d, nil)
+}
+
+// AggregateWithPairs implements core.PairsAggregator: a nil p is computed
+// from d, a non-nil p must be the pair matrix of d.
+func (a *Anneal) AggregateWithPairs(d *rankings.Dataset, p *kendall.Pairs) (*rankings.Ranking, error) {
 	if err := core.CheckInput(d); err != nil {
 		return nil, err
 	}
+	if p == nil {
+		p = kendall.NewPairs(d)
+	}
 	seed := a.StartFrom
 	if seed == nil {
-		best, err := (PickAPerm{}).Aggregate(d)
+		best, err := (PickAPerm{}).AggregateWithPairs(d, p)
 		if err != nil {
 			return nil, err
 		}
 		seed = best
 	}
-	return a.AggregateFrom(d, seed)
+	return a.AggregateFromWithPairs(d, seed, p)
 }
 
 // AggregateFrom implements Seedable: anneal starting from the given
 // solution.
 func (a *Anneal) AggregateFrom(d *rankings.Dataset, seed *rankings.Ranking) (*rankings.Ranking, error) {
+	return a.AggregateFromWithPairs(d, seed, nil)
+}
+
+// AggregateFromWithPairs implements PairsSeedable: AggregateFrom with a
+// prebuilt pair matrix.
+func (a *Anneal) AggregateFromWithPairs(d *rankings.Dataset, seed *rankings.Ranking, p *kendall.Pairs) (*rankings.Ranking, error) {
 	if err := core.CheckInput(d); err != nil {
 		return nil, err
 	}
-	p := kendall.NewPairs(d)
+	if p == nil {
+		p = kendall.NewPairs(d)
+	}
 	rng := rand.New(rand.NewSource(a.Seed + 0x5a))
 	st := newSearchState(p, seed)
 
@@ -79,19 +96,20 @@ func (a *Anneal) AggregateFrom(d *rankings.Dataset, seed *rankings.Ranking) (*ra
 		temp = meanPairCost(p)
 	}
 
-	cur := p.Score(st.ranking())
+	score := p.Score(st.ranking())
 	best := st.ranking()
-	bestScore := cur
+	bestScore := score
 	for s := 0; s < sweeps; s++ {
 		for mv := 0; mv < moves; mv++ {
 			x := st.elems[rng.Intn(len(st.elems))]
-			tie, newAt := st.randomMove(x, rng)
-			delta := st.moveDelta(x, tie, newAt)
+			cur := st.curIndex(x)
+			tie, newAt := st.randomMove(x, cur, rng)
+			delta := st.moveDelta(x, cur, tie, newAt)
 			if delta <= 0 || rng.Float64() < math.Exp(-float64(delta)/temp) {
-				st.apply(x, tie, newAt)
-				cur += delta
-				if cur < bestScore {
-					bestScore = cur
+				st.apply(x, cur, tie, newAt)
+				score += delta
+				if score < bestScore {
+					bestScore = score
 					best = st.ranking()
 				}
 			}
@@ -128,9 +146,9 @@ func meanPairCost(p *kendall.Pairs) float64 {
 
 // randomMove draws a uniformly random placement for x among existing
 // buckets and new-bucket boundaries (excluding the identity placement).
-func (st *searchState) randomMove(x int, rng *rand.Rand) (tie, newAt int) {
-	k := len(st.buckets)
-	cur := st.bucketOf[x]
+// cur is the index of x's current bucket.
+func (st *searchState) randomMove(x, cur int, rng *rand.Rand) (tie, newAt int) {
+	k := len(st.order)
 	for {
 		c := rng.Intn(2*k + 1)
 		if c < k {
@@ -141,7 +159,7 @@ func (st *searchState) randomMove(x int, rng *rand.Rand) (tie, newAt int) {
 		}
 		q := c - k
 		// Recreating a singleton at its own boundary is the identity.
-		if len(st.buckets[cur]) == 1 && (q == cur || q == cur+1) {
+		if len(st.store[st.order[cur]]) == 1 && (q == cur || q == cur+1) {
 			continue
 		}
 		return -1, q
@@ -149,32 +167,10 @@ func (st *searchState) randomMove(x int, rng *rand.Rand) (tie, newAt int) {
 }
 
 // moveDelta computes the score change of placing x into existing bucket tie
-// (or a new bucket at boundary newAt) without mutating the state.
-func (st *searchState) moveDelta(x, tie, newAt int) int64 {
-	k := len(st.buckets)
-	st.ensureScratch(k)
-	p := st.p
-	for j, b := range st.buckets {
-		var tc, bc, ac int64
-		for _, y := range b {
-			if y == x {
-				continue
-			}
-			tc += p.CostTied(x, y)
-			bc += p.CostBefore(x, y)
-			ac += p.CostBefore(y, x)
-		}
-		st.tieCost[j], st.befCost[j], st.aftCost[j] = tc, bc, ac
-	}
-	st.preB[0] = 0
-	for j := 0; j < k; j++ {
-		st.preB[j+1] = st.preB[j] + st.aftCost[j]
-	}
-	st.sufA[k] = 0
-	for j := k - 1; j >= 0; j-- {
-		st.sufA[j] = st.sufA[j+1] + st.befCost[j]
-	}
-	cur := st.bucketOf[x]
+// (or a new bucket at boundary newAt) without mutating the state. cur is the
+// index of x's current bucket.
+func (st *searchState) moveDelta(x, cur, tie, newAt int) int64 {
+	st.scanPlacement(x)
 	curCost := st.preB[cur] + st.sufA[cur+1] + st.tieCost[cur]
 	if tie >= 0 {
 		return st.preB[tie] + st.sufA[tie+1] + st.tieCost[tie] - curCost

@@ -1,6 +1,10 @@
 package algo
 
 import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
 	"rankagg/internal/core"
 	"rankagg/internal/kendall"
 	"rankagg/internal/rankings"
@@ -16,12 +20,18 @@ import (
 //   - move an element into an already existing bucket (tying it there).
 //
 // By default the search is restarted from every input ranking and the best
-// local optimum is returned, as in [12]. Memory is O(n²) (the pair matrix),
-// the scaling limit Section 7.4 notes for n > 30000.
+// local optimum is returned, as in [12]. The restarts are independent and
+// run on a bounded worker pool (the pair matrix is shared, read-only);
+// ties between equally-scored local optima are broken by seed index, so the
+// result is identical to a sequential run. Memory is O(n²) (the pair
+// matrix), the scaling limit Section 7.4 notes for n > 30000.
 type BioConsert struct {
 	// StartFrom, when non-nil, replaces the input rankings as the unique
 	// starting solution (used for algorithm chaining and ablations).
 	StartFrom *rankings.Ranking
+	// Workers bounds the restart worker pool: 0 uses runtime.NumCPU(), 1
+	// forces the sequential path (used by determinism tests and benchmarks).
+	Workers int
 }
 
 // Name implements core.Aggregator.
@@ -29,54 +39,119 @@ func (a *BioConsert) Name() string { return "BioConsert" }
 
 // Aggregate implements core.Aggregator.
 func (a *BioConsert) Aggregate(d *rankings.Dataset) (*rankings.Ranking, error) {
+	return a.AggregateWithPairs(d, nil)
+}
+
+// AggregateWithPairs implements core.PairsAggregator: a nil p is computed
+// from d, a non-nil p must be the pair matrix of d.
+func (a *BioConsert) AggregateWithPairs(d *rankings.Dataset, p *kendall.Pairs) (*rankings.Ranking, error) {
 	if err := core.CheckInput(d); err != nil {
 		return nil, err
 	}
-	p := kendall.NewPairs(d)
+	if p == nil {
+		p = kendall.NewPairs(d)
+	}
 	seeds := d.Rankings
 	if a.StartFrom != nil {
 		seeds = []*rankings.Ranking{a.StartFrom}
 	}
-	var best *rankings.Ranking
-	var bestScore int64
-	seen := map[string]bool{}
+	// Dedup seeds up front (restarting twice from the same bucket order finds
+	// the same optimum), preserving first-seen order for the index tie-break.
+	uniq := make([]*rankings.Ranking, 0, len(seeds))
+	seen := make(map[string]bool, len(seeds))
 	for _, seed := range seeds {
 		key := seed.Clone().Canonicalize().String()
 		if seen[key] {
 			continue
 		}
 		seen[key] = true
-		cand, score := localSearch(p, seed)
-		if best == nil || score < bestScore {
-			best, bestScore = cand, score
+		uniq = append(uniq, seed)
+	}
+	type result struct {
+		r     *rankings.Ranking
+		score int64
+	}
+	results := make([]result, len(uniq))
+	workers := a.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(uniq) {
+		workers = len(uniq)
+	}
+	if workers <= 1 {
+		for i, seed := range uniq {
+			r, score := localSearch(p, seed)
+			results[i] = result{r, score}
+		}
+	} else {
+		var next int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(atomic.AddInt64(&next, 1)) - 1
+					if i >= len(uniq) {
+						return
+					}
+					r, score := localSearch(p, uniq[i])
+					results[i] = result{r, score}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	// Deterministic best-of: lowest score, ties broken by lowest seed index
+	// (the order a sequential scan would have kept).
+	best := results[0]
+	for _, r := range results[1:] {
+		if r.score < best.score {
+			best = r
 		}
 	}
-	return best, nil
+	return best.r, nil
 }
 
 // localSearch runs BioConsert's descent from the given seed and returns the
 // local optimum and its score. The seed may cover a subset of the universe;
-// only its elements are moved (and scored).
+// only its elements are moved (and scored). The score is maintained
+// incrementally from the move deltas — only the seed is ever scored in full.
 func localSearch(p *kendall.Pairs, seed *rankings.Ranking) (*rankings.Ranking, int64) {
 	st := newSearchState(p, seed)
+	score := p.Score(seed)
 	for improved := true; improved; {
 		improved = false
 		for _, x := range st.elems {
-			if st.improveElement(x) {
+			if delta := st.improveElement(x); delta < 0 {
+				score += delta
 				improved = true
 			}
 		}
 	}
-	return st.ranking(), p.Score(st.ranking())
+	return st.ranking(), score
 }
 
 // searchState is the mutable bucket order of a running local search.
+// Buckets live in a slab indexed by stable int32 ids: the consensus order
+// is a plain []int32 (shifted with pointer-free memmoves, no GC write
+// barriers), bucketOf maps each element to its bucket id and survives every
+// shift, and dead bucket ids are recycled so moves never allocate.
 type searchState struct {
 	p        *kendall.Pairs
 	elems    []int
-	buckets  [][]int
-	bucketOf []int
-	// scratch, reused across improveElement calls:
+	store    [][]int // bucket id → members (emptied, kept for reuse, when dead)
+	free     []int32 // dead bucket ids available for reuse
+	order    []int32 // bucket ids in consensus order
+	bucketOf []int32 // element → bucket id (meaningful only for seed elements)
+	// version counts applied moves; lastSeen[x] records the version at which
+	// x was last found move-free, so unchanged elements skip their O(n) scan
+	// (an element with no improving move still has none while the state is
+	// untouched — the skip is exact, not heuristic).
+	version  int64
+	lastSeen []int64
+	// scratch, reused across placement scans:
 	tieCost []int64 // per existing bucket: Σ costTied(x, y∈bucket)
 	befCost []int64 // per bucket: Σ costBefore(x, y) — x before the bucket
 	aftCost []int64 // per bucket: Σ costBefore(y, x) — x after the bucket
@@ -85,36 +160,72 @@ type searchState struct {
 }
 
 func newSearchState(p *kendall.Pairs, seed *rankings.Ranking) *searchState {
-	st := &searchState{p: p, elems: seed.Elements(), bucketOf: make([]int, p.N)}
-	st.buckets = make([][]int, len(seed.Buckets))
+	st := &searchState{
+		p:        p,
+		elems:    seed.Elements(),
+		bucketOf: make([]int32, p.N),
+		version:  1,
+		lastSeen: make([]int64, p.N),
+	}
+	st.store = make([][]int, len(seed.Buckets))
+	st.order = make([]int32, len(seed.Buckets))
 	for i, b := range seed.Buckets {
-		st.buckets[i] = append([]int(nil), b...)
+		st.store[i] = append([]int(nil), b...)
+		st.order[i] = int32(i)
 		for _, e := range b {
-			st.bucketOf[e] = i
+			st.bucketOf[e] = int32(i)
 		}
 	}
 	return st
 }
 
-// improveElement evaluates every placement of x (into each existing bucket,
-// or as a new singleton bucket at each boundary) in O(n + k) using prefix
-// sums, and applies the best strictly-improving move. Reports whether a
-// move was made.
-func (st *searchState) improveElement(x int) bool {
-	k := len(st.buckets)
+// scanPlacement fills the per-bucket cost scratch for x (tieCost, befCost,
+// aftCost and the preB/sufA prefix sums) and returns the index of x's
+// current bucket, in O(n + k). All pair costs are read from three
+// row-contiguous matrix slices; the diagonal is zero, so x's own entry
+// contributes nothing and needs no branch.
+func (st *searchState) scanPlacement(x int) int {
+	k := len(st.order)
 	st.ensureScratch(k)
-	p := st.p
-	for j, b := range st.buckets {
-		var tc, bc, ac int64
-		for _, y := range b {
-			if y == x {
-				continue
+	bx := st.p.RowBefore(x)
+	ax := st.p.RowAfter(x)
+	cur := -1
+	mine := st.bucketOf[x]
+	if st.p.Complete {
+		// Complete dataset: before + after + tied = M for every pair, so two
+		// row loads per element suffice — with sb = Σ before[x,y] and
+		// sa = Σ after[x,y] over a bucket of c elements,
+		// tieCost = sb + sa, befCost = M·c − sb, aftCost = M·c − sa.
+		m := int64(st.p.M)
+		for j, id := range st.order {
+			var sb, sa int64
+			b := st.store[id]
+			for _, y := range b {
+				sb += int64(bx[y])
+				sa += int64(ax[y])
 			}
-			tc += p.CostTied(x, y)
-			bc += p.CostBefore(x, y)
-			ac += p.CostBefore(y, x)
+			c := int64(len(b))
+			if id == mine {
+				cur = j
+				c-- // x's zero diagonal entries still count pairs in M·c
+			}
+			st.tieCost[j], st.befCost[j], st.aftCost[j] = sb+sa, m*c-sb, m*c-sa
 		}
-		st.tieCost[j], st.befCost[j], st.aftCost[j] = tc, bc, ac
+	} else {
+		tx := st.p.RowTied(x)
+		for j, id := range st.order {
+			if id == mine {
+				cur = j
+			}
+			var tc, bc, ac int64
+			for _, y := range st.store[id] {
+				bxy, axy, txy := int64(bx[y]), int64(ax[y]), int64(tx[y])
+				tc += bxy + axy // costTied(x, y)
+				bc += axy + txy // costBefore(x, y)
+				ac += bxy + txy // costBefore(y, x)
+			}
+			st.tieCost[j], st.befCost[j], st.aftCost[j] = tc, bc, ac
+		}
 	}
 	// preB[q] = cost of x being after buckets 0..q-1; sufA[q] = cost of x
 	// being before buckets q..k-1.
@@ -126,11 +237,112 @@ func (st *searchState) improveElement(x int) bool {
 	for j := k - 1; j >= 0; j-- {
 		st.sufA[j] = st.sufA[j+1] + st.befCost[j]
 	}
-	cur := st.bucketOf[x]
+	return cur
+}
+
+// improveElement evaluates every placement of x (into each existing bucket,
+// or as a new singleton bucket at each boundary) in O(n + k), and applies
+// the best strictly-improving move. Returns the (negative) score delta of
+// the applied move, or 0 when x stays put.
+//
+// On complete datasets the evaluation runs fused in a single forward pass:
+// with sb_j = Σ_{y∈Bj} before[x,y], sa_j = Σ_{y∈Bj} after[x,y] and the
+// running prefix D_j = Σ_{j'<j} (sb_j' − sa_j'), every placement cost equals
+// a shared constant (which cancels in deltas) plus
+//
+//	new bucket at boundary q:  D_q
+//	tie into bucket j:         D_j + 2·sb_j + sa_j − M·|Bj|
+//
+// so no prefix-sum scratch arrays or backward passes are needed. The
+// general path (partial datasets) keeps the explicit three-cost scan.
+func (st *searchState) improveElement(x int) int64 {
+	if st.lastSeen[x] == st.version {
+		return 0 // state untouched since x was last found move-free
+	}
+	var bestDelta int64
+	var bestTie, bestNew, cur int
+	if st.p.Complete {
+		bestDelta, cur, bestTie, bestNew = st.bestMoveComplete(x)
+	} else {
+		bestDelta, cur, bestTie, bestNew = st.bestMoveGeneral(x)
+	}
+	if bestTie < 0 && bestNew < 0 {
+		st.lastSeen[x] = st.version
+		return 0
+	}
+	st.apply(x, cur, bestTie, bestNew)
+	// x now sits at the cheapest placement the pre-move state offered and
+	// only x's own position changed, so x itself is move-free too.
+	st.lastSeen[x] = st.version
+	return bestDelta
+}
+
+// bestMoveComplete is the fused single-pass placement evaluation for
+// complete datasets. It returns the best strictly-improving move exactly as
+// bestMoveGeneral would (same values, same tie-breaking: lowest candidate
+// value wins, existing buckets in order first, then boundaries in order —
+// matching the historical two-loop scan).
+func (st *searchState) bestMoveComplete(x int) (bestDelta int64, cur, bestTie, bestNew int) {
+	bx := st.p.RowBefore(x)
+	ax := st.p.RowAfter(x)
+	m := int64(st.p.M)
+	mine := st.bucketOf[x]
+	cur = -1
+
+	// Pass 1 of the fused scan records, per bucket, its tie value and the
+	// boundary value before it; k is small enough that two tiny passes over
+	// the candidate values beat a second row scan.
+	k := len(st.order)
+	tieVal, newVal := st.ensureCand(k)
+	var d int64          // D_j: running Σ (sb − sa)
+	for j, id := range st.order {
+		var sb, sa int64
+		b := st.store[id]
+		for _, y := range b {
+			sb += int64(bx[y])
+			sa += int64(ax[y])
+		}
+		c := int64(len(b))
+		if id == mine {
+			cur = j
+			c-- // x's own zero diagonal contributes no pair
+		}
+		newVal[j] = d
+		tieVal[j] = d + 2*sb + sa - m*c
+		d += sb - sa
+	}
+	newVal[k] = d
+
+	curVal := tieVal[cur]
+	bestDelta, bestTie, bestNew = 0, -1, -1
+	for j := 0; j < k; j++ {
+		if j == cur {
+			continue
+		}
+		if dd := tieVal[j] - curVal; dd < bestDelta {
+			bestDelta, bestTie, bestNew = dd, j, -1
+		}
+	}
+	for q := 0; q <= k; q++ {
+		if dd := newVal[q] - curVal; dd < bestDelta {
+			bestDelta, bestTie, bestNew = dd, -1, q
+		}
+	}
+	return bestDelta, cur, bestTie, bestNew
+}
+
+// bestMoveGeneral evaluates placements via the explicit three-cost scan and
+// prefix sums. Every registered aggregator rejects incomplete datasets
+// (core.CheckInput), so in production p.Complete always holds and this path
+// is defensive: it is reachable only by calling localSearch directly on a
+// matrix built from an incomplete dataset, which the oracle test does to
+// pin both paths to the same move selection.
+func (st *searchState) bestMoveGeneral(x int) (bestDelta int64, cur, bestTie, bestNew int) {
+	cur = st.scanPlacement(x)
+	k := len(st.order)
 	curCost := st.preB[cur] + st.sufA[cur+1] + st.tieCost[cur]
 
-	bestDelta := int64(0)
-	bestTie, bestNew := -1, -1
+	bestDelta, bestTie, bestNew = 0, -1, -1
 	for j := 0; j < k; j++ {
 		if j == cur {
 			continue
@@ -144,29 +356,29 @@ func (st *searchState) improveElement(x int) bool {
 			bestDelta, bestTie, bestNew = d, -1, q
 		}
 	}
-	if bestTie < 0 && bestNew < 0 {
-		return false
-	}
-	st.apply(x, bestTie, bestNew)
-	return true
+	return bestDelta, cur, bestTie, bestNew
 }
 
-// apply moves x into existing bucket tie (if tie >= 0) or into a new
-// singleton bucket before boundary pos new (if new >= 0). Indices refer to
-// the bucket slice BEFORE x is removed.
-func (st *searchState) apply(x, tie, newPos int) {
-	cur := st.bucketOf[x]
-	b := st.buckets[cur]
+// apply moves x out of bucket index cur into existing bucket tie (if
+// tie >= 0) or into a new singleton bucket before boundary newPos (if
+// newPos >= 0). Indices refer to the bucket order BEFORE x is removed.
+// Thanks to the stable bucket ids only x's own bucketOf entry changes, and
+// recycling dead ids keeps moves allocation-free.
+func (st *searchState) apply(x, cur, tie, newPos int) {
+	st.version++
+	id := st.order[cur]
+	b := st.store[id]
 	for i, e := range b {
 		if e == x {
 			b[i] = b[len(b)-1]
-			st.buckets[cur] = b[:len(b)-1]
+			b = b[:len(b)-1]
+			st.store[id] = b
 			break
 		}
 	}
-	removed := len(st.buckets[cur]) == 0
-	if removed {
-		st.buckets = append(st.buckets[:cur], st.buckets[cur+1:]...)
+	if len(b) == 0 {
+		st.free = append(st.free, id)
+		st.order = append(st.order[:cur], st.order[cur+1:]...)
 		if tie > cur {
 			tie--
 		}
@@ -175,17 +387,45 @@ func (st *searchState) apply(x, tie, newPos int) {
 		}
 	}
 	if tie >= 0 {
-		st.buckets[tie] = append(st.buckets[tie], x)
+		did := st.order[tie]
+		st.store[did] = append(st.store[did], x)
+		st.bucketOf[x] = did
 	} else {
-		st.buckets = append(st.buckets, nil)
-		copy(st.buckets[newPos+1:], st.buckets[newPos:])
-		st.buckets[newPos] = []int{x}
+		var nid int32
+		if nf := len(st.free); nf > 0 {
+			nid = st.free[nf-1]
+			st.free = st.free[:nf-1]
+			st.store[nid] = append(st.store[nid][:0], x)
+		} else {
+			nid = int32(len(st.store))
+			st.store = append(st.store, []int{x})
+		}
+		st.order = append(st.order, 0)
+		copy(st.order[newPos+1:], st.order[newPos:])
+		st.order[newPos] = nid
+		st.bucketOf[x] = nid
 	}
-	for j, bk := range st.buckets {
-		for _, e := range bk {
-			st.bucketOf[e] = j
+}
+
+// curIndex returns the position of x's bucket in the current bucket order.
+func (st *searchState) curIndex(x int) int {
+	mine := st.bucketOf[x]
+	for j, id := range st.order {
+		if id == mine {
+			return j
 		}
 	}
+	return -1
+}
+
+// ensureCand returns the k tie-candidate and k+1 boundary-candidate scratch
+// slices, growing the shared scratch only when needed (the fused scan needs
+// just these two, so the other three arrays are left untouched).
+func (st *searchState) ensureCand(k int) (tieVal, newVal []int64) {
+	if cap(st.tieCost) < k {
+		st.ensureScratch(k)
+	}
+	return st.tieCost[:k], st.preB[:k+1]
 }
 
 func (st *searchState) ensureScratch(k int) {
@@ -204,9 +444,9 @@ func (st *searchState) ensureScratch(k int) {
 }
 
 func (st *searchState) ranking() *rankings.Ranking {
-	out := &rankings.Ranking{Buckets: make([][]int, len(st.buckets))}
-	for i, b := range st.buckets {
-		out.Buckets[i] = append([]int(nil), b...)
+	out := &rankings.Ranking{Buckets: make([][]int, len(st.order))}
+	for i, id := range st.order {
+		out.Buckets[i] = append([]int(nil), st.store[id]...)
 	}
 	return out
 }

@@ -39,14 +39,28 @@ func (a *BnB) Aggregate(d *rankings.Dataset) (*rankings.Ranking, error) {
 	return r, err
 }
 
+// AggregateWithPairs implements core.PairsAggregator.
+func (a *BnB) AggregateWithPairs(d *rankings.Dataset, p *kendall.Pairs) (*rankings.Ranking, error) {
+	r, _, err := a.AggregateExactWithPairs(d, p)
+	return r, err
+}
+
 // AggregateExact implements core.ExactAggregator: exact only when Beam = 0
 // and the time limit was not hit, and then only over permutations (the
 // optimum *with ties* can be strictly better).
 func (a *BnB) AggregateExact(d *rankings.Dataset) (*rankings.Ranking, bool, error) {
+	return a.AggregateExactWithPairs(d, nil)
+}
+
+// AggregateExactWithPairs implements core.ExactPairsAggregator: a nil p is
+// computed from d, a non-nil p must be the pair matrix of d.
+func (a *BnB) AggregateExactWithPairs(d *rankings.Dataset, p *kendall.Pairs) (*rankings.Ranking, bool, error) {
 	if err := core.CheckInput(d); err != nil {
 		return nil, false, err
 	}
-	p := kendall.NewPairs(d)
+	if p == nil {
+		p = kendall.NewPairs(d)
+	}
 	order := bordaOrderAll(d)
 	if a.Beam > 0 {
 		return beamSearch(p, order, a.Beam), false, nil

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rankagg/internal/core"
+	"rankagg/internal/kendall"
 	"rankagg/internal/rankings"
 )
 
@@ -13,6 +14,14 @@ type Seedable interface {
 	core.Aggregator
 	// AggregateFrom refines the seed into a (hopefully better) consensus.
 	AggregateFrom(d *rankings.Dataset, seed *rankings.Ranking) (*rankings.Ranking, error)
+}
+
+// PairsSeedable is a Seedable refiner that can reuse a prebuilt pair matrix
+// (same contract as core.PairsAggregator).
+type PairsSeedable interface {
+	Seedable
+	// AggregateFromWithPairs is AggregateFrom with a prebuilt pair matrix.
+	AggregateFromWithPairs(d *rankings.Dataset, seed *rankings.Ranking, p *kendall.Pairs) (*rankings.Ranking, error)
 }
 
 // Chained runs a fast first-stage algorithm and refines its output with a
@@ -48,10 +57,30 @@ func (c *Chained) stages() (core.Aggregator, Seedable) {
 
 // Aggregate implements core.Aggregator.
 func (c *Chained) Aggregate(d *rankings.Dataset) (*rankings.Ranking, error) {
+	return c.AggregateWithPairs(d, nil)
+}
+
+// AggregateWithPairs implements core.PairsAggregator: the pair matrix is
+// built at most once for the whole chain and handed to every stage that can
+// consume it — chained algorithms no longer pay the O(m·n²) build twice.
+func (c *Chained) AggregateWithPairs(d *rankings.Dataset, p *kendall.Pairs) (*rankings.Ranking, error) {
 	first, refiner := c.stages()
-	seed, err := first.Aggregate(d)
+	if p == nil {
+		_, firstWants := first.(core.PairsAggregator)
+		_, refinerWants := refiner.(PairsSeedable)
+		if firstWants || refinerWants {
+			if err := core.CheckInput(d); err != nil {
+				return nil, err
+			}
+			p = kendall.NewPairs(d)
+		}
+	}
+	seed, err := core.AggregateWithPairs(first, d, p)
 	if err != nil {
 		return nil, err
+	}
+	if ps, ok := refiner.(PairsSeedable); ok && p != nil {
+		return ps.AggregateFromWithPairs(d, seed, p)
 	}
 	return refiner.AggregateFrom(d, seed)
 }
@@ -59,8 +88,13 @@ func (c *Chained) Aggregate(d *rankings.Dataset) (*rankings.Ranking, error) {
 // AggregateFrom implements Seedable so that BioConsert can itself be used
 // as a chain stage: the local search restarts from the given seed.
 func (a *BioConsert) AggregateFrom(d *rankings.Dataset, seed *rankings.Ranking) (*rankings.Ranking, error) {
-	b := &BioConsert{StartFrom: seed}
-	return b.Aggregate(d)
+	return a.AggregateFromWithPairs(d, seed, nil)
+}
+
+// AggregateFromWithPairs implements PairsSeedable.
+func (a *BioConsert) AggregateFromWithPairs(d *rankings.Dataset, seed *rankings.Ranking, p *kendall.Pairs) (*rankings.Ranking, error) {
+	b := &BioConsert{StartFrom: seed, Workers: a.Workers}
+	return b.AggregateWithPairs(d, p)
 }
 
 func init() {

@@ -31,10 +31,18 @@ func (a *Chanas) Name() string {
 
 // Aggregate implements core.Aggregator.
 func (a *Chanas) Aggregate(d *rankings.Dataset) (*rankings.Ranking, error) {
+	return a.AggregateWithPairs(d, nil)
+}
+
+// AggregateWithPairs implements core.PairsAggregator: a nil p is computed
+// from d, a non-nil p must be the pair matrix of d.
+func (a *Chanas) AggregateWithPairs(d *rankings.Dataset, p *kendall.Pairs) (*rankings.Ranking, error) {
 	if err := core.CheckInput(d); err != nil {
 		return nil, err
 	}
-	p := kendall.NewPairs(d)
+	if p == nil {
+		p = kendall.NewPairs(d)
+	}
 	var seeds [][]int
 	for _, r := range d.Rankings {
 		seeds = append(seeds, r.Clone().Canonicalize().Elements())

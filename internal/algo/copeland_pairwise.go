@@ -24,10 +24,18 @@ func (c *CopelandPairwise) Name() string { return "CopelandPairwise" }
 
 // Aggregate implements core.Aggregator.
 func (c *CopelandPairwise) Aggregate(d *rankings.Dataset) (*rankings.Ranking, error) {
+	return c.AggregateWithPairs(d, nil)
+}
+
+// AggregateWithPairs implements core.PairsAggregator: a nil p is computed
+// from d, a non-nil p must be the pair matrix of d.
+func (c *CopelandPairwise) AggregateWithPairs(d *rankings.Dataset, p *kendall.Pairs) (*rankings.Ranking, error) {
 	if err := core.CheckInput(d); err != nil {
 		return nil, err
 	}
-	p := kendall.NewPairs(d)
+	if p == nil {
+		p = kendall.NewPairs(d)
+	}
 	scores := make([]int64, d.N)
 	for a := 0; a < d.N; a++ {
 		for b := 0; b < d.N; b++ {

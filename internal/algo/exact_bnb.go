@@ -48,15 +48,29 @@ func (a *ExactBnB) Aggregate(d *rankings.Dataset) (*rankings.Ranking, error) {
 	return r, err
 }
 
+// AggregateWithPairs implements core.PairsAggregator.
+func (a *ExactBnB) AggregateWithPairs(d *rankings.Dataset, p *kendall.Pairs) (*rankings.Ranking, error) {
+	r, _, err := a.AggregateExactWithPairs(d, p)
+	return r, err
+}
+
 // AggregateExact implements core.ExactAggregator.
 func (a *ExactBnB) AggregateExact(d *rankings.Dataset) (*rankings.Ranking, bool, error) {
+	return a.AggregateExactWithPairs(d, nil)
+}
+
+// AggregateExactWithPairs implements core.ExactPairsAggregator: a nil p is
+// computed from d, a non-nil p must be the pair matrix of d.
+func (a *ExactBnB) AggregateExactWithPairs(d *rankings.Dataset, p *kendall.Pairs) (*rankings.Ranking, bool, error) {
 	if err := core.CheckInput(d); err != nil {
 		return nil, false, err
 	}
 	if a.MaxElements > 0 && d.N > a.MaxElements {
 		return nil, false, &TooLargeError{N: d.N, Max: a.MaxElements}
 	}
-	p := kendall.NewPairs(d)
+	if p == nil {
+		p = kendall.NewPairs(d)
+	}
 	deadline := time.Time{}
 	if a.TimeLimit > 0 {
 		deadline = time.Now().Add(a.TimeLimit)

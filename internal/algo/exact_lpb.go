@@ -44,8 +44,20 @@ func (a *ExactLPB) Aggregate(d *rankings.Dataset) (*rankings.Ranking, error) {
 	return r, err
 }
 
+// AggregateWithPairs implements core.PairsAggregator.
+func (a *ExactLPB) AggregateWithPairs(d *rankings.Dataset, p *kendall.Pairs) (*rankings.Ranking, error) {
+	r, _, err := a.AggregateExactWithPairs(d, p)
+	return r, err
+}
+
 // AggregateExact implements core.ExactAggregator.
 func (a *ExactLPB) AggregateExact(d *rankings.Dataset) (*rankings.Ranking, bool, error) {
+	return a.AggregateExactWithPairs(d, nil)
+}
+
+// AggregateExactWithPairs implements core.ExactPairsAggregator: a nil p is
+// computed from d, a non-nil p must be the pair matrix of d.
+func (a *ExactLPB) AggregateExactWithPairs(d *rankings.Dataset, p *kendall.Pairs) (*rankings.Ranking, bool, error) {
 	if err := core.CheckInput(d); err != nil {
 		return nil, false, err
 	}
@@ -57,7 +69,9 @@ func (a *ExactLPB) AggregateExact(d *rankings.Dataset) (*rankings.Ranking, bool,
 		return nil, false, &TooLargeError{N: d.N, Max: maxN}
 	}
 	n := d.N
-	p := kendall.NewPairs(d)
+	if p == nil {
+		p = kendall.NewPairs(d)
+	}
 	nPairs := n * (n - 1) / 2
 
 	// Variable layout: pair {a<b} (IDs ascending) occupies indices
@@ -126,8 +140,8 @@ func (a *ExactLPB) AggregateExact(d *rankings.Dataset) (*rankings.Ranking, bool,
 		return cuts
 	}
 
-	// Prime the incumbent with BioConsert.
-	bio, err := (&BioConsert{}).Aggregate(d)
+	// Prime the incumbent with BioConsert (sharing the pair matrix).
+	bio, err := (&BioConsert{}).AggregateWithPairs(d, p)
 	if err != nil {
 		return nil, false, err
 	}

@@ -41,10 +41,18 @@ func (a *KwikSort) runs() int {
 
 // Aggregate implements core.Aggregator.
 func (a *KwikSort) Aggregate(d *rankings.Dataset) (*rankings.Ranking, error) {
+	return a.AggregateWithPairs(d, nil)
+}
+
+// AggregateWithPairs implements core.PairsAggregator: a nil p is computed
+// from d, a non-nil p must be the pair matrix of d.
+func (a *KwikSort) AggregateWithPairs(d *rankings.Dataset, p *kendall.Pairs) (*rankings.Ranking, error) {
 	if err := core.CheckInput(d); err != nil {
 		return nil, err
 	}
-	p := kendall.NewPairs(d)
+	if p == nil {
+		p = kendall.NewPairs(d)
+	}
 	rng := rand.New(rand.NewSource(a.Seed + 0x6b71))
 	elems := make([]int, d.N)
 	for i := range elems {

@@ -17,11 +17,19 @@ type PickAPerm struct{}
 func (PickAPerm) Name() string { return "Pick-a-Perm" }
 
 // Aggregate implements core.Aggregator.
-func (PickAPerm) Aggregate(d *rankings.Dataset) (*rankings.Ranking, error) {
+func (a PickAPerm) Aggregate(d *rankings.Dataset) (*rankings.Ranking, error) {
+	return a.AggregateWithPairs(d, nil)
+}
+
+// AggregateWithPairs implements core.PairsAggregator: a nil p is computed
+// from d, a non-nil p must be the pair matrix of d.
+func (PickAPerm) AggregateWithPairs(d *rankings.Dataset, p *kendall.Pairs) (*rankings.Ranking, error) {
 	if err := core.CheckInput(d); err != nil {
 		return nil, err
 	}
-	p := kendall.NewPairs(d)
+	if p == nil {
+		p = kendall.NewPairs(d)
+	}
 	best := d.Rankings[0]
 	bestScore := p.Score(best)
 	for _, r := range d.Rankings[1:] {

@@ -20,60 +20,60 @@ import (
 // never increases pair costs (unanimous cross pairs drop to 0; pairs inside
 // groups are untouched).
 //
-// The construction merges (union-find) every pair that is NOT unanimous in
-// either direction, then repeatedly merges blocks whose cross pairs are not
-// all unanimous in a single consistent direction, and finally orders blocks
-// by their unanimous relation.
+// The construction merges (union-find over slice-based parent/rank arrays)
+// every pair that is NOT unanimous in either direction, then repeatedly
+// merges blocks whose cross pairs are not all unanimous in a single
+// consistent direction, and finally orders blocks by their unanimous
+// relation. The O(n²) unanimity scan against the pair matrix runs exactly
+// once, before the fixpoint loop; the loop itself only reads the cached
+// relation matrix.
 func UnanimityDecomposition(p *kendall.Pairs, elems []int) [][]int {
+	ne := len(elems)
 	m := 0 // number of rankings = before+tied+after of any pair; recover lazily
-	if len(elems) >= 2 {
+	if ne >= 2 {
 		a, b := elems[0], elems[1]
 		m = p.Before(a, b) + p.Before(b, a) + p.Tied(a, b)
 	}
 	if m == 0 {
 		return [][]int{append([]int(nil), elems...)}
 	}
-	unanimous := func(a, b int) bool { return p.Before(a, b) == m }
-
-	parent := make(map[int]int, len(elems))
-	var find func(x int) int
-	find = func(x int) int {
-		if parent[x] != x {
-			parent[x] = find(parent[x])
-		}
-		return parent[x]
-	}
-	union := func(a, b int) { parent[find(a)] = find(b) }
-	for _, e := range elems {
-		parent[e] = e
-	}
+	// Hoisted unanimity scan: rel[i*ne+j] is +1 when elems[i] is unanimously
+	// before elems[j], -1 for the reverse, 0 otherwise. Computed once from
+	// the pair matrix; everything below is O(1) lookups.
+	rel := make([]int8, ne*ne)
 	for i, a := range elems {
-		for _, b := range elems[i+1:] {
-			if !unanimous(a, b) && !unanimous(b, a) {
-				union(a, b)
+		row := p.RowBefore(a)
+		arow := p.RowAfter(a)
+		for j, b := range elems {
+			switch {
+			case int(row[b]) == m:
+				rel[i*ne+j] = 1
+			case int(arow[b]) == m:
+				rel[i*ne+j] = -1
+			}
+		}
+	}
+
+	uf := newUnionFind(ne)
+	for i := 0; i < ne; i++ {
+		for j := i + 1; j < ne; j++ {
+			if rel[i*ne+j] == 0 {
+				uf.union(i, j)
 			}
 		}
 	}
 	// Fixpoint: blocks whose cross pairs disagree in direction must merge.
 	for changed := true; changed; {
 		changed = false
-		blocks := blocksOf(elems, find)
+		blocks := uf.blocks()
 		for i := 0; i < len(blocks) && !changed; i++ {
 			for j := i + 1; j < len(blocks) && !changed; j++ {
-				dir := 0 // +1: all i-before-j so far, -1: all j-before-i
+				dir := int8(0) // +1: all i-before-j so far, -1: all j-before-i
 				for _, a := range blocks[i] {
 					for _, b := range blocks[j] {
-						var d int
-						switch {
-						case unanimous(a, b):
-							d = 1
-						case unanimous(b, a):
-							d = -1
-						default:
-							d = 0
-						}
+						d := rel[a*ne+b]
 						if d == 0 || (dir != 0 && d != dir) {
-							union(a, b)
+							uf.union(a, b)
 							changed = true
 						}
 						if changed {
@@ -88,29 +88,75 @@ func UnanimityDecomposition(p *kendall.Pairs, elems []int) [][]int {
 			}
 		}
 	}
-	blocks := blocksOf(elems, find)
+	blocks := uf.blocks()
 	// Order blocks: block A precedes B iff its representative cross pair is
 	// unanimous A-before-B (consistent by the fixpoint above).
 	sort.Slice(blocks, func(i, j int) bool {
-		return unanimous(blocks[i][0], blocks[j][0])
+		return rel[blocks[i][0]*ne+blocks[j][0]] == 1
 	})
-	return blocks
+	// Translate compact indices back to element IDs, ascending inside blocks.
+	out := make([][]int, len(blocks))
+	for bi, blk := range blocks {
+		ids := make([]int, len(blk))
+		for k, i := range blk {
+			ids[k] = elems[i]
+		}
+		sort.Ints(ids)
+		out[bi] = ids
+	}
+	return out
 }
 
-func blocksOf(elems []int, find func(int) int) [][]int {
-	groups := map[int][]int{}
-	var roots []int
-	for _, e := range elems {
-		r := find(e)
-		if _, ok := groups[r]; !ok {
-			roots = append(roots, r)
-		}
-		groups[r] = append(groups[r], e)
+// unionFind is a slice-based disjoint-set forest with union by rank and
+// path halving over the compact indices [0, n).
+type unionFind struct {
+	parent []int32
+	rank   []int8
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int32, n), rank: make([]int8, n)}
+	for i := range uf.parent {
+		uf.parent[i] = int32(i)
 	}
-	out := make([][]int, 0, len(roots))
-	for _, r := range roots {
-		sort.Ints(groups[r])
-		out = append(out, groups[r])
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != int32(x) {
+		uf.parent[x] = uf.parent[uf.parent[x]] // path halving
+		x = int(uf.parent[x])
+	}
+	return x
+}
+
+func (uf *unionFind) union(a, b int) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return
+	}
+	if uf.rank[ra] < uf.rank[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = int32(ra)
+	if uf.rank[ra] == uf.rank[rb] {
+		uf.rank[ra]++
+	}
+}
+
+// blocks groups the indices by root, ordered by first occurrence (ascending
+// smallest member, since indices are scanned in order).
+func (uf *unionFind) blocks() [][]int {
+	n := len(uf.parent)
+	first := make([]int32, n) // root → 1 + index into out
+	var out [][]int
+	for i := 0; i < n; i++ {
+		r := uf.find(i)
+		if first[r] == 0 {
+			out = append(out, nil)
+			first[r] = int32(len(out))
+		}
+		out[first[r]-1] = append(out[first[r]-1], i)
 	}
 	return out
 }

@@ -44,11 +44,19 @@ func (a *RepeatChoice) runs() int {
 
 // Aggregate implements core.Aggregator.
 func (a *RepeatChoice) Aggregate(d *rankings.Dataset) (*rankings.Ranking, error) {
+	return a.AggregateWithPairs(d, nil)
+}
+
+// AggregateWithPairs implements core.PairsAggregator: a nil p is computed
+// from d, a non-nil p must be the pair matrix of d.
+func (a *RepeatChoice) AggregateWithPairs(d *rankings.Dataset, p *kendall.Pairs) (*rankings.Ranking, error) {
 	if err := core.CheckInput(d); err != nil {
 		return nil, err
 	}
 	rng := rand.New(rand.NewSource(a.Seed + 0x5eed))
-	p := kendall.NewPairs(d)
+	if p == nil {
+		p = kendall.NewPairs(d)
+	}
 	var best *rankings.Ranking
 	var bestScore int64
 	for run := 0; run < a.runs(); run++ {

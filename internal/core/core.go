@@ -9,6 +9,7 @@ import (
 	"sort"
 	"sync"
 
+	"rankagg/internal/kendall"
 	"rankagg/internal/rankings"
 )
 
@@ -33,6 +34,47 @@ type ExactAggregator interface {
 	// proved optimal (false when a time or size limit stopped the search and
 	// the best incumbent was returned).
 	AggregateExact(d *rankings.Dataset) (*rankings.Ranking, bool, error)
+}
+
+// PairsAggregator is implemented by algorithms that can reuse a prebuilt
+// pair matrix (kendall.Pairs) instead of recomputing it from the dataset.
+// Building the matrix costs O(m·n²) — the dominant term for most of the
+// paper's algorithms — so callers evaluating several algorithms on one
+// dataset should build it once and share it (see AggregateWithPairs).
+type PairsAggregator interface {
+	Aggregator
+	// AggregateWithPairs is Aggregate with a prebuilt pair matrix. p must be
+	// the pair matrix of d (a nil p is computed from d). The matrix is only
+	// read, never written: one matrix may serve concurrent calls.
+	AggregateWithPairs(d *rankings.Dataset, p *kendall.Pairs) (*rankings.Ranking, error)
+}
+
+// ExactPairsAggregator is an ExactAggregator that can reuse a prebuilt pair
+// matrix.
+type ExactPairsAggregator interface {
+	ExactAggregator
+	// AggregateExactWithPairs is AggregateExact with a prebuilt pair matrix
+	// (same contract as PairsAggregator.AggregateWithPairs).
+	AggregateExactWithPairs(d *rankings.Dataset, p *kendall.Pairs) (*rankings.Ranking, bool, error)
+}
+
+// AggregateWithPairs runs a on d, handing it the prebuilt pair matrix p when
+// the algorithm can consume one; algorithms without pair-matrix support (or
+// a nil p) fall back to plain Aggregate. p, when non-nil, must be the pair
+// matrix of d.
+func AggregateWithPairs(a Aggregator, d *rankings.Dataset, p *kendall.Pairs) (*rankings.Ranking, error) {
+	if pa, ok := a.(PairsAggregator); ok && p != nil {
+		return pa.AggregateWithPairs(d, p)
+	}
+	return a.Aggregate(d)
+}
+
+// AggregateExactWithPairs is AggregateWithPairs for exact methods.
+func AggregateExactWithPairs(a ExactAggregator, d *rankings.Dataset, p *kendall.Pairs) (*rankings.Ranking, bool, error) {
+	if pa, ok := a.(ExactPairsAggregator); ok && p != nil {
+		return pa.AggregateExactWithPairs(d, p)
+	}
+	return a.AggregateExact(d)
 }
 
 // ErrIncomplete is returned when a dataset is not normalized: aggregation

@@ -269,7 +269,7 @@ func TestExtractFeatures(t *testing.T) {
 func TestRunTimedProtocol(t *testing.T) {
 	ds := smallDatasets(54, 1, 3, 6)[0]
 	a := &algo.Borda{}
-	_, elapsed, err := runTimed(a, ds, Options{MeasureTime: true, MinTiming: 2 * time.Millisecond})
+	_, elapsed, err := runTimed(a, ds, nil, Options{MeasureTime: true, MinTiming: 2 * time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}

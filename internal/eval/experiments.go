@@ -303,14 +303,16 @@ func Fig2(cfg Fig2Config) ([]Series, error) {
 	}
 	for _, n := range cfg.Ns {
 		datasets := make([]*rankings.Dataset, cfg.PerN)
+		pairs := make([]*kendall.Pairs, cfg.PerN)
 		for i := range datasets {
 			datasets[i] = gen.UniformDataset(rng, cfg.M, n)
+			pairs[i] = kendall.NewPairs(datasets[i])
 		}
 		for ai, a := range algos {
 			var total time.Duration
 			ok := 0
-			for _, d := range datasets {
-				_, elapsed, err := runTimed(a, d, Options{MeasureTime: true, MinTiming: 5 * time.Millisecond})
+			for di, d := range datasets {
+				_, elapsed, err := runTimed(a, d, pairs[di], Options{MeasureTime: true, MinTiming: 5 * time.Millisecond})
 				if err != nil {
 					continue
 				}

@@ -1,6 +1,12 @@
 package kendall
 
-import "rankagg/internal/rankings"
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"rankagg/internal/rankings"
+)
 
 // Pairs holds, for every ordered pair of elements, the number of input
 // rankings that order them each way or tie them. It is the O(n²)-memory
@@ -8,19 +14,45 @@ import "rankagg/internal/rankings"
 // FaginDyn, the exact methods, the LPB objective weights w_{a<b}, w_{a≤b},
 // ...). Pairs where either element is absent from a ranking are not counted
 // by that ranking.
+//
+// A Pairs value is immutable once built and safe for concurrent readers:
+// one matrix can be shared by any number of algorithms running in parallel
+// (see core.AggregateWithPairs).
 type Pairs struct {
-	N      int
-	before []int32 // before[a*N+b] = #rankings with a strictly before b
-	tied   []int32 // tied[a*N+b] = #rankings with a and b in the same bucket
+	N int
+	// M is the number of input rankings the matrix was built from.
+	M int
+	// Complete records whether every ranking covered the whole universe; it
+	// then holds that Before(a,b) + Before(b,a) + Tied(a,b) = M for every
+	// pair, an invariant hot loops exploit (see algo.searchState).
+	Complete bool
+	before   []int32 // before[a*N+b] = #rankings with a strictly before b
+	after    []int32 // after[a*N+b] = before[b*N+a], kept for row-local reads
+	tied     []int32 // tied[a*N+b] = #rankings with a and b in the same bucket
 }
 
-// NewPairs computes the pair matrix of a dataset in O(m·n²).
+// NewPairs computes the pair matrix of a dataset. The accumulation iterates
+// bucket-pair runs of each ranking (every counted pair costs exactly one
+// increment, with no per-pair branching) and is sharded across
+// runtime.NumCPU() workers with per-worker accumulators merged at the end,
+// so the result is byte-identical to a sequential build.
 func NewPairs(d *rankings.Dataset) *Pairs {
+	return newPairsWorkers(d, 0)
+}
+
+// NewPairsLegacy is the seed's construction — branchy position compares
+// over all n² element pairs per ranking, single-threaded. It is retained
+// verbatim as the baseline cmd/bench measures the engine against (the
+// BENCH_*.json trajectory); library code should always use NewPairs.
+func NewPairsLegacy(d *rankings.Dataset) *Pairs {
 	n := d.N
 	p := &Pairs{
-		N:      n,
-		before: make([]int32, n*n),
-		tied:   make([]int32, n*n),
+		N:        n,
+		M:        len(d.Rankings),
+		Complete: d.Complete(),
+		before:   make([]int32, n*n),
+		after:    make([]int32, n*n),
+		tied:     make([]int32, n*n),
 	}
 	for _, r := range d.Rankings {
 		pos := r.Positions(n)
@@ -44,7 +76,134 @@ func NewPairs(d *rankings.Dataset) *Pairs {
 			}
 		}
 	}
+	transpose(p.after, p.before, n)
 	return p
+}
+
+// maxExtraAccBytes bounds the memory spent on per-worker accumulators; the
+// worker count is lowered to fit (down to a sequential build).
+const maxExtraAccBytes = 1 << 30
+
+// newPairsWorkers is NewPairs with an explicit worker count (0 = NumCPU,
+// 1 = sequential); tests use it to check parallel/sequential equality.
+func newPairsWorkers(d *rankings.Dataset, workers int) *Pairs {
+	n := d.N
+	p := &Pairs{
+		N:        n,
+		M:        len(d.Rankings),
+		Complete: d.Complete(),
+		before:   make([]int32, n*n),
+		after:    make([]int32, n*n),
+		tied:     make([]int32, n*n),
+	}
+	m := len(d.Rankings)
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > m {
+		workers = m
+	}
+	for workers > 1 && int64(workers-1)*int64(n)*int64(n)*8 > maxExtraAccBytes {
+		workers--
+	}
+	if workers <= 1 || n < 2 {
+		for _, r := range d.Rankings {
+			accumulatePairs(p.before, p.tied, n, r)
+		}
+	} else {
+		// Worker 0 accumulates straight into p; the others get their own
+		// arrays, summed into p afterwards. int32 addition commutes, so any
+		// schedule produces identical counts.
+		extras := make([][2][]int32, workers-1)
+		var next int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			before, tied := p.before, p.tied
+			if w > 0 {
+				before = make([]int32, n*n)
+				tied = make([]int32, n*n)
+				extras[w-1] = [2][]int32{before, tied}
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(atomic.AddInt64(&next, 1)) - 1
+					if i >= m {
+						return
+					}
+					accumulatePairs(before, tied, n, d.Rankings[i])
+				}
+			}()
+		}
+		wg.Wait()
+		for _, acc := range extras {
+			addInto(p.before, acc[0])
+			addInto(p.tied, acc[1])
+		}
+	}
+	transpose(p.after, p.before, n)
+	return p
+}
+
+// accumulatePairs adds one ranking's pair counts. For each bucket, every
+// member ties with its bucket-mates and precedes every element of every
+// later bucket — absent elements are simply never visited, and the diagonal
+// stays zero (the self-tie increment is undone without a branch). The
+// ranking is flattened first so the hot loop is a single run over a
+// contiguous suffix.
+func accumulatePairs(before, tied []int32, n int, r *rankings.Ranking) {
+	bs := r.Buckets
+	flat := make([]int, 0, n)
+	for _, b := range bs {
+		flat = append(flat, b...)
+	}
+	off := 0
+	for _, bi := range bs {
+		off += len(bi)
+		rest := flat[off:] // elements of all later buckets
+		for _, a := range bi {
+			trow := tied[a*n : a*n+n]
+			for _, b := range bi {
+				trow[b]++
+			}
+			trow[a]--
+			brow := before[a*n : a*n+n]
+			for _, b := range rest {
+				brow[b]++
+			}
+		}
+	}
+}
+
+func addInto(dst, src []int32) {
+	for i, v := range src {
+		dst[i] += v
+	}
+}
+
+// transpose fills dst with the transpose of src (n×n), in cache-friendly
+// blocks.
+func transpose(dst, src []int32, n int) {
+	const tb = 64
+	for i0 := 0; i0 < n; i0 += tb {
+		iMax := i0 + tb
+		if iMax > n {
+			iMax = n
+		}
+		for j0 := 0; j0 < n; j0 += tb {
+			jMax := j0 + tb
+			if jMax > n {
+				jMax = n
+			}
+			for i := i0; i < iMax; i++ {
+				row := src[i*n : i*n+n]
+				for j := j0; j < jMax; j++ {
+					dst[j*n+i] = row[j]
+				}
+			}
+		}
+	}
 }
 
 // Before returns the number of rankings placing a strictly before b.
@@ -53,17 +212,33 @@ func (p *Pairs) Before(a, b int) int { return int(p.before[a*p.N+b]) }
 // Tied returns the number of rankings tying a and b.
 func (p *Pairs) Tied(a, b int) int { return int(p.tied[a*p.N+b]) }
 
+// RowBefore returns row a of the before matrix: RowBefore(a)[b] counts the
+// rankings placing a strictly before b. The slice aliases the matrix and
+// must not be modified.
+func (p *Pairs) RowBefore(a int) []int32 { return p.before[a*p.N : (a+1)*p.N] }
+
+// RowAfter returns row a of the transposed before matrix: RowAfter(a)[b]
+// counts the rankings placing a strictly after b. The slice aliases the
+// matrix and must not be modified.
+func (p *Pairs) RowAfter(a int) []int32 { return p.after[a*p.N : (a+1)*p.N] }
+
+// RowTied returns row a of the tie matrix: RowTied(a)[b] counts the rankings
+// tying a and b. The slice aliases the matrix and must not be modified.
+func (p *Pairs) RowTied(a int) []int32 { return p.tied[a*p.N : (a+1)*p.N] }
+
 // CostBefore returns the disagreement cost of placing a strictly before b in
 // the consensus: every input ranking with b before a, or with a and b tied,
 // disagrees (w_{b≤a} in the LPB objective of Section 4.2).
 func (p *Pairs) CostBefore(a, b int) int64 {
-	return int64(p.before[b*p.N+a]) + int64(p.tied[a*p.N+b])
+	i := a*p.N + b
+	return int64(p.after[i]) + int64(p.tied[i])
 }
 
 // CostTied returns the disagreement cost of tying a and b in the consensus:
 // every input ranking ordering them strictly disagrees (w_{a<b} + w_{a>b}).
 func (p *Pairs) CostTied(a, b int) int64 {
-	return int64(p.before[a*p.N+b]) + int64(p.before[b*p.N+a])
+	i := a*p.N + b
+	return int64(p.before[i]) + int64(p.after[i])
 }
 
 // MinPairCost returns min(cost(a<b), cost(b<a), cost(a=b)) for the pair — the
@@ -93,25 +268,26 @@ func (p *Pairs) LowerBound(elems []int) int64 {
 
 // Score computes the generalized Kemeny score K(r, R) of a consensus from
 // the pair matrix in O(n²), independent of m. The consensus must cover a
-// subset of the universe; uncovered elements are ignored.
+// subset of the universe; uncovered elements are ignored. Like the
+// accumulation, it walks bucket runs instead of comparing positions.
 func (p *Pairs) Score(r *rankings.Ranking) int64 {
-	pos := r.Positions(p.N)
+	n := p.N
 	var k int64
-	for a := 0; a < p.N; a++ {
-		if pos[a] == 0 {
-			continue
-		}
-		for b := a + 1; b < p.N; b++ {
-			if pos[b] == 0 {
-				continue
+	bs := r.Buckets
+	for i, bi := range bs {
+		for xi, a := range bi {
+			brow := p.before[a*n : a*n+n]
+			arow := p.after[a*n : a*n+n]
+			trow := p.tied[a*n : a*n+n]
+			// a tied with the rest of its bucket: CostTied = before + after.
+			for _, b := range bi[xi+1:] {
+				k += int64(brow[b]) + int64(arow[b])
 			}
-			switch {
-			case pos[a] < pos[b]:
-				k += p.CostBefore(a, b)
-			case pos[a] > pos[b]:
-				k += p.CostBefore(b, a)
-			default:
-				k += p.CostTied(a, b)
+			// a strictly before later buckets: CostBefore = after + tied.
+			for _, bj := range bs[i+1:] {
+				for _, b := range bj {
+					k += int64(arow[b]) + int64(trow[b])
+				}
 			}
 		}
 	}
@@ -121,5 +297,6 @@ func (p *Pairs) Score(r *rankings.Ranking) int64 {
 // MajorityPrefers reports whether strictly more rankings place a before b
 // than b before a (the MC4 transition test).
 func (p *Pairs) MajorityPrefers(a, b int) bool {
-	return p.before[a*p.N+b] > p.before[b*p.N+a]
+	i := a*p.N + b
+	return p.before[i] > p.after[i]
 }

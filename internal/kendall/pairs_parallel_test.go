@@ -1,0 +1,134 @@
+package kendall
+
+import (
+	"math/rand"
+	"testing"
+
+	"rankagg/internal/rankings"
+)
+
+// legacyPairs is the seed's branchy O(m·n²) position-compare construction,
+// kept as a reference implementation for the bucket-run rewrite.
+func legacyPairs(d *rankings.Dataset) (before, tied []int32) {
+	n := d.N
+	before = make([]int32, n*n)
+	tied = make([]int32, n*n)
+	for _, r := range d.Rankings {
+		pos := r.Positions(n)
+		for a := 0; a < n; a++ {
+			if pos[a] == 0 {
+				continue
+			}
+			for b := a + 1; b < n; b++ {
+				if pos[b] == 0 {
+					continue
+				}
+				switch {
+				case pos[a] < pos[b]:
+					before[a*n+b]++
+				case pos[a] > pos[b]:
+					before[b*n+a]++
+				default:
+					tied[a*n+b]++
+					tied[b*n+a]++
+				}
+			}
+		}
+	}
+	return before, tied
+}
+
+// randomTiedRanking draws a ranking with ties covering a random subset of
+// the universe (to exercise the absent-element path).
+func randomTiedRanking(rng *rand.Rand, n int, partial bool) *rankings.Ranking {
+	pos := make([]int, n)
+	for e := 0; e < n; e++ {
+		if partial && rng.Intn(4) == 0 {
+			continue // absent
+		}
+		pos[e] = 1 + rng.Intn(1+n/2)
+	}
+	return rankings.FromPositions(pos)
+}
+
+func randomDataset(rng *rand.Rand, m, n int, partial bool) *rankings.Dataset {
+	rks := make([]*rankings.Ranking, m)
+	for i := range rks {
+		rks[i] = randomTiedRanking(rng, n, partial)
+	}
+	return rankings.NewDataset(n, rks...)
+}
+
+func equalInt32(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestNewPairsMatchesLegacy checks the bucket-run accumulation against the
+// seed's position-compare construction, on complete and partial datasets.
+func TestNewPairsMatchesLegacy(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 50; trial++ {
+		m, n := 1+rng.Intn(8), 2+rng.Intn(20)
+		d := randomDataset(rng, m, n, trial%2 == 1)
+		p := NewPairs(d)
+		before, tied := legacyPairs(d)
+		if !equalInt32(p.before, before) {
+			t.Fatalf("trial %d (m=%d n=%d): before matrix differs from legacy", trial, m, n)
+		}
+		if !equalInt32(p.tied, tied) {
+			t.Fatalf("trial %d (m=%d n=%d): tied matrix differs from legacy", trial, m, n)
+		}
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if p.after[a*n+b] != p.before[b*n+a] {
+					t.Fatalf("after is not the transpose of before at (%d,%d)", a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestNewPairsParallelMatchesSequential asserts the sharded build is
+// byte-identical to the single-worker build (run under -race in CI).
+func TestNewPairsParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 20; trial++ {
+		m, n := 2+rng.Intn(12), 2+rng.Intn(40)
+		d := randomDataset(rng, m, n, trial%2 == 1)
+		seq := newPairsWorkers(d, 1)
+		for _, workers := range []int{2, 3, 8} {
+			par := newPairsWorkers(d, workers)
+			if !equalInt32(par.before, seq.before) || !equalInt32(par.tied, seq.tied) || !equalInt32(par.after, seq.after) {
+				t.Fatalf("trial %d: %d-worker build differs from sequential (m=%d n=%d)", trial, workers, m, n)
+			}
+		}
+	}
+}
+
+// TestPairsScoreMatchesKemeny checks the bucket-run Score against the
+// distance-based Kemeny score on complete datasets, including subset
+// consensus scoring.
+func TestPairsScoreMatchesKemeny(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 40; trial++ {
+		m, n := 1+rng.Intn(6), 2+rng.Intn(12)
+		d := randomDataset(rng, m, n, false)
+		p := NewPairs(d)
+		r := randomTiedRanking(rng, n, trial%2 == 1)
+		want := int64(0)
+		for _, s := range d.Rankings {
+			want += Dist(r, s, n)
+		}
+		if got := p.Score(r); got != want {
+			t.Fatalf("trial %d: Pairs.Score = %d, Σ Dist = %d", trial, got, want)
+		}
+	}
+}

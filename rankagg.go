@@ -103,6 +103,23 @@ func Aggregate(name string, d *Dataset) (*Ranking, error) {
 	return a.Aggregate(d)
 }
 
+// AggregateWithPairs runs the named algorithm on d, reusing a prebuilt pair
+// matrix when the algorithm supports it (all the pairwise methods do);
+// algorithms that don't consume a pair matrix fall back to Aggregate.
+//
+// Building the matrix costs O(m·n²) — usually the dominant term — so when
+// several algorithms run on the SAME dataset, build it once with NewPairs
+// and pass it to every call. The matrix is immutable and safe for
+// concurrent readers: one matrix may serve parallel aggregations. p must be
+// the pair matrix of d (pass nil to let the algorithm build its own).
+func AggregateWithPairs(name string, d *Dataset, p *Pairs) (*Ranking, error) {
+	a, err := core.New(name)
+	if err != nil {
+		return nil, err
+	}
+	return core.AggregateWithPairs(a, d, p)
+}
+
 // NewAggregator constructs a registered algorithm by its paper name.
 func NewAggregator(name string) (Aggregator, error) { return core.New(name) }
 
