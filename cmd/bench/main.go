@@ -2,7 +2,7 @@
 // per-algorithm rebuild pipeline and emits a BENCH_*.json perf-trajectory
 // document.
 //
-// Two benchmarks:
+// Three benchmarks:
 //
 //   - multi-algo: a k-algorithm experiment on one dataset. Before: every
 //     algorithm builds its own pair matrix with the seed's branchy
@@ -14,16 +14,22 @@
 //     the seed's localSearch (full bucketOf rebuild per move, final O(n²)
 //     rescore, double ranking() copies), sequential restarts, legacy matrix
 //     build. After: the incremental parallel implementation.
+//   - session: the same k-algorithm experiment through the PUBLIC API.
+//     Before: k × rankagg.Aggregate — the seed's only entry point, one
+//     matrix build and one O(n²·m) re-score per call. After: one
+//     rankagg.Session, k × Run — the matrix is built once, cached, and the
+//     Result score comes from it.
 //
 // The "before" numbers are a lower bound on the seed gap: the measured
 // legacy paths still profit from today's row-local pair matrix layout.
 //
 // Usage:
 //
-//	bench [-n 300] [-m 25] [-bio-n 240] [-bio-m 30] [-runs 3] [-out BENCH_1.json]
+//	bench [-n 300] [-m 25] [-bio-n 240] [-bio-m 30] [-runs 3] [-out BENCH_2.json]
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -32,6 +38,7 @@ import (
 	"runtime"
 	"time"
 
+	"rankagg"
 	"rankagg/internal/algo"
 	"rankagg/internal/core"
 	"rankagg/internal/gen"
@@ -76,6 +83,7 @@ func main() {
 	}
 	doc.Results = append(doc.Results, benchMultiAlgo(*n, *m, *runs, *seed))
 	doc.Results = append(doc.Results, benchBioConsert(*bioN, *bioM, *runs, *seed))
+	doc.Results = append(doc.Results, benchSession(*n, *m, *runs, *seed))
 
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -169,6 +177,48 @@ func benchBioConsert(n, m, runs int, seed int64) benchResult {
 		Name: "bioconsert-all-seeds", N: n, M: m,
 		BeforeMS: before, AfterMS: after, Speedup: before / after,
 		Note: "seed localSearch (sequential restarts, per-move bucketOf rebuild, final full rescore) vs incremental parallel restarts",
+	}
+}
+
+// sessionAlgoNames is the registry view of fastPairwiseAlgos, used by the
+// public-API benchmark.
+var sessionAlgoNames = []string{
+	"FaginSmall", "FaginLarge", "KwikSort", "KwikSortMin",
+	"Pick-a-Perm", "RepeatChoice", "RepeatChoiceMin", "CopelandPairwise",
+}
+
+func benchSession(n, m, runs int, seed int64) benchResult {
+	rng := rand.New(rand.NewSource(seed))
+	d := gen.UniformDataset(rng, m, n)
+	ctx := context.Background()
+
+	var checkBefore, checkAfter int64
+	before := best(runs, func() {
+		checkBefore = 0
+		for _, name := range sessionAlgoNames {
+			r, err := rankagg.Aggregate(name, d) // one matrix build per call
+			must(err)
+			checkBefore += rankagg.Score(r, d) // O(n²·m) re-score per call
+		}
+	})
+	after := best(runs, func() {
+		checkAfter = 0
+		sess, err := rankagg.NewSession(d)
+		must(err)
+		for _, name := range sessionAlgoNames {
+			res, err := sess.Run(ctx, name)
+			must(err)
+			checkAfter += res.Score
+		}
+	})
+	if checkBefore != checkAfter {
+		fmt.Fprintf(os.Stderr, "bench: session consensus scores diverge (%d vs %d)\n", checkBefore, checkAfter)
+		os.Exit(1)
+	}
+	return benchResult{
+		Name: "session-run-cached-matrix", N: n, M: m, Algos: len(sessionAlgoNames),
+		BeforeMS: before, AfterMS: after, Speedup: before / after,
+		Note: "public API: per-call Aggregate (matrix build + dataset re-score each) vs one Session with cached matrix",
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"rankagg/internal/eval"
@@ -39,7 +40,7 @@ func main() {
 	seed := fs.Int64("seed", 1, "random seed")
 	quick := fs.Bool("quick", false, "smaller sweep (fig2)")
 	exactTime := fs.Duration("exact-time", 0, "per-dataset exact budget")
-	workers := fs.Int("workers", 4, "parallel dataset workers (quality-only experiments)")
+	workers := fs.Int("workers", runtime.NumCPU(), "parallel dataset workers (quality-only experiments; default: all CPUs)")
 	csvPath := fs.String("csv", "", "also write machine-readable CSV to this file")
 	fs.Parse(os.Args[2:])
 
@@ -48,6 +49,7 @@ func main() {
 	case "table5":
 		cmp, err := eval.Table5(eval.Table5Config{
 			Datasets: *datasets, MaxN: *maxN, Seed: *seed, ExactTime: *exactTime,
+			Workers: *workers,
 		})
 		check(err)
 		fmt.Println("Table 5 — uniformly generated datasets")
@@ -56,6 +58,7 @@ func main() {
 	case "table4":
 		res, err := eval.Table4(eval.Table4Config{
 			PerFamily: *perFamily, Seed: *seed, ExactTime: *exactTime,
+			Workers: *workers,
 		})
 		check(err)
 		fmt.Println("Table 4 — simulated real-world dataset families (gap / m-gap, rank)")
@@ -75,6 +78,7 @@ func main() {
 		cfg := eval.SweepConfig{
 			N: *n, PerStep: *perStep, Seed: *seed,
 			Unified: cmd == "fig5", ExactTime: *exactTime,
+			Workers: *workers,
 		}
 		series, sims, err := eval.GapSweep(cfg)
 		check(err)

@@ -1,10 +1,11 @@
 // Command rankagg aggregates rankings with ties from a file (or stdin) into
-// a consensus ranking.
+// a consensus ranking through the context-aware Session API.
 //
 // Usage:
 //
 //	rankagg [-algo name] [-normalize unify|unify-broken|project|k-unify] [-k N]
-//	        [-format text|csv] [-eps E] [-json] [file]
+//	        [-format text|csv] [-eps E] [-timeout D] [-workers N] [-seed S]
+//	        [-json] [file]
 //	rankagg -list
 //
 // Text input holds one ranking per line in bracket notation ("[{A},{B,C}]")
@@ -14,13 +15,19 @@
 // different elements a normalization process must be chosen. The consensus
 // and its generalized Kemeny score are printed (or a JSON document with
 // -json).
+//
+// -timeout bounds the aggregation: on expiry the best incumbent found so
+// far is printed and marked deadline-hit. Ctrl-C cancels the run cleanly.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"time"
 
 	"rankagg"
 )
@@ -31,9 +38,12 @@ func main() {
 	kFlag := flag.Int("k", 2, "minimum rankings per element for -normalize k-unify")
 	format := flag.String("format", "text", "input format: text or csv")
 	eps := flag.Float64("eps", 0, "score tie tolerance for csv input")
+	timeout := flag.Duration("timeout", 0, "aggregation time budget (0 = none); on expiry the best incumbent is printed")
+	workers := flag.Int("workers", 0, "worker budget for parallel restarts/runs (0 = all CPUs)")
+	seedFlag := flag.Int64("seed", 0, "seed for randomized algorithms")
 	jsonOut := flag.Bool("json", false, "emit a JSON result document")
 	list := flag.Bool("list", false, "list available algorithms and exit")
-	verbose := flag.Bool("v", false, "print dataset features and per-input distances")
+	verbose := flag.Bool("v", false, "print dataset features, run statistics, and per-input distances")
 	flag.Parse()
 
 	if *list {
@@ -94,21 +104,43 @@ func main() {
 		fatal(fmt.Errorf("normalization removed every element"))
 	}
 
-	consensus, err := rankagg.Aggregate(*algoName, d)
+	// Ctrl-C cancels the run; -timeout becomes a deadline that keeps the
+	// incumbent.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	sess, err := rankagg.NewSession(d, rankagg.WithWorkers(*workers))
 	if err != nil {
 		fatal(err)
 	}
-	score := rankagg.Score(consensus, d)
+	var opts []rankagg.Option
+	if *timeout > 0 {
+		opts = append(opts, rankagg.WithTimeLimit(*timeout))
+	}
+	if *seedFlag != 0 {
+		opts = append(opts, rankagg.WithSeed(*seedFlag))
+	}
+	res, err := sess.Run(ctx, *algoName, opts...)
+	if err != nil {
+		fatal(err)
+	}
+	consensus := res.Consensus
 
 	if *jsonOut {
-		printJSON(consensus, u, d, *algoName, score)
+		printJSON(res, u, d)
 		return
 	}
 	fmt.Println(u.Format(consensus))
-	fmt.Printf("generalized Kemeny score: %d\n", score)
+	fmt.Printf("generalized Kemeny score: %d\n", res.Score)
+	if res.DeadlineHit {
+		fmt.Printf("time budget hit after %v: best incumbent shown (not a completed run)\n", res.Elapsed.Round(time.Millisecond))
+	} else if res.Proved {
+		fmt.Println("optimality proved")
+	}
 	if *verbose {
 		f := rankagg.ExtractFeatures(d)
 		fmt.Printf("n=%d m=%d similarity=%.3f largeTies=%v\n", f.N, f.M, f.Similarity, f.LargeTies)
+		fmt.Printf("elapsed=%v restarts=%d nodes=%d iterations=%d dataset=%s\n",
+			res.Elapsed.Round(time.Microsecond), res.Stats.Restarts, res.Stats.Nodes, res.Stats.Iterations, sess.Hash())
 		for i, r := range d.Rankings {
 			fmt.Printf("G(consensus, input %d) = %d\n", i+1, rankagg.Dist(consensus, r, d.N))
 		}
@@ -120,23 +152,31 @@ func main() {
 
 // jsonResult is the -json output document.
 type jsonResult struct {
-	Algorithm  string     `json:"algorithm"`
-	Score      int64      `json:"score"`
-	Similarity float64    `json:"similarity"`
-	N          int        `json:"n"`
-	M          int        `json:"m"`
-	Consensus  [][]string `json:"consensus"`
+	Algorithm   string     `json:"algorithm"`
+	Score       int64      `json:"score"`
+	Proved      bool       `json:"proved"`
+	DeadlineHit bool       `json:"deadline_hit,omitempty"`
+	ElapsedMS   float64    `json:"elapsed_ms"`
+	DatasetHash string     `json:"dataset_hash"`
+	Similarity  float64    `json:"similarity"`
+	N           int        `json:"n"`
+	M           int        `json:"m"`
+	Consensus   [][]string `json:"consensus"`
 }
 
-func printJSON(consensus *rankagg.Ranking, u *rankagg.Universe, d *rankagg.Dataset, algoName string, score int64) {
+func printJSON(r *rankagg.Result, u *rankagg.Universe, d *rankagg.Dataset) {
 	res := jsonResult{
-		Algorithm:  algoName,
-		Score:      score,
-		Similarity: rankagg.Similarity(d),
-		N:          d.N,
-		M:          d.M(),
+		Algorithm:   r.Algorithm,
+		Score:       r.Score,
+		Proved:      r.Proved,
+		DeadlineHit: r.DeadlineHit,
+		ElapsedMS:   float64(r.Elapsed.Nanoseconds()) / 1e6,
+		DatasetHash: d.Hash(),
+		Similarity:  rankagg.Similarity(d),
+		N:           d.N,
+		M:           d.M(),
 	}
-	for _, b := range consensus.Buckets {
+	for _, b := range r.Consensus.Buckets {
 		names := make([]string, len(b))
 		for i, e := range b {
 			names[i] = u.Name(e)

@@ -1,11 +1,63 @@
 package rankagg_test
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"rankagg"
 )
+
+// ExampleSession_Run aggregates the paper's Section 2.2 running example
+// through the context-aware Session API: the pair matrix is built once and
+// cached, and the Result reports the score and proved optimality.
+func ExampleSession_Run() {
+	u := rankagg.NewUniverse()
+	r1, _ := rankagg.ParseRanking("[{A},{D},{B,C}]", u)
+	r2, _ := rankagg.ParseRanking("[{A},{B,C},{D}]", u)
+	r3, _ := rankagg.ParseRanking("[{D},{A,C},{B}]", u)
+	sess, _ := rankagg.NewSession(rankagg.FromRankings(r1, r2, r3))
+
+	res, _ := sess.Run(context.Background(), "ExactAlgorithm")
+	fmt.Println(u.Format(res.Consensus), res.Score, res.Proved)
+	// Output:
+	// [{A},{D},{B,C}] 5 true
+}
+
+// ExampleWithTimeLimit bounds a run: on expiry the best incumbent would be
+// returned with DeadlineHit set; within the budget the exact method proves
+// its optimum as usual.
+func ExampleWithTimeLimit() {
+	u := rankagg.NewUniverse()
+	r1, _ := rankagg.ParseRanking("A>B>C>D", u)
+	r2, _ := rankagg.ParseRanking("B>A>D>C", u)
+	sess, _ := rankagg.NewSession(rankagg.FromRankings(r1, r2))
+
+	res, _ := sess.Run(context.Background(), "ExactAlgorithm",
+		rankagg.WithTimeLimit(time.Minute))
+	fmt.Println(res.Proved, res.DeadlineHit)
+	// Output:
+	// true false
+}
+
+// ExampleWithWorkers sets the session-wide worker budget. Parallel restart
+// pools are deterministic: the consensus is identical for any budget.
+func ExampleWithWorkers() {
+	u := rankagg.NewUniverse()
+	r1, _ := rankagg.ParseRanking("[{A},{D},{B,C}]", u)
+	r2, _ := rankagg.ParseRanking("[{A},{B,C},{D}]", u)
+	r3, _ := rankagg.ParseRanking("[{D},{A,C},{B}]", u)
+	d := rankagg.FromRankings(r1, r2, r3)
+
+	serial, _ := rankagg.NewSession(d, rankagg.WithWorkers(1))
+	parallel, _ := rankagg.NewSession(d, rankagg.WithWorkers(4))
+	a, _ := serial.Run(context.Background(), "BioConsert")
+	b, _ := parallel.Run(context.Background(), "BioConsert")
+	fmt.Println(a.Consensus.Equal(b.Consensus), a.Score)
+	// Output:
+	// true 5
+}
 
 // ExampleAggregate reproduces the paper's Section 2.2 running example.
 func ExampleAggregate() {

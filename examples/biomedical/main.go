@@ -6,9 +6,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
+	"time"
 
 	"rankagg"
 	"rankagg/internal/gen"
@@ -25,35 +27,36 @@ func main() {
 	fmt.Printf("%d sources ranked %d genes (with ties); similarity s(R) = %.3f\n\n",
 		d.M(), d.N, rankagg.Similarity(d))
 
-	// Ties matter: compare a ties-aware algorithm with one producing
-	// permutations.
-	bio, err := rankagg.Aggregate("BioConsert", d)
+	// One session: the three algorithms (and every Result score) share one
+	// pair matrix. The exact solve runs under an interactive time budget —
+	// if it expired, the incumbent would be reported with DeadlineHit.
+	ctx := context.Background()
+	sess, err := rankagg.NewSession(d)
 	if err != nil {
 		log.Fatal(err)
 	}
-	borda, err := rankagg.Aggregate("BordaCount", d)
+	exact, err := sess.Run(ctx, "ExactAlgorithm", rankagg.WithTimeLimit(10*time.Second))
 	if err != nil {
 		log.Fatal(err)
 	}
-	exact, err := rankagg.Aggregate("ExactAlgorithm", d)
-	if err != nil {
-		log.Fatal(err)
+	if exact.DeadlineHit {
+		fmt.Println("(exact budget hit: gaps are relative to its best incumbent)")
 	}
-	opt := rankagg.Score(exact, d)
+	opt := exact.Score
 
 	fmt.Printf("%-16s %-8s %-8s %s\n", "algorithm", "score", "gap", "buckets")
-	for _, row := range []struct {
-		name string
-		r    *rankagg.Ranking
-	}{
-		{"ExactAlgorithm", exact}, {"BioConsert", bio}, {"BordaCount", borda},
-	} {
-		s := rankagg.Score(row.r, d)
-		fmt.Printf("%-16s %-8d %6.1f%%  %d\n", row.name, s, 100*rankagg.Gap(s, opt), row.r.NumBuckets())
+	for _, name := range []string{"ExactAlgorithm", "BioConsert", "BordaCount"} {
+		res := exact
+		if name != "ExactAlgorithm" {
+			if res, err = sess.Run(ctx, name); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("%-16s %-8d %6.1f%%  %d\n", name, res.Score, 100*rankagg.Gap(res.Score, opt), res.Consensus.NumBuckets())
 	}
 
 	fmt.Println("\ntop consensus genes (ExactAlgorithm):")
-	for i, bucket := range exact.Buckets {
+	for i, bucket := range exact.Consensus.Buckets {
 		if i == 3 {
 			break
 		}

@@ -1,11 +1,14 @@
 // Quickstart: aggregate three rankings with ties (the running example of
-// the paper's Section 2.2) and compare several algorithms against the
-// optimal consensus.
+// the paper's Section 2.2) through the Session API and compare several
+// algorithms against the optimal consensus. The session builds the O(m·n²)
+// pair matrix once and every run — and every Result score — shares it.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"rankagg"
 )
@@ -26,19 +29,25 @@ func main() {
 	}
 	fmt.Printf("dataset similarity s(R) = %.3f\n\n", rankagg.Similarity(d))
 
-	exact, err := rankagg.Aggregate("ExactAlgorithm", d)
+	ctx := context.Background()
+	sess, err := rankagg.NewSession(d)
 	if err != nil {
 		log.Fatal(err)
 	}
-	opt := rankagg.Score(exact, d)
-	fmt.Printf("optimal consensus: %s (generalized Kemeny score %d)\n\n", u.Format(exact), opt)
+
+	exact, err := sess.Run(ctx, "ExactAlgorithm")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimal consensus: %s (generalized Kemeny score %d, proved=%v, %v)\n\n",
+		u.Format(exact.Consensus), exact.Score, exact.Proved, exact.Elapsed.Round(time.Microsecond))
 
 	for _, name := range []string{"BioConsert", "KwikSort", "BordaCount", "MEDRank(0.5)", "Pick-a-Perm"} {
-		c, err := rankagg.Aggregate(name, d)
+		res, err := sess.Run(ctx, name)
 		if err != nil {
 			log.Fatal(err)
 		}
-		s := rankagg.Score(c, d)
-		fmt.Printf("%-14s %-22s score=%d gap=%.1f%%\n", name, u.Format(c), s, 100*rankagg.Gap(s, opt))
+		fmt.Printf("%-14s %-22s score=%d gap=%.1f%%\n",
+			name, u.Format(res.Consensus), res.Score, 100*rankagg.Gap(res.Score, exact.Score))
 	}
 }

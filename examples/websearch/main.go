@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -44,17 +45,21 @@ func main() {
 		for _, rec := range rankagg.Recommend(f, false, false) {
 			fmt.Printf("    guidance: %s\n", rec.Algorithm)
 		}
+		// One session per dataset: the four algorithms share one pair matrix.
+		sess, err := rankagg.NewSession(tc.d)
+		if err != nil {
+			log.Fatal(err)
+		}
 		best := int64(-1)
 		for _, name := range []string{"BioConsert", "KwikSortMin", "BordaCount", "MEDRank(0.5)"} {
-			c, err := rankagg.Aggregate(name, tc.d)
+			res, err := sess.Run(context.Background(), name)
 			if err != nil {
 				log.Fatal(err)
 			}
-			s := rankagg.Score(c, tc.d)
-			if best < 0 || s < best {
-				best = s
+			if best < 0 || res.Score < best {
+				best = res.Score
 			}
-			fmt.Printf("    %-14s score=%-6d buckets=%d\n", name, s, c.NumBuckets())
+			fmt.Printf("    %-14s score=%-6d buckets=%d\n", name, res.Score, res.Consensus.NumBuckets())
 		}
 		fmt.Printf("    (best score %d)\n\n", best)
 	}

@@ -1,6 +1,7 @@
 package algo
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -42,9 +43,12 @@ func (a *Ailon) runs() int {
 	return a.Runs
 }
 
-// TimeLimitError reports that an algorithm gave up on a too-large instance,
-// matching the paper's treatment ("after that limit, we considered that the
-// algorithm was not able to provide a solution").
+// TimeLimitError reports that an algorithm's budget expired before it could
+// produce any solution at all, matching the paper's treatment ("after that
+// limit, we considered that the algorithm was not able to provide a
+// solution"). When a deadline expires with a partial solution in hand, the
+// solution is returned with DeadlineHit set instead — TimeLimitError is the
+// documented error path for the empty-handed case only.
 type TimeLimitError struct {
 	Algo    string
 	Elapsed time.Duration
@@ -62,6 +66,22 @@ func (a *Ailon) Aggregate(d *rankings.Dataset) (*rankings.Ranking, error) {
 // AggregateWithPairs implements core.PairsAggregator: a nil p is computed
 // from d, a non-nil p must be the pair matrix of d.
 func (a *Ailon) AggregateWithPairs(d *rankings.Dataset, p *kendall.Pairs) (*rankings.Ranking, error) {
+	res, err := a.AggregateCtx(context.Background(), d, core.RunOptions{Pairs: p})
+	if err != nil {
+		return nil, err
+	}
+	return res.Consensus, nil
+}
+
+// AggregateCtx implements core.CtxAggregator. The lazy-cut relaxation loop
+// checks the context between cut rounds (each round is one simplex solve —
+// the coarsest poll interval in the suite, documented here: a cancel during
+// a round returns after that round's solve). On a deadline the relaxation
+// reached so far is rounded anyway and returned with DeadlineHit — uniform
+// with the exact methods' incumbent-on-deadline reporting; if the deadline
+// fires before the first solve finishes, a TimeLimitError is returned
+// (there is nothing to round yet).
+func (a *Ailon) AggregateCtx(ctx context.Context, d *rankings.Dataset, opts core.RunOptions) (*core.RunResult, error) {
 	if err := core.CheckInput(d); err != nil {
 		return nil, err
 	}
@@ -72,14 +92,33 @@ func (a *Ailon) AggregateWithPairs(d *rankings.Dataset, p *kendall.Pairs) (*rank
 	if d.N > maxN {
 		return nil, &TooLargeError{N: d.N, Max: maxN}
 	}
+	p := opts.Pairs
 	if p == nil {
 		p = kendall.NewPairs(d)
 	}
-	u, err := a.solveRelaxation(p, d.N)
+	ctx, cancel := limitCtx(ctx, opts.TimeLimit)
+	defer cancel()
+	if ctx.Err() == context.Canceled {
+		return nil, ctx.Err()
+	}
+	start := time.Now()
+	u, err := a.solveRelaxation(ctx, p, d.N)
 	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(a.Seed + 0xa170))
+	deadlineHit, err := pollOutcome(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if u == nil {
+		// Deadline fired before any relaxation solve completed.
+		return nil, &TimeLimitError{Algo: a.Name(), Elapsed: time.Since(start)}
+	}
+	seed := a.Seed
+	if opts.SeedSet {
+		seed = opts.Seed
+	}
+	rng := rand.New(rand.NewSource(seed + 0xa170))
 	elems := make([]int, d.N)
 	for i := range elems {
 		elems[i] = i
@@ -93,12 +132,20 @@ func (a *Ailon) AggregateWithPairs(d *rankings.Dataset, p *kendall.Pairs) (*rank
 	}
 	// Derandomized threshold rounding, then randomized pivot roundings.
 	consider(roundDeterministic(u, d.N, elems))
-	for run := 0; run < a.runs(); run++ {
+	runs := a.runs()
+	if opts.Restarts > 0 {
+		runs = opts.Restarts
+	}
+	for run := 0; run < runs; run++ {
 		var out []int
 		lpQuickSort(u, d.N, rng, append([]int(nil), elems...), &out)
 		consider(rankings.FromPermutation(out))
 	}
-	return best, nil
+	return &core.RunResult{
+		Consensus:   best,
+		DeadlineHit: deadlineHit,
+		Stats:       core.SearchStats{Restarts: runs},
+	}, nil
 }
 
 // pairIdx maps an unordered pair a < b to a dense index.
@@ -113,8 +160,10 @@ func uBefore(u []float64, n, x, y int) float64 {
 }
 
 // solveRelaxation minimizes the pairwise objective over the triangle
-// polytope with lazy cuts, returning the fractional u vector.
-func (a *Ailon) solveRelaxation(p *kendall.Pairs, n int) ([]float64, error) {
+// polytope with lazy cuts, returning the fractional u vector. The context
+// is checked between cut rounds; when it fires the last completed
+// relaxation is returned (nil if no solve completed at all).
+func (a *Ailon) solveRelaxation(ctx context.Context, p *kendall.Pairs, n int) ([]float64, error) {
 	nPairs := n * (n - 1) / 2
 	obj := make([]float64, nPairs)
 	for x := 0; x < n; x++ {
@@ -132,20 +181,26 @@ func (a *Ailon) solveRelaxation(p *kendall.Pairs, n int) ([]float64, error) {
 		maxRounds = 60
 	}
 	var sol *lp.Solution
-	var err error
 	for round := 0; round < maxRounds; round++ {
-		sol, err = lp.Solve(prob)
+		if ctx.Err() != nil {
+			break
+		}
+		next, err := lp.Solve(prob)
 		if err != nil {
 			return nil, err
 		}
-		if sol.Status != lp.Optimal {
-			return nil, fmt.Errorf("algo: Ailon relaxation %v", sol.Status)
+		if next.Status != lp.Optimal {
+			return nil, fmt.Errorf("algo: Ailon relaxation %v", next.Status)
 		}
+		sol = next
 		cuts := separateTriangles(sol.X, n, 500)
 		if len(cuts) == 0 {
 			break
 		}
 		prob.Cons = append(prob.Cons, cuts...)
+	}
+	if sol == nil {
+		return nil, nil
 	}
 	return sol.X, nil
 }

@@ -1,6 +1,7 @@
 package algo
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -44,11 +45,31 @@ func (a *Anneal) Aggregate(d *rankings.Dataset) (*rankings.Ranking, error) {
 // AggregateWithPairs implements core.PairsAggregator: a nil p is computed
 // from d, a non-nil p must be the pair matrix of d.
 func (a *Anneal) AggregateWithPairs(d *rankings.Dataset, p *kendall.Pairs) (*rankings.Ranking, error) {
+	res, err := a.AggregateCtx(context.Background(), d, core.RunOptions{Pairs: p})
+	if err != nil {
+		return nil, err
+	}
+	return res.Consensus, nil
+}
+
+// AggregateCtx implements core.CtxAggregator: the random walk polls the
+// context every pollEvery moves, so cancellation and deadlines propagate
+// mid-anneal. On a deadline the best state ever visited is returned
+// (DeadlineHit) — annealing is the paper's Section 8 anytime approach, and
+// the deadline is simply where "anytime" stops. opts.Seed (when set)
+// replaces the struct Seed.
+func (a *Anneal) AggregateCtx(ctx context.Context, d *rankings.Dataset, opts core.RunOptions) (*core.RunResult, error) {
 	if err := core.CheckInput(d); err != nil {
 		return nil, err
 	}
+	p := opts.Pairs
 	if p == nil {
 		p = kendall.NewPairs(d)
+	}
+	ctx, cancel := limitCtx(ctx, opts.TimeLimit)
+	defer cancel()
+	if ctx.Err() == context.Canceled {
+		return nil, ctx.Err()
 	}
 	seed := a.StartFrom
 	if seed == nil {
@@ -58,7 +79,7 @@ func (a *Anneal) AggregateWithPairs(d *rankings.Dataset, p *kendall.Pairs) (*ran
 		}
 		seed = best
 	}
-	return a.AggregateFromWithPairs(d, seed, p)
+	return a.annealCtx(ctx, d, seed, p, opts)
 }
 
 // AggregateFrom implements Seedable: anneal starting from the given
@@ -70,13 +91,37 @@ func (a *Anneal) AggregateFrom(d *rankings.Dataset, seed *rankings.Ranking) (*ra
 // AggregateFromWithPairs implements PairsSeedable: AggregateFrom with a
 // prebuilt pair matrix.
 func (a *Anneal) AggregateFromWithPairs(d *rankings.Dataset, seed *rankings.Ranking, p *kendall.Pairs) (*rankings.Ranking, error) {
+	res, err := a.AggregateFromCtx(context.Background(), d, seed, core.RunOptions{Pairs: p})
+	if err != nil {
+		return nil, err
+	}
+	return res.Consensus, nil
+}
+
+// AggregateFromCtx implements CtxSeedable: AggregateFrom under a context.
+func (a *Anneal) AggregateFromCtx(ctx context.Context, d *rankings.Dataset, seed *rankings.Ranking, opts core.RunOptions) (*core.RunResult, error) {
 	if err := core.CheckInput(d); err != nil {
 		return nil, err
 	}
+	p := opts.Pairs
 	if p == nil {
 		p = kendall.NewPairs(d)
 	}
-	rng := rand.New(rand.NewSource(a.Seed + 0x5a))
+	ctx, cancel := limitCtx(ctx, opts.TimeLimit)
+	defer cancel()
+	if ctx.Err() == context.Canceled {
+		return nil, ctx.Err()
+	}
+	return a.annealCtx(ctx, d, seed, p, opts)
+}
+
+// annealCtx is the annealing loop proper; ctx already carries any deadline.
+func (a *Anneal) annealCtx(ctx context.Context, d *rankings.Dataset, seed *rankings.Ranking, p *kendall.Pairs, opts core.RunOptions) (*core.RunResult, error) {
+	rngSeed := a.Seed
+	if opts.SeedSet {
+		rngSeed = opts.Seed
+	}
+	rng := rand.New(rand.NewSource(rngSeed + 0x5a))
 	st := newSearchState(p, seed)
 
 	sweeps := a.Sweeps
@@ -96,11 +141,17 @@ func (a *Anneal) AggregateFromWithPairs(d *rankings.Dataset, seed *rankings.Rank
 		temp = meanPairCost(p)
 	}
 
+	poll := newSearchPoll(ctx)
 	score := p.Score(st.ranking())
 	best := st.ranking()
 	bestScore := score
+	sweepsDone := 0
+walk:
 	for s := 0; s < sweeps; s++ {
 		for mv := 0; mv < moves; mv++ {
+			if poll.stop() {
+				break walk
+			}
 			x := st.elems[rng.Intn(len(st.elems))]
 			cur := st.curIndex(x)
 			tie, newAt := st.randomMove(x, cur, rng)
@@ -115,13 +166,26 @@ func (a *Anneal) AggregateFromWithPairs(d *rankings.Dataset, seed *rankings.Rank
 			}
 		}
 		temp *= cooling
+		sweepsDone++
 	}
-	// Final descent polishes the annealed state into a local optimum.
-	polished, score := localSearch(p, best)
-	if score <= bestScore {
-		return polished, nil
+	deadlineHit, err := poll.outcome()
+	if err != nil {
+		return nil, err
 	}
-	return best, nil
+	out := best
+	if !deadlineHit {
+		// Final descent polishes the annealed state into a local optimum
+		// (skipped under an expired deadline — the walk's best stands).
+		polished, pscore := localSearchCtx(ctx, p, best)
+		if pscore <= bestScore {
+			out = polished
+		}
+	}
+	return &core.RunResult{
+		Consensus:   out,
+		DeadlineHit: deadlineHit,
+		Stats:       core.SearchStats{Iterations: sweepsDone},
+	}, nil
 }
 
 // meanPairCost estimates a temperature from the average disagreement mass

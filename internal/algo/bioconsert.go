@@ -1,6 +1,7 @@
 package algo
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -45,11 +46,33 @@ func (a *BioConsert) Aggregate(d *rankings.Dataset) (*rankings.Ranking, error) {
 // AggregateWithPairs implements core.PairsAggregator: a nil p is computed
 // from d, a non-nil p must be the pair matrix of d.
 func (a *BioConsert) AggregateWithPairs(d *rankings.Dataset, p *kendall.Pairs) (*rankings.Ranking, error) {
+	res, err := a.AggregateCtx(context.Background(), d, core.RunOptions{Pairs: p})
+	if err != nil {
+		return nil, err
+	}
+	return res.Consensus, nil
+}
+
+// AggregateCtx implements core.CtxAggregator: every restart's descent polls
+// the context at a bounded interval and the pool stops claiming seeds once
+// it fires, so cancellation and deadlines propagate mid-descent. On a
+// deadline the best state reached so far is returned (DeadlineHit); a
+// cancelled context returns the error. With an undisturbed context the run
+// is byte-identical to the historical sequential scan regardless of the
+// worker count. opts.Workers (the session budget) takes precedence over the
+// struct's Workers field.
+func (a *BioConsert) AggregateCtx(ctx context.Context, d *rankings.Dataset, opts core.RunOptions) (*core.RunResult, error) {
 	if err := core.CheckInput(d); err != nil {
 		return nil, err
 	}
+	p := opts.Pairs
 	if p == nil {
 		p = kendall.NewPairs(d)
+	}
+	ctx, cancel := limitCtx(ctx, opts.TimeLimit)
+	defer cancel()
+	if ctx.Err() == context.Canceled {
+		return nil, ctx.Err()
 	}
 	seeds := d.Rankings
 	if a.StartFrom != nil {
@@ -72,7 +95,10 @@ func (a *BioConsert) AggregateWithPairs(d *rankings.Dataset, p *kendall.Pairs) (
 		score int64
 	}
 	results := make([]result, len(uniq))
-	workers := a.Workers
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = a.Workers
+	}
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
@@ -80,8 +106,12 @@ func (a *BioConsert) AggregateWithPairs(d *rankings.Dataset, p *kendall.Pairs) (
 		workers = len(uniq)
 	}
 	if workers <= 1 {
+		poll := newSearchPoll(ctx)
 		for i, seed := range uniq {
-			r, score := localSearch(p, seed)
+			if poll.stopNow() {
+				break
+			}
+			r, score := localSearchCtx(ctx, p, seed)
 			results[i] = result{r, score}
 		}
 	} else {
@@ -91,12 +121,14 @@ func (a *BioConsert) AggregateWithPairs(d *rankings.Dataset, p *kendall.Pairs) (
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				// Each worker owns its poll (single-goroutine state).
+				poll := newSearchPoll(ctx)
 				for {
 					i := int(atomic.AddInt64(&next, 1)) - 1
-					if i >= len(uniq) {
+					if i >= len(uniq) || poll.stopNow() {
 						return
 					}
-					r, score := localSearch(p, uniq[i])
+					r, score := localSearchCtx(ctx, p, uniq[i])
 					results[i] = result{r, score}
 				}
 			}()
@@ -104,26 +136,59 @@ func (a *BioConsert) AggregateWithPairs(d *rankings.Dataset, p *kendall.Pairs) (
 		wg.Wait()
 	}
 	// Deterministic best-of: lowest score, ties broken by lowest seed index
-	// (the order a sequential scan would have kept).
-	best := results[0]
-	for _, r := range results[1:] {
-		if r.score < best.score {
+	// (the order a sequential scan would have kept). Seeds skipped after a
+	// stop have a nil ranking and are passed over.
+	var best result
+	restarts := 0
+	for _, r := range results {
+		if r.r == nil {
+			continue
+		}
+		restarts++
+		if best.r == nil || r.score < best.score {
 			best = r
 		}
 	}
-	return best.r, nil
+	deadlineHit, err := pollOutcome(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if best.r == nil {
+		// Deadline expired before any descent ran: fall back to the first
+		// seed unrefined — still a valid consensus candidate.
+		best = result{uniq[0].Clone(), p.Score(uniq[0])}
+	}
+	return &core.RunResult{
+		Consensus:   best.r,
+		DeadlineHit: deadlineHit,
+		Stats:       core.SearchStats{Restarts: restarts},
+	}, nil
 }
 
 // localSearch runs BioConsert's descent from the given seed and returns the
-// local optimum and its score. The seed may cover a subset of the universe;
-// only its elements are moved (and scored). The score is maintained
-// incrementally from the move deltas — only the seed is ever scored in full.
+// local optimum and its score.
 func localSearch(p *kendall.Pairs, seed *rankings.Ranking) (*rankings.Ranking, int64) {
+	return localSearchCtx(context.Background(), p, seed)
+}
+
+// localSearchCtx runs BioConsert's descent from the given seed and returns
+// the best state reached and its score. The seed may cover a subset of the
+// universe; only its elements are moved (and scored). The score is
+// maintained incrementally from the move deltas — only the seed is ever
+// scored in full. The descent polls ctx every pollEvery placement scans
+// (each O(n + k)) and returns its current state when the context is done;
+// with an undisturbed context the result is the exact local optimum,
+// identical to the historical non-ctx descent.
+func localSearchCtx(ctx context.Context, p *kendall.Pairs, seed *rankings.Ranking) (*rankings.Ranking, int64) {
 	st := newSearchState(p, seed)
 	score := p.Score(seed)
+	poll := newSearchPoll(ctx)
 	for improved := true; improved; {
 		improved = false
 		for _, x := range st.elems {
+			if poll.stop() {
+				return st.ranking(), score
+			}
 			if delta := st.improveElement(x); delta < 0 {
 				score += delta
 				improved = true
@@ -294,7 +359,7 @@ func (st *searchState) bestMoveComplete(x int) (bestDelta int64, cur, bestTie, b
 	// the candidate values beat a second row scan.
 	k := len(st.order)
 	tieVal, newVal := st.ensureCand(k)
-	var d int64          // D_j: running Σ (sb − sa)
+	var d int64 // D_j: running Σ (sb − sa)
 	for j, id := range st.order {
 		var sb, sa int64
 		b := st.store[id]

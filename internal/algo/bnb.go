@@ -1,6 +1,7 @@
 package algo
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -21,7 +22,10 @@ import (
 type BnB struct {
 	// Beam > 0 switches to beam search with that width (heuristic).
 	Beam int
-	// TimeLimit stops the exact search, returning the incumbent.
+	// TimeLimit stops the exact search, returning the incumbent. It is a
+	// compatibility shim over the context deadline: AggregateCtx merges it
+	// into the ctx, and the plain Aggregate entry points run under
+	// context.Background() plus this limit.
 	TimeLimit time.Duration
 }
 
@@ -55,19 +59,42 @@ func (a *BnB) AggregateExact(d *rankings.Dataset) (*rankings.Ranking, bool, erro
 // AggregateExactWithPairs implements core.ExactPairsAggregator: a nil p is
 // computed from d, a non-nil p must be the pair matrix of d.
 func (a *BnB) AggregateExactWithPairs(d *rankings.Dataset, p *kendall.Pairs) (*rankings.Ranking, bool, error) {
-	if err := core.CheckInput(d); err != nil {
+	res, err := a.AggregateCtx(context.Background(), d, core.RunOptions{Pairs: p})
+	if err != nil {
 		return nil, false, err
 	}
+	return res.Consensus, res.Proved, nil
+}
+
+// AggregateCtx implements core.CtxAggregator: the DFS polls the context at
+// a bounded node interval, so cancellation and deadlines propagate
+// mid-descent. A deadline expiry returns the incumbent with DeadlineHit.
+func (a *BnB) AggregateCtx(ctx context.Context, d *rankings.Dataset, opts core.RunOptions) (*core.RunResult, error) {
+	if err := core.CheckInput(d); err != nil {
+		return nil, err
+	}
+	p := opts.Pairs
 	if p == nil {
 		p = kendall.NewPairs(d)
 	}
+	limit := opts.TimeLimit
+	if limit <= 0 {
+		limit = a.TimeLimit
+	}
+	ctx, cancel := limitCtx(ctx, limit)
+	defer cancel()
+	if ctx.Err() == context.Canceled {
+		return nil, ctx.Err()
+	}
 	order := bordaOrderAll(d)
 	if a.Beam > 0 {
-		return beamSearch(p, order, a.Beam), false, nil
-	}
-	deadline := time.Time{}
-	if a.TimeLimit > 0 {
-		deadline = time.Now().Add(a.TimeLimit)
+		poll := newSearchPoll(ctx)
+		r := beamSearch(p, order, a.Beam, poll)
+		deadlineHit, err := poll.outcome()
+		if err != nil {
+			return nil, err
+		}
+		return &core.RunResult{Consensus: r, DeadlineHit: deadlineHit}, nil
 	}
 	// Incumbent: Chanas-style descent from Borda order.
 	inc := append([]int(nil), order...)
@@ -87,30 +114,34 @@ func (a *BnB) AggregateExactWithPairs(d *rankings.Dataset, p *kendall.Pairs) (*r
 		}
 		minRest[j] = minRest[j+1] + lvl
 	}
-	s := &permSearch{p: p, order: order, upper: upper, best: inc, minRest: minRest, deadline: deadline}
+	s := &permSearch{p: p, order: order, upper: upper, best: inc, minRest: minRest, poll: newSearchPoll(ctx)}
 	s.dfs(0, 0, nil)
-	return rankings.FromPermutation(s.best), !s.timedOut, nil
+	deadlineHit, err := s.poll.outcome()
+	if err != nil {
+		return nil, err
+	}
+	return &core.RunResult{
+		Consensus:   rankings.FromPermutation(s.best),
+		Proved:      !deadlineHit,
+		DeadlineHit: deadlineHit,
+		Stats:       core.SearchStats{Nodes: s.nodes},
+	}, nil
 }
 
 type permSearch struct {
-	p        *kendall.Pairs
-	order    []int
-	upper    int64
-	best     []int
-	minRest  []int64
-	deadline time.Time
-	timedOut bool
-	nodes    int64
+	p       *kendall.Pairs
+	order   []int
+	upper   int64
+	best    []int
+	minRest []int64
+	poll    *searchPoll
+	nodes   int64
 }
 
 // dfs inserts order[depth] at every position of the current prefix.
 func (s *permSearch) dfs(depth int, placed int64, prefix []int) {
-	if s.timedOut {
-		return
-	}
 	s.nodes++
-	if s.nodes%1024 == 0 && !s.deadline.IsZero() && time.Now().After(s.deadline) {
-		s.timedOut = true
+	if s.poll.stop() {
 		return
 	}
 	if depth == len(s.order) {
@@ -150,20 +181,27 @@ func (s *permSearch) dfs(depth int, placed int64, prefix []int) {
 		buf[c.q] = x
 		copy(buf[c.q+1:], prefix[c.q:])
 		s.dfs(depth+1, placed+c.added, buf)
-		if s.timedOut {
+		if s.poll.stopped() {
 			return
 		}
 	}
 }
 
-// beamSearch keeps the width best prefixes per depth.
-func beamSearch(p *kendall.Pairs, order []int, width int) *rankings.Ranking {
+// beamSearch keeps the width best prefixes per depth, checking the context
+// once per depth (each depth is O(width·k) insertion work). When the
+// context fires mid-search the best current prefix is completed with the
+// remaining elements in Borda order — still a full consensus, reported via
+// the poll as deadline-cut or cancelled by the caller.
+func beamSearch(p *kendall.Pairs, order []int, width int, poll *searchPoll) *rankings.Ranking {
 	type state struct {
 		perm []int
 		cost int64
 	}
 	beam := []state{{perm: nil, cost: 0}}
-	for _, x := range order {
+	for depth, x := range order {
+		if poll.stopNow() {
+			return rankings.FromPermutation(append(append([]int(nil), beam[0].perm...), order[depth:]...))
+		}
 		var next []state
 		for _, st := range beam {
 			k := len(st.perm)

@@ -1,6 +1,7 @@
 package algo
 
 import (
+	"context"
 	"fmt"
 
 	"rankagg/internal/core"
@@ -22,6 +23,13 @@ type PairsSeedable interface {
 	Seedable
 	// AggregateFromWithPairs is AggregateFrom with a prebuilt pair matrix.
 	AggregateFromWithPairs(d *rankings.Dataset, seed *rankings.Ranking, p *kendall.Pairs) (*rankings.Ranking, error)
+}
+
+// CtxSeedable is a Seedable refiner that runs under a context (same
+// contract as core.CtxAggregator, starting from a given solution).
+type CtxSeedable interface {
+	Seedable
+	AggregateFromCtx(ctx context.Context, d *rankings.Dataset, seed *rankings.Ranking, opts core.RunOptions) (*core.RunResult, error)
 }
 
 // Chained runs a fast first-stage algorithm and refines its output with a
@@ -60,6 +68,48 @@ func (c *Chained) Aggregate(d *rankings.Dataset) (*rankings.Ranking, error) {
 	return c.AggregateWithPairs(d, nil)
 }
 
+// AggregateCtx implements core.CtxAggregator: the context (and the shared
+// pair matrix) reaches both stages when they support it, so a cancel or
+// deadline propagates into whichever stage is running.
+func (c *Chained) AggregateCtx(ctx context.Context, d *rankings.Dataset, opts core.RunOptions) (*core.RunResult, error) {
+	first, refiner := c.stages()
+	ctx, cancel := limitCtx(ctx, opts.TimeLimit)
+	defer cancel()
+	opts.TimeLimit = 0 // already folded into ctx; stages must not re-apply it
+	if opts.Pairs == nil {
+		if err := core.CheckInput(d); err != nil {
+			return nil, err
+		}
+		opts.Pairs = kendall.NewPairs(d)
+	}
+	fres, err := core.Run(ctx, first, d, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := &core.RunResult{DeadlineHit: fres.DeadlineHit, Stats: fres.Stats}
+	if cs, ok := refiner.(CtxSeedable); ok {
+		rres, err := cs.AggregateFromCtx(ctx, d, fres.Consensus, opts)
+		if err != nil {
+			return nil, err
+		}
+		out.Consensus = rres.Consensus
+		out.DeadlineHit = out.DeadlineHit || rres.DeadlineHit
+		out.Stats.Add(rres.Stats)
+		return out, nil
+	}
+	var r *rankings.Ranking
+	if ps, ok := refiner.(PairsSeedable); ok {
+		r, err = ps.AggregateFromWithPairs(d, fres.Consensus, opts.Pairs)
+	} else {
+		r, err = refiner.AggregateFrom(d, fres.Consensus)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out.Consensus = r
+	return out, nil
+}
+
 // AggregateWithPairs implements core.PairsAggregator: the pair matrix is
 // built at most once for the whole chain and handed to every stage that can
 // consume it — chained algorithms no longer pay the O(m·n²) build twice.
@@ -95,6 +145,13 @@ func (a *BioConsert) AggregateFrom(d *rankings.Dataset, seed *rankings.Ranking) 
 func (a *BioConsert) AggregateFromWithPairs(d *rankings.Dataset, seed *rankings.Ranking, p *kendall.Pairs) (*rankings.Ranking, error) {
 	b := &BioConsert{StartFrom: seed, Workers: a.Workers}
 	return b.AggregateWithPairs(d, p)
+}
+
+// AggregateFromCtx implements CtxSeedable: the restart descent runs from
+// the given seed under the context.
+func (a *BioConsert) AggregateFromCtx(ctx context.Context, d *rankings.Dataset, seed *rankings.Ranking, opts core.RunOptions) (*core.RunResult, error) {
+	b := &BioConsert{StartFrom: seed, Workers: a.Workers}
+	return b.AggregateCtx(ctx, d, opts)
 }
 
 func init() {

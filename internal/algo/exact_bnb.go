@@ -1,6 +1,7 @@
 package algo
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -28,7 +29,8 @@ import (
 // reduction idea of [5, 6]).
 type ExactBnB struct {
 	// TimeLimit stops the search and returns the incumbent (reported as
-	// non-exact). Zero means no limit — exponential worst case.
+	// non-exact). Zero means no limit — exponential worst case. It is a
+	// compatibility shim over the context deadline (see AggregateCtx).
 	TimeLimit time.Duration
 	// MaxElements refuses instances larger than this (0 = no cap). The
 	// paper computes optima "for moderately large datasets only".
@@ -62,18 +64,37 @@ func (a *ExactBnB) AggregateExact(d *rankings.Dataset) (*rankings.Ranking, bool,
 // AggregateExactWithPairs implements core.ExactPairsAggregator: a nil p is
 // computed from d, a non-nil p must be the pair matrix of d.
 func (a *ExactBnB) AggregateExactWithPairs(d *rankings.Dataset, p *kendall.Pairs) (*rankings.Ranking, bool, error) {
-	if err := core.CheckInput(d); err != nil {
+	res, err := a.AggregateCtx(context.Background(), d, core.RunOptions{Pairs: p})
+	if err != nil {
 		return nil, false, err
 	}
-	if a.MaxElements > 0 && d.N > a.MaxElements {
-		return nil, false, &TooLargeError{N: d.N, Max: a.MaxElements}
+	return res.Consensus, res.Proved, nil
+}
+
+// AggregateCtx implements core.CtxAggregator: the ties-aware DFS (and the
+// BioConsert descent priming each group's incumbent) polls the context at a
+// bounded interval, so cancellation and deadlines propagate mid-descent.
+// On deadline expiry the incumbent of every group is kept (DeadlineHit,
+// Proved=false); a cancelled context returns the error instead.
+func (a *ExactBnB) AggregateCtx(ctx context.Context, d *rankings.Dataset, opts core.RunOptions) (*core.RunResult, error) {
+	if err := core.CheckInput(d); err != nil {
+		return nil, err
 	}
+	if a.MaxElements > 0 && d.N > a.MaxElements {
+		return nil, &TooLargeError{N: d.N, Max: a.MaxElements}
+	}
+	p := opts.Pairs
 	if p == nil {
 		p = kendall.NewPairs(d)
 	}
-	deadline := time.Time{}
-	if a.TimeLimit > 0 {
-		deadline = time.Now().Add(a.TimeLimit)
+	limit := opts.TimeLimit
+	if limit <= 0 {
+		limit = a.TimeLimit
+	}
+	ctx, cancel := limitCtx(ctx, limit)
+	defer cancel()
+	if ctx.Err() == context.Canceled {
+		return nil, ctx.Err()
 	}
 	elems := make([]int, d.N)
 	for i := range elems {
@@ -83,34 +104,51 @@ func (a *ExactBnB) AggregateExactWithPairs(d *rankings.Dataset, p *kendall.Pairs
 	if a.Preprocess {
 		groups = UnanimityDecomposition(p, elems)
 	}
+	// One poll serves the whole run: once it trips, the remaining groups
+	// return their incumbents immediately and the result is non-exact.
+	poll := newSearchPoll(ctx)
 	out := &rankings.Ranking{}
 	exact := true
+	var nodes int64
 	for _, g := range groups {
-		br, ok := a.solveGroup(d, p, g, deadline)
+		br, ok, n := a.solveGroup(ctx, d, p, g, poll)
 		exact = exact && ok
+		nodes += n
+		if poll.Err() == context.Canceled {
+			return nil, poll.Err()
+		}
 		out.Buckets = append(out.Buckets, br.Buckets...)
 	}
-	return out, exact, nil
+	deadlineHit, err := poll.outcome()
+	if err != nil {
+		return nil, err
+	}
+	return &core.RunResult{
+		Consensus:   out,
+		Proved:      exact && !deadlineHit,
+		DeadlineHit: deadlineHit,
+		Stats:       core.SearchStats{Nodes: nodes},
+	}, nil
 }
 
 // solveGroup runs the branch & bound restricted to the given elements.
-func (a *ExactBnB) solveGroup(d *rankings.Dataset, p *kendall.Pairs, elems []int, deadline time.Time) (*rankings.Ranking, bool) {
+func (a *ExactBnB) solveGroup(ctx context.Context, d *rankings.Dataset, p *kendall.Pairs, elems []int, poll *searchPoll) (*rankings.Ranking, bool, int64) {
 	if len(elems) == 1 {
-		return rankings.New([]int{elems[0]}), true
+		return rankings.New([]int{elems[0]}), true, 0
 	}
 	order := bordaOrder(d, elems)
 	// Incumbent: BioConsert on the sub-instance. Restrict each input ranking
 	// to the group's elements.
-	incumbent := bioConsertOn(d, p, elems)
+	incumbent := bioConsertOn(ctx, d, p, elems)
 	upper := scoreWithin(p, incumbent, elems)
 
 	s := &bnbSearch{
-		p:        p,
-		order:    order,
-		upper:    upper,
-		best:     incumbent,
-		deadline: deadline,
-		noBound:  a.DisablePairBound,
+		p:       p,
+		order:   order,
+		upper:   upper,
+		best:    incumbent,
+		poll:    poll,
+		noBound: a.DisablePairBound,
 	}
 	// minRest[j] = Σ min-pair-cost over pairs with at least one endpoint in
 	// order[j:] (a pair (order[i], order[j']) with i < j' is charged to its
@@ -124,19 +162,18 @@ func (a *ExactBnB) solveGroup(d *rankings.Dataset, p *kendall.Pairs, elems []int
 		s.minRest[j] = s.minRest[j+1] + lvl
 	}
 	s.run()
-	return s.best, !s.timedOut
+	return s.best, !s.poll.stopped(), s.nodes
 }
 
 // bnbSearch holds the DFS state of one branch & bound run.
 type bnbSearch struct {
-	p        *kendall.Pairs
-	order    []int
-	upper    int64
-	best     *rankings.Ranking
-	deadline time.Time
-	timedOut bool
-	noBound  bool
-	minRest  []int64
+	p       *kendall.Pairs
+	order   []int
+	upper   int64
+	best    *rankings.Ranking
+	poll    *searchPoll
+	noBound bool
+	minRest []int64
 
 	buckets [][]int
 	nodes   int64
@@ -149,12 +186,8 @@ func (s *bnbSearch) run() {
 
 // dfs places order[depth] given the partial cost of placed pairs.
 func (s *bnbSearch) dfs(depth int, placed int64) {
-	if s.timedOut {
-		return
-	}
 	s.nodes++
-	if s.nodes%1024 == 0 && !s.deadline.IsZero() && time.Now().After(s.deadline) {
-		s.timedOut = true
+	if s.poll.stop() {
 		return
 	}
 	if depth == len(s.order) {
@@ -218,7 +251,7 @@ func (s *bnbSearch) dfs(depth int, placed int64) {
 			s.dfs(depth+1, placed+c.added)
 			s.buckets = append(s.buckets[:c.newAt], s.buckets[c.newAt+1:]...)
 		}
-		if s.timedOut {
+		if s.poll.stopped() {
 			return
 		}
 	}
@@ -261,8 +294,10 @@ func bordaOrder(d *rankings.Dataset, elems []int) []int {
 }
 
 // bioConsertOn runs BioConsert restricted to a subset of elements to prime
-// the incumbent.
-func bioConsertOn(d *rankings.Dataset, p *kendall.Pairs, elems []int) *rankings.Ranking {
+// the incumbent. The descent is context-aware: under an expired deadline it
+// returns the best (possibly unrefined) restriction promptly, which is
+// still a valid incumbent.
+func bioConsertOn(ctx context.Context, d *rankings.Dataset, p *kendall.Pairs, elems []int) *rankings.Ranking {
 	in := make(map[int]bool, len(elems))
 	for _, e := range elems {
 		in[e] = true
@@ -285,7 +320,7 @@ func bioConsertOn(d *rankings.Dataset, p *kendall.Pairs, elems []int) *rankings.
 		if seed.Len() != len(elems) {
 			continue
 		}
-		cand, _ := localSearch(p, seed)
+		cand, _ := localSearchCtx(ctx, p, seed)
 		if s := scoreWithin(p, cand, elems); best == nil || s < bestScore {
 			best, bestScore = cand, s
 		}

@@ -1,6 +1,7 @@
 package algo
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -58,19 +59,45 @@ func (a *ExactLPB) AggregateExact(d *rankings.Dataset) (*rankings.Ranking, bool,
 // AggregateExactWithPairs implements core.ExactPairsAggregator: a nil p is
 // computed from d, a non-nil p must be the pair matrix of d.
 func (a *ExactLPB) AggregateExactWithPairs(d *rankings.Dataset, p *kendall.Pairs) (*rankings.Ranking, bool, error) {
-	if err := core.CheckInput(d); err != nil {
+	res, err := a.AggregateCtx(context.Background(), d, core.RunOptions{Pairs: p})
+	if err != nil {
 		return nil, false, err
+	}
+	return res.Consensus, res.Proved, nil
+}
+
+// AggregateCtx implements core.CtxAggregator: the context is threaded into
+// the pure-Go LPB branch & bound (checked once per node and per cut round)
+// and into the BioConsert descent priming the incumbent. On a deadline the
+// best incumbent — the solver's, or BioConsert's when the solver found none
+// — is returned with DeadlineHit; a cancelled context returns the error.
+func (a *ExactLPB) AggregateCtx(ctx context.Context, d *rankings.Dataset, opts core.RunOptions) (*core.RunResult, error) {
+	if err := core.CheckInput(d); err != nil {
+		return nil, err
 	}
 	maxN := a.MaxElements
 	if maxN == 0 {
 		maxN = 12
 	}
 	if d.N > maxN {
-		return nil, false, &TooLargeError{N: d.N, Max: maxN}
+		return nil, &TooLargeError{N: d.N, Max: maxN}
 	}
 	n := d.N
+	p := opts.Pairs
 	if p == nil {
 		p = kendall.NewPairs(d)
+	}
+	limit := opts.TimeLimit
+	if limit <= 0 {
+		limit = a.TimeLimit
+	}
+	if limit == 0 {
+		limit = 5 * time.Minute
+	}
+	ctx, cancel := limitCtx(ctx, limit)
+	defer cancel()
+	if ctx.Err() == context.Canceled {
+		return nil, ctx.Err()
 	}
 	nPairs := n * (n - 1) / 2
 
@@ -140,39 +167,55 @@ func (a *ExactLPB) AggregateExactWithPairs(d *rankings.Dataset, p *kendall.Pairs
 		return cuts
 	}
 
-	// Prime the incumbent with BioConsert (sharing the pair matrix).
-	bio, err := (&BioConsert{}).AggregateWithPairs(d, p)
+	// Prime the incumbent with BioConsert (sharing the pair matrix and the
+	// context: a cancel during priming propagates too).
+	bioRes, err := (&BioConsert{}).AggregateCtx(ctx, d, core.RunOptions{Pairs: p, Workers: opts.Workers})
 	if err != nil {
-		return nil, false, err
+		return nil, err
 	}
+	bio := bioRes.Consensus
 	initX := assignmentOf(bio, n, varLT, varEQ)
 	initObj := float64(p.Score(bio))
 
-	tl := a.TimeLimit
-	if tl == 0 {
-		tl = 5 * time.Minute
-	}
 	res, err := ilp.SolveBinary(prob, ilp.Options{
 		InitialUpper: initObj + 1, // exclusive bound: allow matching optimum
 		InitialX:     initX,
 		Separator:    separator,
 		IntegerCosts: true,
-		TimeLimit:    tl,
+		Ctx:          ctx,
 	})
 	if err != nil {
-		return nil, false, err
+		return nil, err
 	}
+	stats := core.SearchStats{Nodes: int64(res.Nodes)}
+	// Classify from the solver's own verdict, not a fresh ctx sample: a
+	// deadline that fires after the solve already proved optimality must
+	// not demote a completed run.
 	switch res.Status {
-	case ilp.Optimal, ilp.Feasible:
+	case ilp.Optimal:
 		r, err := rankingFromAssignment(res.X, n, varLT)
 		if err != nil {
-			return nil, false, err
+			return nil, err
 		}
-		return r, res.Status == ilp.Optimal, nil
+		return &core.RunResult{Consensus: r, Proved: true, Stats: stats}, nil
+	case ilp.Feasible:
+		// Budget stopped the search with an incumbent in hand.
+		if _, err := pollOutcome(ctx); err != nil {
+			return nil, err
+		}
+		r, err := rankingFromAssignment(res.X, n, varLT)
+		if err != nil {
+			return nil, err
+		}
+		return &core.RunResult{Consensus: r, DeadlineHit: true, Stats: stats}, nil
 	case ilp.TimedOut:
-		return bio, false, nil
+		// Budget stopped the search before it improved on the primer.
+		if _, err := pollOutcome(ctx); err != nil {
+			return nil, err
+		}
+		return &core.RunResult{Consensus: bio, DeadlineHit: true, Stats: stats}, nil
 	default:
-		return nil, false, fmt.Errorf("algo: LPB solve failed: status %v", res.Status)
+		return nil, fmt.Errorf("algo: LPB solve failed: status %v", res.Status)
 	}
 }
 

@@ -1,12 +1,78 @@
 package algo
 
 import (
+	"context"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 
 	"rankagg/internal/core"
 	"rankagg/internal/kendall"
 	"rankagg/internal/rankings"
 )
+
+// runBestCtx evaluates runs independent randomized candidates on a bounded
+// worker pool and returns the best-scoring one plus the number of runs
+// completed; ties break toward the lowest run index — the order a
+// sequential scan would keep, so the result is identical for any worker
+// count. build(run) produces candidate number run from its own
+// deterministic randomness source. The pool stops claiming runs once ctx is
+// done; if no run completed at all (deadline already expired), run 0 is
+// built anyway — a single run is cheap and a consensus must exist.
+func runBestCtx(ctx context.Context, p *kendall.Pairs, runs, workers int, build func(run int) *rankings.Ranking) (*rankings.Ranking, int) {
+	results := make([]*rankings.Ranking, runs)
+	runAllCtx(ctx, runs, workers, func(i int) { results[i] = build(i) })
+	var best *rankings.Ranking
+	var bestScore int64
+	completed := 0
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		completed++
+		if s := p.Score(r); best == nil || s < bestScore {
+			best, bestScore = r, s
+		}
+	}
+	if best == nil {
+		best = build(0)
+	}
+	return best, completed
+}
+
+// runAllCtx executes f(0..n-1) on min(workers, n) workers (sequentially
+// when workers <= 1), checking ctx before each run (a run is a full
+// aggregation pass — plenty of work per unthrottled check).
+func runAllCtx(ctx context.Context, n, workers int, f func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return
+			}
+			f(i)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
 
 // KwikSort implements the divide & conquer 11/7-approximation of Ailon,
 // Charikar & Newman [2], adapted to ties following Section 4.1.2: a random
@@ -20,8 +86,12 @@ type KwikSort struct {
 	// Runs > 1 evaluates several randomized runs and keeps the best
 	// ("KwikSortMin").
 	Runs int
-	// Seed makes pivot choices deterministic.
+	// Seed makes pivot choices deterministic. Each run draws from its own
+	// run-indexed source, so results are identical for any worker count.
 	Seed int64
+	// Workers bounds the pool running independent runs in parallel
+	// (<= 1: sequential). The consensus is the same either way.
+	Workers int
 }
 
 // Name implements core.Aggregator.
@@ -45,29 +115,67 @@ func (a *KwikSort) Aggregate(d *rankings.Dataset) (*rankings.Ranking, error) {
 }
 
 // AggregateWithPairs implements core.PairsAggregator: a nil p is computed
-// from d, a non-nil p must be the pair matrix of d.
+// from d, a non-nil p must be the pair matrix of d. Runs are independent —
+// each with a run-indexed rng — and execute on the Workers pool; the best
+// score wins, ties broken by run index.
 func (a *KwikSort) AggregateWithPairs(d *rankings.Dataset, p *kendall.Pairs) (*rankings.Ranking, error) {
+	res, err := a.AggregateCtx(context.Background(), d, core.RunOptions{Pairs: p})
+	if err != nil {
+		return nil, err
+	}
+	return res.Consensus, nil
+}
+
+// AggregateCtx implements core.CtxAggregator: the pool stops claiming runs
+// once the context fires (each run is one full divide & conquer pass — the
+// poll interval). On a deadline the best completed run is kept
+// (DeadlineHit); a cancelled context returns the error. The session worker
+// budget (opts.Workers) takes precedence over the struct's Workers field;
+// WithSeed/WithRestarts reach the formerly unreachable Seed/Runs fields.
+func (a *KwikSort) AggregateCtx(ctx context.Context, d *rankings.Dataset, opts core.RunOptions) (*core.RunResult, error) {
 	if err := core.CheckInput(d); err != nil {
 		return nil, err
 	}
+	p := opts.Pairs
 	if p == nil {
 		p = kendall.NewPairs(d)
 	}
-	rng := rand.New(rand.NewSource(a.Seed + 0x6b71))
+	ctx, cancel := limitCtx(ctx, opts.TimeLimit)
+	defer cancel()
+	if ctx.Err() == context.Canceled {
+		return nil, ctx.Err()
+	}
+	seed := a.Seed
+	if opts.SeedSet {
+		seed = opts.Seed
+	}
+	runs := a.runs()
+	if opts.Restarts > 0 {
+		runs = opts.Restarts
+	}
+	workers := a.Workers
+	if opts.Workers > 0 {
+		workers = opts.Workers
+	}
 	elems := make([]int, d.N)
 	for i := range elems {
 		elems[i] = i
 	}
-	var best *rankings.Ranking
-	var bestScore int64
-	for run := 0; run < a.runs(); run++ {
+	best, completed := runBestCtx(ctx, p, runs, workers, func(run int) *rankings.Ranking {
+		rng := rand.New(rand.NewSource(seed + 0x6b71 + int64(run)*0x9e3779b9))
 		r := &rankings.Ranking{}
 		kwiksort(p, rng, append([]int(nil), elems...), r)
-		if s := p.Score(r); best == nil || s < bestScore {
-			best, bestScore = r, s
-		}
+		return r
+	})
+	deadlineHit, err := pollOutcome(ctx)
+	if err != nil {
+		return nil, err
 	}
-	return best, nil
+	return &core.RunResult{
+		Consensus:   best,
+		DeadlineHit: deadlineHit,
+		Stats:       core.SearchStats{Restarts: completed},
+	}, nil
 }
 
 // kwiksort recursively partitions elems around a random pivot, appending

@@ -1,6 +1,7 @@
 package algo
 
 import (
+	"context"
 	"fmt"
 
 	"rankagg/internal/core"
@@ -71,11 +72,43 @@ func (a *MarkovChain) params() (float64, int, float64) {
 
 // Aggregate implements core.Aggregator.
 func (a *MarkovChain) Aggregate(d *rankings.Dataset) (*rankings.Ranking, error) {
+	res, err := a.AggregateCtx(context.Background(), d, core.RunOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return res.Consensus, nil
+}
+
+// AggregateCtx implements core.CtxAggregator: the O(n²·m) chain
+// construction polls the context per state row and the power iteration per
+// sweep, so cancellation and deadlines propagate mid-iteration. On a
+// deadline the ranking induced by the current stationary estimate is
+// returned (DeadlineHit); before any iteration that estimate is uniform,
+// i.e. everything tied.
+func (a *MarkovChain) AggregateCtx(ctx context.Context, d *rankings.Dataset, opts core.RunOptions) (*core.RunResult, error) {
 	if err := core.CheckInput(d); err != nil {
 		return nil, err
 	}
-	t := a.transitionMatrix(d)
-	pi := stationary(t, a)
+	ctx, cancel := limitCtx(ctx, opts.TimeLimit)
+	defer cancel()
+	if ctx.Err() == context.Canceled {
+		return nil, ctx.Err()
+	}
+	poll := newSearchPoll(ctx)
+	t := a.transitionMatrix(d, poll)
+	var pi []float64
+	iters := 0
+	if poll.stopped() {
+		// Chain construction was cut short: fall back to the uniform
+		// starting estimate (a single all-tied bucket) below.
+		pi = make([]float64, d.N)
+	} else {
+		pi, iters = stationary(t, a, poll)
+	}
+	deadlineHit, err := poll.outcome()
+	if err != nil {
+		return nil, err
+	}
 	// Rank by descending stationary probability; exactly equal
 	// probabilities tie.
 	n := d.N
@@ -83,22 +116,33 @@ func (a *MarkovChain) Aggregate(d *rankings.Dataset) (*rankings.Ranking, error) 
 	for i, v := range pi {
 		scores[i] = int64(v * 1e15)
 	}
-	return rankByScore(scores, false, true), nil
+	return &core.RunResult{
+		Consensus:   rankByScore(scores, false, true),
+		DeadlineHit: deadlineHit,
+		Stats:       core.SearchStats{Iterations: iters},
+	}, nil
 }
 
-// transitionMatrix builds the row-stochastic chain of the selected variant.
-func (a *MarkovChain) transitionMatrix(d *rankings.Dataset) [][]float64 {
+// transitionMatrix builds the row-stochastic chain of the selected variant,
+// polling the context once per state row.
+func (a *MarkovChain) transitionMatrix(d *rankings.Dataset, poll *searchPoll) [][]float64 {
 	n := d.N
 	pos := d.PositionMatrix()
 	t := make([][]float64, n)
 	for i := range t {
 		t[i] = make([]float64, n)
 	}
+	if poll.stopNow() {
+		return t
+	}
 	switch a.variant() {
 	case 1:
 		// w[i][j] = #rankings with pos(j) ≤ pos(i); row-normalize. j = i is
 		// always counted (self-loop mass).
 		for i := 0; i < n; i++ {
+			if poll.stop() {
+				return t
+			}
 			var total float64
 			for j := 0; j < n; j++ {
 				w := 0.0
@@ -116,6 +160,9 @@ func (a *MarkovChain) transitionMatrix(d *rankings.Dataset) [][]float64 {
 		// Average over rankings of the uniform distribution on the elements
 		// ranked at least as high as i in that ranking.
 		for i := 0; i < n; i++ {
+			if poll.stop() {
+				return t
+			}
 			used := 0
 			for _, p := range pos {
 				if p[i] == 0 {
@@ -149,6 +196,9 @@ func (a *MarkovChain) transitionMatrix(d *rankings.Dataset) [][]float64 {
 		// Move to uniform j with probability (#rankings preferring j)/m.
 		m := float64(len(pos))
 		for i := 0; i < n; i++ {
+			if poll.stop() {
+				return t
+			}
 			stay := 1.0
 			for j := 0; j < n; j++ {
 				if j == i {
@@ -168,6 +218,9 @@ func (a *MarkovChain) transitionMatrix(d *rankings.Dataset) [][]float64 {
 		}
 	default: // MC4
 		for i := 0; i < n; i++ {
+			if poll.stop() {
+				return t
+			}
 			stay := 1.0
 			for j := 0; j < n; j++ {
 				if j == i {
@@ -207,8 +260,10 @@ func normalizeRow(row []float64, total float64, n, i int) {
 	}
 }
 
-// stationary runs damped power iteration on the row-stochastic matrix.
-func stationary(t [][]float64, a *MarkovChain) []float64 {
+// stationary runs damped power iteration on the row-stochastic matrix,
+// polling the context once per iteration; it returns the stationary
+// estimate and the number of iterations completed.
+func stationary(t [][]float64, a *MarkovChain, poll *searchPoll) ([]float64, int) {
 	damping, maxIter, tol := a.params()
 	n := len(t)
 	pi := make([]float64, n)
@@ -217,7 +272,12 @@ func stationary(t [][]float64, a *MarkovChain) []float64 {
 		pi[i] = 1 / float64(n)
 	}
 	base := (1 - damping) / float64(n)
+	iters := 0
 	for iter := 0; iter < maxIter; iter++ {
+		if poll.stopNow() {
+			break
+		}
+		iters++
 		for j := range next {
 			next[j] = base
 		}
@@ -246,7 +306,7 @@ func stationary(t [][]float64, a *MarkovChain) []float64 {
 			break
 		}
 	}
-	return pi
+	return pi, iters
 }
 
 func init() {

@@ -1,6 +1,7 @@
 package algo
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 
@@ -23,8 +24,13 @@ type RepeatChoice struct {
 	// with ties.
 	KeepTies bool
 	// Seed makes the randomized ranking order deterministic. 0 uses a fixed
-	// default (the library never draws global randomness).
+	// default (the library never draws global randomness). Each run draws
+	// from its own run-indexed source, so results are identical for any
+	// worker count.
 	Seed int64
+	// Workers bounds the pool running independent runs in parallel
+	// (<= 1: sequential). The consensus is the same either way.
+	Workers int
 }
 
 // Name implements core.Aggregator.
@@ -48,24 +54,59 @@ func (a *RepeatChoice) Aggregate(d *rankings.Dataset) (*rankings.Ranking, error)
 }
 
 // AggregateWithPairs implements core.PairsAggregator: a nil p is computed
-// from d, a non-nil p must be the pair matrix of d.
+// from d, a non-nil p must be the pair matrix of d. Runs are independent —
+// each with a run-indexed rng — and execute on the Workers pool; the best
+// score wins, ties broken by run index.
 func (a *RepeatChoice) AggregateWithPairs(d *rankings.Dataset, p *kendall.Pairs) (*rankings.Ranking, error) {
+	res, err := a.AggregateCtx(context.Background(), d, core.RunOptions{Pairs: p})
+	if err != nil {
+		return nil, err
+	}
+	return res.Consensus, nil
+}
+
+// AggregateCtx implements core.CtxAggregator (same contract and pooling as
+// KwikSort.AggregateCtx: one refinement pass per poll interval, deadline
+// keeps the best completed run, cancel is an error; opts override the
+// struct's Seed/Runs/Workers).
+func (a *RepeatChoice) AggregateCtx(ctx context.Context, d *rankings.Dataset, opts core.RunOptions) (*core.RunResult, error) {
 	if err := core.CheckInput(d); err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(a.Seed + 0x5eed))
+	p := opts.Pairs
 	if p == nil {
 		p = kendall.NewPairs(d)
 	}
-	var best *rankings.Ranking
-	var bestScore int64
-	for run := 0; run < a.runs(); run++ {
-		cand := a.oneRun(d, rng)
-		if s := p.Score(cand); best == nil || s < bestScore {
-			best, bestScore = cand, s
-		}
+	ctx, cancel := limitCtx(ctx, opts.TimeLimit)
+	defer cancel()
+	if ctx.Err() == context.Canceled {
+		return nil, ctx.Err()
 	}
-	return best, nil
+	seed := a.Seed
+	if opts.SeedSet {
+		seed = opts.Seed
+	}
+	runs := a.runs()
+	if opts.Restarts > 0 {
+		runs = opts.Restarts
+	}
+	workers := a.Workers
+	if opts.Workers > 0 {
+		workers = opts.Workers
+	}
+	best, completed := runBestCtx(ctx, p, runs, workers, func(run int) *rankings.Ranking {
+		rng := rand.New(rand.NewSource(seed + 0x5eed + int64(run)*0x9e3779b9))
+		return a.oneRun(d, rng)
+	})
+	deadlineHit, err := pollOutcome(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &core.RunResult{
+		Consensus:   best,
+		DeadlineHit: deadlineHit,
+		Stats:       core.SearchStats{Restarts: completed},
+	}, nil
 }
 
 func (a *RepeatChoice) oneRun(d *rankings.Dataset, rng *rand.Rand) *rankings.Ranking {

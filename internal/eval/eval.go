@@ -77,9 +77,11 @@ type Options struct {
 	// MinTiming is the accumulated duration the timing protocol targets
 	// (the paper used 2s on 2005-era JVMs; default 20ms).
 	MinTiming time.Duration
-	// Workers processes datasets concurrently when > 1. Quality statistics
-	// are unaffected; per-run timings become noisier under contention, so
-	// combine with MeasureTime thoughtfully.
+	// Workers processes datasets concurrently when > 1 — the session worker
+	// budget applied at the dataset level (the experiment configs and cmd
+	// paths thread it here; cmd/experiments defaults to all CPUs). Quality
+	// statistics are unaffected; per-run timings become noisier under
+	// contention, so combine with MeasureTime thoughtfully.
 	Workers int
 }
 

@@ -66,6 +66,7 @@ type Table5Config struct {
 	MaxN      int           // elements per dataset drawn from [5, MaxN] (default 12)
 	Seed      int64         //
 	ExactTime time.Duration // per-dataset exact budget (default 10s)
+	Workers   int           // parallel dataset workers (the session budget; <= 1: serial)
 }
 
 func (c *Table5Config) defaults() {
@@ -93,7 +94,8 @@ func Table5(cfg Table5Config) (*Comparison, error) {
 		datasets[i] = gen.UniformDataset(rng, m, n)
 	}
 	return Compare(PaperAlgorithms(), datasets, Options{
-		Exact: referenceExact(cfg.MaxN+1, cfg.ExactTime),
+		Exact:   referenceExact(cfg.MaxN+1, cfg.ExactTime),
+		Workers: cfg.Workers,
 	})
 }
 
@@ -126,6 +128,7 @@ type Table4Config struct {
 	Seed      int64         //
 	ExactMaxN int           // exact reference cap (default 18)
 	ExactTime time.Duration // (default 5s)
+	Workers   int           // parallel dataset workers (the session budget; <= 1: serial)
 }
 
 func (c *Table4Config) defaults() {
@@ -198,7 +201,8 @@ func Table4(cfg Table4Config) (*Table4Result, error) {
 	out := &Table4Result{Families: fams}
 	for _, f := range fams {
 		cmp, err := Compare(PaperAlgorithms(), f.Datasets, Options{
-			Exact: referenceExact(cfg.ExactMaxN, cfg.ExactTime),
+			Exact:   referenceExact(cfg.ExactMaxN, cfg.ExactTime),
+			Workers: cfg.Workers,
 		})
 		if err != nil {
 			return nil, err
@@ -442,6 +446,7 @@ type SweepConfig struct {
 	// elements, retain top-k (k chosen so the union reaches N), unify.
 	Unified        bool
 	UnifiedSourceN int // default 3×N
+	Workers        int // parallel dataset workers (the session budget; <= 1: serial)
 }
 
 func (c *SweepConfig) defaults(fig5 bool) {
@@ -504,7 +509,8 @@ func GapSweep(cfg SweepConfig) ([]Series, []float64, error) {
 		}
 		sims = append(sims, simSum/float64(len(datasets)))
 		cmp, err := Compare(algos, datasets, Options{
-			Exact: referenceExact(cfg.ExactMaxN*2, cfg.ExactTime),
+			Exact:   referenceExact(cfg.ExactMaxN*2, cfg.ExactTime),
+			Workers: cfg.Workers,
 		})
 		if err != nil {
 			return nil, nil, err

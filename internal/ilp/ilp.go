@@ -7,6 +7,7 @@
 package ilp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -16,6 +17,11 @@ import (
 
 // Options tunes the branch & bound.
 type Options struct {
+	// Ctx, when non-nil, stops the search when the context is done (checked
+	// once per branch & bound node and per cut round). The run then returns
+	// Feasible (incumbent in hand) or TimedOut, exactly like TimeLimit; the
+	// caller distinguishes cancellation from deadline via ctx.Err().
+	Ctx context.Context
 	// InitialUpper primes the incumbent bound (exclusive): nodes whose
 	// relaxation reaches it are pruned. Zero means +Inf.
 	InitialUpper float64
@@ -119,8 +125,14 @@ func SolveBinary(base *lp.Problem, opt Options) (*Result, error) {
 		return bound >= upper-1e-9
 	}
 
-	for len(stack) > 0 {
+	outOfBudget := func() bool {
 		if opt.TimeLimit > 0 && time.Since(start) > opt.TimeLimit {
+			return true
+		}
+		return opt.Ctx != nil && opt.Ctx.Err() != nil
+	}
+	for len(stack) > 0 {
+		if outOfBudget() {
 			if bestX != nil {
 				res.Status, res.X, res.Obj = Feasible, bestX, upper
 			} else {
@@ -153,6 +165,9 @@ func SolveBinary(base *lp.Problem, opt Options) (*Result, error) {
 			}
 			work.Cons = append(work.Cons, cuts...)
 			res.Cuts += len(cuts)
+			if outOfBudget() {
+				break
+			}
 		}
 		switch sol.Status {
 		case lp.Infeasible:

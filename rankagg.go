@@ -10,13 +10,28 @@
 //
 // # Quick start
 //
+// A Session wraps one dataset, owns its shared resources (the O(m·n²) pair
+// matrix, built once and cached), and runs any registered algorithm under a
+// context with cancellation and deadlines:
+//
 //	u := rankagg.NewUniverse()
 //	r1, _ := rankagg.ParseRanking("[{A},{D},{B,C}]", u)
 //	r2, _ := rankagg.ParseRanking("[{A},{B,C},{D}]", u)
 //	r3, _ := rankagg.ParseRanking("[{D},{A,C},{B}]", u)
 //	d := rankagg.FromRankings(r1, r2, r3)
-//	consensus, _ := rankagg.Aggregate("BioConsert", d)
-//	fmt.Println(u.Format(consensus), rankagg.Score(consensus, d))
+//	sess, _ := rankagg.NewSession(d)
+//	res, _ := sess.Run(context.Background(), "BioConsert")
+//	fmt.Println(u.Format(res.Consensus), res.Score, res.Elapsed)
+//
+// Result carries the generalized Kemeny score, whether optimality was
+// proved (exact methods), whether a deadline cut the search (the incumbent
+// is then returned), and search statistics. Session.Run accepts functional
+// options — WithTimeLimit, WithWorkers, WithSeed, WithRestarts, WithPairs —
+// replacing the per-struct tuning fields of the internal algorithm types.
+//
+// Aggregate and AggregateWithPairs remain as thin one-shot conveniences
+// over the same machinery for callers that need neither cancellation nor
+// the rich result.
 //
 // # Algorithms
 //
@@ -95,6 +110,11 @@ func WriteDataset(w io.Writer, d *Dataset, u *Universe) error {
 }
 
 // Aggregate runs the named algorithm (see package doc for names) on d.
+//
+// It is a thin convenience over Session.Run for one-shot aggregations: no
+// cancellation, no rich Result, and the pair matrix is built (and dropped)
+// per call. When running several algorithms on one dataset, or when a
+// deadline/score/optimality report is needed, use NewSession + Run.
 func Aggregate(name string, d *Dataset) (*Ranking, error) {
 	a, err := core.New(name)
 	if err != nil {
@@ -112,6 +132,10 @@ func Aggregate(name string, d *Dataset) (*Ranking, error) {
 // and pass it to every call. The matrix is immutable and safe for
 // concurrent readers: one matrix may serve parallel aggregations. p must be
 // the pair matrix of d (pass nil to let the algorithm build its own).
+//
+// It is a thin convenience over Session.Run, which does the build-once
+// bookkeeping automatically (the session caches the matrix after the first
+// run); prefer a Session when the matrix threading is not already in place.
 func AggregateWithPairs(name string, d *Dataset, p *Pairs) (*Ranking, error) {
 	a, err := core.New(name)
 	if err != nil {

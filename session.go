@@ -1,0 +1,210 @@
+package rankagg
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"rankagg/internal/core"
+)
+
+// Session is the context-aware entry point for aggregating one dataset. It
+// owns the shared resources of that dataset — the O(m·n²) pair matrix,
+// built lazily on the first Run and cached for every later one, and a
+// content hash identifying the dataset to external caches — and carries
+// session-wide defaults (the worker budget) into every run.
+//
+//	sess, _ := rankagg.NewSession(d, rankagg.WithWorkers(8))
+//	res, err := sess.Run(ctx, "BioConsert")
+//	fmt.Println(res.Consensus, res.Score, res.Elapsed)
+//
+// A Session is safe for concurrent use: any number of goroutines may Run
+// algorithms on it simultaneously, all sharing the one cached matrix.
+// The dataset must not be mutated after the session is created.
+type Session struct {
+	d        *Dataset
+	defaults runConfig
+
+	mu     sync.Mutex
+	pairs  *Pairs
+	builds int
+	hash   string
+}
+
+// runConfig collects the functional options of NewSession and Session.Run.
+type runConfig struct {
+	workers   int
+	seed      int64
+	seedSet   bool
+	restarts  int
+	timeLimit time.Duration
+	pairs     *Pairs
+}
+
+// Option configures a Session (session-wide defaults) or a single
+// Session.Run call (per-run overrides).
+type Option func(*runConfig)
+
+// WithWorkers sets the worker budget for internally parallel work:
+// BioConsert's restart pool, KwikSortMin/RepeatChoiceMin independent runs.
+// As a session option it is the session-wide budget every run inherits —
+// replacing the scattered per-struct Workers fields and per-call
+// runtime.NumCPU() decisions; as a run option it overrides the budget for
+// that run. n <= 0 means "let the algorithm choose" (typically all CPUs).
+func WithWorkers(n int) Option { return func(c *runConfig) { c.workers = n } }
+
+// WithSeed fixes the randomness seed of randomized algorithms (KwikSort's
+// pivots, RepeatChoice's visit order, annealing's walk). Runs with the same
+// seed and options are deterministic.
+func WithSeed(seed int64) Option {
+	return func(c *runConfig) { c.seed = seed; c.seedSet = true }
+}
+
+// WithRestarts overrides the number of independent randomized runs for the
+// algorithms that take one (KwikSortMin, RepeatChoiceMin, Ailon's
+// roundings). 0 keeps the algorithm's default.
+func WithRestarts(n int) Option { return func(c *runConfig) { c.restarts = n } }
+
+// WithTimeLimit bounds a run's wall-clock time. The limit is merged into
+// the run's context as a deadline, so it propagates mid-descent exactly
+// like a caller-supplied ctx deadline; on expiry the best incumbent is
+// returned with Result.DeadlineHit set (see Run).
+func WithTimeLimit(d time.Duration) Option {
+	return func(c *runConfig) { c.timeLimit = d }
+}
+
+// WithPairs supplies a prebuilt pair matrix. As a session option it seeds
+// the session cache (the session then never builds its own); as a run
+// option it overrides the cache for that run. p must be the pair matrix of
+// the session's dataset.
+func WithPairs(p *Pairs) Option { return func(c *runConfig) { c.pairs = p } }
+
+// Result is the structured outcome of a Session.Run.
+type Result struct {
+	// Algorithm is the registered name that produced the consensus.
+	Algorithm string
+	// Consensus is the computed consensus ranking.
+	Consensus *Ranking
+	// Score is the generalized Kemeny score K(Consensus, R), computed from
+	// the session's cached pair matrix.
+	Score int64
+	// Proved reports that Consensus was proved optimal (exact methods that
+	// completed; always false for heuristics and deadline-cut runs).
+	Proved bool
+	// DeadlineHit reports that a deadline (WithTimeLimit or the ctx's own
+	// deadline) stopped the search early: Consensus is the best incumbent
+	// found, Proved is false. This is reported uniformly across algorithms
+	// — the exact searches (BnB, ExactAlgorithm, ExactLPB) and the
+	// heuristics (BioConsert, Anneal, MC4, Ailon3/2) all keep their best
+	// state instead of failing. The documented error paths remain errors: a
+	// cancelled ctx returns context.Canceled, an oversized instance a
+	// TooLargeError, and a deadline that fires before any solution exists
+	// at all (Ailon3/2's first LP solve) a TimeLimitError.
+	DeadlineHit bool
+	// Elapsed is the wall-clock time of the run (excluding a cached matrix
+	// reuse, including a first-run matrix build).
+	Elapsed time.Duration
+	// Stats holds search statistics where the algorithm records them:
+	// restarts completed, branch & bound nodes, convergence iterations.
+	Stats SearchStats
+}
+
+// SearchStats reports what a run's search did (see core.SearchStats).
+type SearchStats = core.SearchStats
+
+// NewSession validates the dataset and wraps it in a Session. The dataset
+// must be complete (normalize first — see Unify, UnifyBroken, Project);
+// options become session-wide defaults for every Run.
+func NewSession(d *Dataset, opts ...Option) (*Session, error) {
+	if err := core.CheckInput(d); err != nil {
+		return nil, err
+	}
+	s := &Session{d: d}
+	for _, o := range opts {
+		o(&s.defaults)
+	}
+	if s.defaults.pairs != nil {
+		s.pairs = s.defaults.pairs
+		s.defaults.pairs = nil
+	}
+	return s, nil
+}
+
+// Dataset returns the session's dataset. It must not be mutated.
+func (s *Session) Dataset() *Dataset { return s.d }
+
+// Pairs returns the session's pair matrix, building and caching it on
+// first use. The matrix is immutable and shared by every run (and safe to
+// hand to concurrent readers elsewhere).
+func (s *Session) Pairs() *Pairs {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pairs == nil {
+		s.pairs = NewPairs(s.d)
+		s.builds++
+	}
+	return s.pairs
+}
+
+// Hash returns the dataset's content hash (32 hex characters), computed
+// once and cached. It identifies the dataset to external caches — a
+// serving layer keys its pair-matrix LRU on it, so repeated queries over a
+// hot dataset skip the O(m·n²) build entirely.
+func (s *Session) Hash() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.hash == "" {
+		s.hash = s.d.Hash()
+	}
+	return s.hash
+}
+
+// Run executes the named algorithm (see Algorithms) on the session's
+// dataset under ctx and returns a structured Result.
+//
+// Cancellation and deadlines propagate into the long-running searches
+// mid-descent (BnB, ExactAlgorithm, ExactLPB, BioConsert, Anneal, MC4 poll
+// the context at a bounded interval; Ailon3/2 between LP cut rounds):
+//
+//   - ctx cancelled → (nil, context.Canceled), promptly.
+//   - deadline expired (WithTimeLimit or ctx deadline) → the best
+//     incumbent with DeadlineHit = true and Proved = false.
+//
+// Algorithms without long-running searches honor the context at call
+// boundaries; all registered algorithms work through Run.
+func (s *Session) Run(ctx context.Context, name string, opts ...Option) (*Result, error) {
+	a, err := core.New(name)
+	if err != nil {
+		return nil, err
+	}
+	cfg := s.defaults
+	cfg.pairs = nil
+	for _, o := range opts {
+		o(&cfg)
+	}
+	start := time.Now()
+	p := cfg.pairs
+	if p == nil {
+		p = s.Pairs()
+	}
+	rr, err := core.Run(ctx, a, s.d, core.RunOptions{
+		Workers:   cfg.workers,
+		Seed:      cfg.seed,
+		SeedSet:   cfg.seedSet,
+		Restarts:  cfg.restarts,
+		TimeLimit: cfg.timeLimit,
+		Pairs:     p,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Algorithm:   a.Name(),
+		Consensus:   rr.Consensus,
+		Score:       p.Score(rr.Consensus),
+		Proved:      rr.Proved,
+		DeadlineHit: rr.DeadlineHit,
+		Elapsed:     time.Since(start),
+		Stats:       rr.Stats,
+	}, nil
+}

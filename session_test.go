@@ -1,0 +1,298 @@
+package rankagg
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"rankagg/internal/gen"
+)
+
+func sessionTestDataset(t *testing.T, m, n int, seed int64) *Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	return gen.UniformDataset(rng, m, n)
+}
+
+func newTestSession(t *testing.T, d *Dataset, opts ...Option) *Session {
+	t.Helper()
+	s, err := NewSession(d, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestSessionPairsBuiltOnce is the engine-sharing acceptance check: two
+// sequential runs on one session build the pair matrix exactly once.
+func TestSessionPairsBuiltOnce(t *testing.T) {
+	s := newTestSession(t, sessionTestDataset(t, 6, 20, 1))
+	ctx := context.Background()
+	r1, err := s.Run(ctx, "BordaCount")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Run(ctx, "BioConsert")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Consensus == nil || r2.Consensus == nil {
+		t.Fatal("runs must produce a consensus")
+	}
+	if s.builds != 1 {
+		t.Fatalf("pair matrix built %d times, want exactly 1", s.builds)
+	}
+	if r2.Score > r1.Score {
+		t.Errorf("BioConsert (%d) should not be worse than Borda (%d)", r2.Score, r1.Score)
+	}
+}
+
+// TestSessionWithPairsSeedsCache verifies a caller-built matrix preempts
+// the session's own build entirely.
+func TestSessionWithPairsSeedsCache(t *testing.T) {
+	d := sessionTestDataset(t, 5, 15, 2)
+	p := NewPairs(d)
+	s := newTestSession(t, d, WithPairs(p))
+	if _, err := s.Run(context.Background(), "KwikSort"); err != nil {
+		t.Fatal(err)
+	}
+	if s.builds != 0 {
+		t.Fatalf("session built %d matrices despite WithPairs", s.builds)
+	}
+	if s.Pairs() != p {
+		t.Fatal("session must serve the seeded matrix")
+	}
+}
+
+// TestSessionResultFields pins the rich result on the paper's Section 2.2
+// running example: the exact method proves the optimum of score 5.
+func TestSessionResultFields(t *testing.T) {
+	u := NewUniverse()
+	r1, _ := ParseRanking("[{A},{D},{B,C}]", u)
+	r2, _ := ParseRanking("[{A},{B,C},{D}]", u)
+	r3, _ := ParseRanking("[{D},{A,C},{B}]", u)
+	s := newTestSession(t, FromRankings(r1, r2, r3))
+	res, err := s.Run(context.Background(), "ExactAlgorithm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score != 5 {
+		t.Errorf("Score = %d, want the paper's optimum 5", res.Score)
+	}
+	if !res.Proved {
+		t.Error("exact method must prove optimality on a 5-element instance")
+	}
+	if res.DeadlineHit {
+		t.Error("no deadline was set")
+	}
+	if res.Algorithm != "ExactAlgorithm" {
+		t.Errorf("Algorithm = %q", res.Algorithm)
+	}
+	if res.Elapsed <= 0 {
+		t.Error("Elapsed must be positive")
+	}
+	if res.Score != Score(res.Consensus, s.Dataset()) {
+		t.Error("Score must equal the recomputed generalized Kemeny score")
+	}
+}
+
+// TestSessionDeadlineHit checks the uniform time-limit reporting: an
+// expired budget yields the incumbent with Proved=false + DeadlineHit=true
+// instead of an error, for both exact searches.
+func TestSessionDeadlineHit(t *testing.T) {
+	d := sessionTestDataset(t, 6, 16, 3)
+	for _, name := range []string{"BnB", "ExactAlgorithm"} {
+		s := newTestSession(t, d)
+		res, err := s.Run(context.Background(), name, WithTimeLimit(time.Nanosecond))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Proved {
+			t.Logf("%s: instance solved before the first deadline poll (acceptable)", name)
+			continue
+		}
+		if !res.DeadlineHit {
+			t.Errorf("%s: not proved and no DeadlineHit — inconsistent reporting", name)
+		}
+		if res.Consensus.Len() != d.N {
+			t.Errorf("%s: incumbent covers %d of %d elements", name, res.Consensus.Len(), d.N)
+		}
+	}
+}
+
+// TestSessionRunCancelled is the cancellation acceptance check: every
+// ctx-aware search returns within a tight bound after cancel, from
+// mid-descent, on instances that would otherwise run for a very long time.
+func TestSessionRunCancelled(t *testing.T) {
+	cases := []struct {
+		name string
+		m, n int
+	}{
+		{"BnB", 7, 40},            // unbounded permutation DFS
+		{"ExactAlgorithm", 7, 40}, // unbounded ties-aware DFS
+		{"ExactLPB", 7, 12},       // LPB branch & bound at its size cap
+		{"BioConsert", 25, 500},   // restart pool over long descents
+		{"Anneal", 10, 400},       // 60 sweeps × 8n moves
+		{"MC4", 7, 500},           // O(n²·m) chain build + power iteration
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			d := sessionTestDataset(t, tc.m, tc.n, 4)
+			s := newTestSession(t, d)
+			s.Pairs() // exclude the (non-cancellable) matrix build from the bound
+			ctx, cancel := context.WithCancel(context.Background())
+			go func() {
+				time.Sleep(30 * time.Millisecond)
+				cancel()
+			}()
+			start := time.Now()
+			res, err := s.Run(ctx, tc.name)
+			elapsed := time.Since(start)
+			if elapsed > 3*time.Second {
+				t.Fatalf("cancelled run returned after %v — polling too coarse", elapsed)
+			}
+			if err == nil {
+				// Finished soundly around the cancel — only plausible if fast.
+				if res == nil || res.Consensus == nil {
+					t.Fatal("nil result without error")
+				}
+				t.Logf("completed in %v around the cancellation", elapsed)
+				return
+			}
+			if err != context.Canceled {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+		})
+	}
+}
+
+// TestSessionConcurrentRuns exercises the shared-matrix contract under the
+// race detector: many goroutines run algorithms on one session; the matrix
+// is built exactly once and deterministic algorithms agree with themselves.
+func TestSessionConcurrentRuns(t *testing.T) {
+	d := sessionTestDataset(t, 8, 40, 5)
+	s := newTestSession(t, d, WithWorkers(2))
+	names := []string{"BioConsert", "KwikSortMin", "BordaCount", "RepeatChoiceMin"}
+	const rounds = 3
+	scores := make([][]int64, len(names))
+	for i := range scores {
+		scores[i] = make([]int64, rounds)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(names)*rounds)
+	for ni, name := range names {
+		for round := 0; round < rounds; round++ {
+			wg.Add(1)
+			go func(ni, round int, name string) {
+				defer wg.Done()
+				res, err := s.Run(context.Background(), name)
+				if err != nil {
+					errs <- err
+					return
+				}
+				scores[ni][round] = res.Score
+			}(ni, round, name)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if s.builds != 1 {
+		t.Fatalf("pair matrix built %d times under concurrency, want 1", s.builds)
+	}
+	for ni, name := range names {
+		for round := 1; round < rounds; round++ {
+			if scores[ni][round] != scores[ni][0] {
+				t.Errorf("%s: concurrent runs disagree (%d vs %d)", name, scores[ni][round], scores[ni][0])
+			}
+		}
+	}
+}
+
+// TestSessionWorkerCountInvariance pins the determinism contract of the
+// parallel independent-run pools: the worker budget must not change the
+// consensus.
+func TestSessionWorkerCountInvariance(t *testing.T) {
+	d := sessionTestDataset(t, 6, 30, 6)
+	for _, name := range []string{"KwikSortMin", "RepeatChoiceMin", "BioConsert"} {
+		var ref *Result
+		for _, workers := range []int{1, 2, 4} {
+			s := newTestSession(t, d, WithWorkers(workers))
+			res, err := s.Run(context.Background(), name, WithSeed(11))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref == nil {
+				ref = res
+				continue
+			}
+			if !res.Consensus.Equal(ref.Consensus) {
+				t.Errorf("%s: consensus differs between worker budgets", name)
+			}
+		}
+	}
+}
+
+// TestSessionHash checks the content hash: stable across sessions on equal
+// data, different on different data, and insensitive to within-bucket
+// element order (ties are unordered sets).
+func TestSessionHash(t *testing.T) {
+	d1 := NewDataset(3, NewRanking([]int{0, 1}, []int{2}), NewRanking([]int{2}, []int{0, 1}))
+	d2 := NewDataset(3, NewRanking([]int{1, 0}, []int{2}), NewRanking([]int{2}, []int{0, 1}))
+	d3 := NewDataset(3, NewRanking([]int{0}, []int{1}, []int{2}), NewRanking([]int{2}, []int{0, 1}))
+	s1 := newTestSession(t, d1)
+	s2 := newTestSession(t, d2)
+	s3 := newTestSession(t, d3)
+	if s1.Hash() != s2.Hash() {
+		t.Error("within-bucket order must not change the hash")
+	}
+	if s1.Hash() == s3.Hash() {
+		t.Error("different bucket structure must change the hash")
+	}
+	if len(s1.Hash()) != 32 {
+		t.Errorf("hash length = %d, want 32 hex chars", len(s1.Hash()))
+	}
+}
+
+// TestSessionRejectsIncomplete mirrors the algorithms' input contract at
+// session construction time.
+func TestSessionRejectsIncomplete(t *testing.T) {
+	d := NewDataset(3, NewRanking([]int{0}, []int{1}), NewRanking([]int{2}, []int{0, 1}))
+	if _, err := NewSession(d); err == nil {
+		t.Fatal("incomplete dataset must be rejected (normalize first)")
+	}
+}
+
+// TestSessionUnknownAlgorithm keeps the registry error path.
+func TestSessionUnknownAlgorithm(t *testing.T) {
+	s := newTestSession(t, sessionTestDataset(t, 4, 8, 7))
+	if _, err := s.Run(context.Background(), "NoSuchAlgo"); err == nil {
+		t.Fatal("unknown algorithm must error")
+	}
+}
+
+// TestSessionEveryRegisteredAlgorithm runs the full registry through the
+// Session entry point on a small instance: the adapter fallbacks must keep
+// all algorithms working.
+func TestSessionEveryRegisteredAlgorithm(t *testing.T) {
+	d := sessionTestDataset(t, 5, 9, 8)
+	s := newTestSession(t, d)
+	for _, name := range Algorithms() {
+		res, err := s.Run(context.Background(), name)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if res.Consensus.Len() != d.N {
+			t.Errorf("%s: consensus covers %d of %d elements", name, res.Consensus.Len(), d.N)
+		}
+		if res.Score != Score(res.Consensus, d) {
+			t.Errorf("%s: Score mismatch", name)
+		}
+	}
+}
