@@ -23,9 +23,18 @@
 // The "before" numbers are a lower bound on the seed gap: the measured
 // legacy paths still profit from today's row-local pair matrix layout.
 //
+// With -baseline the fresh numbers are additionally compared against a
+// committed BENCH_*.json document: any benchmark whose speedup ratio fell
+// more than -regress (default 25%) below the baseline is reported as a
+// regression — a markdown table goes to -summary (or $GITHUB_STEP_SUMMARY
+// when set, the CI bench gate's report) and the exit status turns
+// non-zero. Benchmarks whose n/m shape differs from the baseline are
+// skipped with a note rather than compared apples-to-oranges.
+//
 // Usage:
 //
 //	bench [-n 300] [-m 25] [-bio-n 240] [-bio-m 30] [-runs 3] [-out BENCH_2.json]
+//	      [-baseline BENCH_2.json] [-regress 0.25] [-summary FILE]
 package main
 
 import (
@@ -33,9 +42,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"rankagg"
@@ -73,6 +84,9 @@ func main() {
 	runs := flag.Int("runs", 3, "repetitions; the best run of each side is kept")
 	seed := flag.Int64("seed", 1, "dataset seed")
 	out := flag.String("out", "", "write the JSON document to this file (default stdout)")
+	baseline := flag.String("baseline", "", "committed BENCH_*.json to gate against (empty = no gate)")
+	regress := flag.Float64("regress", 0.25, "max tolerated relative speedup drop vs the baseline")
+	summary := flag.String("summary", "", "write the gate's markdown table here (default $GITHUB_STEP_SUMMARY, else stderr)")
 	flag.Parse()
 
 	doc := benchDoc{
@@ -101,6 +115,95 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
+
+	if *baseline != "" {
+		ok, err := gateAgainstBaseline(doc, *baseline, *regress, *summary)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+	}
+}
+
+// gateAgainstBaseline compares fresh results to the committed document and
+// reports regressions: a benchmark regresses when its speedup ratio drops
+// below baseline·(1−regress). Shape mismatches (different n/m than the
+// baseline run) and benchmarks missing on either side are noted, not
+// compared. The markdown report goes to summaryPath, or the file named by
+// $GITHUB_STEP_SUMMARY, or stderr.
+func gateAgainstBaseline(fresh benchDoc, baselinePath string, regress float64, summaryPath string) (ok bool, err error) {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return false, err
+	}
+	var base benchDoc
+	if err := json.Unmarshal(data, &base); err != nil {
+		return false, fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+	}
+	baseByName := make(map[string]benchResult, len(base.Results))
+	for _, r := range base.Results {
+		baseByName[r.Name] = r
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "## Bench gate vs %s (tolerance −%.0f%%)\n\n", baselinePath, regress*100)
+	fmt.Fprintf(&sb, "| benchmark | baseline speedup | current speedup | ratio | status |\n")
+	fmt.Fprintf(&sb, "|---|---|---|---|---|\n")
+	ok = true
+	freshNames := make(map[string]bool, len(fresh.Results))
+	for _, cur := range fresh.Results {
+		freshNames[cur.Name] = true
+		b, found := baseByName[cur.Name]
+		switch {
+		case !found:
+			fmt.Fprintf(&sb, "| %s | — | %.2fx | — | new (no baseline) |\n", cur.Name, cur.Speedup)
+		case b.N != cur.N || b.M != cur.M:
+			fmt.Fprintf(&sb, "| %s | %.2fx (n=%d m=%d) | %.2fx (n=%d m=%d) | — | skipped: shape differs |\n",
+				cur.Name, b.Speedup, b.N, b.M, cur.Speedup, cur.N, cur.M)
+		default:
+			ratio := cur.Speedup / b.Speedup
+			status := "ok"
+			if ratio < 1-regress {
+				status = "**REGRESSION**"
+				ok = false
+			}
+			fmt.Fprintf(&sb, "| %s | %.2fx | %.2fx | %.2f | %s |\n", cur.Name, b.Speedup, cur.Speedup, ratio, status)
+		}
+	}
+	// Baseline entries the fresh run no longer produces: dropped or
+	// renamed benchmarks must not silently lose their gate coverage.
+	for _, b := range base.Results {
+		if !freshNames[b.Name] {
+			fmt.Fprintf(&sb, "| %s | %.2fx | — | — | **missing from fresh run** |\n", b.Name, b.Speedup)
+			ok = false
+		}
+	}
+	if !ok {
+		fmt.Fprintf(&sb, "\nA speedup ratio regressed more than %.0f%% below the committed baseline "+
+			"(or a baselined benchmark vanished from the fresh run). CI runners are noisy — rerun before "+
+			"trusting a small margin; update %s only with a deliberate commit.\n",
+			regress*100, baselinePath)
+	}
+
+	if summaryPath == "" {
+		summaryPath = os.Getenv("GITHUB_STEP_SUMMARY")
+	}
+	if summaryPath == "" {
+		fmt.Fprint(os.Stderr, sb.String())
+		return ok, nil
+	}
+	f, err := os.OpenFile(summaryPath, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	if _, err := io.WriteString(f, sb.String()); err != nil {
+		return false, err
+	}
+	return ok, nil
 }
 
 // fastPairwiseAlgos is the multi-algorithm experiment set: every registered

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"rankagg"
+	"rankagg/internal/rankings"
 )
 
 func main() {
@@ -175,13 +176,7 @@ func printJSON(r *rankagg.Result, u *rankagg.Universe, d *rankagg.Dataset) {
 		Similarity:  rankagg.Similarity(d),
 		N:           d.N,
 		M:           d.M(),
-	}
-	for _, b := range r.Consensus.Buckets {
-		names := make([]string, len(b))
-		for i, e := range b {
-			names[i] = u.Name(e)
-		}
-		res.Consensus = append(res.Consensus, names)
+		Consensus:   rankings.BucketNames(r.Consensus, u),
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

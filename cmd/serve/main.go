@@ -1,0 +1,101 @@
+// Command serve runs the rankagg HTTP aggregation server: a long-lived
+// process exposing every registered algorithm over a JSON API, backed by a
+// hash-keyed LRU of pair-matrix sessions so repeated queries over hot
+// datasets skip the O(m·n²) build entirely.
+//
+// Usage:
+//
+//	serve [-addr :8080] [-cache-entries 64] [-cache-bytes 1073741824]
+//	      [-workers N] [-max-workers-per-run N] [-max-timeout 30s]
+//	      [-max-body 33554432] [-max-elements 4096]
+//
+// Endpoints: POST /v1/aggregate, GET /v1/algorithms, GET /healthz,
+// GET /metrics (Prometheus text format). See the README's Serving section
+// for the request schema and a curl example.
+//
+// SIGINT/SIGTERM triggers a graceful shutdown: /healthz flips to 503 so
+// load balancers drain the instance, in-flight aggregations run to
+// completion (bounded by -max-timeout), then the listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rankagg/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cacheEntries := flag.Int("cache-entries", 64, "max sessions in the matrix LRU (0 = unlimited)")
+	cacheBytes := flag.Int64("cache-bytes", 1<<30, "max pair-matrix bytes in the LRU (0 = unlimited)")
+	workers := flag.Int("workers", 0, "global worker budget shared by concurrent requests (0 = all CPUs)")
+	perRun := flag.Int("max-workers-per-run", 0, "cap one request's share of the worker budget (0 = may take all)")
+	maxTimeout := flag.Duration("max-timeout", 30*time.Second, "cap on any request's time budget (also the default budget)")
+	maxBody := flag.Int64("max-body", 32<<20, "max request body bytes")
+	maxElements := flag.Int("max-elements", 4096, "max dataset universe size n — the pair matrix is 12·n² bytes (0 = unlimited)")
+	flag.Parse()
+
+	// The flags say "0 = unlimited"; Config uses 0 for "default" and
+	// negative for "unlimited".
+	unlimitedInt := func(v int) int {
+		if v == 0 {
+			return -1
+		}
+		return v
+	}
+	unlimitedInt64 := func(v int64) int64 {
+		if v == 0 {
+			return -1
+		}
+		return v
+	}
+	logger := log.New(os.Stderr, "serve: ", log.LstdFlags)
+	s := server.New(server.Config{
+		CacheEntries:     unlimitedInt(*cacheEntries),
+		CacheBytes:       unlimitedInt64(*cacheBytes),
+		Workers:          *workers,
+		MaxWorkersPerRun: *perRun,
+		MaxTimeout:       *maxTimeout,
+		MaxBodyBytes:     *maxBody,
+		MaxElements:      unlimitedInt(*maxElements),
+		Log:              logger,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s (workers=%d cache=%d entries / %d bytes, max timeout %v)",
+			*addr, *workers, *cacheEntries, *cacheBytes, *maxTimeout)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		logger.Fatalf("listener: %v", err)
+	case sig := <-sigc:
+		logger.Printf("%v: draining (in-flight runs finish, bounded by %v)", sig, *maxTimeout)
+	}
+
+	s.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), *maxTimeout+5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Fatalf("shutdown: %v", err)
+	}
+	fmt.Fprintln(os.Stderr, "serve: drained, bye")
+}

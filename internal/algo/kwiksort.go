@@ -18,7 +18,10 @@ import (
 // count. build(run) produces candidate number run from its own
 // deterministic randomness source. The pool stops claiming runs once ctx is
 // done; if no run completed at all (deadline already expired), run 0 is
-// built anyway — a single run is cheap and a consensus must exist.
+// built anyway — a single run is cheap and a consensus must exist. The
+// fallback is skipped on explicit cancellation: the caller discards the
+// result as context.Canceled, so building one would only delay the
+// promised prompt return.
 func runBestCtx(ctx context.Context, p *kendall.Pairs, runs, workers int, build func(run int) *rankings.Ranking) (*rankings.Ranking, int) {
 	results := make([]*rankings.Ranking, runs)
 	runAllCtx(ctx, runs, workers, func(i int) { results[i] = build(i) })
@@ -34,7 +37,7 @@ func runBestCtx(ctx context.Context, p *kendall.Pairs, runs, workers int, build 
 			best, bestScore = r, s
 		}
 	}
-	if best == nil {
+	if best == nil && ctx.Err() != context.Canceled {
 		best = build(0)
 	}
 	return best, completed

@@ -1,0 +1,203 @@
+// Package cache provides the serving layer's session cache: an LRU of
+// *rankagg.Session values keyed on the dataset content hash
+// (rankagg.Dataset.Hash), so repeated and concurrent requests over the
+// same dataset share one cached O(m·n²) pair matrix instead of rebuilding
+// it per request.
+//
+// The cache bounds both the entry count and the total matrix bytes
+// (Session.MatrixBytes), evicting least-recently-used sessions when either
+// budget is exceeded. Lookups of a missing key are single-flighted: when
+// two requests race on the first query for one dataset, exactly one
+// executes the build function (session construction plus the eager matrix
+// build) and both receive the same session.
+package cache
+
+import (
+	"container/list"
+	"sync"
+
+	"rankagg"
+)
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	// Hits counts lookups answered by a ready entry.
+	Hits int64
+	// Misses counts lookups that found no ready entry — including lookups
+	// coalesced onto another request's in-flight build (those increment
+	// Misses but not Builds).
+	Misses int64
+	// Builds counts build functions that ran to completion successfully;
+	// with single-flighting this is the number of pair matrices actually
+	// constructed on behalf of the cache.
+	Builds int64
+	// Evictions counts entries dropped to satisfy the budgets.
+	Evictions int64
+	// Entries and Bytes describe the current cache content.
+	Entries int
+	Bytes   int64
+}
+
+// Cache is a budgeted LRU of sessions. The zero value is not usable; see
+// New. All methods are safe for concurrent use.
+type Cache struct {
+	maxEntries int
+	maxBytes   int64
+
+	mu      sync.Mutex
+	ll      *list.List // front = most recently used
+	items   map[string]*list.Element
+	flight  map[string]*flightCall
+	bytes   int64
+	hits    int64
+	misses  int64
+	builds  int64
+	evicted int64
+}
+
+type entry struct {
+	key   string
+	sess  *rankagg.Session
+	bytes int64
+}
+
+// flightCall is one in-flight build; latecomers Wait and then read the
+// outcome.
+type flightCall struct {
+	wg   sync.WaitGroup
+	sess *rankagg.Session
+	err  error
+}
+
+// New returns a cache bounded to maxEntries sessions and maxBytes of
+// cached pair-matrix memory. Either bound may be 0 for "unlimited"
+// (bounding at least one of them is strongly advised in a server).
+func New(maxEntries int, maxBytes int64) *Cache {
+	return &Cache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		items:      make(map[string]*list.Element),
+		flight:     make(map[string]*flightCall),
+	}
+}
+
+// GetOrBuild returns the session cached under key, building and inserting
+// it via build on a miss. hit reports whether a ready entry answered the
+// lookup. Concurrent misses on one key are coalesced: a single build runs
+// and every caller receives its outcome (an error is returned to all
+// waiters and nothing is cached).
+//
+// build should return the session with its pair matrix already built
+// (call Session.Pairs() before returning) so the entry's byte weight is
+// final on insertion and later requests never pay the build.
+func (c *Cache) GetOrBuild(key string, build func() (*rankagg.Session, error)) (sess *rankagg.Session, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		c.mu.Unlock()
+		return el.Value.(*entry).sess, true, nil
+	}
+	c.misses++
+	if fc, ok := c.flight[key]; ok {
+		c.mu.Unlock()
+		fc.wg.Wait()
+		return fc.sess, false, fc.err
+	}
+	fc := &flightCall{}
+	fc.wg.Add(1)
+	c.flight[key] = fc
+	c.mu.Unlock()
+
+	sess, err = build()
+
+	c.mu.Lock()
+	delete(c.flight, key)
+	if err == nil {
+		c.builds++
+		c.insertLocked(key, sess)
+	}
+	c.mu.Unlock()
+	fc.sess, fc.err = sess, err
+	fc.wg.Done()
+	return sess, false, err
+}
+
+// Get returns the session cached under key without building on a miss.
+func (c *Cache) Get(key string) (*rankagg.Session, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	return el.Value.(*entry).sess, true
+}
+
+// insertLocked adds a fresh entry at the MRU position and evicts from the
+// LRU end until both budgets hold. The just-inserted entry is never
+// evicted — a dataset too large for the byte budget still serves the
+// requests that are hot right now and goes first when something newer
+// arrives.
+func (c *Cache) insertLocked(key string, sess *rankagg.Session) {
+	if el, ok := c.items[key]; ok { // lost a race that can't happen under single-flight; keep the existing entry
+		c.ll.MoveToFront(el)
+		return
+	}
+	e := &entry{key: key, sess: sess, bytes: sess.MatrixBytes()}
+	el := c.ll.PushFront(e)
+	c.items[key] = el
+	c.bytes += e.bytes
+	for c.overBudgetLocked() {
+		back := c.ll.Back()
+		if back == nil || back == el {
+			break
+		}
+		c.removeLocked(back)
+		c.evicted++
+	}
+}
+
+func (c *Cache) overBudgetLocked() bool {
+	return (c.maxEntries > 0 && c.ll.Len() > c.maxEntries) ||
+		(c.maxBytes > 0 && c.bytes > c.maxBytes)
+}
+
+func (c *Cache) removeLocked(el *list.Element) {
+	e := el.Value.(*entry)
+	c.ll.Remove(el)
+	delete(c.items, e.key)
+	c.bytes -= e.bytes
+}
+
+// Len returns the number of cached sessions.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Bytes returns the total matrix bytes currently cached.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Builds:    c.builds,
+		Evictions: c.evicted,
+		Entries:   c.ll.Len(),
+		Bytes:     c.bytes,
+	}
+}

@@ -1,0 +1,188 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"rankagg"
+	"rankagg/internal/gen"
+)
+
+// testSession builds a small session with its matrix eagerly built, the
+// way the serving layer hands sessions to the cache.
+func testSession(t *testing.T, n int, seed int64) *rankagg.Session {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	d := gen.UniformDataset(rng, 5, n)
+	sess, err := rankagg.NewSession(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.Pairs()
+	return sess
+}
+
+func builderOf(t *testing.T, n int, seed int64, calls *int) func() (*rankagg.Session, error) {
+	return func() (*rankagg.Session, error) {
+		*calls++
+		return testSession(t, n, seed), nil
+	}
+}
+
+func TestGetOrBuildCachesAndCounts(t *testing.T) {
+	c := New(4, 0)
+	calls := 0
+	s1, hit, err := c.GetOrBuild("k1", builderOf(t, 10, 1, &calls))
+	if err != nil || hit {
+		t.Fatalf("first lookup: hit=%v err=%v", hit, err)
+	}
+	s2, hit, err := c.GetOrBuild("k1", builderOf(t, 10, 1, &calls))
+	if err != nil || !hit {
+		t.Fatalf("second lookup: hit=%v err=%v", hit, err)
+	}
+	if s1 != s2 {
+		t.Error("second lookup returned a different session")
+	}
+	if calls != 1 {
+		t.Errorf("build ran %d times, want 1", calls)
+	}
+	if s1.MatrixBuilds() != 1 {
+		t.Errorf("matrix built %d times, want 1", s1.MatrixBuilds())
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Builds != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Bytes != s1.MatrixBytes() || st.Bytes != 3*4*10*10 {
+		t.Errorf("bytes = %d, want %d", st.Bytes, s1.MatrixBytes())
+	}
+}
+
+func TestEntryBudgetEvictsLRU(t *testing.T) {
+	c := New(2, 0)
+	for i := 0; i < 3; i++ {
+		calls := 0
+		if _, _, err := c.GetOrBuild(fmt.Sprintf("k%d", i), builderOf(t, 8, int64(i), &calls)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	if _, ok := c.Get("k0"); ok {
+		t.Error("k0 should have been evicted (LRU)")
+	}
+	if _, ok := c.Get("k2"); !ok {
+		t.Error("k2 should be cached")
+	}
+	if ev := c.Stats().Evictions; ev != 1 {
+		t.Errorf("evictions = %d, want 1", ev)
+	}
+}
+
+func TestGetRefreshesRecency(t *testing.T) {
+	c := New(2, 0)
+	for i := 0; i < 2; i++ {
+		calls := 0
+		if _, _, err := c.GetOrBuild(fmt.Sprintf("k%d", i), builderOf(t, 8, int64(i), &calls)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := c.Get("k0"); !ok { // touch k0: k1 becomes LRU
+		t.Fatal("k0 missing")
+	}
+	calls := 0
+	if _, _, err := c.GetOrBuild("k2", builderOf(t, 8, 2, &calls)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("k1"); ok {
+		t.Error("k1 should have been evicted after k0 was touched")
+	}
+	if _, ok := c.Get("k0"); !ok {
+		t.Error("recently-touched k0 was evicted")
+	}
+}
+
+func TestByteBudgetEvicts(t *testing.T) {
+	// n = 10 → 1200 bytes per matrix; budget fits two matrices but not three.
+	c := New(0, 2500)
+	for i := 0; i < 3; i++ {
+		calls := 0
+		if _, _, err := c.GetOrBuild(fmt.Sprintf("k%d", i), builderOf(t, 10, int64(i), &calls)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Bytes != 2400 || st.Evictions != 1 {
+		t.Errorf("stats after byte eviction = %+v", st)
+	}
+	// An entry larger than the whole budget is still admitted (alone).
+	calls := 0
+	if _, _, err := c.GetOrBuild("big", builderOf(t, 40, 9, &calls)); err != nil { // 19200 bytes
+		t.Fatal(err)
+	}
+	st = c.Stats()
+	if st.Entries != 1 || st.Bytes != 19200 {
+		t.Errorf("oversize entry not retained alone: %+v", st)
+	}
+}
+
+func TestBuildErrorNotCached(t *testing.T) {
+	c := New(4, 0)
+	boom := errors.New("boom")
+	_, _, err := c.GetOrBuild("k", func() (*rankagg.Session, error) { return nil, boom })
+	if err != boom {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if c.Len() != 0 || c.Stats().Builds != 0 {
+		t.Errorf("failed build was cached: %+v", c.Stats())
+	}
+	calls := 0
+	if _, _, err := c.GetOrBuild("k", builderOf(t, 8, 1, &calls)); err != nil || calls != 1 {
+		t.Errorf("retry after error: err=%v calls=%d", err, calls)
+	}
+}
+
+// TestSingleFlight races many goroutines on one cold key: the build must
+// run exactly once and everyone must get the same session. Run under
+// -race in CI.
+func TestSingleFlight(t *testing.T) {
+	c := New(4, 0)
+	var mu sync.Mutex
+	calls := 0
+	build := func() (*rankagg.Session, error) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		return testSession(t, 60, 7), nil // big enough for the build to take a moment
+	}
+	const G = 16
+	sessions := make([]*rankagg.Session, G)
+	var wg sync.WaitGroup
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s, _, err := c.GetOrBuild("hot", build)
+			if err != nil {
+				t.Error(err)
+			}
+			sessions[g] = s
+		}(g)
+	}
+	wg.Wait()
+	if calls != 1 {
+		t.Errorf("build ran %d times under contention, want 1", calls)
+	}
+	for g := 1; g < G; g++ {
+		if sessions[g] != sessions[0] {
+			t.Fatalf("goroutine %d got a different session", g)
+		}
+	}
+	if b := c.Stats().Builds; b != 1 {
+		t.Errorf("stats.Builds = %d, want 1", b)
+	}
+}

@@ -49,13 +49,13 @@ func (o RunOptions) WorkerBudget() int {
 type SearchStats struct {
 	// Restarts counts completed independent restarts/runs (BioConsert seeds,
 	// KwikSortMin runs).
-	Restarts int
+	Restarts int `json:"restarts"`
 	// Nodes counts branch & bound nodes explored (BnB, ExactAlgorithm,
 	// ExactLPB's solver).
-	Nodes int64
+	Nodes int64 `json:"nodes"`
 	// Iterations counts convergence-loop iterations (MC power iteration,
 	// annealing sweeps).
-	Iterations int
+	Iterations int `json:"iterations"`
 }
 
 // Add accumulates another stage's statistics (chained algorithms).

@@ -206,6 +206,13 @@ func transpose(dst, src []int32, n int) {
 	}
 }
 
+// Bytes returns the memory footprint of the matrix storage: three n×n
+// int32 planes (before, after, tied). A byte-budgeted cache (the serving
+// layer's matrix LRU) charges entries by this value.
+func (p *Pairs) Bytes() int64 {
+	return 3 * 4 * int64(p.N) * int64(p.N)
+}
+
 // Before returns the number of rankings placing a strictly before b.
 func (p *Pairs) Before(a, b int) int { return int(p.before[a*p.N+b]) }
 

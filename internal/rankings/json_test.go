@@ -88,6 +88,90 @@ func TestDatasetJSONWithoutNames(t *testing.T) {
 	}
 }
 
+func TestDatasetWireDecode(t *testing.T) {
+	var w DatasetWire
+	if err := json.Unmarshal([]byte(`{"rankings":[[[0],[2,1]],[[1],[0,2]]]}`), &w); err != nil {
+		t.Fatal(err)
+	}
+	d, u, err := w.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N != 3 || d.M() != 2 {
+		t.Errorf("inferred shape N=%d M=%d, want 3, 2", d.N, d.M())
+	}
+	if u != nil {
+		t.Error("expected nil universe without names")
+	}
+
+	// Names without an explicit n: the name count widens the universe.
+	w = DatasetWire{Names: []string{"A", "B", "C", "D"}, Rankings: []*Ranking{New([]int{0}, []int{1})}}
+	d, u, err = w.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N != 4 || u == nil || u.Name(3) != "D" {
+		t.Errorf("Decode with names: N=%d u=%v", d.N, u)
+	}
+}
+
+// TestDatasetWireDecodeErrors covers the malformed payloads the serving
+// layer turns into 400s: broken JSON, structurally invalid rankings
+// (duplicate elements, empty buckets, negative IDs), empty input, element
+// IDs outside a declared universe, and bad name lists.
+func TestDatasetWireDecodeErrors(t *testing.T) {
+	unmarshal := []struct{ name, payload string }{
+		{"not json", `{`},
+		{"rankings not arrays", `{"rankings":["[{A}]"]}`},
+		{"duplicate element across buckets", `{"rankings":[[[0],[0]]]}`},
+		{"duplicate element within bucket", `{"rankings":[[[1,1]]]}`},
+		{"empty bucket", `{"rankings":[[[]]]}`},
+		{"negative element", `{"rankings":[[[-1]]]}`},
+	}
+	for _, c := range unmarshal {
+		var w DatasetWire
+		if err := json.Unmarshal([]byte(c.payload), &w); err == nil {
+			if _, _, err := w.Decode(); err == nil {
+				t.Errorf("%s: %q accepted, want error", c.name, c.payload)
+			}
+		}
+	}
+
+	decode := []struct {
+		name string
+		w    DatasetWire
+	}{
+		{"no rankings", DatasetWire{}},
+		{"empty ranking list", DatasetWire{Rankings: []*Ranking{}}},
+		{"element outside declared universe", DatasetWire{N: 1, Rankings: []*Ranking{New([]int{5})}}},
+		{"name count mismatch", DatasetWire{N: 3, Names: []string{"A"}, Rankings: []*Ranking{New([]int{0})}}},
+		{"duplicate names", DatasetWire{Names: []string{"A", "A"}, Rankings: []*Ranking{New([]int{0}, []int{1})}}},
+	}
+	for _, c := range decode {
+		if _, _, err := c.w.Decode(); err == nil {
+			t.Errorf("%s: accepted, want error", c.name)
+		}
+	}
+
+	var w DatasetWire
+	if _, _, err := w.Decode(); err != ErrNoRankings {
+		t.Errorf("empty wire Decode err = %v, want ErrNoRankings", err)
+	}
+}
+
+func TestBucketNames(t *testing.T) {
+	u := NewUniverse()
+	r := MustParse("[{B},{A,C}]", u)
+	got := BucketNames(r, u)
+	if len(got) != 2 || got[0][0] != "B" || len(got[1]) != 2 {
+		t.Errorf("BucketNames = %v", got)
+	}
+	anon := BucketNames(New([]int{1}), nil)
+	if anon[0][0] != "#1" {
+		t.Errorf("BucketNames without universe = %v", anon)
+	}
+}
+
 func TestDatasetJSONErrors(t *testing.T) {
 	cases := []string{
 		`{"n":1,"names":["a","b"],"rankings":[]}`,  // name count mismatch

@@ -1,0 +1,114 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metrics holds the server's counters, exposed on GET /metrics in the
+// Prometheus text exposition format. Everything is hand-rolled on
+// sync/atomic — the module takes no dependencies — and cheap enough to
+// bump on every request.
+type metrics struct {
+	start time.Time
+
+	inFlight     atomic.Int64 // aggregation requests currently executing
+	tokensInUse  atomic.Int64 // worker tokens currently held by requests
+	cancels      atomic.Int64 // runs aborted by client disconnect
+	deadlineHits atomic.Int64 // runs that returned an incumbent on deadline
+	queueRejects atomic.Int64 // requests whose budget expired waiting for a worker token
+
+	mu       sync.Mutex
+	requests map[reqKey]int64   // (endpoint, code) → count
+	latSum   map[string]float64 // endpoint → total seconds
+	latCount map[string]int64   // endpoint → observations
+}
+
+type reqKey struct {
+	endpoint string
+	code     int
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		start:    time.Now(),
+		requests: make(map[reqKey]int64),
+		latSum:   make(map[string]float64),
+		latCount: make(map[string]int64),
+	}
+}
+
+// observe records one completed HTTP request.
+func (m *metrics) observe(endpoint string, code int, elapsed time.Duration) {
+	m.mu.Lock()
+	m.requests[reqKey{endpoint, code}]++
+	m.latSum[endpoint] += elapsed.Seconds()
+	m.latCount[endpoint]++
+	m.mu.Unlock()
+}
+
+// write renders the exposition document. cacheLine lets the server append
+// gauges owned by other components (the session cache) atomically with the
+// same scrape.
+func (m *metrics) write(w io.Writer, extra func(io.Writer)) {
+	fmt.Fprintf(w, "# HELP rankagg_uptime_seconds Time since the server started.\n")
+	fmt.Fprintf(w, "# TYPE rankagg_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "rankagg_uptime_seconds %.3f\n", time.Since(m.start).Seconds())
+
+	fmt.Fprintf(w, "# HELP rankagg_inflight_requests Aggregation requests currently executing.\n")
+	fmt.Fprintf(w, "# TYPE rankagg_inflight_requests gauge\n")
+	fmt.Fprintf(w, "rankagg_inflight_requests %d\n", m.inFlight.Load())
+
+	fmt.Fprintf(w, "# HELP rankagg_worker_tokens_in_use Worker tokens currently held.\n")
+	fmt.Fprintf(w, "# TYPE rankagg_worker_tokens_in_use gauge\n")
+	fmt.Fprintf(w, "rankagg_worker_tokens_in_use %d\n", m.tokensInUse.Load())
+
+	fmt.Fprintf(w, "# HELP rankagg_run_cancels_total Runs aborted by client disconnect.\n")
+	fmt.Fprintf(w, "# TYPE rankagg_run_cancels_total counter\n")
+	fmt.Fprintf(w, "rankagg_run_cancels_total %d\n", m.cancels.Load())
+
+	fmt.Fprintf(w, "# HELP rankagg_run_deadline_hits_total Runs that returned a best incumbent on deadline.\n")
+	fmt.Fprintf(w, "# TYPE rankagg_run_deadline_hits_total counter\n")
+	fmt.Fprintf(w, "rankagg_run_deadline_hits_total %d\n", m.deadlineHits.Load())
+
+	fmt.Fprintf(w, "# HELP rankagg_queue_rejects_total Requests whose budget expired waiting for a worker token.\n")
+	fmt.Fprintf(w, "# TYPE rankagg_queue_rejects_total counter\n")
+	fmt.Fprintf(w, "rankagg_queue_rejects_total %d\n", m.queueRejects.Load())
+
+	m.mu.Lock()
+	reqKeys := make([]reqKey, 0, len(m.requests))
+	for k := range m.requests {
+		reqKeys = append(reqKeys, k)
+	}
+	sort.Slice(reqKeys, func(i, j int) bool {
+		if reqKeys[i].endpoint != reqKeys[j].endpoint {
+			return reqKeys[i].endpoint < reqKeys[j].endpoint
+		}
+		return reqKeys[i].code < reqKeys[j].code
+	})
+	fmt.Fprintf(w, "# HELP rankagg_http_requests_total HTTP requests by endpoint and status code.\n")
+	fmt.Fprintf(w, "# TYPE rankagg_http_requests_total counter\n")
+	for _, k := range reqKeys {
+		fmt.Fprintf(w, "rankagg_http_requests_total{endpoint=%q,code=\"%d\"} %d\n", k.endpoint, k.code, m.requests[k])
+	}
+	latKeys := make([]string, 0, len(m.latCount))
+	for k := range m.latCount {
+		latKeys = append(latKeys, k)
+	}
+	sort.Strings(latKeys)
+	fmt.Fprintf(w, "# HELP rankagg_http_request_seconds Cumulative request latency by endpoint.\n")
+	fmt.Fprintf(w, "# TYPE rankagg_http_request_seconds summary\n")
+	for _, k := range latKeys {
+		fmt.Fprintf(w, "rankagg_http_request_seconds_sum{endpoint=%q} %.6f\n", k, m.latSum[k])
+		fmt.Fprintf(w, "rankagg_http_request_seconds_count{endpoint=%q} %d\n", k, m.latCount[k])
+	}
+	m.mu.Unlock()
+
+	if extra != nil {
+		extra(w)
+	}
+}

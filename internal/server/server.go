@@ -1,0 +1,474 @@
+// Package server implements the long-lived HTTP serving layer over the
+// rankagg Session API: a JSON aggregation endpoint backed by a hash-keyed
+// LRU of sessions (internal/cache), so repeated and concurrent requests
+// over the same dataset share one cached O(m·n²) pair matrix.
+//
+// Endpoints:
+//
+//	POST /v1/aggregate   aggregate a dataset with a named algorithm
+//	GET  /v1/algorithms  list registered algorithms
+//	GET  /healthz        liveness (503 while draining for shutdown)
+//	GET  /metrics        Prometheus text exposition
+//
+// Request scheduling: every aggregation holds at least one token of a
+// global worker budget (Config.Workers, default NumCPU) for its whole
+// run, so concurrent requests never oversubscribe the CPU. A request
+// arriving on an idle server opportunistically takes the idle tokens too
+// and runs its restart pools at full parallelism (consensus results are
+// worker-count invariant, so the answer does not depend on load); tokens
+// are held until the run finishes, so requests arriving while the budget
+// is fully held queue for a first token within their own time budget
+// (503 on expiry). Config.MaxWorkersPerRun caps the per-request share
+// when fairness under mixed long/short traffic matters more than lone-
+// request latency. Each request runs under its own context: the client
+// disconnecting cancels the search mid-descent, and the per-request time
+// budget (request timeout_ms clamped to Config.MaxTimeout) turns into a
+// deadline that returns the best incumbent with deadline_hit set.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"runtime"
+	"time"
+
+	"rankagg"
+	"rankagg/internal/cache"
+	"rankagg/internal/rankings"
+)
+
+// Config parameterizes New. The zero value serves with NumCPU workers, a
+// 64-entry / 1 GiB session cache, a 30s max time budget, and a 32 MiB
+// request body cap.
+type Config struct {
+	// Cache is the session LRU. Nil: a cache with CacheEntries/CacheBytes
+	// budgets is created.
+	Cache *cache.Cache
+	// CacheEntries and CacheBytes bound the cache built when Cache is nil
+	// (0: 64 entries / 1 GiB; negative: that bound is unlimited).
+	CacheEntries int
+	CacheBytes   int64
+	// Workers is the global worker budget shared by all in-flight
+	// aggregations (<= 0: NumCPU).
+	Workers int
+	// MaxWorkersPerRun caps one request's share of the worker budget
+	// (0: no cap — a lone request may take the whole budget).
+	MaxWorkersPerRun int
+	// MaxElements caps a request dataset's universe size n. The pair
+	// matrix costs 12·n² bytes and its build is not cancellable, so n
+	// bounds per-request memory and build work directly; oversized
+	// datasets are rejected up front with 413 (0: 4096, ≈ 200 MB per
+	// matrix; negative: no cap).
+	MaxElements int
+	// MaxTimeout caps every request's time budget; it is also the default
+	// for requests that set none (0: 30s).
+	MaxTimeout time.Duration
+	// MaxBodyBytes caps the request body (0: 32 MiB).
+	MaxBodyBytes int64
+	// Log receives request errors (nil: the standard logger).
+	Log *log.Logger
+}
+
+// Server is the HTTP serving layer. Create with New, expose via Handler,
+// and flip Drain before shutting the listener down.
+type Server struct {
+	cache       *cache.Cache
+	workers     int
+	perRun      int
+	tokens      chan struct{}
+	maxTimeout  time.Duration
+	maxBody     int64
+	maxElements int
+	log         *log.Logger
+	metrics     *metrics
+	draining    chan struct{} // closed by Drain
+	mux         *http.ServeMux
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	perRun := cfg.MaxWorkersPerRun
+	if perRun <= 0 || perRun > workers {
+		perRun = workers
+	}
+	c := cfg.Cache
+	if c == nil {
+		entries := cfg.CacheEntries
+		if entries == 0 {
+			entries = 64
+		} else if entries < 0 {
+			entries = 0 // cache.New's "unlimited"
+		}
+		bytes := cfg.CacheBytes
+		if bytes == 0 {
+			bytes = 1 << 30
+		} else if bytes < 0 {
+			bytes = 0
+		}
+		c = cache.New(entries, bytes)
+	}
+	maxElements := cfg.MaxElements
+	if maxElements == 0 {
+		maxElements = 4096
+	}
+	maxTimeout := cfg.MaxTimeout
+	if maxTimeout <= 0 {
+		maxTimeout = 30 * time.Second
+	}
+	maxBody := cfg.MaxBodyBytes
+	if maxBody <= 0 {
+		maxBody = 32 << 20
+	}
+	logger := cfg.Log
+	if logger == nil {
+		logger = log.Default()
+	}
+	s := &Server{
+		cache:       c,
+		workers:     workers,
+		perRun:      perRun,
+		tokens:      make(chan struct{}, workers),
+		maxTimeout:  maxTimeout,
+		maxBody:     maxBody,
+		maxElements: maxElements,
+		log:         logger,
+		metrics:     newMetrics(),
+		draining:    make(chan struct{}),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/aggregate", s.instrument("aggregate", s.handleAggregate))
+	s.mux.HandleFunc("/v1/algorithms", s.instrument("algorithms", s.handleAlgorithms))
+	s.mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("/metrics", s.instrument("metrics", s.handleMetrics))
+	return s
+}
+
+// Handler returns the root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain marks the server as shutting down: /healthz turns 503 so load
+// balancers stop routing here, while in-flight aggregations keep running
+// (http.Server.Shutdown waits for them). Safe to call more than once.
+func (s *Server) Drain() {
+	select {
+	case <-s.draining:
+	default:
+		close(s.draining)
+	}
+}
+
+// InFlight returns the number of aggregation requests currently executing
+// (tests poll it to assert prompt cancellation).
+func (s *Server) InFlight() int64 { return s.metrics.inFlight.Load() }
+
+// CacheStats exposes the session cache counters.
+func (s *Server) CacheStats() cache.Stats { return s.cache.Stats() }
+
+// AggregateRequest is the POST /v1/aggregate body. The dataset fields are
+// the rankings wire form (rankings.DatasetWire): "rankings" as bucket
+// arrays, optional "n" and "names".
+type AggregateRequest struct {
+	// Algorithm is a registered algorithm name (GET /v1/algorithms).
+	Algorithm string `json:"algorithm"`
+	rankings.DatasetWire
+	// TimeoutMS bounds the run in milliseconds; it is clamped to the
+	// server's max budget, which also applies when the field is absent. On
+	// expiry the best incumbent is returned with deadline_hit set.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Seed fixes the randomness of randomized algorithms.
+	Seed *int64 `json:"seed,omitempty"`
+	// Restarts overrides the independent-run count of the algorithms that
+	// take one.
+	Restarts int `json:"restarts,omitempty"`
+}
+
+// AggregateResponse is the POST /v1/aggregate success body.
+type AggregateResponse struct {
+	Algorithm string `json:"algorithm"`
+	// Consensus holds the consensus ranking as bucket arrays of element
+	// IDs; ConsensusNames carries the same buckets as names when the
+	// request supplied element names.
+	Consensus      *rankings.Ranking `json:"consensus"`
+	ConsensusNames [][]string        `json:"consensus_names,omitempty"`
+	Score          int64             `json:"score"`
+	Proved         bool              `json:"proved"`
+	DeadlineHit    bool              `json:"deadline_hit,omitempty"`
+	ElapsedMS      float64           `json:"elapsed_ms"`
+	DatasetHash    string            `json:"dataset_hash"`
+	// CacheHit reports that the dataset's session (and pair matrix) was
+	// already cached when the request arrived.
+	CacheHit bool                `json:"cache_hit"`
+	N        int                 `json:"n"`
+	M        int                 `json:"m"`
+	Stats    rankagg.SearchStats `json:"stats"`
+}
+
+// errorResponse is the body of every non-2xx reply.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// AlgorithmInfo is one entry of the GET /v1/algorithms listing.
+type AlgorithmInfo struct {
+	Name string `json:"name"`
+	// Exact reports that the algorithm can prove optimality.
+	Exact bool `json:"exact"`
+}
+
+// instrument wraps a handler with the request counter and latency
+// metrics.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(rec, r)
+		s.metrics.observe(endpoint, rec.code, time.Since(start))
+	}
+}
+
+// statusClientClosedRequest is nginx's convention for "client closed the
+// connection before the response"; the standard library has no name for
+// it. It reaches no client — it only keeps the request counter honest.
+const statusClientClosedRequest = 499
+
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req AggregateRequest
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid request body: %v", err))
+		return
+	}
+	if req.Algorithm == "" {
+		s.writeError(w, http.StatusBadRequest, "missing \"algorithm\" (see GET /v1/algorithms)")
+		return
+	}
+	if _, err := rankagg.NewAggregator(req.Algorithm); err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	d, u, err := req.DatasetWire.Decode()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// A tiny body can declare a huge universe, and the 12·n² matrix build
+	// is neither budgeted by the cache (entries are weighed after the
+	// build) nor cancellable — bound it before any allocation.
+	if s.maxElements > 0 && d.N > s.maxElements {
+		s.writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("dataset has %d elements, server cap is %d (pair matrix would need %d MB)",
+				d.N, s.maxElements, 3*4*int64(d.N)*int64(d.N)>>20))
+		return
+	}
+
+	// The request's whole budget — queueing for a worker token, a possible
+	// matrix build, and the run itself — is one deadline, and the context
+	// also dies with the client connection.
+	budget := s.maxTimeout
+	if req.TimeoutMS > 0 {
+		if t := time.Duration(req.TimeoutMS) * time.Millisecond; t < budget {
+			budget = t
+		}
+	}
+	ctx, cancelBudget := context.WithTimeout(r.Context(), budget)
+	defer cancelBudget()
+
+	tokens, err := s.acquireWorkers(ctx)
+	if err != nil {
+		if r.Context().Err() != nil {
+			// Client gone while queued; nobody reads the reply, but record
+			// the abort honestly (nginx's 499) instead of a default 200.
+			s.metrics.cancels.Add(1)
+			w.WriteHeader(statusClientClosedRequest)
+			return
+		}
+		s.metrics.queueRejects.Add(1)
+		s.writeError(w, http.StatusServiceUnavailable, "worker budget exhausted within the request's time budget")
+		return
+	}
+	defer s.releaseWorkers(tokens)
+
+	s.metrics.inFlight.Add(1)
+	defer s.metrics.inFlight.Add(-1)
+
+	start := time.Now()
+	hash := d.Hash()
+	sess, hit, err := s.cache.GetOrBuild(hash, func() (*rankagg.Session, error) {
+		sess, err := rankagg.NewSession(d)
+		if err != nil {
+			return nil, err
+		}
+		sess.Pairs() // eager O(m·n²) build inside the single flight
+		return sess, nil
+	})
+	if err != nil {
+		// NewSession rejections are input problems (incomplete dataset,
+		// structural invalidity that slipped past the wire checks).
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	opts := []rankagg.Option{rankagg.WithWorkers(tokens)}
+	if req.Seed != nil {
+		opts = append(opts, rankagg.WithSeed(*req.Seed))
+	}
+	if req.Restarts > 0 {
+		opts = append(opts, rankagg.WithRestarts(req.Restarts))
+	}
+	res, err := sess.Run(ctx, req.Algorithm, opts...)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			// Client disconnected mid-search; the run stopped promptly and
+			// there is nobody to answer, but the metrics must not count the
+			// aborted run as a 200.
+			s.metrics.cancels.Add(1)
+			w.WriteHeader(statusClientClosedRequest)
+			return
+		}
+		s.log.Printf("aggregate %s on %s: %v", req.Algorithm, hash, err)
+		s.writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	if res.DeadlineHit {
+		s.metrics.deadlineHits.Add(1)
+	}
+
+	resp := AggregateResponse{
+		Algorithm:   res.Algorithm,
+		Consensus:   res.Consensus,
+		Score:       res.Score,
+		Proved:      res.Proved,
+		DeadlineHit: res.DeadlineHit,
+		ElapsedMS:   float64(time.Since(start).Nanoseconds()) / 1e6,
+		DatasetHash: hash,
+		CacheHit:    hit,
+		N:           d.N,
+		M:           d.M(),
+		Stats:       res.Stats,
+	}
+	if u != nil {
+		resp.ConsensusNames = rankings.BucketNames(res.Consensus, u)
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	names := rankagg.Algorithms()
+	out := make([]AlgorithmInfo, 0, len(names))
+	for _, n := range names {
+		a, err := rankagg.NewAggregator(n)
+		if err != nil {
+			continue
+		}
+		_, exact := a.(rankagg.ExactAggregator)
+		out = append(out, AlgorithmInfo{Name: n, Exact: exact})
+	}
+	s.writeJSON(w, http.StatusOK, map[string][]AlgorithmInfo{"algorithms": out})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	select {
+	case <-s.draining:
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	default:
+		s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.write(w, func(w io.Writer) {
+		st := s.cache.Stats()
+		fmt.Fprintf(w, "# HELP rankagg_cache_hits_total Session cache lookups answered by a ready entry.\n")
+		fmt.Fprintf(w, "# TYPE rankagg_cache_hits_total counter\n")
+		fmt.Fprintf(w, "rankagg_cache_hits_total %d\n", st.Hits)
+		fmt.Fprintf(w, "# HELP rankagg_cache_misses_total Session cache lookups that found no ready entry.\n")
+		fmt.Fprintf(w, "# TYPE rankagg_cache_misses_total counter\n")
+		fmt.Fprintf(w, "rankagg_cache_misses_total %d\n", st.Misses)
+		fmt.Fprintf(w, "# HELP rankagg_cache_matrix_builds_total Pair matrices built on behalf of the cache.\n")
+		fmt.Fprintf(w, "# TYPE rankagg_cache_matrix_builds_total counter\n")
+		fmt.Fprintf(w, "rankagg_cache_matrix_builds_total %d\n", st.Builds)
+		fmt.Fprintf(w, "# HELP rankagg_cache_evictions_total Sessions evicted to satisfy the cache budgets.\n")
+		fmt.Fprintf(w, "# TYPE rankagg_cache_evictions_total counter\n")
+		fmt.Fprintf(w, "rankagg_cache_evictions_total %d\n", st.Evictions)
+		fmt.Fprintf(w, "# HELP rankagg_cache_entries Sessions currently cached.\n")
+		fmt.Fprintf(w, "# TYPE rankagg_cache_entries gauge\n")
+		fmt.Fprintf(w, "rankagg_cache_entries %d\n", st.Entries)
+		fmt.Fprintf(w, "# HELP rankagg_cache_bytes Pair-matrix bytes currently cached.\n")
+		fmt.Fprintf(w, "# TYPE rankagg_cache_bytes gauge\n")
+		fmt.Fprintf(w, "rankagg_cache_bytes %d\n", st.Bytes)
+	})
+}
+
+// acquireWorkers blocks for one token of the global worker budget, then
+// opportunistically takes idle ones up to the per-run cap, so a request
+// on an idle server runs at full parallelism while simultaneous requests
+// degrade toward one worker each — the total never exceeds the budget.
+// Tokens are held for the whole run: later arrivals queue here within
+// their own time budget. It fails when ctx dies first (client disconnect
+// or time budget spent queueing).
+func (s *Server) acquireWorkers(ctx context.Context) (int, error) {
+	select {
+	case s.tokens <- struct{}{}:
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+	n := 1
+	for n < s.perRun {
+		select {
+		case s.tokens <- struct{}{}:
+			n++
+			continue
+		default:
+		}
+		break
+	}
+	s.metrics.tokensInUse.Add(int64(n))
+	return n, nil
+}
+
+func (s *Server) releaseWorkers(n int) {
+	s.metrics.tokensInUse.Add(int64(-n))
+	for i := 0; i < n; i++ {
+		<-s.tokens
+	}
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.log.Printf("server: encoding response: %v", err)
+	}
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, msg string) {
+	s.writeJSON(w, code, errorResponse{Error: msg})
+}

@@ -146,6 +146,28 @@ func (s *Session) Pairs() *Pairs {
 	return s.pairs
 }
 
+// MatrixBuilds returns how many times the session has built its pair
+// matrix: 0 before the first Run (or a seeded WithPairs), 1 after. Caches
+// holding sessions (internal/cache) assert on it that repeated requests
+// over one dataset never rebuild the matrix.
+func (s *Session) MatrixBuilds() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.builds
+}
+
+// MatrixBytes returns the memory footprint of the cached pair matrix in
+// bytes, or 0 when no matrix has been built yet. A byte-budgeted session
+// cache uses it as the entry weight for eviction.
+func (s *Session) MatrixBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pairs == nil {
+		return 0
+	}
+	return s.pairs.Bytes()
+}
+
 // Hash returns the dataset's content hash (32 hex characters), computed
 // once and cached. It identifies the dataset to external caches — a
 // serving layer keys its pair-matrix LRU on it, so repeated queries over a
