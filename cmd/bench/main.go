@@ -31,6 +31,13 @@
 // non-zero. Benchmarks whose n/m shape differs from the baseline are
 // skipped with a note rather than compared apples-to-oranges.
 //
+// The gate distinguishes two failure classes by exit code, so CI can
+// treat them differently: exit 1 for a speedup regression (noisy shared
+// runners — the pipeline downgrades it to a warning) and exit 2 when a
+// baselined benchmark is missing from the fresh run entirely (a renamed
+// or dropped benchmark silently losing gate coverage is deterministic
+// and must fail hard).
+//
 // Usage:
 //
 //	bench [-n 300] [-m 25] [-bio-n 240] [-bio-m 30] [-runs 3] [-out BENCH_2.json]
@@ -117,31 +124,36 @@ func main() {
 	}
 
 	if *baseline != "" {
-		ok, err := gateAgainstBaseline(doc, *baseline, *regress, *summary)
+		regressed, missing, err := gateAgainstBaseline(doc, *baseline, *regress, *summary)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bench:", err)
 			os.Exit(1)
 		}
-		if !ok {
+		if missing {
+			os.Exit(2) // structural: a baselined benchmark vanished — never warn-only
+		}
+		if regressed {
 			os.Exit(1)
 		}
 	}
 }
 
-// gateAgainstBaseline compares fresh results to the committed document and
-// reports regressions: a benchmark regresses when its speedup ratio drops
-// below baseline·(1−regress). Shape mismatches (different n/m than the
-// baseline run) and benchmarks missing on either side are noted, not
+// gateAgainstBaseline compares fresh results to the committed document.
+// regressed reports a benchmark whose speedup ratio dropped below
+// baseline·(1−regress); missing reports a baselined benchmark absent from
+// the fresh run (renamed or dropped — deterministic, and gated harder
+// than a noisy regression, see main). Shape mismatches (different n/m
+// than the baseline run) and fresh-only benchmarks are noted, not
 // compared. The markdown report goes to summaryPath, or the file named by
 // $GITHUB_STEP_SUMMARY, or stderr.
-func gateAgainstBaseline(fresh benchDoc, baselinePath string, regress float64, summaryPath string) (ok bool, err error) {
+func gateAgainstBaseline(fresh benchDoc, baselinePath string, regress float64, summaryPath string) (regressed, missing bool, err error) {
 	data, err := os.ReadFile(baselinePath)
 	if err != nil {
-		return false, err
+		return false, false, err
 	}
 	var base benchDoc
 	if err := json.Unmarshal(data, &base); err != nil {
-		return false, fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+		return false, false, fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
 	}
 	baseByName := make(map[string]benchResult, len(base.Results))
 	for _, r := range base.Results {
@@ -152,7 +164,6 @@ func gateAgainstBaseline(fresh benchDoc, baselinePath string, regress float64, s
 	fmt.Fprintf(&sb, "## Bench gate vs %s (tolerance −%.0f%%)\n\n", baselinePath, regress*100)
 	fmt.Fprintf(&sb, "| benchmark | baseline speedup | current speedup | ratio | status |\n")
 	fmt.Fprintf(&sb, "|---|---|---|---|---|\n")
-	ok = true
 	freshNames := make(map[string]bool, len(fresh.Results))
 	for _, cur := range fresh.Results {
 		freshNames[cur.Name] = true
@@ -168,24 +179,28 @@ func gateAgainstBaseline(fresh benchDoc, baselinePath string, regress float64, s
 			status := "ok"
 			if ratio < 1-regress {
 				status = "**REGRESSION**"
-				ok = false
+				regressed = true
 			}
 			fmt.Fprintf(&sb, "| %s | %.2fx | %.2fx | %.2f | %s |\n", cur.Name, b.Speedup, cur.Speedup, ratio, status)
 		}
 	}
 	// Baseline entries the fresh run no longer produces: dropped or
-	// renamed benchmarks must not silently lose their gate coverage.
+	// renamed benchmarks must not silently lose their gate coverage. This
+	// is a structural failure (exit 2), never downgraded to a warning.
 	for _, b := range base.Results {
 		if !freshNames[b.Name] {
 			fmt.Fprintf(&sb, "| %s | %.2fx | — | — | **missing from fresh run** |\n", b.Name, b.Speedup)
-			ok = false
+			missing = true
 		}
 	}
-	if !ok {
-		fmt.Fprintf(&sb, "\nA speedup ratio regressed more than %.0f%% below the committed baseline "+
-			"(or a baselined benchmark vanished from the fresh run). CI runners are noisy — rerun before "+
-			"trusting a small margin; update %s only with a deliberate commit.\n",
-			regress*100, baselinePath)
+	if regressed {
+		fmt.Fprintf(&sb, "\nA speedup ratio regressed more than %.0f%% below the committed baseline. "+
+			"CI runners are noisy — rerun before trusting a small margin; update %s only with a "+
+			"deliberate commit.\n", regress*100, baselinePath)
+	}
+	if missing {
+		fmt.Fprintf(&sb, "\nA baselined benchmark vanished from the fresh run: rename it in %s in the "+
+			"same commit, or the gate silently stops covering it.\n", baselinePath)
 	}
 
 	if summaryPath == "" {
@@ -193,17 +208,17 @@ func gateAgainstBaseline(fresh benchDoc, baselinePath string, regress float64, s
 	}
 	if summaryPath == "" {
 		fmt.Fprint(os.Stderr, sb.String())
-		return ok, nil
+		return regressed, missing, nil
 	}
 	f, err := os.OpenFile(summaryPath, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
 	if err != nil {
-		return false, err
+		return false, false, err
 	}
 	defer f.Close()
 	if _, err := io.WriteString(f, sb.String()); err != nil {
-		return false, err
+		return false, false, err
 	}
-	return ok, nil
+	return regressed, missing, nil
 }
 
 // fastPairwiseAlgos is the multi-algorithm experiment set: every registered

@@ -9,9 +9,12 @@
 //	      [-workers N] [-max-workers-per-run N] [-max-timeout 30s]
 //	      [-max-body 33554432] [-max-elements 4096]
 //
-// Endpoints: POST /v1/aggregate, GET /v1/algorithms, GET /healthz,
-// GET /metrics (Prometheus text format). See the README's Serving section
-// for the request schema and a curl example.
+// Endpoints: POST /v1/aggregate, PATCH /v1/datasets/{hash} (apply
+// add/remove ranking deltas to a cached dataset in O(n²) per ranking — the
+// dynamic-sessions path; the response carries the rotated dataset hash),
+// GET /v1/algorithms, GET /healthz, GET /metrics (Prometheus text format).
+// See the README's Serving section for the request schemas and curl
+// examples.
 //
 // SIGINT/SIGTERM triggers a graceful shutdown: /healthz flips to 503 so
 // load balancers drain the instance, in-flight aggregations run to

@@ -10,6 +10,11 @@
 // two requests race on the first query for one dataset, exactly one
 // executes the build function (session construction plus the eager matrix
 // build) and both receive the same session.
+//
+// Sessions are dynamic (rankagg.Session.ApplyDelta), and a mutation
+// rotates the dataset content hash, so Mutate re-keys an entry in place:
+// the entry moves from the old hash to the new one around the mutation,
+// with its byte weight re-accounted against the budget.
 package cache
 
 import (
@@ -33,6 +38,9 @@ type Stats struct {
 	Builds int64
 	// Evictions counts entries dropped to satisfy the budgets.
 	Evictions int64
+	// Rekeys counts entries moved to a new key by Mutate (a PATCHed
+	// dataset rotates its content hash).
+	Rekeys int64
 	// Entries and Bytes describe the current cache content.
 	Entries int
 	Bytes   int64
@@ -53,6 +61,7 @@ type Cache struct {
 	misses  int64
 	builds  int64
 	evicted int64
+	rekeys  int64
 }
 
 type entry struct {
@@ -124,6 +133,50 @@ func (c *Cache) GetOrBuild(key string, build func() (*rankagg.Session, error)) (
 	return sess, false, err
 }
 
+// Mutate looks up the session cached under oldKey and re-keys its entry
+// in place around a caller-supplied mutation: the entry is detached under
+// the cache lock, mutate runs outside it (session mutation is O(n²)
+// compute and must not block the cache), and the entry is re-inserted
+// under the new key mutate returns, with its byte weight re-read from
+// Session.MatrixBytes. found reports whether oldKey held a ready entry;
+// when false, nothing ran and the caller falls back to a full build
+// (the server's delta_miss path).
+//
+// Detaching gives the mutation exclusive ownership of the ENTRY — a
+// concurrent Mutate of the same key misses, and a concurrent GetOrBuild
+// of oldKey rebuilds the pre-mutation dataset from scratch instead of
+// receiving a session that no longer matches the key. The *session* stays
+// shared: requests that fetched it earlier keep running on their
+// copy-on-write snapshots. When mutate fails, the untouched entry is
+// restored under oldKey (unless a concurrent rebuild got there first,
+// in which case that fresher entry wins).
+func (c *Cache) Mutate(oldKey string, mutate func(*rankagg.Session) (newKey string, err error)) (sess *rankagg.Session, newKey string, found bool, err error) {
+	c.mu.Lock()
+	el, ok := c.items[oldKey]
+	if !ok {
+		c.misses++
+		c.mu.Unlock()
+		return nil, "", false, nil
+	}
+	c.hits++
+	e := el.Value.(*entry)
+	c.removeLocked(el)
+	c.mu.Unlock()
+
+	newKey, err = mutate(e.sess)
+
+	c.mu.Lock()
+	if err != nil {
+		c.insertLocked(oldKey, e.sess)
+		c.mu.Unlock()
+		return e.sess, "", true, err
+	}
+	c.rekeys++
+	c.insertLocked(newKey, e.sess)
+	c.mu.Unlock()
+	return e.sess, newKey, true, nil
+}
+
 // Get returns the session cached under key without building on a miss.
 func (c *Cache) Get(key string) (*rankagg.Session, bool) {
 	c.mu.Lock()
@@ -144,7 +197,14 @@ func (c *Cache) Get(key string) (*rankagg.Session, bool) {
 // requests that are hot right now and goes first when something newer
 // arrives.
 func (c *Cache) insertLocked(key string, sess *rankagg.Session) {
-	if el, ok := c.items[key]; ok { // lost a race that can't happen under single-flight; keep the existing entry
+	// A duplicate key is unreachable from GetOrBuild (single-flight), but
+	// Mutate inserts without a flight and can collide with a concurrent
+	// rebuild: its error path restores oldKey after a GetOrBuild re-built
+	// it, and its success path lands on newKey just as a full POST of the
+	// same mutated dataset finishes building. Keeping the existing entry
+	// is load-bearing for Mutate — the fresher entry wins, the detached
+	// session is simply not re-cached.
+	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
 		return
 	}
@@ -197,6 +257,7 @@ func (c *Cache) Stats() Stats {
 		Misses:    c.misses,
 		Builds:    c.builds,
 		Evictions: c.evicted,
+		Rekeys:    c.rekeys,
 		Entries:   c.ll.Len(),
 		Bytes:     c.bytes,
 	}

@@ -146,6 +146,201 @@ func TestBuildErrorNotCached(t *testing.T) {
 	}
 }
 
+// mutableSession builds a complete-dataset session (delta mutation
+// requires completeness) with its matrix eagerly built.
+func mutableSession(t *testing.T, m, n int, seed int64) (*rankagg.Session, *rankagg.Dataset) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	d := gen.UniformDataset(rng, m, n)
+	sess, err := rankagg.NewSession(d.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.Pairs()
+	return sess, d
+}
+
+// completeRanking draws one complete tied ranking over n elements.
+func completeRanking(rng *rand.Rand, n int) *rankagg.Ranking {
+	d := gen.UniformDataset(rng, 1, n)
+	return d.Rankings[0]
+}
+
+// TestMutateRekeysEntry checks the PATCH path's cache side: the entry
+// moves from the old hash to the new one, the old key misses afterwards,
+// bytes stay accounted, and no extra build happens.
+func TestMutateRekeysEntry(t *testing.T) {
+	c := New(4, 0)
+	sess, d := mutableSession(t, 4, 12, 3)
+	h0 := sess.Hash()
+	if _, _, err := c.GetOrBuild(h0, func() (*rankagg.Session, error) { return sess, nil }); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	extra := completeRanking(rng, d.N)
+	got, newKey, found, err := c.Mutate(h0, func(s *rankagg.Session) (string, error) {
+		if err := s.AddRanking(extra); err != nil {
+			return "", err
+		}
+		return s.Hash(), nil
+	})
+	if err != nil || !found || got != sess {
+		t.Fatalf("Mutate: found=%v err=%v same-session=%v", found, err, got == sess)
+	}
+	if newKey == h0 {
+		t.Fatal("hash did not rotate on mutation")
+	}
+	if _, ok := c.Get(h0); ok {
+		t.Error("old key still cached after rekey")
+	}
+	if s2, ok := c.Get(newKey); !ok || s2 != sess {
+		t.Error("new key does not serve the mutated session")
+	}
+	st := c.Stats()
+	if st.Rekeys != 1 || st.Entries != 1 || st.Bytes != sess.MatrixBytes() {
+		t.Errorf("stats after rekey = %+v", st)
+	}
+	if sess.MatrixBuilds() != 1 || sess.MatrixDeltas() != 1 {
+		t.Errorf("builds=%d deltas=%d after rekey, want 1 and 1", sess.MatrixBuilds(), sess.MatrixDeltas())
+	}
+}
+
+// TestMutateMissAndFailure: a missing key reports found=false without
+// running mutate; a failing mutate restores the entry under its old key.
+func TestMutateMissAndFailure(t *testing.T) {
+	c := New(4, 0)
+	ran := false
+	if _, _, found, err := c.Mutate("nope", func(*rankagg.Session) (string, error) {
+		ran = true
+		return "", nil
+	}); found || err != nil || ran {
+		t.Fatalf("miss: found=%v err=%v ran=%v", found, err, ran)
+	}
+
+	sess, _ := mutableSession(t, 3, 10, 5)
+	h := sess.Hash()
+	if _, _, err := c.GetOrBuild(h, func() (*rankagg.Session, error) { return sess, nil }); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	if _, _, found, err := c.Mutate(h, func(*rankagg.Session) (string, error) { return "", boom }); !found || err != boom {
+		t.Fatalf("failing mutate: found=%v err=%v", found, err)
+	}
+	if _, ok := c.Get(h); !ok {
+		t.Error("entry not restored under its old key after a failed mutate")
+	}
+	if st := c.Stats(); st.Rekeys != 0 || st.Entries != 1 {
+		t.Errorf("stats after failed mutate = %+v", st)
+	}
+}
+
+// TestConcurrentMutateAndAggregate races 16 goroutines of mixed traffic —
+// PATCH-style Mutate chains and aggregate-style GetOrBuild/Run — on one
+// hot entry (run under -race in CI). Mutators follow the rotating hash;
+// losers of the detach race fall back like the server does. At the end
+// the surviving session's matrix must be byte-identical to a fresh build
+// of its final dataset.
+func TestConcurrentMutateAndAggregate(t *testing.T) {
+	c := New(8, 0)
+	sess, d := mutableSession(t, 4, 16, 6)
+	baseM := d.M()
+	h0 := sess.Hash()
+	if _, _, err := c.GetOrBuild(h0, func() (*rankagg.Session, error) { return sess, nil }); err != nil {
+		t.Fatal(err)
+	}
+	extra := completeRanking(rand.New(rand.NewSource(7)), d.N)
+	grown := d.Clone()
+	grown.Rankings = append(grown.Rankings, extra)
+	grownHash := grown.Hash()
+	datasetOf := func(key string) *rankagg.Dataset {
+		if key == grownHash {
+			return grown
+		}
+		return d
+	}
+
+	var mu sync.Mutex
+	curKey := h0
+	readKey := func() string { mu.Lock(); defer mu.Unlock(); return curKey }
+	setKey := func(k string) { mu.Lock(); defer mu.Unlock(); curKey = k }
+
+	const G = 16
+	var wg sync.WaitGroup
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				key := readKey()
+				if g%2 == 0 {
+					// Aggregate-style: fetch whatever is hot and read its
+					// matrix; a miss rebuilds the dataset the key names,
+					// exactly as the server derives it from the request body.
+					s, _, err := c.GetOrBuild(key, func() (*rankagg.Session, error) {
+						ns, err := rankagg.NewSession(datasetOf(key).Clone())
+						if err == nil {
+							ns.Pairs()
+						}
+						return ns, err
+					})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if got := s.Pairs().M; got != baseM && got != baseM+1 {
+						t.Errorf("matrix m = %d, want %d or %d", got, baseM, baseM+1)
+						return
+					}
+				} else {
+					// PATCH-style: toggle the extra ranking on the entry the
+					// key currently names. A miss means another mutator got
+					// there first — move on. The rotated key is published
+					// INSIDE the closure, while this goroutine still owns
+					// the detached entry: publishing after Mutate returns
+					// could reorder against a later mutation of the same
+					// entry and leave curKey naming a rotated-away hash.
+					_, _, _, err := c.Mutate(key, func(s *rankagg.Session) (string, error) {
+						if s.Dataset().M() == baseM {
+							if err := s.AddRanking(extra); err != nil {
+								return "", err
+							}
+						} else if err := s.RemoveRanking(extra); err != nil {
+							return "", err
+						}
+						nk := s.Hash()
+						setKey(nk)
+						return nk, nil
+					})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	finalKey := readKey()
+	final, ok := c.Get(finalKey)
+	if !ok {
+		t.Fatal("current key not cached after the storm")
+	}
+	if got := final.Hash(); got != finalKey {
+		t.Fatalf("entry under key %s holds dataset %s: the key no longer names its content", finalKey, got)
+	}
+	fresh, err := rankagg.NewSession(final.Dataset().Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !final.Pairs().Equal(fresh.Pairs()) {
+		t.Fatal("final delta-maintained matrix differs from a fresh build of its dataset")
+	}
+	if st := c.Stats(); st.Rekeys == 0 {
+		t.Errorf("no rekeys recorded under concurrent mutation: %+v", st)
+	}
+}
+
 // TestSingleFlight races many goroutines on one cold key: the build must
 // run exactly once and everyone must get the same session. Run under
 // -race in CI.

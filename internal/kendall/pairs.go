@@ -15,9 +15,12 @@ import (
 // ...). Pairs where either element is absent from a ranking are not counted
 // by that ranking.
 //
-// A Pairs value is immutable once built and safe for concurrent readers:
-// one matrix can be shared by any number of algorithms running in parallel
-// (see core.AggregateWithPairs).
+// A Pairs value built by NewPairs is safe for concurrent readers: one
+// matrix can be shared by any number of algorithms running in parallel
+// (see core.AggregateWithPairs). The Add/Remove delta methods mutate the
+// matrix in place and must never race with readers — mutating callers
+// (rankagg.Session) Clone first so in-flight readers keep an immutable
+// snapshot.
 type Pairs struct {
 	N int
 	// M is the number of input rankings the matrix was built from.
@@ -26,9 +29,20 @@ type Pairs struct {
 	// then holds that Before(a,b) + Before(b,a) + Tied(a,b) = M for every
 	// pair, an invariant hot loops exploit (see algo.searchState).
 	Complete bool
-	before   []int32 // before[a*N+b] = #rankings with a strictly before b
-	after    []int32 // after[a*N+b] = before[b*N+a], kept for row-local reads
-	tied     []int32 // tied[a*N+b] = #rankings with a and b in the same bucket
+	// Version counts the in-place mutations (Add/Remove) applied to this
+	// value since its construction (a fresh build is version 0). Callers
+	// that hand a matrix across a mutation boundary compare versions to
+	// detect staleness; rankagg.Session additionally restamps it so a
+	// session's matrix version always matches the session's own mutation
+	// count.
+	Version uint64
+	// incomplete counts the rankings not covering the whole universe, so
+	// Complete stays derivable (incomplete == 0) as rankings are added and
+	// removed.
+	incomplete int
+	before     []int32 // before[a*N+b] = #rankings with a strictly before b
+	after      []int32 // after[a*N+b] = before[b*N+a], kept for row-local reads
+	tied       []int32 // tied[a*N+b] = #rankings with a and b in the same bucket
 }
 
 // NewPairs computes the pair matrix of a dataset. The accumulation iterates
@@ -47,12 +61,13 @@ func NewPairs(d *rankings.Dataset) *Pairs {
 func NewPairsLegacy(d *rankings.Dataset) *Pairs {
 	n := d.N
 	p := &Pairs{
-		N:        n,
-		M:        len(d.Rankings),
-		Complete: d.Complete(),
-		before:   make([]int32, n*n),
-		after:    make([]int32, n*n),
-		tied:     make([]int32, n*n),
+		N:          n,
+		M:          len(d.Rankings),
+		Complete:   d.Complete(),
+		incomplete: countIncomplete(d),
+		before:     make([]int32, n*n),
+		after:      make([]int32, n*n),
+		tied:       make([]int32, n*n),
 	}
 	for _, r := range d.Rankings {
 		pos := r.Positions(n)
@@ -89,12 +104,13 @@ const maxExtraAccBytes = 1 << 30
 func newPairsWorkers(d *rankings.Dataset, workers int) *Pairs {
 	n := d.N
 	p := &Pairs{
-		N:        n,
-		M:        len(d.Rankings),
-		Complete: d.Complete(),
-		before:   make([]int32, n*n),
-		after:    make([]int32, n*n),
-		tied:     make([]int32, n*n),
+		N:          n,
+		M:          len(d.Rankings),
+		Complete:   d.Complete(),
+		incomplete: countIncomplete(d),
+		before:     make([]int32, n*n),
+		after:      make([]int32, n*n),
+		tied:       make([]int32, n*n),
 	}
 	m := len(d.Rankings)
 	if workers <= 0 {
@@ -174,6 +190,18 @@ func accumulatePairs(before, tied []int32, n int, r *rankings.Ranking) {
 			}
 		}
 	}
+}
+
+// countIncomplete returns how many rankings do not cover the whole
+// universe, the counter behind the Complete flag's delta maintenance.
+func countIncomplete(d *rankings.Dataset) int {
+	c := 0
+	for _, r := range d.Rankings {
+		if r.Len() != d.N {
+			c++
+		}
+	}
+	return c
 }
 
 func addInto(dst, src []int32) {

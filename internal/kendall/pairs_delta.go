@@ -1,0 +1,106 @@
+package kendall
+
+import (
+	"slices"
+
+	"rankagg/internal/rankings"
+)
+
+// This file is the O(n²) dynamic path of the pair matrix: adding or
+// removing one ranking updates the counts in place instead of paying the
+// full O(m·n²) rebuild, the "dynamic rank aggregation" regime where the
+// input profile streams. Both directions reuse the bucket-run accumulation
+// of NewPairs with a ±1 sign and keep the transposed after mirror and the
+// M/Complete metadata exactly as a from-scratch build would set them
+// (test-asserted byte-identical in pairs_delta_test.go).
+
+// Add accumulates one more ranking into the matrix in O(n²): after the
+// call the counts are byte-identical to a fresh NewPairs build of the
+// dataset with r appended. r must be valid for the matrix's universe
+// (element IDs below N, no duplicates); partial rankings are fine and
+// flip Complete off until they are removed again.
+//
+// Add mutates the matrix and bumps Version; it must not run concurrently
+// with readers — Clone first when old snapshots may still be read.
+func (p *Pairs) Add(r *rankings.Ranking) {
+	accumulateDelta(p, r, 1)
+	p.M++
+	if r.Len() != p.N {
+		p.incomplete++
+	}
+	p.Complete = p.incomplete == 0
+	p.Version++
+}
+
+// Remove subtracts one ranking from the matrix in O(n²): after the call
+// the counts are byte-identical to a fresh NewPairs build of the dataset
+// without r. r must be (bucket-order) equal to a ranking the matrix was
+// accumulated from — removing a ranking that was never added corrupts the
+// counts, so callers resolve membership first (rankagg.Session matches by
+// Ranking.Equal before delegating here).
+//
+// Like Add, Remove mutates in place and bumps Version.
+func (p *Pairs) Remove(r *rankings.Ranking) {
+	accumulateDelta(p, r, -1)
+	p.M--
+	if r.Len() != p.N {
+		p.incomplete--
+	}
+	p.Complete = p.incomplete == 0
+	p.Version++
+}
+
+// Clone returns a deep copy of the matrix (planes included, Version
+// carried over). Mutating callers clone before Add/Remove so concurrent
+// readers of the original keep a consistent immutable snapshot — the
+// copy costs the same O(n²) as the delta itself.
+func (p *Pairs) Clone() *Pairs {
+	q := *p
+	q.before = slices.Clone(p.before)
+	q.after = slices.Clone(p.after)
+	q.tied = slices.Clone(p.tied)
+	return &q
+}
+
+// Equal reports whether two matrices hold identical counts and metadata.
+// Version is deliberately ignored: a delta-maintained matrix equals a
+// fresh build of the same dataset even though only one of them has been
+// mutated.
+func (p *Pairs) Equal(q *Pairs) bool {
+	return p.N == q.N && p.M == q.M && p.Complete == q.Complete &&
+		p.incomplete == q.incomplete &&
+		slices.Equal(p.before, q.before) &&
+		slices.Equal(p.after, q.after) &&
+		slices.Equal(p.tied, q.tied)
+}
+
+// accumulateDelta applies one ranking's pair counts with the given sign.
+// It is accumulatePairs with two differences: the increments are signed,
+// and the transposed after mirror is maintained inline (the builders
+// instead transpose once at the end) — the column-strided after writes
+// are cache-unfriendly but the whole delta stays O(n²).
+func accumulateDelta(p *Pairs, r *rankings.Ranking, sign int32) {
+	n := p.N
+	bs := r.Buckets
+	flat := make([]int, 0, n)
+	for _, b := range bs {
+		flat = append(flat, b...)
+	}
+	off := 0
+	for _, bi := range bs {
+		off += len(bi)
+		rest := flat[off:] // elements of all later buckets
+		for _, a := range bi {
+			trow := p.tied[a*n : a*n+n]
+			for _, b := range bi {
+				trow[b] += sign
+			}
+			trow[a] -= sign // undo the self-tie without a branch
+			brow := p.before[a*n : a*n+n]
+			for _, b := range rest {
+				brow[b] += sign
+				p.after[b*n+a] += sign
+			}
+		}
+	}
+}

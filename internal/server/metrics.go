@@ -21,6 +21,8 @@ type metrics struct {
 	cancels      atomic.Int64 // runs aborted by client disconnect
 	deadlineHits atomic.Int64 // runs that returned an incumbent on deadline
 	queueRejects atomic.Int64 // requests whose budget expired waiting for a worker token
+	deltaApplied atomic.Int64 // PATCH deltas applied to a cached session (O(n²) instead of a rebuild)
+	deltaMisses  atomic.Int64 // PATCH requests whose base dataset was not cached (client falls back to a full POST)
 
 	mu       sync.Mutex
 	requests map[reqKey]int64   // (endpoint, code) → count
@@ -78,6 +80,14 @@ func (m *metrics) write(w io.Writer, extra func(io.Writer)) {
 	fmt.Fprintf(w, "# HELP rankagg_queue_rejects_total Requests whose budget expired waiting for a worker token.\n")
 	fmt.Fprintf(w, "# TYPE rankagg_queue_rejects_total counter\n")
 	fmt.Fprintf(w, "rankagg_queue_rejects_total %d\n", m.queueRejects.Load())
+
+	fmt.Fprintf(w, "# HELP rankagg_delta_applied_total PATCH deltas applied to a cached session (O(n²) update, no matrix rebuild).\n")
+	fmt.Fprintf(w, "# TYPE rankagg_delta_applied_total counter\n")
+	fmt.Fprintf(w, "rankagg_delta_applied_total %d\n", m.deltaApplied.Load())
+
+	fmt.Fprintf(w, "# HELP rankagg_delta_miss_fallback_total PATCH requests whose base dataset was not cached; the client must fall back to a full POST.\n")
+	fmt.Fprintf(w, "# TYPE rankagg_delta_miss_fallback_total counter\n")
+	fmt.Fprintf(w, "rankagg_delta_miss_fallback_total %d\n", m.deltaMisses.Load())
 
 	m.mu.Lock()
 	reqKeys := make([]reqKey, 0, len(m.requests))

@@ -1,0 +1,359 @@
+package server_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"rankagg"
+	"rankagg/internal/rankings"
+	"rankagg/internal/server"
+)
+
+func doPatch(t *testing.T, url, hash string, req any) (*http.Response, []byte) {
+	t.Helper()
+	var body []byte
+	switch v := req.(type) {
+	case string:
+		body = []byte(v)
+	default:
+		var err error
+		body, err = json.Marshal(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	httpReq, err := http.NewRequest(http.MethodPatch, url+"/v1/datasets/"+hash, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(httpReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// extraRanking is a fourth complete ranking over the smallRequest
+// universe, used as the PATCH delta throughout.
+func extraRanking() *rankings.Ranking {
+	return rankings.New([]int{1}, []int{0, 2}, []int{3})
+}
+
+// TestPatchDeltaPath is the serving-layer acceptance check of the issue:
+// cold build → PATCH → warm POST of the changed dataset, with the matrix
+// built exactly once — the PATCH goes through the O(n²) delta, not a
+// rebuild — and the aggregate over the patched dataset scoring exactly
+// like a from-scratch aggregation of the same rankings.
+func TestPatchDeltaPath(t *testing.T) {
+	s, ts := newTestServer(t, server.Config{})
+
+	resp, data := postAggregate(t, ts.URL, smallRequest("BordaCount"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold POST: %d %s", resp.StatusCode, data)
+	}
+	var cold server.AggregateResponse
+	if err := json.Unmarshal(data, &cold); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, data = doPatch(t, ts.URL, cold.DatasetHash, server.PatchRequest{Add: []*rankings.Ranking{extraRanking()}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("PATCH: %d %s", resp.StatusCode, data)
+	}
+	var patch server.PatchResponse
+	if err := json.Unmarshal(data, &patch); err != nil {
+		t.Fatal(err)
+	}
+	if !patch.DeltaApplied || patch.M != 4 || patch.N != 4 || patch.Added != 1 {
+		t.Errorf("patch response = %+v", patch)
+	}
+	if patch.BaseHash != cold.DatasetHash || patch.DatasetHash == cold.DatasetHash {
+		t.Errorf("hash did not rotate: base=%s new=%s", patch.BaseHash, patch.DatasetHash)
+	}
+	if patch.MatrixBuilds != 1 || patch.MatrixDeltas != 1 {
+		t.Errorf("PATCH went through a rebuild: builds=%d deltas=%d, want 1 and 1", patch.MatrixBuilds, patch.MatrixDeltas)
+	}
+
+	// A full POST of the changed dataset lands on the re-keyed entry.
+	grownReq := smallRequest("BordaCount")
+	grownReq.Rankings = append(grownReq.Rankings, extraRanking())
+	resp, data = postAggregate(t, ts.URL, grownReq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm POST: %d %s", resp.StatusCode, data)
+	}
+	var warm server.AggregateResponse
+	if err := json.Unmarshal(data, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if !warm.CacheHit {
+		t.Error("POST of the PATCHed dataset missed the cache")
+	}
+	if warm.DatasetHash != patch.DatasetHash {
+		t.Errorf("POST hash %s differs from the PATCH's rotated hash %s", warm.DatasetHash, patch.DatasetHash)
+	}
+	if warm.M != 4 {
+		t.Errorf("warm POST m = %d, want 4", warm.M)
+	}
+
+	// Correctness: the delta-maintained session scores exactly like a
+	// from-scratch session over the same rankings.
+	d := rankings.NewDataset(4, grownReq.Rankings...)
+	fresh, err := rankagg.NewSession(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fresh.Run(t.Context(), "BordaCount")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Score != res.Score {
+		t.Errorf("patched-session score %d differs from fresh build %d", warm.Score, res.Score)
+	}
+
+	st := s.CacheStats()
+	if st.Builds != 1 {
+		t.Errorf("matrix built %d times across cold+PATCH+warm, want exactly 1", st.Builds)
+	}
+	if st.Rekeys != 1 || st.Entries != 1 {
+		t.Errorf("cache stats = %+v", st)
+	}
+
+	// The old hash no longer names anything: a PATCH against it is a
+	// clean 404 fallback, and the metrics record both outcomes.
+	resp, data = doPatch(t, ts.URL, cold.DatasetHash, server.PatchRequest{Add: []*rankings.Ranking{extraRanking()}})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("PATCH of rotated-away hash: %d %s", resp.StatusCode, data)
+	}
+	metricsResp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer metricsResp.Body.Close()
+	metrics, _ := io.ReadAll(metricsResp.Body)
+	for _, want := range []string{
+		"rankagg_delta_applied_total 1",
+		"rankagg_delta_miss_fallback_total 1",
+		"rankagg_cache_rekeys_total 1",
+		"rankagg_cache_matrix_builds_total 1",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestPatchRemoveAndRoundtrip removes the added ranking again: the hash
+// must rotate back to the original, whose cache entry then serves POSTs
+// of the original dataset without a rebuild.
+func TestPatchRemoveAndRoundtrip(t *testing.T) {
+	s, ts := newTestServer(t, server.Config{})
+	_, data := postAggregate(t, ts.URL, smallRequest("BordaCount"))
+	var cold server.AggregateResponse
+	if err := json.Unmarshal(data, &cold); err != nil {
+		t.Fatal(err)
+	}
+	_, data = doPatch(t, ts.URL, cold.DatasetHash, server.PatchRequest{Add: []*rankings.Ranking{extraRanking()}})
+	var grown server.PatchResponse
+	if err := json.Unmarshal(data, &grown); err != nil {
+		t.Fatal(err)
+	}
+	resp, data := doPatch(t, ts.URL, grown.DatasetHash, server.PatchRequest{Remove: []*rankings.Ranking{extraRanking()}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("removing PATCH: %d %s", resp.StatusCode, data)
+	}
+	var back server.PatchResponse
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.DatasetHash != cold.DatasetHash || back.M != 3 {
+		t.Errorf("remove did not rotate back: hash=%s m=%d, want %s m=3", back.DatasetHash, back.M, cold.DatasetHash)
+	}
+	resp, data = postAggregate(t, ts.URL, smallRequest("BioConsert"))
+	var again server.AggregateResponse
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST after roundtrip: %d %s", resp.StatusCode, data)
+	}
+	if err := json.Unmarshal(data, &again); err != nil {
+		t.Fatal(err)
+	}
+	if !again.CacheHit {
+		t.Error("original dataset missed the cache after the PATCH roundtrip")
+	}
+	if st := s.CacheStats(); st.Builds != 1 || st.Rekeys != 2 {
+		t.Errorf("cache stats after roundtrip = %+v", st)
+	}
+}
+
+// TestPatchErrorPaths covers the non-2xx responses of the PATCH endpoint.
+func TestPatchErrorPaths(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{})
+	_, data := postAggregate(t, ts.URL, smallRequest("BordaCount"))
+	var cold server.AggregateResponse
+	if err := json.Unmarshal(data, &cold); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		hash string
+		body string
+		code int
+	}{
+		{"unknown hash", strings.Repeat("0", 32), `{"add":[[[0],[1],[2],[3]]]}`, http.StatusNotFound},
+		{"empty delta", cold.DatasetHash, `{}`, http.StatusBadRequest},
+		{"malformed body", cold.DatasetHash, `{"add":`, http.StatusBadRequest},
+		{"structurally invalid ranking", cold.DatasetHash, `{"add":[[[0],[0],[1,2,3]]]}`, http.StatusBadRequest},
+		{"partial ranking", cold.DatasetHash, `{"add":[[[0],[1]]]}`, http.StatusBadRequest},
+		{"out-of-universe ranking", cold.DatasetHash, `{"add":[[[0],[1],[2],[3],[4]]]}`, http.StatusBadRequest},
+		{"remove not present", cold.DatasetHash, `{"remove":[[[3],[2],[0,1]]]}`, http.StatusConflict},
+		{"would empty the dataset", cold.DatasetHash,
+			`{"remove":[[[0],[3],[1,2]],[[0],[1,2],[3]],[[3],[0,2],[1]]]}`, http.StatusConflict},
+	}
+	for _, tc := range cases {
+		resp, data := doPatch(t, ts.URL, tc.hash, tc.body)
+		if resp.StatusCode != tc.code {
+			t.Errorf("%s: code %d (%s), want %d", tc.name, resp.StatusCode, data, tc.code)
+			continue
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(data, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: error body %q", tc.name, data)
+		}
+	}
+	// Failed deltas must leave the entry serving the original dataset.
+	resp, data := postAggregate(t, ts.URL, smallRequest("BordaCount"))
+	var again server.AggregateResponse
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST after failed PATCHes: %d %s", resp.StatusCode, data)
+	}
+	if err := json.Unmarshal(data, &again); err != nil {
+		t.Fatal(err)
+	}
+	if !again.CacheHit {
+		t.Error("failed PATCHes evicted or corrupted the entry")
+	}
+	// Wrong method on the datasets resource.
+	getResp, err := http.Get(ts.URL + "/v1/datasets/" + cold.DatasetHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/datasets: %d, want 405", getResp.StatusCode)
+	}
+}
+
+// TestConcurrentPatchAndAggregate hammers one server with 16 goroutines
+// of mixed PATCH and aggregate traffic under -race. Every aggregate
+// response must score correctly for whichever dataset snapshot (base or
+// grown) its hash names — a wrong pairing would mean a request observed
+// a session mid-mutation.
+func TestConcurrentPatchAndAggregate(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{})
+
+	baseReq := smallRequest("BordaCount")
+	grownReq := smallRequest("BordaCount")
+	grownReq.Rankings = append(grownReq.Rankings, extraRanking())
+	scoreOf := func(rks []*rankings.Ranking) int64 {
+		sess, err := rankagg.NewSession(rankings.NewDataset(4, rks...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sess.Run(t.Context(), "BordaCount")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Score
+	}
+	baseScore, grownScore := scoreOf(baseReq.Rankings), scoreOf(grownReq.Rankings)
+
+	_, data := postAggregate(t, ts.URL, baseReq)
+	var cold server.AggregateResponse
+	if err := json.Unmarshal(data, &cold); err != nil {
+		t.Fatal(err)
+	}
+	baseHash := cold.DatasetHash
+
+	var mu sync.Mutex
+	curHash := baseHash
+	readHash := func() string { mu.Lock(); defer mu.Unlock(); return curHash }
+	setHash := func(h string) { mu.Lock(); defer mu.Unlock(); curHash = h }
+
+	const G = 16
+	var wg sync.WaitGroup
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 15; i++ {
+				if g%2 == 0 {
+					req := baseReq
+					want := baseScore
+					wantHash := baseHash
+					if rng.Intn(2) == 0 {
+						req, want = grownReq, grownScore
+						wantHash = ""
+					}
+					resp, data := postAggregate(t, ts.URL, req)
+					if resp.StatusCode != http.StatusOK {
+						t.Errorf("aggregate: %d %s", resp.StatusCode, data)
+						return
+					}
+					var res server.AggregateResponse
+					if err := json.Unmarshal(data, &res); err != nil {
+						t.Error(err)
+						return
+					}
+					if res.Score != want {
+						t.Errorf("score %d for dataset %s, want %d", res.Score, res.DatasetHash, want)
+						return
+					}
+					if wantHash != "" && res.DatasetHash != wantHash {
+						t.Errorf("base dataset hashed to %s, want %s", res.DatasetHash, wantHash)
+						return
+					}
+				} else {
+					// Toggle the extra ranking on whatever entry the chain
+					// currently names; losing the race (404/409) is fine.
+					h := readHash()
+					var body server.PatchRequest
+					if h == baseHash {
+						body.Add = []*rankings.Ranking{extraRanking()}
+					} else {
+						body.Remove = []*rankings.Ranking{extraRanking()}
+					}
+					resp, data := doPatch(t, ts.URL, h, body)
+					switch resp.StatusCode {
+					case http.StatusOK:
+						var pr server.PatchResponse
+						if err := json.Unmarshal(data, &pr); err != nil {
+							t.Error(err)
+							return
+						}
+						setHash(pr.DatasetHash)
+					case http.StatusNotFound, http.StatusConflict:
+						// Another goroutine moved or toggled the entry first.
+					default:
+						t.Errorf("PATCH: %d %s", resp.StatusCode, data)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

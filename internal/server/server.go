@@ -5,10 +5,21 @@
 //
 // Endpoints:
 //
-//	POST /v1/aggregate   aggregate a dataset with a named algorithm
-//	GET  /v1/algorithms  list registered algorithms
-//	GET  /healthz        liveness (503 while draining for shutdown)
-//	GET  /metrics        Prometheus text exposition
+//	POST  /v1/aggregate       aggregate a dataset with a named algorithm
+//	PATCH /v1/datasets/{hash} delta-update a cached dataset in place
+//	GET   /v1/algorithms      list registered algorithms
+//	GET   /healthz            liveness (503 while draining for shutdown)
+//	GET   /metrics            Prometheus text exposition
+//
+// Dynamic datasets: PATCH applies add/remove ranking deltas to the cached
+// session of a hot dataset in O(n²) per ranking (Session.ApplyDelta over
+// kendall's incremental Pairs.Add/Remove) instead of the O(m·n²) rebuild a
+// full POST of the changed dataset would cost on a cache miss. The content
+// hash rotates with the mutation: the response carries the new hash, the
+// cache entry is re-keyed to it, and a subsequent POST of the full changed
+// dataset is a plain cache hit. A PATCH whose base hash is not cached is a
+// 404 (rankagg_delta_miss_fallback_total) — the client falls back to a
+// full POST.
 //
 // Request scheduling: every aggregation holds at least one token of a
 // global worker budget (Config.Workers, default NumCPU) for its whole
@@ -146,6 +157,7 @@ func New(cfg Config) *Server {
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/aggregate", s.instrument("aggregate", s.handleAggregate))
+	s.mux.HandleFunc("PATCH /v1/datasets/{hash}", s.instrument("datasets", s.handlePatchDataset))
 	s.mux.HandleFunc("/v1/algorithms", s.instrument("algorithms", s.handleAlgorithms))
 	s.mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("/metrics", s.instrument("metrics", s.handleMetrics))
@@ -338,7 +350,37 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 	if req.Restarts > 0 {
 		opts = append(opts, rankagg.WithRestarts(req.Restarts))
 	}
-	res, err := sess.Run(ctx, req.Algorithm, opts...)
+	// The response is labeled with the POSTed dataset's hash, so the run
+	// must happen on exactly that dataset — but the cached session is
+	// dynamic, and a concurrent PATCH may rotate it away between the
+	// lookup above and the run below. Pin the run to a snapshot: capture
+	// the matrix, confirm the session still hashes to the request, and
+	// hand the snapshot back through WithPairs — Run checks its version
+	// stamp against the session under the same lock that picks the
+	// dataset, so a mutation sneaking in between fails with ErrStalePairs
+	// instead of mislabeling the result.
+	var res *rankagg.Result
+	snap := sess.Pairs()
+	if sess.Hash() == hash {
+		res, err = sess.Run(ctx, req.Algorithm, append(opts, rankagg.WithPairs(snap))...)
+		if errors.Is(err, rankagg.ErrStalePairs) {
+			res = nil
+		}
+	}
+	if res == nil && (err == nil || errors.Is(err, rankagg.ErrStalePairs)) {
+		// Lost the race: the cached session now holds a different dataset.
+		// Serve this request from a private session over its own rankings
+		// (a fresh O(m·n²) build — the same cost as a plain cache miss)
+		// rather than fighting over the cache entry.
+		hit = false
+		var priv *rankagg.Session
+		priv, err = rankagg.NewSession(d)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		res, err = priv.Run(ctx, req.Algorithm, opts...)
+	}
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			// Client disconnected mid-search; the run stopped promptly and
@@ -373,6 +415,102 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 		resp.ConsensusNames = rankings.BucketNames(res.Consensus, u)
 	}
 	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// PatchRequest is the PATCH /v1/datasets/{hash} body: ranking deltas to
+// apply to the cached dataset identified by the path hash. Removals are
+// matched by bucket-order equality against the current rankings (each
+// matched at most once) and applied before the additions, which append in
+// order. Added rankings must cover the dataset's whole universe.
+type PatchRequest struct {
+	Add    []*rankings.Ranking `json:"add,omitempty"`
+	Remove []*rankings.Ranking `json:"remove,omitempty"`
+}
+
+// PatchResponse is the PATCH success body. DatasetHash is the mutated
+// dataset's new content hash — the handle for further PATCHes, and the
+// hash a full POST of the changed dataset will hit in the cache.
+type PatchResponse struct {
+	BaseHash    string `json:"base_hash"`
+	DatasetHash string `json:"dataset_hash"`
+	N           int    `json:"n"`
+	M           int    `json:"m"`
+	Added       int    `json:"added"`
+	Removed     int    `json:"removed"`
+	// DeltaApplied reports the mutation went through the O(n²) delta path
+	// (always true on success; the field keeps smoke checks explicit).
+	DeltaApplied bool `json:"delta_applied"`
+	// MatrixBuilds and MatrixDeltas expose the session's counters: a PATCH
+	// must move MatrixDeltas, never MatrixBuilds.
+	MatrixBuilds int     `json:"matrix_builds"`
+	MatrixDeltas int     `json:"matrix_deltas"`
+	ElapsedMS    float64 `json:"elapsed_ms"`
+}
+
+// handlePatchDataset mutates the cached session of the path hash in
+// place: an O(n²)-per-ranking delta instead of a full rebuild. The cache
+// entry is re-keyed to the rotated hash atomically with the mutation
+// (cache.Mutate), so concurrent requests either hit the old dataset
+// before the move or the new one after it — never a mismatched pair.
+func (s *Server) handlePatchDataset(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	var req PatchRequest
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid request body: %v", err))
+		return
+	}
+	if len(req.Add) == 0 && len(req.Remove) == 0 {
+		s.writeError(w, http.StatusBadRequest, "empty delta: supply \"add\" and/or \"remove\" rankings")
+		return
+	}
+	start := time.Now()
+	// The response fields are captured inside the closure, while this
+	// request exclusively owns the detached entry: once Mutate re-inserts
+	// it, a concurrent PATCH may mutate the session again, and reading
+	// n/m/the counters afterwards would pair this request's hash with a
+	// later mutation's state.
+	var n, m, matrixBuilds, matrixDeltas int
+	_, newKey, found, err := s.cache.Mutate(hash, func(sess *rankagg.Session) (string, error) {
+		if err := sess.ApplyDelta(req.Add, req.Remove); err != nil {
+			return "", err
+		}
+		d := sess.Dataset()
+		n, m = d.N, d.M()
+		matrixBuilds, matrixDeltas = sess.MatrixBuilds(), sess.MatrixDeltas()
+		return sess.Hash(), nil
+	})
+	if !found {
+		s.metrics.deltaMisses.Add(1)
+		s.writeError(w, http.StatusNotFound,
+			fmt.Sprintf("dataset %s is not cached; POST the full dataset to /v1/aggregate instead", hash))
+		return
+	}
+	if err != nil {
+		// The delta was rejected up front and the session is unchanged.
+		// Conflicts with the dataset's current content are 409 (the caller
+		// holds a stale view of what is cached); structurally invalid
+		// rankings are 400.
+		code := http.StatusBadRequest
+		if errors.Is(err, rankagg.ErrRankingNotFound) || errors.Is(err, rankagg.ErrDatasetEmptied) {
+			code = http.StatusConflict
+		}
+		s.writeError(w, code, err.Error())
+		return
+	}
+	s.metrics.deltaApplied.Add(1)
+	s.writeJSON(w, http.StatusOK, PatchResponse{
+		BaseHash:     hash,
+		DatasetHash:  newKey,
+		N:            n,
+		M:            m,
+		Added:        len(req.Add),
+		Removed:      len(req.Remove),
+		DeltaApplied: true,
+		MatrixBuilds: matrixBuilds,
+		MatrixDeltas: matrixDeltas,
+		ElapsedMS:    float64(time.Since(start).Nanoseconds()) / 1e6,
+	})
 }
 
 func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
@@ -418,6 +556,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "# HELP rankagg_cache_evictions_total Sessions evicted to satisfy the cache budgets.\n")
 		fmt.Fprintf(w, "# TYPE rankagg_cache_evictions_total counter\n")
 		fmt.Fprintf(w, "rankagg_cache_evictions_total %d\n", st.Evictions)
+		fmt.Fprintf(w, "# HELP rankagg_cache_rekeys_total Cache entries re-keyed after a PATCH rotated the dataset hash.\n")
+		fmt.Fprintf(w, "# TYPE rankagg_cache_rekeys_total counter\n")
+		fmt.Fprintf(w, "rankagg_cache_rekeys_total %d\n", st.Rekeys)
 		fmt.Fprintf(w, "# HELP rankagg_cache_entries Sessions currently cached.\n")
 		fmt.Fprintf(w, "# TYPE rankagg_cache_entries gauge\n")
 		fmt.Fprintf(w, "rankagg_cache_entries %d\n", st.Entries)

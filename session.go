@@ -2,6 +2,8 @@ package rankagg
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"sync"
 	"time"
 
@@ -20,16 +22,43 @@ import (
 //
 // A Session is safe for concurrent use: any number of goroutines may Run
 // algorithms on it simultaneously, all sharing the one cached matrix.
-// The dataset must not be mutated after the session is created.
+//
+// A Session is also dynamic: AddRanking, RemoveRanking and ApplyDelta
+// mutate the underlying dataset in O(n²) per ranking by delta-updating the
+// cached matrix (kendall's Pairs.Add/Remove) instead of rebuilding it.
+// Mutation is copy-on-write — the dataset and matrix are replaced, never
+// modified — so runs already in flight keep their consistent snapshot and
+// mutation may race freely with Run. The caller must still never mutate
+// the *Dataset value itself after the session is created; all changes go
+// through the session's own mutation methods.
 type Session struct {
-	d        *Dataset
 	defaults runConfig
 
 	mu     sync.Mutex
-	pairs  *Pairs
+	d      *Dataset // current dataset; replaced on mutation, never modified
+	pairs  *Pairs   // matrix of d, nil until built; replaced on mutation
 	builds int
-	hash   string
+	deltas int
+	// version counts the mutations applied to the session; the cached
+	// matrix's Version is kept equal to it, so a matrix captured before a
+	// mutation is detectably stale (see WithPairs and ErrStalePairs).
+	version uint64
+	hash    string
 }
+
+// Sentinel errors of the dynamic-session API, matchable with errors.Is.
+var (
+	// ErrStalePairs rejects a WithPairs matrix captured before a session
+	// mutation: its counts no longer describe the session's dataset.
+	// Re-obtain the current matrix from Session.Pairs.
+	ErrStalePairs = errors.New("rankagg: stale pair matrix")
+	// ErrRankingNotFound rejects the removal of a ranking that is not in
+	// the session's dataset.
+	ErrRankingNotFound = errors.New("rankagg: ranking not found in dataset")
+	// ErrDatasetEmptied rejects a delta that would leave the dataset with
+	// no rankings at all.
+	ErrDatasetEmptied = errors.New("rankagg: delta would leave the dataset empty")
+)
 
 // runConfig collects the functional options of NewSession and Session.Run.
 type runConfig struct {
@@ -74,9 +103,16 @@ func WithTimeLimit(d time.Duration) Option {
 }
 
 // WithPairs supplies a prebuilt pair matrix. As a session option it seeds
-// the session cache (the session then never builds its own); as a run
-// option it overrides the cache for that run. p must be the pair matrix of
-// the session's dataset.
+// the session cache (the session then never builds its own; the session
+// adopts the matrix's Version as its own starting version); as a run
+// option it overrides the cache for that run. Run accepts p only when its
+// Version matches Session.Version: on a version-0 session any fresh
+// NewPairs build of the dataset works, while after mutations — or on a
+// session seeded from a previously mutated matrix — only matrices
+// obtained from Session.Pairs carry the right stamp. A matrix captured
+// before a mutation, or built independently of the session (Version 0,
+// no stamp), is rejected with ErrStalePairs rather than silently
+// trusted.
 func WithPairs(p *Pairs) Option { return func(c *runConfig) { c.pairs = p } }
 
 // Result is the structured outcome of a Session.Run.
@@ -125,35 +161,175 @@ func NewSession(d *Dataset, opts ...Option) (*Session, error) {
 	}
 	if s.defaults.pairs != nil {
 		s.pairs = s.defaults.pairs
+		s.version = s.pairs.Version
 		s.defaults.pairs = nil
 	}
 	return s, nil
 }
 
-// Dataset returns the session's dataset. It must not be mutated.
-func (s *Session) Dataset() *Dataset { return s.d }
+// Dataset returns the session's current dataset: an immutable snapshot
+// that mutation methods replace rather than modify. It must not be
+// mutated by the caller.
+func (s *Session) Dataset() *Dataset {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.d
+}
 
-// Pairs returns the session's pair matrix, building and caching it on
-// first use. The matrix is immutable and shared by every run (and safe to
-// hand to concurrent readers elsewhere).
+// Pairs returns the session's current pair matrix, building and caching
+// it on first use. The returned matrix is an immutable snapshot shared by
+// every run (and safe to hand to concurrent readers elsewhere); session
+// mutations replace the cached matrix instead of modifying it, so a
+// snapshot stays internally consistent — just stale (see WithPairs).
 func (s *Session) Pairs() *Pairs {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.pairsLocked()
+}
+
+// pairsLocked builds the matrix of the current dataset if none is cached,
+// stamping it with the session's mutation version. Callers hold s.mu.
+func (s *Session) pairsLocked() *Pairs {
 	if s.pairs == nil {
 		s.pairs = NewPairs(s.d)
+		s.pairs.Version = s.version
 		s.builds++
 	}
 	return s.pairs
 }
 
 // MatrixBuilds returns how many times the session has built its pair
-// matrix: 0 before the first Run (or a seeded WithPairs), 1 after. Caches
+// matrix from scratch: 0 before the first Run (or a seeded WithPairs), 1
+// after — and still 1 after any number of O(n²) delta mutations. Caches
 // holding sessions (internal/cache) assert on it that repeated requests
-// over one dataset never rebuild the matrix.
+// and PATCHed deltas over one dataset never rebuild the matrix.
 func (s *Session) MatrixBuilds() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.builds
+}
+
+// MatrixDeltas returns how many delta mutations (ApplyDelta calls, which
+// AddRanking/RemoveRanking wrap) have been applied to a built matrix. A
+// mutation arriving before the first build costs nothing and is not
+// counted: the next build starts from the mutated dataset directly.
+func (s *Session) MatrixDeltas() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.deltas
+}
+
+// Version returns the session's mutation version: +1 per ranking added
+// or removed, starting from 0 — or, for a session seeded via WithPairs,
+// from the seeded matrix's own Version, so the invariant "the cached
+// matrix's Version equals the session's" holds from birth. That
+// invariant is how stale WithPairs snapshots are detected.
+func (s *Session) Version() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.version
+}
+
+// AddRanking appends r to the session's dataset. The cached pair matrix,
+// when built, is delta-updated in O(n²) (copy-on-write, so concurrent
+// runs keep their snapshot); the content hash rotates to the new
+// dataset's. r must cover the session's whole universe — sessions hold
+// normalized datasets, and one partial ranking would invalidate every
+// Complete-dependent fast path.
+func (s *Session) AddRanking(r *Ranking) error {
+	return s.ApplyDelta([]*Ranking{r}, nil)
+}
+
+// RemoveRanking removes the first ranking of the dataset that is
+// bucket-order equal to r (Ranking.Equal), returning ErrRankingNotFound
+// when there is none and ErrDatasetEmptied when it is the last one.
+func (s *Session) RemoveRanking(r *Ranking) error {
+	return s.ApplyDelta(nil, []*Ranking{r})
+}
+
+// ApplyDelta mutates the session's dataset atomically: every ranking of
+// remove is matched (by Ranking.Equal, each dataset ranking consumed at
+// most once) and dropped, then every ranking of add is appended, in
+// order. Validation happens up front — on any error nothing is changed.
+//
+// The cached pair matrix is updated by one clone plus one O(n²)
+// Pairs.Add/Remove per ranking instead of an O(m·n²) rebuild
+// (MatrixBuilds stays put, MatrixDeltas increments). The dataset content
+// hash rotates: Session.Hash recomputes it fresh on next use, an O(m·n)
+// cost dominated by the matrix delta. Matrices captured before the call
+// become stale for WithPairs (ErrStalePairs) while remaining internally
+// consistent for runs already using them.
+func (s *Session) ApplyDelta(add, remove []*Ranking) error {
+	if len(add) == 0 && len(remove) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range add {
+		if r == nil {
+			return fmt.Errorf("rankagg: nil ranking in delta")
+		}
+		if err := r.Validate(); err != nil {
+			return err
+		}
+		if r.MaxElement() >= s.d.N || r.Len() != s.d.N {
+			return fmt.Errorf("rankagg: added ranking %s must cover exactly the session universe of %d elements (normalize first)",
+				r, s.d.N)
+		}
+	}
+	dropped := make([]bool, len(s.d.Rankings))
+	for _, r := range remove {
+		if r == nil {
+			return fmt.Errorf("rankagg: nil ranking in delta")
+		}
+		found := -1
+		for i, have := range s.d.Rankings {
+			if !dropped[i] && have.Equal(r) {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			return fmt.Errorf("%w: %s", ErrRankingNotFound, r)
+		}
+		dropped[found] = true
+	}
+	if len(s.d.Rankings)-len(remove)+len(add) == 0 {
+		return ErrDatasetEmptied
+	}
+
+	rks := make([]*Ranking, 0, len(s.d.Rankings)-len(remove)+len(add))
+	for i, r := range s.d.Rankings {
+		if !dropped[i] {
+			rks = append(rks, r)
+		}
+	}
+	rks = append(rks, add...)
+
+	if s.pairs != nil {
+		// One clone covers the whole batch; each ranking is then an O(n²)
+		// signed accumulation. In-flight readers keep the old matrix.
+		np := s.pairs.Clone()
+		for i, r := range s.d.Rankings {
+			if dropped[i] {
+				np.Remove(r)
+			}
+		}
+		for _, r := range add {
+			np.Add(r)
+		}
+		s.pairs = np
+		s.deltas++
+	}
+	s.d = &Dataset{N: s.d.N, Rankings: rks}
+	s.version += uint64(len(add) + len(remove))
+	if s.pairs != nil {
+		// Add/Remove bumped the clone once per ranking; keep the invariant
+		// pairs.Version == session version explicit all the same.
+		s.pairs.Version = s.version
+	}
+	s.hash = "" // recomputed fresh (O(m·n)) on the next Hash call
+	return nil
 }
 
 // MatrixBytes returns the memory footprint of the cached pair matrix in
@@ -168,10 +344,13 @@ func (s *Session) MatrixBytes() int64 {
 	return s.pairs.Bytes()
 }
 
-// Hash returns the dataset's content hash (32 hex characters), computed
-// once and cached. It identifies the dataset to external caches — a
-// serving layer keys its pair-matrix LRU on it, so repeated queries over a
-// hot dataset skip the O(m·n²) build entirely.
+// Hash returns the current dataset's content hash (32 hex characters),
+// computed lazily and cached until the next mutation invalidates it (the
+// recompute is O(m·n), dominated by the O(n²) matrix delta). It
+// identifies the dataset to external caches — a serving layer keys its
+// pair-matrix LRU on it, so repeated queries over a hot dataset skip the
+// O(m·n²) build entirely, and re-keys the entry when a PATCH rotates the
+// hash.
 func (s *Session) Hash() string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -205,11 +384,21 @@ func (s *Session) Run(ctx context.Context, name string, opts ...Option) (*Result
 		o(&cfg)
 	}
 	start := time.Now()
+	// Snapshot dataset and matrix together under the lock: a concurrent
+	// mutation replaces both, so the pair this run sees is consistent.
+	s.mu.Lock()
+	d := s.d
 	p := cfg.pairs
 	if p == nil {
-		p = s.Pairs()
+		p = s.pairsLocked()
+	} else if p.N != d.N || p.M != len(d.Rankings) || p.Version != s.version {
+		pv, sv := p.Version, s.version
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: supplied matrix is version %d (n=%d m=%d), session is version %d (n=%d m=%d); re-obtain it from Session.Pairs after AddRanking/RemoveRanking",
+			ErrStalePairs, pv, p.N, p.M, sv, d.N, len(d.Rankings))
 	}
-	rr, err := core.Run(ctx, a, s.d, core.RunOptions{
+	s.mu.Unlock()
+	rr, err := core.Run(ctx, a, d, core.RunOptions{
 		Workers:   cfg.workers,
 		Seed:      cfg.seed,
 		SeedSet:   cfg.seedSet,
