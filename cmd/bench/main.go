@@ -105,6 +105,8 @@ func main() {
 	doc.Results = append(doc.Results, benchMultiAlgo(*n, *m, *runs, *seed))
 	doc.Results = append(doc.Results, benchBioConsert(*bioN, *bioM, *runs, *seed))
 	doc.Results = append(doc.Results, benchSession(*n, *m, *runs, *seed))
+	doc.Results = append(doc.Results, benchMatrixBytes(*n, *m, *seed))
+	doc.Results = append(doc.Results, benchMatrixScan(*bioN, *bioM, *runs, *seed))
 
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -337,6 +339,65 @@ func benchSession(n, m, runs int, seed int64) benchResult {
 		Name: "session-run-cached-matrix", N: n, M: m, Algos: len(sessionAlgoNames),
 		BeforeMS: before, AfterMS: after, Speedup: before / after,
 		Note: "public API: per-call Aggregate (matrix build + dataset re-score each) vs one Session with cached matrix",
+	}
+}
+
+// benchMatrixBytes pins the memory side of the pluggable matrix storage:
+// bytes per element pair of the pinned int32 layout vs the auto-selected
+// compact backend (int16 + derived-tied on this complete dataset). The
+// "before/after" fields carry bytes per element pair instead of
+// milliseconds — the numbers are deterministic, and the Speedup ratio is
+// the bytes/element reduction the gate pins (3.0× here: 12 → 4 bytes).
+func benchMatrixBytes(n, m int, seed int64) benchResult {
+	rng := rand.New(rand.NewSource(seed))
+	d := gen.UniformDataset(rng, m, n)
+	wide := kendall.NewPairsMode(d, kendall.ModeInt32)
+	compact := kendall.NewPairsMode(d, kendall.ModeAuto)
+	if !compact.Equal(wide) {
+		fmt.Fprintln(os.Stderr, "bench: compact matrix diverges from the int32 oracle")
+		os.Exit(1)
+	}
+	perPair := func(p *kendall.Pairs) float64 {
+		return float64(p.Bytes()) / float64(int64(n)*int64(n))
+	}
+	before, after := perPair(wide), perPair(compact)
+	return benchResult{
+		Name: "matrix-bytes-per-element", N: n, M: m,
+		BeforeMS: before, AfterMS: after, Speedup: before / after,
+		Note: fmt.Sprintf("BYTES per element pair (not ms): int32 layout (%s, %d B) vs auto (%s, %d B); equal counts asserted",
+			wide.Layout(), wide.Bytes(), compact.Layout(), compact.Bytes()),
+	}
+}
+
+// benchMatrixScan pins the compute side: the same all-seeds BioConsert
+// descent (the engine's hottest row-scan consumer) over the int32 matrix
+// vs the compact backend. Identical counts mean identical move sequences
+// and scores — asserted — so the ratio isolates pure storage-read
+// throughput; the gate requires the compact backend to stay within 10%
+// of int32 (Speedup ≥ 0.9).
+func benchMatrixScan(n, m, runs int, seed int64) benchResult {
+	rng := rand.New(rand.NewSource(seed + 2))
+	d := gen.UniformDataset(rng, m, n)
+	wide := kendall.NewPairsMode(d, kendall.ModeInt32)
+	compact := kendall.NewPairsMode(d, kendall.ModeAuto)
+
+	var scoreWide, scoreCompact int64
+	scan := func(p *kendall.Pairs) int64 {
+		r, err := (&algo.BioConsert{Workers: 1}).AggregateWithPairs(d, p)
+		must(err)
+		return p.Score(r)
+	}
+	before := best(runs, func() { scoreWide = scan(wide) })
+	after := best(runs, func() { scoreCompact = scan(compact) })
+	if scoreWide != scoreCompact {
+		fmt.Fprintf(os.Stderr, "bench: scan scores diverge across backends (%d vs %d)\n", scoreWide, scoreCompact)
+		os.Exit(1)
+	}
+	return benchResult{
+		Name: "matrix-scan-bioconsert", N: n, M: m,
+		BeforeMS: before, AfterMS: after, Speedup: before / after,
+		Note: fmt.Sprintf("sequential all-seeds BioConsert scan: int32 (%s) vs compact (%s) storage; identical consensus asserted",
+			wide.Layout(), compact.Layout()),
 	}
 }
 

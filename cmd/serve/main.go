@@ -8,6 +8,7 @@
 //	serve [-addr :8080] [-cache-entries 64] [-cache-bytes 1073741824]
 //	      [-workers N] [-max-workers-per-run N] [-max-timeout 30s]
 //	      [-max-body 33554432] [-max-elements 4096]
+//	      [-matrix-mode auto|int32|int16]
 //
 // Endpoints: POST /v1/aggregate, PATCH /v1/datasets/{hash} (apply
 // add/remove ranking deltas to a cached dataset in O(n²) per ranking — the
@@ -33,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"rankagg"
 	"rankagg/internal/server"
 )
 
@@ -44,8 +46,15 @@ func main() {
 	perRun := flag.Int("max-workers-per-run", 0, "cap one request's share of the worker budget (0 = may take all)")
 	maxTimeout := flag.Duration("max-timeout", 30*time.Second, "cap on any request's time budget (also the default budget)")
 	maxBody := flag.Int64("max-body", 32<<20, "max request body bytes")
-	maxElements := flag.Int("max-elements", 4096, "max dataset universe size n — the pair matrix is 12·n² bytes (0 = unlimited)")
+	maxElements := flag.Int("max-elements", 4096, "pair-matrix memory cap, expressed as a universe size: the budget is 12·n² bytes and each request is charged its real projected matrix bytes under -matrix-mode (0 = unlimited)")
+	matrixMode := flag.String("matrix-mode", "auto", "pair-matrix storage: auto (leanest backend the dataset admits: int16 counts when m <= 32767, derived tied plane on complete datasets), int32 (full 3-plane layout), int16 (pin the compact width)")
 	flag.Parse()
+
+	mode, err := rankagg.ParseMatrixMode(*matrixMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(2)
+	}
 
 	// The flags say "0 = unlimited"; Config uses 0 for "default" and
 	// negative for "unlimited".
@@ -70,6 +79,7 @@ func main() {
 		MaxTimeout:       *maxTimeout,
 		MaxBodyBytes:     *maxBody,
 		MaxElements:      unlimitedInt(*maxElements),
+		MatrixMode:       mode,
 		Log:              logger,
 	})
 	httpSrv := &http.Server{
@@ -80,8 +90,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		logger.Printf("listening on %s (workers=%d cache=%d entries / %d bytes, max timeout %v)",
-			*addr, *workers, *cacheEntries, *cacheBytes, *maxTimeout)
+		logger.Printf("listening on %s (workers=%d cache=%d entries / %d bytes, matrix-mode=%s, max timeout %v)",
+			*addr, *workers, *cacheEntries, *cacheBytes, mode, *maxTimeout)
 		errc <- httpSrv.ListenAndServe()
 	}()
 

@@ -246,14 +246,26 @@ func newSearchState(p *kendall.Pairs, seed *rankings.Ranking) *searchState {
 
 // scanPlacement fills the per-bucket cost scratch for x (tieCost, befCost,
 // aftCost and the preB/sufA prefix sums) and returns the index of x's
-// current bucket, in O(n + k). All pair costs are read from three
-// row-contiguous matrix slices; the diagonal is zero, so x's own entry
-// contributes nothing and needs no branch.
+// current bucket, in O(n + k). All pair costs are read from row-contiguous
+// typed matrix rows (Rows16/Rows32 — the scan dispatches once on the
+// storage width and runs a generic, monomorphized inner loop); the
+// diagonal is zero, so x's own entry contributes nothing and needs no
+// branch.
 func (st *searchState) scanPlacement(x int) int {
+	if st.p.Wide() {
+		bx, ax, tx := st.p.Rows32(x)
+		return scanPlacementRows(st, x, bx, ax, tx)
+	}
+	bx, ax, tx := st.p.Rows16(x)
+	return scanPlacementRows(st, x, bx, ax, tx)
+}
+
+// scanPlacementRows is scanPlacement over one concrete count width. tx is
+// nil only in derived-tied mode, which implies Complete — the complete
+// branch never reads it.
+func scanPlacementRows[T kendall.Count](st *searchState, x int, bx, ax, tx []T) int {
 	k := len(st.order)
 	st.ensureScratch(k)
-	bx := st.p.RowBefore(x)
-	ax := st.p.RowAfter(x)
 	cur := -1
 	mine := st.bucketOf[x]
 	if st.p.Complete {
@@ -277,7 +289,6 @@ func (st *searchState) scanPlacement(x int) int {
 			st.tieCost[j], st.befCost[j], st.aftCost[j] = sb+sa, m*c-sb, m*c-sa
 		}
 	} else {
-		tx := st.p.RowTied(x)
 		for j, id := range st.order {
 			if id == mine {
 				cur = j
@@ -346,10 +357,21 @@ func (st *searchState) improveElement(x int) int64 {
 // complete datasets. It returns the best strictly-improving move exactly as
 // bestMoveGeneral would (same values, same tie-breaking: lowest candidate
 // value wins, existing buckets in order first, then boundaries in order —
-// matching the historical two-loop scan).
+// matching the historical two-loop scan). The scan dispatches once on the
+// matrix's storage width and runs generic over the typed rows; it never
+// needs a tied row, which is exactly why the derived-tied backend can drop
+// that plane without slowing this loop down.
 func (st *searchState) bestMoveComplete(x int) (bestDelta int64, cur, bestTie, bestNew int) {
-	bx := st.p.RowBefore(x)
-	ax := st.p.RowAfter(x)
+	if st.p.Wide() {
+		bx, ax, _ := st.p.Rows32(x)
+		return bestMoveCompleteRows(st, x, bx, ax)
+	}
+	bx, ax, _ := st.p.Rows16(x)
+	return bestMoveCompleteRows(st, x, bx, ax)
+}
+
+// bestMoveCompleteRows is bestMoveComplete over one concrete count width.
+func bestMoveCompleteRows[T kendall.Count](st *searchState, x int, bx, ax []T) (bestDelta int64, cur, bestTie, bestNew int) {
 	m := int64(st.p.M)
 	mine := st.bucketOf[x]
 	cur = -1

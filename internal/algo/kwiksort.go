@@ -2,7 +2,6 @@ package algo
 
 import (
 	"context"
-	"math/rand"
 	"sync"
 	"sync/atomic"
 
@@ -77,14 +76,45 @@ func runAllCtx(ctx context.Context, n, workers int, f func(i int)) {
 	wg.Wait()
 }
 
+// spareTokens is a tiny counting semaphore over the leftover share of the
+// session worker budget: tokens not consumed by an algorithm's run pool
+// are available to intra-run parallelism (KwikSort's recursive halves).
+// tryAcquire never blocks — when the budget is spent, recursion simply
+// stays sequential, so the total goroutine count never exceeds the
+// budget.
+type spareTokens struct{ n atomic.Int64 }
+
+func newSpareTokens(n int) *spareTokens {
+	t := &spareTokens{}
+	t.n.Store(int64(n))
+	return t
+}
+
+func (t *spareTokens) tryAcquire() bool {
+	for {
+		v := t.n.Load()
+		if v <= 0 {
+			return false
+		}
+		if t.n.CompareAndSwap(v, v-1) {
+			return true
+		}
+	}
+}
+
+func (t *spareTokens) release() { t.n.Add(1) }
+
 // KwikSort implements the divide & conquer 11/7-approximation of Ailon,
 // Charikar & Newman [2], adapted to ties following Section 4.1.2: a random
 // pivot is chosen and every other element is placed before the pivot, after
 // it, or *tied with it*, whichever minimizes its pairwise disagreement cost
 // against the pivot (including the (un)tying cost). The two strict sides
-// are aggregated recursively. Memory is at worst pseudo-linear in n beyond
-// the shared pair matrix, which makes it the paper's recommendation for
-// very large datasets (n > 30000, Section 7.4).
+// are aggregated recursively — and, when the worker budget has tokens to
+// spare, concurrently: every node derives independent child seeds from its
+// own seed (splitmix64) before recursing, so the consensus is identical
+// for every worker count and schedule. Memory is at worst pseudo-linear in n beyond the
+// shared pair matrix, which makes it the paper's recommendation for very
+// large datasets (n > 30000, Section 7.4).
 type KwikSort struct {
 	// Runs > 1 evaluates several randomized runs and keeps the best
 	// ("KwikSortMin").
@@ -164,11 +194,18 @@ func (a *KwikSort) AggregateCtx(ctx context.Context, d *rankings.Dataset, opts c
 	for i := range elems {
 		elems[i] = i
 	}
+	// Tokens the run pool leaves idle feed the recursive halves: a lone
+	// run on an 8-worker budget splits its recursion across all 8, while
+	// 16 runs on the same budget keep the parallelism at the run level.
+	spare := workers - min(max(workers, 1), runs)
+	var tok *spareTokens
+	if spare > 0 {
+		tok = newSpareTokens(spare)
+	}
 	best, completed := runBestCtx(ctx, p, runs, workers, func(run int) *rankings.Ranking {
-		rng := rand.New(rand.NewSource(seed + 0x6b71 + int64(run)*0x9e3779b9))
-		r := &rankings.Ranking{}
-		kwiksort(p, rng, append([]int(nil), elems...), r)
-		return r
+		return &rankings.Ranking{
+			Buckets: kwiksort(p, seed+0x6b71+int64(run)*0x9e3779b9, append([]int(nil), elems...), tok),
+		}
 	})
 	deadlineHit, err := pollOutcome(ctx)
 	if err != nil {
@@ -181,17 +218,41 @@ func (a *KwikSort) AggregateCtx(ctx context.Context, d *rankings.Dataset, opts c
 	}, nil
 }
 
-// kwiksort recursively partitions elems around a random pivot, appending
-// the resulting buckets to out in order.
-func kwiksort(p *kendall.Pairs, rng *rand.Rand, elems []int, out *rankings.Ranking) {
+// kwikParallelMin is the smallest half worth a goroutine: below it the
+// partition cost cannot amortize the spawn, and the recursion stays
+// inline. Any value yields the same consensus — the cutoff only gates
+// scheduling.
+const kwikParallelMin = 48
+
+// splitmix64 is the finalizer of the SplitMix64 generator: a cheap,
+// allocation-free, well-mixed hash of its input. kwiksort uses it as a
+// splittable randomness source — one node seed hashes into a pivot draw
+// and two independent child seeds — instead of paying a rand.Rand
+// allocation (and its 607-word seeding pass) at every recursion node.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// kwiksort recursively partitions elems around a random pivot and returns
+// the resulting buckets in consensus order. Each node owns a seed: three
+// splitmix64 draws from it yield the pivot choice and one independent
+// seed per child, so the bucket order is a pure function of
+// (seed, elems) — parallel and sequential execution, any worker count,
+// any schedule, produce identical output. When tok has a spare worker
+// token and both halves are big enough, the two halves run concurrently.
+func kwiksort(p *kendall.Pairs, seed int64, elems []int, tok *spareTokens) [][]int {
 	switch len(elems) {
 	case 0:
-		return
+		return nil
 	case 1:
-		out.Buckets = append(out.Buckets, elems)
-		return
+		return [][]int{elems}
 	}
-	pivot := elems[rng.Intn(len(elems))]
+	s := uint64(seed)
+	pivot := elems[int(splitmix64(s)%uint64(len(elems)))]
+	leftSeed, rightSeed := int64(splitmix64(s+1)), int64(splitmix64(s+2))
 	var left, right []int
 	tied := []int{pivot}
 	for _, e := range elems {
@@ -210,9 +271,22 @@ func kwiksort(p *kendall.Pairs, rng *rand.Rand, elems []int, out *rankings.Ranki
 			tied = append(tied, e)
 		}
 	}
-	kwiksort(p, rng, left, out)
-	out.Buckets = append(out.Buckets, tied)
-	kwiksort(p, rng, right, out)
+	var lb [][]int
+	if tok != nil && len(left) >= kwikParallelMin && len(right) >= kwikParallelMin && tok.tryAcquire() {
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer tok.release()
+			lb = kwiksort(p, leftSeed, left, tok)
+		}()
+		rb := kwiksort(p, rightSeed, right, tok)
+		wg.Wait()
+		out := append(lb, tied)
+		return append(out, rb...)
+	}
+	out := append(kwiksort(p, leftSeed, left, tok), tied)
+	return append(out, kwiksort(p, rightSeed, right, tok)...)
 }
 
 func init() {

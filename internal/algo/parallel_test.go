@@ -1,6 +1,7 @@
 package algo
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -306,6 +307,36 @@ func TestChainedSharesMatrix(t *testing.T) {
 		}
 		if !chained.Clone().Canonicalize().Equal(manual.Clone().Canonicalize()) {
 			t.Fatalf("trial %d: chained %v != manual %v", trial, chained, manual)
+		}
+	}
+}
+
+// TestKwikSortRecursionWorkerInvariance pins the satellite contract of the
+// parallel divide & conquer: because every recursion node derives its
+// children's seeds from its own rng (instead of all nodes sharing one
+// stream), the consensus is a pure function of the run seed — identical
+// for a sequential run, a wide worker budget, and anything between, with
+// or without spare tokens flowing into the recursion.
+func TestKwikSortRecursionWorkerInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(96))
+	// n well above kwikParallelMin so real splits hit the parallel path.
+	d := randomTiedDataset(rng, 6, 3*kwikParallelMin)
+	p := kendall.NewPairs(d)
+	ctx := context.Background()
+	for _, runs := range []int{1, 3} {
+		a := &KwikSort{Runs: runs, Seed: 77}
+		base, err := a.AggregateCtx(ctx, d, core.RunOptions{Pairs: p, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, 16} {
+			got, err := a.AggregateCtx(ctx, d, core.RunOptions{Pairs: p, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Consensus.Equal(base.Consensus) {
+				t.Fatalf("runs=%d workers=%d: consensus differs from sequential run", runs, workers)
+			}
 		}
 	}
 }

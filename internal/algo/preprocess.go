@@ -39,19 +39,20 @@ func UnanimityDecomposition(p *kendall.Pairs, elems []int) [][]int {
 	}
 	// Hoisted unanimity scan: rel[i*ne+j] is +1 when elems[i] is unanimously
 	// before elems[j], -1 for the reverse, 0 otherwise. Computed once from
-	// the pair matrix; everything below is O(1) lookups.
+	// the pair matrix's typed before/after rows (a tied plane is never
+	// needed, so the scan works unchanged on the derived-tied backend);
+	// everything below is O(1) lookups.
 	rel := make([]int8, ne*ne)
-	for i, a := range elems {
-		row := p.RowBefore(a)
-		arow := p.RowAfter(a)
-		for j, b := range elems {
-			switch {
-			case int(row[b]) == m:
-				rel[i*ne+j] = 1
-			case int(arow[b]) == m:
-				rel[i*ne+j] = -1
-			}
-		}
+	if p.Wide() {
+		unanimityRel(rel, elems, m, func(a int) ([]int32, []int32) {
+			bef, aft, _ := p.Rows32(a)
+			return bef, aft
+		})
+	} else {
+		unanimityRel(rel, elems, m, func(a int) ([]int16, []int16) {
+			bef, aft, _ := p.Rows16(a)
+			return bef, aft
+		})
 	}
 
 	uf := newUnionFind(ne)
@@ -105,6 +106,24 @@ func UnanimityDecomposition(p *kendall.Pairs, elems []int) [][]int {
 		out[bi] = ids
 	}
 	return out
+}
+
+// unanimityRel fills the compact unanimity relation from one concrete
+// backend's typed rows: +1 when a is unanimously before b, −1 for the
+// reverse (m is the ranking count every unanimous pair must reach).
+func unanimityRel[T kendall.Count](rel []int8, elems []int, m int, rows func(a int) (before, after []T)) {
+	ne := len(elems)
+	for i, a := range elems {
+		row, arow := rows(a)
+		for j, b := range elems {
+			switch {
+			case int(row[b]) == m:
+				rel[i*ne+j] = 1
+			case int(arow[b]) == m:
+				rel[i*ne+j] = -1
+			}
+		}
+	}
 }
 
 // unionFind is a slice-based disjoint-set forest with union by rank and

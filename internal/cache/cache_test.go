@@ -56,8 +56,11 @@ func TestGetOrBuildCachesAndCounts(t *testing.T) {
 	if st.Hits != 1 || st.Misses != 1 || st.Builds != 1 || st.Entries != 1 {
 		t.Errorf("stats = %+v", st)
 	}
-	if st.Bytes != s1.MatrixBytes() || st.Bytes != 3*4*10*10 {
-		t.Errorf("bytes = %d, want %d", st.Bytes, s1.MatrixBytes())
+	// The weight is the REAL backing size of the chosen representation —
+	// n = 10, complete, m ≤ 32767 resolves to int16 + derived-tied: two
+	// n² planes of 2 bytes, a third of the 1200-byte int32 figure.
+	if st.Bytes != s1.MatrixBytes() || st.Bytes != 2*2*10*10 {
+		t.Errorf("bytes = %d, want %d (= MatrixBytes %d)", st.Bytes, 2*2*10*10, s1.MatrixBytes())
 	}
 }
 
@@ -107,8 +110,10 @@ func TestGetRefreshesRecency(t *testing.T) {
 }
 
 func TestByteBudgetEvicts(t *testing.T) {
-	// n = 10 → 1200 bytes per matrix; budget fits two matrices but not three.
-	c := New(0, 2500)
+	// n = 10 complete → 400 bytes per int16-derived matrix; the budget
+	// fits two matrices but not three (the compact backends are exactly
+	// why a fixed -cache-bytes budget now holds ~3× more sessions).
+	c := New(0, 850)
 	for i := 0; i < 3; i++ {
 		calls := 0
 		if _, _, err := c.GetOrBuild(fmt.Sprintf("k%d", i), builderOf(t, 10, int64(i), &calls)); err != nil {
@@ -116,16 +121,16 @@ func TestByteBudgetEvicts(t *testing.T) {
 		}
 	}
 	st := c.Stats()
-	if st.Entries != 2 || st.Bytes != 2400 || st.Evictions != 1 {
+	if st.Entries != 2 || st.Bytes != 800 || st.Evictions != 1 {
 		t.Errorf("stats after byte eviction = %+v", st)
 	}
 	// An entry larger than the whole budget is still admitted (alone).
 	calls := 0
-	if _, _, err := c.GetOrBuild("big", builderOf(t, 40, 9, &calls)); err != nil { // 19200 bytes
+	if _, _, err := c.GetOrBuild("big", builderOf(t, 40, 9, &calls)); err != nil { // 6400 bytes
 		t.Fatal(err)
 	}
 	st = c.Stats()
-	if st.Entries != 1 || st.Bytes != 19200 {
+	if st.Entries != 1 || st.Bytes != 6400 {
 		t.Errorf("oversize entry not retained alone: %+v", st)
 	}
 }
@@ -379,5 +384,62 @@ func TestSingleFlight(t *testing.T) {
 	}
 	if b := c.Stats().Builds; b != 1 {
 		t.Errorf("stats.Builds = %d, want 1", b)
+	}
+}
+
+// TestMutateReaccountsPromotedBytes is the byte re-accounting contract of
+// the polymorphic matrix storage: a delta that crosses m = 32767 promotes
+// the session's int16 matrix to int32 — doubling its real backing size —
+// and Mutate must re-measure the entry's weight from MatrixBytes instead
+// of assuming any fixed formula, so the byte budget keeps meaning real
+// memory. The universe is tiny to keep the 32k-ranking build cheap.
+func TestMutateReaccountsPromotedBytes(t *testing.T) {
+	const n = 4
+	base := rankagg.NewRanking([]int{0, 1}, []int{2}, []int{3})
+	rks := make([]*rankagg.Ranking, 32767)
+	for i := range rks {
+		rks[i] = base
+	}
+	sess, err := rankagg.NewSession(rankagg.NewDataset(n, rks...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.Pairs()
+	compact := sess.MatrixBytes()
+	if compact != 2*2*n*n {
+		t.Fatalf("pre-promotion MatrixBytes = %d, want %d (int16 + derived-tied)", compact, 2*2*n*n)
+	}
+
+	c := New(4, 0)
+	h0 := sess.Hash()
+	if _, _, err := c.GetOrBuild(h0, func() (*rankagg.Session, error) { return sess, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Bytes != compact {
+		t.Fatalf("cached bytes = %d, want %d", st.Bytes, compact)
+	}
+
+	_, newKey, found, err := c.Mutate(h0, func(s *rankagg.Session) (string, error) {
+		if err := s.AddRanking(rankagg.NewRanking([]int{3}, []int{2, 1}, []int{0})); err != nil {
+			return "", err
+		}
+		return s.Hash(), nil
+	})
+	if err != nil || !found {
+		t.Fatalf("Mutate: found=%v err=%v", found, err)
+	}
+	promoted := sess.MatrixBytes()
+	if promoted != 2*4*n*n {
+		t.Fatalf("post-promotion MatrixBytes = %d, want %d (int32 + derived-tied)", promoted, 2*4*n*n)
+	}
+	st := c.Stats()
+	if st.Bytes != promoted {
+		t.Errorf("cache accounts %d bytes for the promoted entry, want %d", st.Bytes, promoted)
+	}
+	if _, ok := c.Get(newKey); !ok {
+		t.Error("promoted entry lost its new key")
+	}
+	if sess.MatrixBuilds() != 1 || sess.MatrixDeltas() != 1 {
+		t.Errorf("builds=%d deltas=%d, want 1 and 1 (promotion must not rebuild)", sess.MatrixBuilds(), sess.MatrixDeltas())
 	}
 }

@@ -1,0 +1,97 @@
+package kendall
+
+import "fmt"
+
+// Count constrains the storage widths a pair matrix can hold its counts
+// in. Every count is a number of rankings, so int16 suffices whenever
+// m ≤ MaxInt16Rankings; generic consumers (the fused placement scans of
+// algo.searchState, the unanimity relation scan) instantiate once per
+// width and run branch-free inside.
+type Count interface{ ~int16 | ~int32 }
+
+// MaxInt16Rankings is the largest ranking count the int16 backend can
+// represent: a count never exceeds m, so m ≤ 32767 makes overflow
+// impossible. Pairs.Add promotes the storage to int32 before m would
+// cross it.
+const MaxInt16Rankings = 1<<15 - 1
+
+// MatrixMode selects the pair-matrix storage representation at build
+// time. The logical content — every Before/After/Tied read, Score,
+// bound, and delta result — is identical across modes (property-tested
+// against the int32 oracle); only the backing memory differs.
+type MatrixMode int
+
+const (
+	// ModeAuto picks the leanest representation the dataset admits:
+	// int16 counts when m ≤ MaxInt16Rankings, and the derived-tied
+	// layout (no stored tied plane) when every ranking covers the whole
+	// universe. It is the default everywhere.
+	ModeAuto MatrixMode = iota
+	// ModeInt32 pins the historical layout — three n² int32 planes,
+	// 12 bytes per element pair — regardless of dataset shape. It is
+	// the oracle the compact backends are property-tested against.
+	ModeInt32
+	// ModeInt16 pins the compact-width request explicitly: int16 planes
+	// (falling back to int32 width when m > MaxInt16Rankings, which the
+	// narrow counts cannot represent) plus derived-tied on complete
+	// datasets. Today it selects exactly what ModeAuto would; the two
+	// names exist so operators can pin the choice while auto stays free
+	// to grow smarter policies (e.g. blocked layouts).
+	ModeInt16
+)
+
+// ParseMatrixMode parses the wire/flag spelling of a mode: "auto",
+// "int32" or "int16".
+func ParseMatrixMode(s string) (MatrixMode, error) {
+	switch s {
+	case "auto", "":
+		return ModeAuto, nil
+	case "int32":
+		return ModeInt32, nil
+	case "int16":
+		return ModeInt16, nil
+	}
+	return ModeAuto, fmt.Errorf("kendall: unknown matrix mode %q (want auto, int32 or int16)", s)
+}
+
+// String returns the flag spelling of the mode.
+func (m MatrixMode) String() string {
+	switch m {
+	case ModeInt32:
+		return "int32"
+	case ModeInt16:
+		return "int16"
+	}
+	return "auto"
+}
+
+// layout resolves a mode against a dataset shape into the two concrete
+// representation axes: count width and whether the tied plane is stored.
+func (m MatrixMode) layout(rankingCount int, complete bool) (wide, derived bool) {
+	wide = m == ModeInt32 || rankingCount > MaxInt16Rankings
+	derived = m != ModeInt32 && complete
+	return wide, derived
+}
+
+// PredictBytes returns the backing bytes NewPairsMode would allocate for
+// a dataset of n elements and m rankings with the given completeness —
+// the number an admission control can check BEFORE any allocation
+// happens (the serving layer's -max-elements guard).
+func PredictBytes(mode MatrixMode, n, m int, complete bool) int64 {
+	wide, derived := mode.layout(m, complete)
+	return planeBytes(n, wide, derived)
+}
+
+// planeBytes is the footprint of a concrete layout: 2 or 3 planes of n²
+// counts at 2 or 4 bytes each.
+func planeBytes(n int, wide, derived bool) int64 {
+	planes := int64(3)
+	if derived {
+		planes = 2
+	}
+	width := int64(4)
+	if !wide {
+		width = 2
+	}
+	return planes * width * int64(n) * int64(n)
+}

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"rankagg/internal/rankings"
 )
@@ -14,6 +15,15 @@ import (
 // FaginDyn, the exact methods, the LPB objective weights w_{a<b}, w_{a≤b},
 // ...). Pairs where either element is absent from a ranking are not counted
 // by that ranking.
+//
+// The storage is representation-polymorphic, chosen at build time by a
+// MatrixMode (see NewPairsMode): counts live in int32 or int16 planes
+// (int16 halves the memory and is always safe while m ≤ MaxInt16Rankings),
+// and on complete datasets the tied plane may not be stored at all —
+// tied(a,b) is then derived as m − before(a,b) − after(a,b), cutting a
+// third plane. Every accessor reads identically across backends; hot loops
+// dispatch once on Wide() and run a generic (kendall.Count) scan over the
+// typed rows of Rows16/Rows32.
 //
 // A Pairs value built by NewPairs is safe for concurrent readers: one
 // matrix can be shared by any number of algorithms running in parallel
@@ -40,24 +50,43 @@ type Pairs struct {
 	// Complete stays derivable (incomplete == 0) as rankings are added and
 	// removed.
 	incomplete int
-	before     []int32 // before[a*N+b] = #rankings with a strictly before b
-	after      []int32 // after[a*N+b] = before[b*N+a], kept for row-local reads
-	tied       []int32 // tied[a*N+b] = #rankings with a and b in the same bucket
+	// wide selects the count width: int32 planes (b32/a32/t32) when true,
+	// int16 planes (b16/a16/t16) otherwise. Exactly one family is non-nil.
+	wide bool
+	// derived drops the tied plane: tied(a,b) = M − before − after for
+	// a ≠ b (and 0 on the diagonal). It requires Complete — Add
+	// materializes the plane before the first partial ranking lands.
+	derived bool
+	b32     []int32 // before[a*N+b] = #rankings with a strictly before b
+	a32     []int32 // after[a*N+b] = before[b*N+a], kept for row-local reads
+	t32     []int32 // tied[a*N+b] = #rankings tying a and b (nil when derived)
+	b16     []int16
+	a16     []int16
+	t16     []int16
 }
 
-// NewPairs computes the pair matrix of a dataset. The accumulation iterates
-// bucket-pair runs of each ranking (every counted pair costs exactly one
-// increment, with no per-pair branching) and is sharded across
+// NewPairs computes the pair matrix of a dataset in the default ModeAuto
+// representation (leanest backend the dataset admits). The accumulation
+// iterates bucket-pair runs of each ranking (every counted pair costs
+// exactly one increment, with no per-pair branching) and is sharded across
 // runtime.NumCPU() workers with per-worker accumulators merged at the end,
 // so the result is byte-identical to a sequential build.
 func NewPairs(d *rankings.Dataset) *Pairs {
-	return newPairsWorkers(d, 0)
+	return newPairsWorkersMode(d, 0, ModeAuto)
+}
+
+// NewPairsMode is NewPairs with an explicit storage representation; see
+// MatrixMode for the choices. Counts are identical across modes — only
+// the backing memory (Bytes) differs.
+func NewPairsMode(d *rankings.Dataset, mode MatrixMode) *Pairs {
+	return newPairsWorkersMode(d, 0, mode)
 }
 
 // NewPairsLegacy is the seed's construction — branchy position compares
-// over all n² element pairs per ranking, single-threaded. It is retained
-// verbatim as the baseline cmd/bench measures the engine against (the
-// BENCH_*.json trajectory); library code should always use NewPairs.
+// over all n² element pairs per ranking, single-threaded, always the full
+// three-plane int32 layout. It is retained verbatim as the baseline
+// cmd/bench measures the engine against (the BENCH_*.json trajectory);
+// library code should always use NewPairs.
 func NewPairsLegacy(d *rankings.Dataset) *Pairs {
 	n := d.N
 	p := &Pairs{
@@ -65,9 +94,10 @@ func NewPairsLegacy(d *rankings.Dataset) *Pairs {
 		M:          len(d.Rankings),
 		Complete:   d.Complete(),
 		incomplete: countIncomplete(d),
-		before:     make([]int32, n*n),
-		after:      make([]int32, n*n),
-		tied:       make([]int32, n*n),
+		wide:       true,
+		b32:        make([]int32, n*n),
+		a32:        make([]int32, n*n),
+		t32:        make([]int32, n*n),
 	}
 	for _, r := range d.Rankings {
 		pos := r.Positions(n)
@@ -81,17 +111,17 @@ func NewPairsLegacy(d *rankings.Dataset) *Pairs {
 				}
 				switch {
 				case pos[a] < pos[b]:
-					p.before[a*n+b]++
+					p.b32[a*n+b]++
 				case pos[a] > pos[b]:
-					p.before[b*n+a]++
+					p.b32[b*n+a]++
 				default:
-					p.tied[a*n+b]++
-					p.tied[b*n+a]++
+					p.t32[a*n+b]++
+					p.t32[b*n+a]++
 				}
 			}
 		}
 	}
-	transpose(p.after, p.before, n)
+	transpose(p.a32, p.b32, n)
 	return p
 }
 
@@ -102,16 +132,46 @@ const maxExtraAccBytes = 1 << 30
 // newPairsWorkers is NewPairs with an explicit worker count (0 = NumCPU,
 // 1 = sequential); tests use it to check parallel/sequential equality.
 func newPairsWorkers(d *rankings.Dataset, workers int) *Pairs {
+	return newPairsWorkersMode(d, workers, ModeAuto)
+}
+
+// newPairsWorkersMode allocates the representation the mode resolves to
+// for this dataset and runs the sharded bucket-run accumulation into it.
+func newPairsWorkersMode(d *rankings.Dataset, workers int, mode MatrixMode) *Pairs {
 	n := d.N
 	p := &Pairs{
 		N:          n,
 		M:          len(d.Rankings),
 		Complete:   d.Complete(),
 		incomplete: countIncomplete(d),
-		before:     make([]int32, n*n),
-		after:      make([]int32, n*n),
-		tied:       make([]int32, n*n),
 	}
+	p.wide, p.derived = mode.layout(p.M, p.Complete)
+	if p.wide {
+		p.b32 = make([]int32, n*n)
+		p.a32 = make([]int32, n*n)
+		if !p.derived {
+			p.t32 = make([]int32, n*n)
+		}
+		buildPlanes(d, workers, p.b32, p.a32, p.t32)
+	} else {
+		p.b16 = make([]int16, n*n)
+		p.a16 = make([]int16, n*n)
+		if !p.derived {
+			p.t16 = make([]int16, n*n)
+		}
+		buildPlanes(d, workers, p.b16, p.a16, p.t16)
+	}
+	return p
+}
+
+// buildPlanes runs the sharded accumulation into a concrete set of planes
+// (tied may be nil — the derived layout). Worker 0 accumulates straight
+// into the result; the others get their own arrays, summed in afterwards.
+// Count addition commutes, so any schedule produces identical planes, and
+// partial sums never exceed the final count ≤ m, so the narrow width
+// cannot overflow mid-merge either.
+func buildPlanes[T Count](d *rankings.Dataset, workers int, before, after, tied []T) {
+	n := d.N
 	m := len(d.Rankings)
 	if workers <= 0 {
 		workers = runtime.NumCPU()
@@ -119,26 +179,30 @@ func newPairsWorkers(d *rankings.Dataset, workers int) *Pairs {
 	if workers > m {
 		workers = m
 	}
-	for workers > 1 && int64(workers-1)*int64(n)*int64(n)*8 > maxExtraAccBytes {
+	planes := int64(2)
+	if tied == nil {
+		planes = 1
+	}
+	perWorker := planes * int64(n) * int64(n) * int64(unsafe.Sizeof(*new(T)))
+	for workers > 1 && int64(workers-1)*perWorker > maxExtraAccBytes {
 		workers--
 	}
 	if workers <= 1 || n < 2 {
 		for _, r := range d.Rankings {
-			accumulatePairs(p.before, p.tied, n, r)
+			accumulatePairs(before, tied, n, r)
 		}
 	} else {
-		// Worker 0 accumulates straight into p; the others get their own
-		// arrays, summed into p afterwards. int32 addition commutes, so any
-		// schedule produces identical counts.
-		extras := make([][2][]int32, workers-1)
+		extras := make([][2][]T, workers-1)
 		var next int64
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
-			before, tied := p.before, p.tied
+			bacc, tacc := before, tied
 			if w > 0 {
-				before = make([]int32, n*n)
-				tied = make([]int32, n*n)
-				extras[w-1] = [2][]int32{before, tied}
+				bacc = make([]T, n*n)
+				if tied != nil {
+					tacc = make([]T, n*n)
+				}
+				extras[w-1] = [2][]T{bacc, tacc}
 			}
 			wg.Add(1)
 			go func() {
@@ -148,18 +212,19 @@ func newPairsWorkers(d *rankings.Dataset, workers int) *Pairs {
 					if i >= m {
 						return
 					}
-					accumulatePairs(before, tied, n, d.Rankings[i])
+					accumulatePairs(bacc, tacc, n, d.Rankings[i])
 				}
 			}()
 		}
 		wg.Wait()
 		for _, acc := range extras {
-			addInto(p.before, acc[0])
-			addInto(p.tied, acc[1])
+			addInto(before, acc[0])
+			if tied != nil {
+				addInto(tied, acc[1])
+			}
 		}
 	}
-	transpose(p.after, p.before, n)
-	return p
+	transpose(after, before, n)
 }
 
 // accumulatePairs adds one ranking's pair counts. For each bucket, every
@@ -167,8 +232,9 @@ func newPairsWorkers(d *rankings.Dataset, workers int) *Pairs {
 // later bucket — absent elements are simply never visited, and the diagonal
 // stays zero (the self-tie increment is undone without a branch). The
 // ranking is flattened first so the hot loop is a single run over a
-// contiguous suffix.
-func accumulatePairs(before, tied []int32, n int, r *rankings.Ranking) {
+// contiguous suffix. tied may be nil (derived layout): tie counts are then
+// implicit in m − before − after and nothing needs writing.
+func accumulatePairs[T Count](before, tied []T, n int, r *rankings.Ranking) {
 	bs := r.Buckets
 	flat := make([]int, 0, n)
 	for _, b := range bs {
@@ -179,11 +245,13 @@ func accumulatePairs(before, tied []int32, n int, r *rankings.Ranking) {
 		off += len(bi)
 		rest := flat[off:] // elements of all later buckets
 		for _, a := range bi {
-			trow := tied[a*n : a*n+n]
-			for _, b := range bi {
-				trow[b]++
+			if tied != nil {
+				trow := tied[a*n : a*n+n]
+				for _, b := range bi {
+					trow[b]++
+				}
+				trow[a]--
 			}
-			trow[a]--
 			brow := before[a*n : a*n+n]
 			for _, b := range rest {
 				brow[b]++
@@ -204,7 +272,7 @@ func countIncomplete(d *rankings.Dataset) int {
 	return c
 }
 
-func addInto(dst, src []int32) {
+func addInto[T Count](dst, src []T) {
 	for i, v := range src {
 		dst[i] += v
 	}
@@ -212,7 +280,7 @@ func addInto(dst, src []int32) {
 
 // transpose fills dst with the transpose of src (n×n), in cache-friendly
 // blocks.
-func transpose(dst, src []int32, n int) {
+func transpose[T Count](dst, src []T, n int) {
 	const tb = 64
 	for i0 := 0; i0 < n; i0 += tb {
 		iMax := i0 + tb
@@ -234,46 +302,125 @@ func transpose(dst, src []int32, n int) {
 	}
 }
 
-// Bytes returns the memory footprint of the matrix storage: three n×n
-// int32 planes (before, after, tied). A byte-budgeted cache (the serving
-// layer's matrix LRU) charges entries by this value.
+// Bytes returns the memory footprint of the matrix storage — the real
+// backing size of the representation in use, not a fixed formula: 2 or 3
+// planes of n² counts at 2 or 4 bytes each. A byte-budgeted cache (the
+// serving layer's matrix LRU) charges entries by this value, so leaner
+// backends directly buy more cached sessions per -cache-bytes.
 func (p *Pairs) Bytes() int64 {
-	return 3 * 4 * int64(p.N) * int64(p.N)
+	return planeBytes(p.N, p.wide, p.derived)
+}
+
+// Wide reports whether counts are stored as int32; false means int16.
+// Hot loops dispatch on it once and run a generic scan over the matching
+// Rows32/Rows16 typed rows.
+func (p *Pairs) Wide() bool { return p.wide }
+
+// DerivedTied reports that the tied plane is not stored: Tied(a,b) is
+// derived as M − Before(a,b) − Before(b,a), which requires (and implies)
+// a complete dataset. Rows16/Rows32 then return a nil tied row.
+func (p *Pairs) DerivedTied() bool { return p.derived }
+
+// Layout names the concrete representation ("int32", "int16",
+// "int32-derived", "int16-derived") for logs and metrics.
+func (p *Pairs) Layout() string {
+	s := "int32"
+	if !p.wide {
+		s = "int16"
+	}
+	if p.derived {
+		s += "-derived"
+	}
+	return s
+}
+
+// Rows32 returns rows a of the before, after and tied planes of an int32
+// (Wide) matrix; tied is nil in derived-tied mode (the caller then holds
+// Complete and can use before + after + tied = M). The slices alias the
+// matrix and must not be modified. Calling it on an int16 matrix panics.
+func (p *Pairs) Rows32(a int) (before, after, tied []int32) {
+	n := p.N
+	before = p.b32[a*n : a*n+n]
+	after = p.a32[a*n : a*n+n]
+	if p.t32 != nil {
+		tied = p.t32[a*n : a*n+n]
+	}
+	return before, after, tied
+}
+
+// Rows16 is Rows32 for the int16 backend; see there.
+func (p *Pairs) Rows16(a int) (before, after, tied []int16) {
+	n := p.N
+	before = p.b16[a*n : a*n+n]
+	after = p.a16[a*n : a*n+n]
+	if p.t16 != nil {
+		tied = p.t16[a*n : a*n+n]
+	}
+	return before, after, tied
+}
+
+// beforeAt and afterAt read one linear-index count through the width
+// dispatch (scalar accessors; hot loops use the typed rows instead).
+func (p *Pairs) beforeAt(i int) int64 {
+	if p.wide {
+		return int64(p.b32[i])
+	}
+	return int64(p.b16[i])
+}
+
+func (p *Pairs) afterAt(i int) int64 {
+	if p.wide {
+		return int64(p.a32[i])
+	}
+	return int64(p.a16[i])
+}
+
+// tiedPair returns the tie count of (a, b), deriving it from
+// M − before − after when the plane is not stored (diagonal pinned to 0,
+// as a stored plane would hold).
+func (p *Pairs) tiedPair(a, b int) int64 {
+	i := a*p.N + b
+	if !p.derived {
+		if p.wide {
+			return int64(p.t32[i])
+		}
+		return int64(p.t16[i])
+	}
+	if a == b {
+		return 0
+	}
+	return int64(p.M) - p.beforeAt(i) - p.afterAt(i)
 }
 
 // Before returns the number of rankings placing a strictly before b.
-func (p *Pairs) Before(a, b int) int { return int(p.before[a*p.N+b]) }
+func (p *Pairs) Before(a, b int) int { return int(p.beforeAt(a*p.N + b)) }
 
 // Tied returns the number of rankings tying a and b.
-func (p *Pairs) Tied(a, b int) int { return int(p.tied[a*p.N+b]) }
-
-// RowBefore returns row a of the before matrix: RowBefore(a)[b] counts the
-// rankings placing a strictly before b. The slice aliases the matrix and
-// must not be modified.
-func (p *Pairs) RowBefore(a int) []int32 { return p.before[a*p.N : (a+1)*p.N] }
-
-// RowAfter returns row a of the transposed before matrix: RowAfter(a)[b]
-// counts the rankings placing a strictly after b. The slice aliases the
-// matrix and must not be modified.
-func (p *Pairs) RowAfter(a int) []int32 { return p.after[a*p.N : (a+1)*p.N] }
-
-// RowTied returns row a of the tie matrix: RowTied(a)[b] counts the rankings
-// tying a and b. The slice aliases the matrix and must not be modified.
-func (p *Pairs) RowTied(a int) []int32 { return p.tied[a*p.N : (a+1)*p.N] }
+func (p *Pairs) Tied(a, b int) int { return int(p.tiedPair(a, b)) }
 
 // CostBefore returns the disagreement cost of placing a strictly before b in
 // the consensus: every input ranking with b before a, or with a and b tied,
 // disagrees (w_{b≤a} in the LPB objective of Section 4.2).
 func (p *Pairs) CostBefore(a, b int) int64 {
+	if p.derived {
+		// after + tied = after + (M − before − after) = M − before.
+		if a == b {
+			return 0
+		}
+		return int64(p.M) - p.beforeAt(a*p.N+b)
+	}
 	i := a*p.N + b
-	return int64(p.after[i]) + int64(p.tied[i])
+	if p.wide {
+		return int64(p.a32[i]) + int64(p.t32[i])
+	}
+	return int64(p.a16[i]) + int64(p.t16[i])
 }
 
 // CostTied returns the disagreement cost of tying a and b in the consensus:
 // every input ranking ordering them strictly disagrees (w_{a<b} + w_{a>b}).
 func (p *Pairs) CostTied(a, b int) int64 {
 	i := a*p.N + b
-	return int64(p.before[i]) + int64(p.after[i])
+	return p.beforeAt(i) + p.afterAt(i)
 }
 
 // MinPairCost returns min(cost(a<b), cost(b<a), cost(a=b)) for the pair — the
@@ -304,24 +451,43 @@ func (p *Pairs) LowerBound(elems []int) int64 {
 // Score computes the generalized Kemeny score K(r, R) of a consensus from
 // the pair matrix in O(n²), independent of m. The consensus must cover a
 // subset of the universe; uncovered elements are ignored. Like the
-// accumulation, it walks bucket runs instead of comparing positions.
+// accumulation, it walks bucket runs instead of comparing positions, once
+// per backend instantiation.
 func (p *Pairs) Score(r *rankings.Ranking) int64 {
-	n := p.N
+	if p.wide {
+		return scorePlanes(p.N, int64(p.M), p.b32, p.a32, p.t32, r)
+	}
+	return scorePlanes(p.N, int64(p.M), p.b16, p.a16, p.t16, r)
+}
+
+// scorePlanes is the bucket-run Score over one concrete backend. With a
+// nil tied plane (derived layout, hence complete) the cross-bucket cost
+// after + tied collapses to m − before — one row load per element instead
+// of two.
+func scorePlanes[T Count](n int, m int64, before, after, tied []T, r *rankings.Ranking) int64 {
 	var k int64
 	bs := r.Buckets
 	for i, bi := range bs {
 		for xi, a := range bi {
-			brow := p.before[a*n : a*n+n]
-			arow := p.after[a*n : a*n+n]
-			trow := p.tied[a*n : a*n+n]
+			brow := before[a*n : a*n+n]
+			arow := after[a*n : a*n+n]
 			// a tied with the rest of its bucket: CostTied = before + after.
 			for _, b := range bi[xi+1:] {
 				k += int64(brow[b]) + int64(arow[b])
 			}
 			// a strictly before later buckets: CostBefore = after + tied.
-			for _, bj := range bs[i+1:] {
-				for _, b := range bj {
-					k += int64(arow[b]) + int64(trow[b])
+			if tied == nil {
+				for _, bj := range bs[i+1:] {
+					for _, b := range bj {
+						k += m - int64(brow[b])
+					}
+				}
+			} else {
+				trow := tied[a*n : a*n+n]
+				for _, bj := range bs[i+1:] {
+					for _, b := range bj {
+						k += int64(arow[b]) + int64(trow[b])
+					}
 				}
 			}
 		}
@@ -333,5 +499,5 @@ func (p *Pairs) Score(r *rankings.Ranking) int64 {
 // than b before a (the MC4 transition test).
 func (p *Pairs) MajorityPrefers(a, b int) bool {
 	i := a*p.N + b
-	return p.before[i] > p.after[i]
+	return p.beforeAt(i) > p.afterAt(i)
 }

@@ -13,17 +13,32 @@ import (
 // of NewPairs with a ±1 sign and keep the transposed after mirror and the
 // M/Complete metadata exactly as a from-scratch build would set them
 // (test-asserted byte-identical in pairs_delta_test.go).
+//
+// The compact backends promote before a delta they cannot represent:
+// Add widens int16 planes to int32 when m would cross MaxInt16Rankings,
+// and materializes the derived tied plane before the first partial
+// ranking breaks the before+after+tied = M invariant. Promotions go one
+// way — a matrix never re-compacts on Remove (rebuild to reclaim).
 
 // Add accumulates one more ranking into the matrix in O(n²): after the
-// call the counts are byte-identical to a fresh NewPairs build of the
-// dataset with r appended. r must be valid for the matrix's universe
-// (element IDs below N, no duplicates); partial rankings are fine and
-// flip Complete off until they are removed again.
+// call the counts are identical to a fresh NewPairs build of the dataset
+// with r appended (byte-identical when no promotion intervened). r must
+// be valid for the matrix's universe (element IDs below N, no
+// duplicates); partial rankings are fine and flip Complete off until they
+// are removed again — on a derived-tied matrix the tied plane is
+// materialized first, and an int16 matrix at m = MaxInt16Rankings widens
+// to int32 before the count that could overflow it.
 //
 // Add mutates the matrix and bumps Version; it must not run concurrently
 // with readers — Clone first when old snapshots may still be read.
 func (p *Pairs) Add(r *rankings.Ranking) {
-	accumulateDelta(p, r, 1)
+	if !p.wide && p.M+1 > MaxInt16Rankings {
+		p.widen()
+	}
+	if p.derived && r.Len() != p.N {
+		p.materializeTied()
+	}
+	p.accumulateDelta(r, 1)
 	p.M++
 	if r.Len() != p.N {
 		p.incomplete++
@@ -33,15 +48,17 @@ func (p *Pairs) Add(r *rankings.Ranking) {
 }
 
 // Remove subtracts one ranking from the matrix in O(n²): after the call
-// the counts are byte-identical to a fresh NewPairs build of the dataset
+// the counts are identical to a fresh NewPairs build of the dataset
 // without r. r must be (bucket-order) equal to a ranking the matrix was
 // accumulated from — removing a ranking that was never added corrupts the
 // counts, so callers resolve membership first (rankagg.Session matches by
-// Ranking.Equal before delegating here).
+// Ranking.Equal before delegating here). Removal never promotes: a
+// derived matrix only ever held complete rankings, and counts only
+// shrink.
 //
 // Like Add, Remove mutates in place and bumps Version.
 func (p *Pairs) Remove(r *rankings.Ranking) {
-	accumulateDelta(p, r, -1)
+	p.accumulateDelta(r, -1)
 	p.M--
 	if r.Len() != p.N {
 		p.incomplete--
@@ -50,37 +67,113 @@ func (p *Pairs) Remove(r *rankings.Ranking) {
 	p.Version++
 }
 
-// Clone returns a deep copy of the matrix (planes included, Version
-// carried over). Mutating callers clone before Add/Remove so concurrent
-// readers of the original keep a consistent immutable snapshot — the
-// copy costs the same O(n²) as the delta itself.
+// widen converts int16 planes to int32 in place (the overflow-safety
+// promotion Add performs before m crosses MaxInt16Rankings).
+func (p *Pairs) widen() {
+	p.b32 = widenPlane(p.b16)
+	p.a32 = widenPlane(p.a16)
+	if p.t16 != nil {
+		p.t32 = widenPlane(p.t16)
+	}
+	p.b16, p.a16, p.t16 = nil, nil, nil
+	p.wide = true
+}
+
+func widenPlane(src []int16) []int32 {
+	dst := make([]int32, len(src))
+	for i, v := range src {
+		dst[i] = int32(v)
+	}
+	return dst
+}
+
+// materializeTied reconstructs the dropped tied plane from the derived
+// invariant tied = M − before − after (diagonal 0), turning a derived
+// matrix into a stored-tied one so partial rankings can be accumulated.
+func (p *Pairs) materializeTied() {
+	n := p.N
+	if p.wide {
+		p.t32 = materializePlane(p.b32, p.a32, n, int32(p.M))
+	} else {
+		p.t16 = materializePlane(p.b16, p.a16, n, int16(p.M))
+	}
+	p.derived = false
+}
+
+func materializePlane[T Count](before, after []T, n int, m T) []T {
+	tied := make([]T, n*n)
+	for a := 0; a < n; a++ {
+		row := a * n
+		for b := 0; b < n; b++ {
+			if a == b {
+				continue
+			}
+			tied[row+b] = m - before[row+b] - after[row+b]
+		}
+	}
+	return tied
+}
+
+// Clone returns a deep copy of the matrix (planes included, representation
+// and Version carried over). Mutating callers clone before Add/Remove so
+// concurrent readers of the original keep a consistent immutable snapshot
+// — the copy costs the same O(n²) as the delta itself.
 func (p *Pairs) Clone() *Pairs {
 	q := *p
-	q.before = slices.Clone(p.before)
-	q.after = slices.Clone(p.after)
-	q.tied = slices.Clone(p.tied)
+	q.b32 = slices.Clone(p.b32)
+	q.a32 = slices.Clone(p.a32)
+	q.t32 = slices.Clone(p.t32)
+	q.b16 = slices.Clone(p.b16)
+	q.a16 = slices.Clone(p.a16)
+	q.t16 = slices.Clone(p.t16)
 	return &q
 }
 
-// Equal reports whether two matrices hold identical counts and metadata.
-// Version is deliberately ignored: a delta-maintained matrix equals a
-// fresh build of the same dataset even though only one of them has been
-// mutated.
+// Equal reports whether two matrices hold identical counts and metadata —
+// across representations: an int16 derived-tied matrix equals the int32
+// oracle of the same dataset. Version (and the storage layout) is
+// deliberately ignored: a delta-maintained or promoted matrix equals a
+// fresh build of the same dataset even though their histories differ.
 func (p *Pairs) Equal(q *Pairs) bool {
-	return p.N == q.N && p.M == q.M && p.Complete == q.Complete &&
-		p.incomplete == q.incomplete &&
-		slices.Equal(p.before, q.before) &&
-		slices.Equal(p.after, q.after) &&
-		slices.Equal(p.tied, q.tied)
+	if p.N != q.N || p.M != q.M || p.Complete != q.Complete || p.incomplete != q.incomplete {
+		return false
+	}
+	if p.wide == q.wide && p.derived == q.derived {
+		if p.wide {
+			return slices.Equal(p.b32, q.b32) && slices.Equal(p.a32, q.a32) && slices.Equal(p.t32, q.t32)
+		}
+		return slices.Equal(p.b16, q.b16) && slices.Equal(p.a16, q.a16) && slices.Equal(p.t16, q.t16)
+	}
+	// Cross-representation: compare logical counts. after is always the
+	// transpose of before, so comparing before over all ordered pairs
+	// covers it; ties are read through the derived accessor.
+	n := p.N
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if p.beforeAt(a*n+b) != q.beforeAt(a*n+b) || p.tiedPair(a, b) != q.tiedPair(a, b) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // accumulateDelta applies one ranking's pair counts with the given sign.
 // It is accumulatePairs with two differences: the increments are signed,
 // and the transposed after mirror is maintained inline (the builders
 // instead transpose once at the end) — the column-strided after writes
-// are cache-unfriendly but the whole delta stays O(n²).
-func accumulateDelta(p *Pairs, r *rankings.Ranking, sign int32) {
-	n := p.N
+// are cache-unfriendly but the whole delta stays O(n²). On a derived
+// matrix the tied plane is nil and tie counts stay implicit (Add promotes
+// first whenever that would be unsound).
+func (p *Pairs) accumulateDelta(r *rankings.Ranking, sign int) {
+	if p.wide {
+		accumulateDeltaPlanes(p.b32, p.a32, p.t32, p.N, r, int32(sign))
+	} else {
+		accumulateDeltaPlanes(p.b16, p.a16, p.t16, p.N, r, int16(sign))
+	}
+}
+
+func accumulateDeltaPlanes[T Count](before, after, tied []T, n int, r *rankings.Ranking, sign T) {
 	bs := r.Buckets
 	flat := make([]int, 0, n)
 	for _, b := range bs {
@@ -91,15 +184,17 @@ func accumulateDelta(p *Pairs, r *rankings.Ranking, sign int32) {
 		off += len(bi)
 		rest := flat[off:] // elements of all later buckets
 		for _, a := range bi {
-			trow := p.tied[a*n : a*n+n]
-			for _, b := range bi {
-				trow[b] += sign
+			if tied != nil {
+				trow := tied[a*n : a*n+n]
+				for _, b := range bi {
+					trow[b] += sign
+				}
+				trow[a] -= sign // undo the self-tie without a branch
 			}
-			trow[a] -= sign // undo the self-tie without a branch
-			brow := p.before[a*n : a*n+n]
+			brow := before[a*n : a*n+n]
 			for _, b := range rest {
 				brow[b] += sign
-				p.after[b*n+a] += sign
+				after[b*n+a] += sign
 			}
 		}
 	}

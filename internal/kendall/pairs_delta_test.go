@@ -7,8 +7,9 @@ import (
 	"rankagg/internal/rankings"
 )
 
-// assertIdentical fails unless got is byte-identical to want: all three
-// planes (including the transposed after mirror) plus the M/Complete
+// assertIdentical fails unless got holds exactly want's logical content:
+// all three planes (including the transposed after mirror, read through
+// materialize so any backend pair can be compared) plus the M/Complete
 // metadata. Version is reported but not compared — delta-maintained and
 // fresh matrices legitimately differ there.
 func assertIdentical(t *testing.T, got, want *Pairs, label string) {
@@ -17,14 +18,16 @@ func assertIdentical(t *testing.T, got, want *Pairs, label string) {
 		t.Fatalf("%s: metadata differs: got (N=%d M=%d Complete=%v inc=%d), want (N=%d M=%d Complete=%v inc=%d)",
 			label, got.N, got.M, got.Complete, got.incomplete, want.N, want.M, want.Complete, want.incomplete)
 	}
-	if !equalInt32(got.before, want.before) {
-		t.Fatalf("%s: before plane differs", label)
+	gb, ga, gt := materialize(got)
+	wb, wa, wt := materialize(want)
+	if !equalInt32(gb, wb) {
+		t.Fatalf("%s: before plane differs (got %s, want %s)", label, got.Layout(), want.Layout())
 	}
-	if !equalInt32(got.tied, want.tied) {
-		t.Fatalf("%s: tied plane differs", label)
+	if !equalInt32(gt, wt) {
+		t.Fatalf("%s: tied plane differs (got %s, want %s)", label, got.Layout(), want.Layout())
 	}
-	if !equalInt32(got.after, want.after) {
-		t.Fatalf("%s: after (transpose) plane differs", label)
+	if !equalInt32(ga, wa) {
+		t.Fatalf("%s: after (transpose) plane differs (got %s, want %s)", label, got.Layout(), want.Layout())
 	}
 	if !got.Equal(want) {
 		t.Fatalf("%s: Equal disagrees with the plane comparison", label)
@@ -33,21 +36,27 @@ func assertIdentical(t *testing.T, got, want *Pairs, label string) {
 
 // TestPairsDeltaAddMatchesFresh grows a matrix one Add at a time, from an
 // empty dataset to the full one, checking after every step that the
-// delta-maintained matrix is byte-identical to a from-scratch NewPairs
-// build of the same prefix. Complete and partial rankings are both
-// exercised so the Complete metadata flips correctly.
+// delta-maintained matrix is identical to a from-scratch NewPairs build
+// of the same prefix — for every storage backend, against the same-mode
+// fresh build AND the int32 oracle. Complete and partial rankings are
+// both exercised so the Complete metadata flips correctly and the
+// derived-tied backend materializes its plane on the first partial
+// ranking.
 func TestPairsDeltaAddMatchesFresh(t *testing.T) {
 	rng := rand.New(rand.NewSource(81))
 	for trial := 0; trial < 30; trial++ {
 		m, n := 1+rng.Intn(8), 2+rng.Intn(20)
 		d := randomDataset(rng, m, n, trial%2 == 1)
-		p := NewPairs(rankings.NewDataset(n))
-		for i, r := range d.Rankings {
-			p.Add(r)
-			prefix := rankings.NewDataset(n, d.Rankings[:i+1]...)
-			assertIdentical(t, p, NewPairs(prefix), "incremental prefix")
-			if p.Version != uint64(i+1) {
-				t.Fatalf("version after %d adds = %d", i+1, p.Version)
+		for _, mode := range allModes {
+			p := NewPairsMode(rankings.NewDataset(n), mode)
+			for i, r := range d.Rankings {
+				p.Add(r)
+				prefix := rankings.NewDataset(n, d.Rankings[:i+1]...)
+				assertIdentical(t, p, NewPairsMode(prefix, mode), "incremental prefix")
+				assertIdentical(t, p, NewPairsMode(prefix, ModeInt32), "incremental prefix vs int32 oracle")
+				if p.Version != uint64(i+1) {
+					t.Fatalf("version after %d adds = %d", i+1, p.Version)
+				}
 			}
 		}
 	}
@@ -55,34 +64,40 @@ func TestPairsDeltaAddMatchesFresh(t *testing.T) {
 
 // TestPairsDeltaRemoveMatchesFresh removes each ranking in turn from a
 // built matrix and compares against a fresh build of the dataset without
-// it.
+// it, for every backend.
 func TestPairsDeltaRemoveMatchesFresh(t *testing.T) {
 	rng := rand.New(rand.NewSource(82))
 	for trial := 0; trial < 30; trial++ {
 		m, n := 2+rng.Intn(8), 2+rng.Intn(20)
 		d := randomDataset(rng, m, n, trial%2 == 1)
-		for i := range d.Rankings {
-			p := NewPairs(d).Clone()
-			p.Remove(d.Rankings[i])
-			rest := make([]*rankings.Ranking, 0, m-1)
-			rest = append(rest, d.Rankings[:i]...)
-			rest = append(rest, d.Rankings[i+1:]...)
-			assertIdentical(t, p, NewPairs(rankings.NewDataset(n, rest...)), "after removal")
+		for _, mode := range allModes {
+			for i := range d.Rankings {
+				p := NewPairsMode(d, mode).Clone()
+				p.Remove(d.Rankings[i])
+				rest := make([]*rankings.Ranking, 0, m-1)
+				rest = append(rest, d.Rankings[:i]...)
+				rest = append(rest, d.Rankings[i+1:]...)
+				assertIdentical(t, p, NewPairsMode(rankings.NewDataset(n, rest...), mode), "after removal")
+			}
 		}
 	}
 }
 
 // TestPairsDeltaAddRemoveRoundtrip is the property the whole dynamic path
 // rests on: Add(r) followed by Remove(r) restores the matrix to exactly
-// its prior bytes (and vice versa for a ranking already present), over
-// random tied datasets including partial rankings.
+// its prior counts (and vice versa for a ranking already present), over
+// random tied datasets including partial rankings, on every backend.
+// (A roundtrip through a promotion — the partial ranking that
+// materializes a derived tied plane — still restores the counts, just in
+// the wider layout; assertIdentical compares logically.)
 func TestPairsDeltaAddRemoveRoundtrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(83))
 	for trial := 0; trial < 60; trial++ {
 		m, n := 1+rng.Intn(10), 2+rng.Intn(30)
 		partial := trial%3 == 0
 		d := randomDataset(rng, m, n, partial)
-		p := NewPairs(d)
+		mode := allModes[trial%len(allModes)]
+		p := NewPairsMode(d, mode)
 		orig := p.Clone()
 
 		r := randomTiedRanking(rng, n, partial)
@@ -103,40 +118,51 @@ func TestPairsDeltaAddRemoveRoundtrip(t *testing.T) {
 
 // TestPairsDeltaCloneIsIndependent checks that mutating a clone leaves
 // the original untouched — the copy-on-write contract Session relies on
-// to keep in-flight readers safe.
+// to keep in-flight readers safe — including across a promotion (the
+// clone widens or materializes, the original must not).
 func TestPairsDeltaCloneIsIndependent(t *testing.T) {
 	rng := rand.New(rand.NewSource(84))
-	d := randomDataset(rng, 6, 15, false)
-	p := NewPairs(d)
-	orig := p.Clone()
-	q := p.Clone()
-	q.Add(randomTiedRanking(rng, 15, false))
-	assertIdentical(t, p, orig, "original after clone mutation")
-	if q.Equal(p) {
-		t.Fatal("mutated clone still Equal to the original")
-	}
-	if q.Version != 1 || p.Version != 0 {
-		t.Fatalf("versions: clone=%d original=%d, want 1 and 0", q.Version, p.Version)
+	for _, mode := range allModes {
+		d := randomDataset(rng, 6, 15, false)
+		p := NewPairsMode(d, mode)
+		orig := p.Clone()
+		q := p.Clone()
+		q.Add(randomTiedRanking(rng, 15, false))
+		assertIdentical(t, p, orig, "original after clone mutation")
+		if q.Equal(p) {
+			t.Fatal("mutated clone still Equal to the original")
+		}
+		if q.Version != 1 || p.Version != 0 {
+			t.Fatalf("versions: clone=%d original=%d, want 1 and 0", q.Version, p.Version)
+		}
+		// A partial ranking forces the derived backend to materialize its
+		// tied plane — still without touching the original.
+		q2 := p.Clone()
+		q2.Add(randomTiedRanking(rng, 15, true))
+		assertIdentical(t, p, orig, "original after promoting clone mutation")
 	}
 }
 
 // TestPairsDeltaScoreConsistency aggregand-level check: scores computed
-// from a delta-maintained matrix match Σ Dist over the mutated dataset.
+// from a delta-maintained matrix match Σ Dist over the mutated dataset,
+// on every backend.
 func TestPairsDeltaScoreConsistency(t *testing.T) {
 	rng := rand.New(rand.NewSource(85))
 	for trial := 0; trial < 20; trial++ {
 		m, n := 2+rng.Intn(6), 2+rng.Intn(12)
 		d := randomDataset(rng, m, n, false)
-		p := NewPairs(d)
 		extra := randomTiedRanking(rng, n, false)
-		p.Add(extra)
 		consensus := randomTiedRanking(rng, n, false)
 		want := int64(0)
 		for _, s := range append(append([]*rankings.Ranking{}, d.Rankings...), extra) {
 			want += Dist(consensus, s, n)
 		}
-		if got := p.Score(consensus); got != want {
-			t.Fatalf("trial %d: delta-matrix Score = %d, Σ Dist = %d", trial, got, want)
+		for _, mode := range allModes {
+			p := NewPairsMode(d, mode)
+			p.Add(extra)
+			if got := p.Score(consensus); got != want {
+				t.Fatalf("trial %d mode %v: delta-matrix Score = %d, Σ Dist = %d", trial, mode, got, want)
+			}
 		}
 	}
 }

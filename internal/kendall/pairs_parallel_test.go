@@ -71,6 +71,28 @@ func equalInt32(a, b []int32) bool {
 	return true
 }
 
+// materialize reads a matrix of any representation back into the three
+// logical int32 planes through the public accessors, so tests can compare
+// backends against plane-level oracles.
+func materialize(p *Pairs) (before, after, tied []int32) {
+	n := p.N
+	before = make([]int32, n*n)
+	after = make([]int32, n*n)
+	tied = make([]int32, n*n)
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			i := a*n + b
+			before[i] = int32(p.beforeAt(i))
+			after[i] = int32(p.afterAt(i))
+			tied[i] = int32(p.tiedPair(a, b))
+		}
+	}
+	return before, after, tied
+}
+
+// allModes enumerates every storage mode for backend-parametrized suites.
+var allModes = []MatrixMode{ModeAuto, ModeInt32, ModeInt16}
+
 // TestNewPairsMatchesLegacy checks the bucket-run accumulation against the
 // seed's position-compare construction, on complete and partial datasets.
 func TestNewPairsMatchesLegacy(t *testing.T) {
@@ -78,18 +100,21 @@ func TestNewPairsMatchesLegacy(t *testing.T) {
 	for trial := 0; trial < 50; trial++ {
 		m, n := 1+rng.Intn(8), 2+rng.Intn(20)
 		d := randomDataset(rng, m, n, trial%2 == 1)
-		p := NewPairs(d)
 		before, tied := legacyPairs(d)
-		if !equalInt32(p.before, before) {
-			t.Fatalf("trial %d (m=%d n=%d): before matrix differs from legacy", trial, m, n)
-		}
-		if !equalInt32(p.tied, tied) {
-			t.Fatalf("trial %d (m=%d n=%d): tied matrix differs from legacy", trial, m, n)
-		}
-		for a := 0; a < n; a++ {
-			for b := 0; b < n; b++ {
-				if p.after[a*n+b] != p.before[b*n+a] {
-					t.Fatalf("after is not the transpose of before at (%d,%d)", a, b)
+		for _, mode := range allModes {
+			p := NewPairsMode(d, mode)
+			gotBefore, gotAfter, gotTied := materialize(p)
+			if !equalInt32(gotBefore, before) {
+				t.Fatalf("trial %d (m=%d n=%d mode=%v): before matrix differs from legacy", trial, m, n, mode)
+			}
+			if !equalInt32(gotTied, tied) {
+				t.Fatalf("trial %d (m=%d n=%d mode=%v): tied matrix differs from legacy", trial, m, n, mode)
+			}
+			for a := 0; a < n; a++ {
+				for b := 0; b < n; b++ {
+					if gotAfter[a*n+b] != gotBefore[b*n+a] {
+						t.Fatalf("mode %v: after is not the transpose of before at (%d,%d)", mode, a, b)
+					}
 				}
 			}
 		}
@@ -103,11 +128,13 @@ func TestNewPairsParallelMatchesSequential(t *testing.T) {
 	for trial := 0; trial < 20; trial++ {
 		m, n := 2+rng.Intn(12), 2+rng.Intn(40)
 		d := randomDataset(rng, m, n, trial%2 == 1)
-		seq := newPairsWorkers(d, 1)
-		for _, workers := range []int{2, 3, 8} {
-			par := newPairsWorkers(d, workers)
-			if !equalInt32(par.before, seq.before) || !equalInt32(par.tied, seq.tied) || !equalInt32(par.after, seq.after) {
-				t.Fatalf("trial %d: %d-worker build differs from sequential (m=%d n=%d)", trial, workers, m, n)
+		for _, mode := range allModes {
+			seq := newPairsWorkersMode(d, 1, mode)
+			for _, workers := range []int{2, 3, 8} {
+				par := newPairsWorkersMode(d, workers, mode)
+				if !par.Equal(seq) {
+					t.Fatalf("trial %d (mode %v): %d-worker build differs from sequential (m=%d n=%d)", trial, mode, workers, m, n)
+				}
 			}
 		}
 	}

@@ -14,7 +14,8 @@ import (
 // sync/atomic — the module takes no dependencies — and cheap enough to
 // bump on every request.
 type metrics struct {
-	start time.Time
+	start      time.Time
+	matrixMode string // the -matrix-mode label, fixed at startup
 
 	inFlight     atomic.Int64 // aggregation requests currently executing
 	tokensInUse  atomic.Int64 // worker tokens currently held by requests
@@ -23,6 +24,7 @@ type metrics struct {
 	queueRejects atomic.Int64 // requests whose budget expired waiting for a worker token
 	deltaApplied atomic.Int64 // PATCH deltas applied to a cached session (O(n²) instead of a rebuild)
 	deltaMisses  atomic.Int64 // PATCH requests whose base dataset was not cached (client falls back to a full POST)
+	matrixBytes  atomic.Int64 // backing bytes of the most recently built (or PATCHed) pair matrix
 
 	mu       sync.Mutex
 	requests map[reqKey]int64   // (endpoint, code) → count
@@ -35,12 +37,13 @@ type reqKey struct {
 	code     int
 }
 
-func newMetrics() *metrics {
+func newMetrics(matrixMode string) *metrics {
 	return &metrics{
-		start:    time.Now(),
-		requests: make(map[reqKey]int64),
-		latSum:   make(map[string]float64),
-		latCount: make(map[string]int64),
+		start:      time.Now(),
+		matrixMode: matrixMode,
+		requests:   make(map[reqKey]int64),
+		latSum:     make(map[string]float64),
+		latCount:   make(map[string]int64),
 	}
 }
 
@@ -88,6 +91,14 @@ func (m *metrics) write(w io.Writer, extra func(io.Writer)) {
 	fmt.Fprintf(w, "# HELP rankagg_delta_miss_fallback_total PATCH requests whose base dataset was not cached; the client must fall back to a full POST.\n")
 	fmt.Fprintf(w, "# TYPE rankagg_delta_miss_fallback_total counter\n")
 	fmt.Fprintf(w, "rankagg_delta_miss_fallback_total %d\n", m.deltaMisses.Load())
+
+	fmt.Fprintf(w, "# HELP rankagg_matrix_bytes Backing bytes of the most recently built pair matrix (reflects -matrix-mode; 0 until the first build).\n")
+	fmt.Fprintf(w, "# TYPE rankagg_matrix_bytes gauge\n")
+	fmt.Fprintf(w, "rankagg_matrix_bytes %d\n", m.matrixBytes.Load())
+
+	fmt.Fprintf(w, "# HELP rankagg_matrix_mode The configured pair-matrix storage mode.\n")
+	fmt.Fprintf(w, "# TYPE rankagg_matrix_mode gauge\n")
+	fmt.Fprintf(w, "rankagg_matrix_mode{mode=%q} 1\n", m.matrixMode)
 
 	m.mu.Lock()
 	reqKeys := make([]reqKey, 0, len(m.requests))

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"rankagg"
+	"rankagg/internal/cache"
 	"rankagg/internal/rankings"
 	"rankagg/internal/server"
 )
@@ -356,4 +357,57 @@ func TestConcurrentPatchAndAggregate(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
+}
+
+// TestPatchRespectsMatrixByteBudget: a delta that would promote the
+// cached matrix past the -max-elements byte budget (int16 → int32 at
+// m = 32768 doubles the backing) is rejected with 413 BEFORE mutating —
+// the session keeps serving its old hash — while a shrinking delta on the
+// same session passes. The session is pre-built and injected through
+// Config.Cache so the test does not POST a 32767-ranking body.
+func TestPatchRespectsMatrixByteBudget(t *testing.T) {
+	const n = 4
+	base := rankagg.NewRanking([]int{0, 1}, []int{2}, []int{3})
+	other := rankagg.NewRanking([]int{3}, []int{2, 1}, []int{0})
+	rks := make([]*rankagg.Ranking, 32767)
+	for i := range rks {
+		rks[i] = base
+	}
+	rks[0] = other
+	sess, err := rankagg.NewSession(rankagg.NewDataset(n, rks...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.Pairs()
+	if got := sess.MatrixBytes(); got != 64 {
+		t.Fatalf("fixture MatrixBytes = %d, want 64 (int16 + derived-tied)", got)
+	}
+	c := cache.New(4, 0)
+	hash := sess.Hash()
+	if _, _, err := c.GetOrBuild(hash, func() (*rankagg.Session, error) { return sess, nil }); err != nil {
+		t.Fatal(err)
+	}
+	// Budget 12·3² = 108 bytes: holds the 64-byte compact matrix, not the
+	// 128-byte widened one a 32768th ranking would force.
+	_, ts := newTestServer(t, server.Config{Cache: c, MaxElements: 3})
+
+	resp, data := doPatch(t, ts.URL, hash, server.PatchRequest{Add: []*rankings.Ranking{other}})
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("over-budget PATCH: %d %s, want 413", resp.StatusCode, data)
+	}
+	if sess.MatrixDeltas() != 0 || sess.Hash() != hash {
+		t.Fatalf("rejected PATCH mutated the session (deltas=%d)", sess.MatrixDeltas())
+	}
+	if _, ok := c.Get(hash); !ok {
+		t.Fatal("entry not restored under its old hash after the rejected PATCH")
+	}
+
+	// A delta that stays inside the budget still goes through.
+	resp, data = doPatch(t, ts.URL, hash, server.PatchRequest{Remove: []*rankings.Ranking{other}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("shrinking PATCH: %d %s, want 200", resp.StatusCode, data)
+	}
+	if sess.MatrixDeltas() != 1 {
+		t.Fatalf("deltas = %d after the shrinking PATCH, want 1", sess.MatrixDeltas())
+	}
 }

@@ -70,12 +70,22 @@ type Config struct {
 	// MaxWorkersPerRun caps one request's share of the worker budget
 	// (0: no cap — a lone request may take the whole budget).
 	MaxWorkersPerRun int
-	// MaxElements caps a request dataset's universe size n. The pair
-	// matrix costs 12·n² bytes and its build is not cancellable, so n
-	// bounds per-request memory and build work directly; oversized
-	// datasets are rejected up front with 413 (0: 4096, ≈ 200 MB per
-	// matrix; negative: no cap).
+	// MaxElements caps per-request pair-matrix memory, expressed as a
+	// universe size: the budget is the 12·MaxElements² bytes an int32
+	// matrix of that many elements would need. Admission charges each
+	// dataset its REAL projected matrix bytes under MatrixMode — so the
+	// compact backends admit proportionally larger universes (int16 +
+	// derived-tied fits n up to ≈ 1.7× MaxElements in the same budget)
+	// while int32 mode keeps the historical exact-n cap. The matrix
+	// build is not cancellable, so the check runs before any allocation;
+	// oversized datasets are rejected up front with 413 (0: 4096,
+	// ≈ 200 MB of budget; negative: no cap).
 	MaxElements int
+	// MatrixMode selects the pair-matrix storage representation for the
+	// sessions this server builds (the -matrix-mode flag). The zero
+	// value is rankagg.MatrixAuto: the leanest backend each dataset
+	// admits, which multiplies how many sessions CacheBytes holds.
+	MatrixMode rankagg.MatrixMode
 	// MaxTimeout caps every request's time budget; it is also the default
 	// for requests that set none (0: 30s).
 	MaxTimeout time.Duration
@@ -95,6 +105,7 @@ type Server struct {
 	maxTimeout  time.Duration
 	maxBody     int64
 	maxElements int
+	matrixMode  rankagg.MatrixMode
 	log         *log.Logger
 	metrics     *metrics
 	draining    chan struct{} // closed by Drain
@@ -151,8 +162,9 @@ func New(cfg Config) *Server {
 		maxTimeout:  maxTimeout,
 		maxBody:     maxBody,
 		maxElements: maxElements,
+		matrixMode:  cfg.MatrixMode,
 		log:         logger,
-		metrics:     newMetrics(),
+		metrics:     newMetrics(cfg.MatrixMode.String()),
 		draining:    make(chan struct{}),
 	}
 	s.mux = http.NewServeMux()
@@ -247,6 +259,11 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 	}
 }
 
+// errMatrixBudget marks a PATCH delta that would grow the cached pair
+// matrix past the -max-elements byte budget (backend promotion); the
+// handler maps it to 413.
+var errMatrixBudget = errors.New("matrix byte budget exceeded")
+
 // statusClientClosedRequest is nginx's convention for "client closed the
 // connection before the response"; the standard library has no name for
 // it. It reaches no client — it only keeps the request counter honest.
@@ -286,14 +303,22 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	// A tiny body can declare a huge universe, and the 12·n² matrix build
+	// A tiny body can declare a huge universe, and the O(n²) matrix build
 	// is neither budgeted by the cache (entries are weighed after the
-	// build) nor cancellable — bound it before any allocation.
-	if s.maxElements > 0 && d.N > s.maxElements {
-		s.writeError(w, http.StatusRequestEntityTooLarge,
-			fmt.Sprintf("dataset has %d elements, server cap is %d (pair matrix would need %d MB)",
-				d.N, s.maxElements, 3*4*int64(d.N)*int64(d.N)>>20))
-		return
+	// build) nor cancellable — bound it before any allocation. The budget
+	// is what an int32 matrix of -max-elements elements would cost, and
+	// each request is charged its REAL projected bytes under the server's
+	// matrix mode: leaner representations admit the larger universes the
+	// fixed-n cap used to reject.
+	if s.maxElements > 0 {
+		budget := 3 * 4 * int64(s.maxElements) * int64(s.maxElements)
+		need := rankagg.PredictMatrixBytes(s.matrixMode, d.N, d.M(), d.Complete())
+		if need > budget {
+			s.writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("dataset has %d elements and its %s pair matrix would need %d bytes; the server cap is %d elements at int32's 12 bytes/pair (%d bytes) — shrink the dataset or raise -max-elements",
+					d.N, s.matrixMode, need, s.maxElements, budget))
+			return
+		}
 	}
 
 	// The request's whole budget — queueing for a worker token, a possible
@@ -329,11 +354,12 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	hash := d.Hash()
 	sess, hit, err := s.cache.GetOrBuild(hash, func() (*rankagg.Session, error) {
-		sess, err := rankagg.NewSession(d)
+		sess, err := rankagg.NewSession(d, rankagg.WithMatrixMode(s.matrixMode))
 		if err != nil {
 			return nil, err
 		}
 		sess.Pairs() // eager O(m·n²) build inside the single flight
+		s.metrics.matrixBytes.Store(sess.MatrixBytes())
 		return sess, nil
 	})
 	if err != nil {
@@ -374,7 +400,7 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 		// rather than fighting over the cache entry.
 		hit = false
 		var priv *rankagg.Session
-		priv, err = rankagg.NewSession(d)
+		priv, err = rankagg.NewSession(d, rankagg.WithMatrixMode(s.matrixMode))
 		if err != nil {
 			s.writeError(w, http.StatusBadRequest, err.Error())
 			return
@@ -471,13 +497,32 @@ func (s *Server) handlePatchDataset(w http.ResponseWriter, r *http.Request) {
 	// n/m/the counters afterwards would pair this request's hash with a
 	// later mutation's state.
 	var n, m, matrixBuilds, matrixDeltas int
+	var matrixBytes int64
 	_, newKey, found, err := s.cache.Mutate(hash, func(sess *rankagg.Session) (string, error) {
+		// A delta can promote the matrix backend (int16 → int32 when m
+		// crosses 32767), growing the allocation the dataset was admitted
+		// under — re-check the byte budget BEFORE mutating, so rejection
+		// leaves the session untouched and the entry restored. Promotions
+		// are one-way, so the post-delta size is at least the current one.
+		if s.maxElements > 0 {
+			d0 := sess.Dataset()
+			m2 := d0.M() + len(req.Add) - len(req.Remove)
+			need := rankagg.PredictMatrixBytes(s.matrixMode, d0.N, m2, d0.Complete())
+			if cur := sess.MatrixBytes(); cur > need {
+				need = cur
+			}
+			if budget := 3 * 4 * int64(s.maxElements) * int64(s.maxElements); need > budget {
+				return "", fmt.Errorf("%w: the delta would grow the pair matrix to %d bytes, over the server budget of %d (-max-elements %d)",
+					errMatrixBudget, need, budget, s.maxElements)
+			}
+		}
 		if err := sess.ApplyDelta(req.Add, req.Remove); err != nil {
 			return "", err
 		}
 		d := sess.Dataset()
 		n, m = d.N, d.M()
 		matrixBuilds, matrixDeltas = sess.MatrixBuilds(), sess.MatrixDeltas()
+		matrixBytes = sess.MatrixBytes()
 		return sess.Hash(), nil
 	})
 	if !found {
@@ -489,16 +534,23 @@ func (s *Server) handlePatchDataset(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		// The delta was rejected up front and the session is unchanged.
 		// Conflicts with the dataset's current content are 409 (the caller
-		// holds a stale view of what is cached); structurally invalid
-		// rankings are 400.
+		// holds a stale view of what is cached); a delta that would blow
+		// the matrix byte budget is 413 like the equivalent POST;
+		// structurally invalid rankings are 400.
 		code := http.StatusBadRequest
-		if errors.Is(err, rankagg.ErrRankingNotFound) || errors.Is(err, rankagg.ErrDatasetEmptied) {
+		switch {
+		case errors.Is(err, rankagg.ErrRankingNotFound) || errors.Is(err, rankagg.ErrDatasetEmptied):
 			code = http.StatusConflict
+		case errors.Is(err, errMatrixBudget):
+			code = http.StatusRequestEntityTooLarge
 		}
 		s.writeError(w, code, err.Error())
 		return
 	}
 	s.metrics.deltaApplied.Add(1)
+	// A delta can promote the backend (int16 → int32, tied-plane
+	// materialization); keep the gauge tracking the real size.
+	s.metrics.matrixBytes.Store(matrixBytes)
 	s.writeJSON(w, http.StatusOK, PatchResponse{
 		BaseHash:     hash,
 		DatasetHash:  newKey,

@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"rankagg"
 	"rankagg/internal/gen"
 	"rankagg/internal/rankings"
 	"rankagg/internal/server"
@@ -160,19 +161,23 @@ func TestAggregateErrorPaths(t *testing.T) {
 }
 
 // TestMaxElementsGuard: a tiny body declaring a huge universe must be
-// rejected before the uncancellable 12·n² matrix allocation.
+// rejected before the uncancellable O(n²) matrix allocation. The cap is a
+// byte budget (what an int32 matrix of -max-elements elements would cost)
+// charged at each request's real projected bytes: pinning int32 keeps the
+// historical exact-n cap, while the compact auto backends admit the same
+// dataset inside the same budget — the capacity the leaner storage buys.
 func TestMaxElementsGuard(t *testing.T) {
-	_, ts := newTestServer(t, server.Config{MaxElements: 8})
-	req := server.AggregateRequest{
-		Algorithm: "BioConsert",
-		DatasetWire: rankings.DatasetWire{
-			N: 10,
-			Rankings: []*rankings.Ranking{
-				rankings.New([]int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}),
-				rankings.New([]int{9, 8, 7, 6, 5, 4, 3, 2, 1, 0}),
-			},
+	wire := rankings.DatasetWire{
+		N: 10,
+		Rankings: []*rankings.Ranking{
+			rankings.New([]int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}),
+			rankings.New([]int{9, 8, 7, 6, 5, 4, 3, 2, 1, 0}),
 		},
 	}
+	req := server.AggregateRequest{Algorithm: "BioConsert", DatasetWire: wire}
+
+	// int32 mode: n = 10 needs 1200 bytes, over the 12·8² = 768 budget.
+	_, ts := newTestServer(t, server.Config{MaxElements: 8, MatrixMode: rankagg.MatrixInt32})
 	resp, data := postAggregate(t, ts.URL, req)
 	if resp.StatusCode != http.StatusRequestEntityTooLarge {
 		t.Fatalf("oversized dataset: %d %s, want 413", resp.StatusCode, data)
@@ -180,6 +185,30 @@ func TestMaxElementsGuard(t *testing.T) {
 	if !strings.Contains(string(data), "server cap is 8") {
 		t.Errorf("413 body does not name the cap: %s", data)
 	}
+
+	// Auto mode: the complete 2-ranking dataset resolves to int16 +
+	// derived-tied — 400 bytes, inside the same budget — and is served.
+	_, ts = newTestServer(t, server.Config{MaxElements: 8})
+	resp, data = postAggregate(t, ts.URL, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compact dataset within byte budget: %d %s, want 200", resp.StatusCode, data)
+	}
+
+	// A universe too large even for the compact layout still 413s.
+	big := server.AggregateRequest{Algorithm: "BioConsert", DatasetWire: rankings.DatasetWire{N: 64}}
+	big.Rankings = []*rankings.Ranking{rankings.FromPermutation(identityPerm(64))}
+	resp, data = postAggregate(t, ts.URL, big)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized compact dataset: %d %s, want 413", resp.StatusCode, data)
+	}
+}
+
+func identityPerm(n int) []int {
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	return perm
 }
 
 // bnbRequest is an instance BnB chews on for minutes — the subject of the
@@ -414,5 +443,49 @@ func TestMetricsExposition(t *testing.T) {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q:\n%s", want, text)
 		}
+	}
+}
+
+// TestMatrixModeWiring pins the -matrix-mode plumbing end to end: the
+// configured mode reaches the sessions the server builds (CacheStats
+// bytes shrink accordingly) and is exposed on /metrics together with the
+// rankagg_matrix_bytes gauge of the real backing size.
+func TestMatrixModeWiring(t *testing.T) {
+	// The 4-element complete dataset of smallRequest: int32 needs
+	// 3·4·16 = 192 bytes, int16 + derived-tied 2·2·16 = 64.
+	cases := []struct {
+		mode      rankagg.MatrixMode
+		bytes     int64
+		modeLabel string
+	}{
+		{rankagg.MatrixInt32, 192, "int32"},
+		{rankagg.MatrixInt16, 64, "int16"},
+		{rankagg.MatrixAuto, 64, "auto"},
+	}
+	for _, tc := range cases {
+		s, ts := newTestServer(t, server.Config{MatrixMode: tc.mode})
+		if resp, data := postAggregate(t, ts.URL, smallRequest("BioConsert")); resp.StatusCode != http.StatusOK {
+			t.Fatalf("mode %s: %d %s", tc.modeLabel, resp.StatusCode, data)
+		}
+		if got := s.CacheStats().Bytes; got != tc.bytes {
+			t.Errorf("mode %s: cached matrix bytes = %d, want %d", tc.modeLabel, got, tc.bytes)
+		}
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		text := string(data)
+		for _, want := range []string{
+			fmt.Sprintf("rankagg_matrix_bytes %d", tc.bytes),
+			fmt.Sprintf("rankagg_matrix_mode{mode=%q} 1", tc.modeLabel),
+			fmt.Sprintf("rankagg_cache_bytes %d", tc.bytes),
+		} {
+			if !strings.Contains(text, want) {
+				t.Errorf("mode %s: metrics missing %q:\n%s", tc.modeLabel, want, text)
+			}
+		}
+		ts.Close()
 	}
 }

@@ -26,8 +26,9 @@
 // Result carries the generalized Kemeny score, whether optimality was
 // proved (exact methods), whether a deadline cut the search (the incumbent
 // is then returned), and search statistics. Session.Run accepts functional
-// options — WithTimeLimit, WithWorkers, WithSeed, WithRestarts, WithPairs —
-// replacing the per-struct tuning fields of the internal algorithm types.
+// options — WithTimeLimit, WithWorkers, WithSeed, WithRestarts, WithPairs,
+// WithMatrixMode — replacing the per-struct tuning fields of the internal
+// algorithm types.
 //
 // Aggregate and AggregateWithPairs remain as thin one-shot conveniences
 // over the same machinery for callers that need neither cancellation nor
@@ -75,6 +76,10 @@ type (
 	ExactAggregator = core.ExactAggregator
 	// Pairs is the pairwise disagreement-count matrix of a dataset.
 	Pairs = kendall.Pairs
+	// MatrixMode selects the pair matrix's storage representation
+	// (MatrixAuto, MatrixInt32, MatrixInt16); the logical counts are
+	// identical across modes, only the backing memory differs.
+	MatrixMode = kendall.MatrixMode
 	// Features summarizes a dataset for algorithm recommendation.
 	Features = eval.Features
 	// Recommendation is an algorithm suggestion with its rationale.
@@ -164,8 +169,34 @@ func Tau(r, s *Ranking, n int) float64 { return kendall.Tau(r, s, n) }
 // (equation 5): the average τ over all pairs of input rankings.
 func Similarity(d *Dataset) float64 { return kendall.Similarity(d) }
 
-// NewPairs computes the pairwise disagreement counts of a dataset.
+// Matrix storage modes (see MatrixMode): auto picks the leanest backend
+// the dataset admits — int16 counts when m ≤ 32767, and no stored tied
+// plane on complete datasets (tied = m − before − after) — while int32
+// pins the full three-plane layout and int16 pins the compact request.
+const (
+	MatrixAuto  = kendall.ModeAuto
+	MatrixInt32 = kendall.ModeInt32
+	MatrixInt16 = kendall.ModeInt16
+)
+
+// ParseMatrixMode parses the flag/wire spelling of a matrix mode:
+// "auto", "int32" or "int16".
+func ParseMatrixMode(s string) (MatrixMode, error) { return kendall.ParseMatrixMode(s) }
+
+// PredictMatrixBytes returns the backing bytes the pair matrix of a
+// dataset with n elements and m rankings (complete or not) would occupy
+// under the given mode — without allocating anything, so admission
+// controls can budget memory before a build.
+func PredictMatrixBytes(mode MatrixMode, n, m int, complete bool) int64 {
+	return kendall.PredictBytes(mode, n, m, complete)
+}
+
+// NewPairs computes the pairwise disagreement counts of a dataset in the
+// default MatrixAuto representation.
 func NewPairs(d *Dataset) *Pairs { return kendall.NewPairs(d) }
+
+// NewPairsMode is NewPairs with an explicit storage representation.
+func NewPairsMode(d *Dataset, mode MatrixMode) *Pairs { return kendall.NewPairsMode(d, mode) }
 
 // Gap is the paper's quality measure (equation 6): K(c,R)/K(c*,R) − 1.
 func Gap(score, optimum int64) float64 { return eval.Gap(score, optimum) }

@@ -62,12 +62,13 @@ var (
 
 // runConfig collects the functional options of NewSession and Session.Run.
 type runConfig struct {
-	workers   int
-	seed      int64
-	seedSet   bool
-	restarts  int
-	timeLimit time.Duration
-	pairs     *Pairs
+	workers    int
+	seed       int64
+	seedSet    bool
+	restarts   int
+	timeLimit  time.Duration
+	pairs      *Pairs
+	matrixMode MatrixMode
 }
 
 // Option configures a Session (session-wide defaults) or a single
@@ -100,6 +101,16 @@ func WithRestarts(n int) Option { return func(c *runConfig) { c.restarts = n } }
 // returned with Result.DeadlineHit set (see Run).
 func WithTimeLimit(d time.Duration) Option {
 	return func(c *runConfig) { c.timeLimit = d }
+}
+
+// WithMatrixMode selects the storage representation of the session's pair
+// matrix (MatrixAuto, MatrixInt32, MatrixInt16). The default, MatrixAuto,
+// picks the leanest backend the dataset admits — identical counts, 2–3×
+// less memory, and a matching MatrixBytes weight in byte-budgeted caches.
+// It is a session-wide option consumed when the matrix is first built; as
+// a Run option it has no effect (runs share the session's cached matrix).
+func WithMatrixMode(m MatrixMode) Option {
+	return func(c *runConfig) { c.matrixMode = m }
 }
 
 // WithPairs supplies a prebuilt pair matrix. As a session option it seeds
@@ -187,11 +198,12 @@ func (s *Session) Pairs() *Pairs {
 	return s.pairsLocked()
 }
 
-// pairsLocked builds the matrix of the current dataset if none is cached,
-// stamping it with the session's mutation version. Callers hold s.mu.
+// pairsLocked builds the matrix of the current dataset if none is cached —
+// in the session's configured storage mode (WithMatrixMode) — stamping it
+// with the session's mutation version. Callers hold s.mu.
 func (s *Session) pairsLocked() *Pairs {
 	if s.pairs == nil {
-		s.pairs = NewPairs(s.d)
+		s.pairs = NewPairsMode(s.d, s.defaults.matrixMode)
 		s.pairs.Version = s.version
 		s.builds++
 	}
@@ -333,8 +345,13 @@ func (s *Session) ApplyDelta(add, remove []*Ranking) error {
 }
 
 // MatrixBytes returns the memory footprint of the cached pair matrix in
-// bytes, or 0 when no matrix has been built yet. A byte-budgeted session
-// cache uses it as the entry weight for eviction.
+// bytes — the real backing size of the representation in use (see
+// WithMatrixMode), not a fixed 3×int32 formula — or 0 when no matrix has
+// been built yet. A byte-budgeted session cache uses it as the entry
+// weight for eviction, so compact backends directly increase how many hot
+// sessions a fixed budget holds; it can also grow across a mutation when
+// a delta promotes the backend (int16 → int32 at m = 32768, tied-plane
+// materialization), which such caches must re-read (cache.Mutate does).
 func (s *Session) MatrixBytes() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()

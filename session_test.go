@@ -296,3 +296,41 @@ func TestSessionEveryRegisteredAlgorithm(t *testing.T) {
 		}
 	}
 }
+
+// TestSessionMatrixMode pins the WithMatrixMode plumbing on the public
+// API: the session builds its matrix in the configured representation,
+// MatrixBytes reports the real backing size, and the consensus and score
+// are identical across backends (the counts are, property-tested in
+// internal/kendall; this asserts it end to end through Run).
+func TestSessionMatrixMode(t *testing.T) {
+	d := sessionTestDataset(t, 6, 12, 11)
+	ctx := context.Background()
+
+	wide := newTestSession(t, d, WithMatrixMode(MatrixInt32))
+	wantWide := int64(3 * 4 * 12 * 12)
+	resWide, err := wide.Run(ctx, "BioConsert")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := wide.MatrixBytes(); got != wantWide {
+		t.Errorf("int32 MatrixBytes = %d, want %d", got, wantWide)
+	}
+
+	for _, mode := range []MatrixMode{MatrixAuto, MatrixInt16} {
+		s := newTestSession(t, d, WithMatrixMode(mode))
+		res, err := s.Run(ctx, "BioConsert")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Complete dataset, m ≤ 32767: int16 + derived tied = 4 bytes/pair.
+		if got, want := s.MatrixBytes(), int64(2*2*12*12); got != want {
+			t.Errorf("mode %v MatrixBytes = %d, want %d", mode, got, want)
+		}
+		if res.Score != resWide.Score || !res.Consensus.Equal(resWide.Consensus) {
+			t.Errorf("mode %v: consensus diverges from the int32 backend", mode)
+		}
+		if got := PredictMatrixBytes(mode, 12, 6, true); got != s.MatrixBytes() {
+			t.Errorf("PredictMatrixBytes = %d, want %d", got, s.MatrixBytes())
+		}
+	}
+}
