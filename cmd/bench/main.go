@@ -88,6 +88,10 @@ func main() {
 	m := flag.Int("m", 50, "rankings for the multi-algo benchmark")
 	bioN := flag.Int("bio-n", 240, "elements for the BioConsert benchmark (paper floor: 200)")
 	bioM := flag.Int("bio-m", 30, "rankings (= restarts) for the BioConsert benchmark")
+	scanN1 := flag.Int("scan-n1", 1000, "elements for the small tiled-scan benchmark")
+	scanN2 := flag.Int("scan-n2", 10000, "elements for the large tiled-scan benchmark")
+	scanM := flag.Int("scan-m", 25, "rankings for the tiled-scan benchmarks")
+	scanSweeps := flag.Int("scan-sweeps", 3, "sweep budget for the tiled-scan benchmarks (0 = run to convergence)")
 	runs := flag.Int("runs", 3, "repetitions; the best run of each side is kept")
 	seed := flag.Int64("seed", 1, "dataset seed")
 	out := flag.String("out", "", "write the JSON document to this file (default stdout)")
@@ -107,6 +111,8 @@ func main() {
 	doc.Results = append(doc.Results, benchSession(*n, *m, *runs, *seed))
 	doc.Results = append(doc.Results, benchMatrixBytes(*n, *m, *seed))
 	doc.Results = append(doc.Results, benchMatrixScan(*bioN, *bioM, *runs, *seed))
+	doc.Results = append(doc.Results, benchMatrixScanTiled("matrix-scan-tiled-1k", *scanN1, *scanM, *scanSweeps, *runs, *seed))
+	doc.Results = append(doc.Results, benchMatrixScanTiled("matrix-scan-tiled-10k", *scanN2, *scanM, *scanSweeps, *runs, *seed))
 
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -399,6 +405,98 @@ func benchMatrixScan(n, m, runs int, seed int64) benchResult {
 		Note: fmt.Sprintf("sequential all-seeds BioConsert scan: int32 (%s) vs compact (%s) storage; identical consensus asserted",
 			wide.Layout(), compact.Layout()),
 	}
+}
+
+// benchMatrixScanTiled isolates the placement-scan engine itself, the PR's
+// tentpole: the same BioConsert descents over an untiled planar int16
+// matrix with pruning off (the scan as the previous layout ran it) vs the
+// tiled auto backend (int8 tiles at m ≤ 127) with gap pruning on. The
+// DescentSweeps entry point is deterministic and single-threaded, so the
+// ratio is pure scan-engine throughput — no restart scheduling noise. All
+// three backings are verified move-for-move against an int32 oracle, once,
+// not per rep; matrices are built and released in sequence so the peak
+// resident set is one matrix, not three (the int32 planes alone are 1.2 GB
+// at n = 10⁴).
+func benchMatrixScanTiled(name string, n, m, sweeps, runs int, seed int64) benchResult {
+	// The exact-uniform Fubini sampler is O(n²) big-int work per ranking —
+	// fine at the paper's n ≤ 500, hopeless at 10⁴ — so the scan benchmark
+	// draws cheap positions-based tied rankings (≈ n/2 buckets, the same
+	// shape regime) instead.
+	rng := rand.New(rand.NewSource(seed + 3))
+	rks := make([]*rankings.Ranking, m)
+	for i := range rks {
+		rks[i] = randomTiedRanking(rng, n)
+	}
+	d := rankings.NewDataset(n, rks...)
+	seeds := d.Rankings
+	if len(seeds) > 2 {
+		seeds = seeds[:2]
+	}
+
+	type outcome struct {
+		score, moves int64
+		r            *rankings.Ranking
+	}
+	descend := func(p *kendall.Pairs, engine func(*kendall.Pairs, *rankings.Ranking, int, bool) (*rankings.Ranking, int64, int64), prune bool) []outcome {
+		out := make([]outcome, len(seeds))
+		for i, s := range seeds {
+			r, score, moves := engine(p, s, sweeps, prune)
+			out[i] = outcome{score, moves, r}
+		}
+		return out
+	}
+
+	oracle := kendall.NewPairsMode(d, kendall.ModeInt32)
+	want := descend(oracle, algo.DescentSweeps, false)
+	oracle = nil
+	runtime.GC()
+
+	check := func(side string, got []outcome) {
+		for i := range got {
+			if got[i].score != want[i].score || got[i].moves != want[i].moves || !got[i].r.Equal(want[i].r) {
+				fmt.Fprintf(os.Stderr, "bench: %s scan diverges from the int32 oracle on seed %d\n", side, i)
+				os.Exit(1)
+			}
+		}
+	}
+
+	untiled := kendall.NewPairsUntiled(d, kendall.ModeInt16)
+	untiledLayout := untiled.Layout()
+	var got []outcome
+	before := best(runs, func() { got = descend(untiled, algo.DescentSweepsGather, false) })
+	check("untiled "+untiledLayout, got)
+	untiled = nil
+	runtime.GC()
+
+	tiled := kendall.NewPairsMode(d, kendall.ModeAuto)
+	after := best(runs, func() { got = descend(tiled, algo.DescentSweeps, true) })
+	check("tiled "+tiled.Layout(), got)
+
+	return benchResult{
+		Name: name, N: n, M: m,
+		BeforeMS: before, AfterMS: after, Speedup: before / after,
+		Note: fmt.Sprintf("placement-scan descent, %d seeds x %d sweeps: bucket-gather no-prune on untiled %s (the pre-tiling engine) vs streaming-scatter pruned on tiled %s; move-for-move identical to the int32 oracle, asserted once",
+			len(seeds), sweeps, untiledLayout, tiled.Layout()),
+	}
+}
+
+// randomTiedRanking draws a complete tied ranking over n elements by
+// assigning each element a position in [1, n/2] — about n/2 occupied
+// buckets of geometric-ish sizes, the bucket-count regime the scan's
+// per-element cost is O(n + k) in.
+func randomTiedRanking(rng *rand.Rand, n int) *rankings.Ranking {
+	byPos := make([][]int, 1+n/2)
+	for e := 0; e < n; e++ {
+		p := rng.Intn(len(byPos))
+		byPos[p] = append(byPos[p], e)
+	}
+	r := &rankings.Ranking{}
+	for _, b := range byPos {
+		if len(b) > 0 {
+			r.Buckets = append(r.Buckets, b)
+		}
+	}
+	return r
 }
 
 // best runs f repeatedly and returns the fastest wall time in milliseconds.

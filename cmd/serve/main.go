@@ -8,7 +8,7 @@
 //	serve [-addr :8080] [-cache-entries 64] [-cache-bytes 1073741824]
 //	      [-workers N] [-max-workers-per-run N] [-max-timeout 30s]
 //	      [-max-body 33554432] [-max-elements 4096]
-//	      [-matrix-mode auto|int32|int16]
+//	      [-matrix-mode auto|int32|int16|int8] [-compact-interval 1m]
 //
 // Endpoints: POST /v1/aggregate, PATCH /v1/datasets/{hash} (apply
 // add/remove ranking deltas to a cached dataset in O(n²) per ranking — the
@@ -47,7 +47,8 @@ func main() {
 	maxTimeout := flag.Duration("max-timeout", 30*time.Second, "cap on any request's time budget (also the default budget)")
 	maxBody := flag.Int64("max-body", 32<<20, "max request body bytes")
 	maxElements := flag.Int("max-elements", 4096, "pair-matrix memory cap, expressed as a universe size: the budget is 12·n² bytes and each request is charged its real projected matrix bytes under -matrix-mode (0 = unlimited)")
-	matrixMode := flag.String("matrix-mode", "auto", "pair-matrix storage: auto (leanest backend the dataset admits: int16 counts when m <= 32767, derived tied plane on complete datasets), int32 (full 3-plane layout), int16 (pin the compact width)")
+	matrixMode := flag.String("matrix-mode", "auto", "pair-matrix storage: auto (leanest backend the dataset admits: int8 counts when m <= 127, int16 when m <= 32767, derived tied plane on complete datasets), int32 (full 3-plane layout), int16 or int8 (pin a compact width)")
+	compactInterval := flag.Duration("compact-interval", time.Minute, "idle-sweep period for re-compacting cached matrices widened by PATCH deltas back to their natural storage width (0 = never)")
 	flag.Parse()
 
 	mode, err := rankagg.ParseMatrixMode(*matrixMode)
@@ -88,6 +89,11 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	var stopCompactor func()
+	if *compactInterval > 0 {
+		stopCompactor = s.StartCompactor(*compactInterval)
+	}
+
 	errc := make(chan error, 1)
 	go func() {
 		logger.Printf("listening on %s (workers=%d cache=%d entries / %d bytes, matrix-mode=%s, max timeout %v)",
@@ -104,6 +110,9 @@ func main() {
 		logger.Printf("%v: draining (in-flight runs finish, bounded by %v)", sig, *maxTimeout)
 	}
 
+	if stopCompactor != nil {
+		stopCompactor()
+	}
 	s.Drain()
 	ctx, cancel := context.WithTimeout(context.Background(), *maxTimeout+5*time.Second)
 	defer cancel()

@@ -2,7 +2,10 @@ package algo
 
 import (
 	"context"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"rankagg/internal/core"
@@ -107,11 +110,16 @@ func (a *ExactBnB) AggregateCtx(ctx context.Context, d *rankings.Dataset, opts c
 	// One poll serves the whole run: once it trips, the remaining groups
 	// return their incumbents immediately and the result is non-exact.
 	poll := newSearchPoll(ctx)
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	primes, restarts := primeGroups(ctx, d, p, groups, workers)
 	out := &rankings.Ranking{}
 	exact := true
 	var nodes int64
-	for _, g := range groups {
-		br, ok, n := a.solveGroup(ctx, d, p, g, poll)
+	for gi, g := range groups {
+		br, ok, n := a.solveGroup(g, p, &primes[gi], poll)
 		exact = exact && ok
 		nodes += n
 		if poll.Err() == context.Canceled {
@@ -127,39 +135,163 @@ func (a *ExactBnB) AggregateCtx(ctx context.Context, d *rankings.Dataset, opts c
 		Consensus:   out,
 		Proved:      exact && !deadlineHit,
 		DeadlineHit: deadlineHit,
-		Stats:       core.SearchStats{Nodes: nodes},
+		Stats:       core.SearchStats{Nodes: nodes, Restarts: restarts},
 	}, nil
 }
 
-// solveGroup runs the branch & bound restricted to the given elements.
-func (a *ExactBnB) solveGroup(ctx context.Context, d *rankings.Dataset, p *kendall.Pairs, elems []int, poll *searchPoll) (*rankings.Ranking, bool, int64) {
-	if len(elems) == 1 {
-		return rankings.New([]int{elems[0]}), true, 0
-	}
-	order := bordaOrder(d, elems)
-	// Incumbent: BioConsert on the sub-instance. Restrict each input ranking
-	// to the group's elements.
-	incumbent := bioConsertOn(ctx, d, p, elems)
-	upper := scoreWithin(p, incumbent, elems)
+// groupPrime is everything solveGroup needs besides the DFS itself: the
+// Borda insertion order, the BioConsert-primed incumbent with its score,
+// and the pairwise lower-bound prefix sums. primeGroups computes all of it
+// for every unanimity group up front on one shared worker pool, so sibling
+// groups' incumbent descents (the expensive part: one placement-scan
+// descent per input-ranking restriction) and their O(g²) LowerBound prefix
+// sums run in parallel instead of sequentially group after group.
+type groupPrime struct {
+	order     []int
+	incumbent *rankings.Ranking
+	upper     int64
+	minRest   []int64
+}
 
-	s := &bnbSearch{
-		p:       p,
-		order:   order,
-		upper:   upper,
-		best:    incumbent,
-		poll:    poll,
-		noBound: a.DisablePairBound,
+// primeGroups runs every group's priming work on one bounded pool and
+// reduces deterministically: per group the first strict-minimum descent in
+// input-ranking order wins, exactly what the historical sequential loop
+// kept, so the primed incumbents (and the DFS they seed) are identical for
+// any worker count. Singleton groups need no priming. The second return
+// value is the total number of incumbent descents run.
+func primeGroups(ctx context.Context, d *rankings.Dataset, p *kendall.Pairs, groups [][]int, workers int) ([]groupPrime, int) {
+	primes := make([]groupPrime, len(groups))
+	type descent struct {
+		gi   int
+		seed *rankings.Ranking
 	}
-	// minRest[j] = Σ min-pair-cost over pairs with at least one endpoint in
-	// order[j:] (a pair (order[i], order[j']) with i < j' is charged to its
-	// deeper endpoint j'); bound(node at depth j) = placedCost + minRest[j].
-	s.minRest = make([]int64, len(order)+1)
+	var descents []descent
+	var boundGIs []int // groups whose minRest is a pool task
+	for gi, g := range groups {
+		if len(g) == 1 {
+			continue
+		}
+		primes[gi].order = bordaOrder(d, g)
+		boundGIs = append(boundGIs, gi)
+		in := make(map[int]bool, len(g))
+		for _, e := range g {
+			in[e] = true
+		}
+		for _, r := range d.Rankings {
+			seed := restrictRanking(r, in)
+			if seed.Len() != len(g) {
+				continue
+			}
+			descents = append(descents, descent{gi, seed})
+		}
+	}
+	type primeResult struct {
+		cand  *rankings.Ranking
+		score int64
+	}
+	results := make([]primeResult, len(descents))
+	run := func(t int) {
+		if t < len(descents) {
+			de := descents[t]
+			cand, _ := localSearchCtx(ctx, p, de.seed)
+			results[t] = primeResult{cand, scoreWithin(p, cand, groups[de.gi])}
+			return
+		}
+		gi := boundGIs[t-len(descents)]
+		primes[gi].minRest = minRestOf(p, primes[gi].order)
+	}
+	nTasks := len(descents) + len(boundGIs)
+	if workers > nTasks {
+		workers = nTasks
+	}
+	if workers <= 1 {
+		for t := 0; t < nTasks; t++ {
+			run(t)
+		}
+	} else {
+		var next int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					t := int(atomic.AddInt64(&next, 1)) - 1
+					if t >= nTasks {
+						return
+					}
+					run(t)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for t, de := range descents {
+		pr := &primes[de.gi]
+		if r := results[t]; r.cand != nil && (pr.incumbent == nil || r.score < pr.upper) {
+			pr.incumbent, pr.upper = r.cand, r.score
+		}
+	}
+	for gi, g := range groups {
+		pr := &primes[gi]
+		if len(g) > 1 && pr.incumbent == nil {
+			// No input ranking restricts to the full group (unreachable on the
+			// complete datasets CheckInput admits, defensive all the same).
+			pr.incumbent = rankings.New(append([]int(nil), g...))
+			pr.upper = scoreWithin(p, pr.incumbent, g)
+		}
+	}
+	return primes, len(descents)
+}
+
+// restrictRanking projects r onto the elements of in, dropping emptied
+// buckets.
+func restrictRanking(r *rankings.Ranking, in map[int]bool) *rankings.Ranking {
+	seed := &rankings.Ranking{}
+	for _, b := range r.Buckets {
+		var nb []int
+		for _, e := range b {
+			if in[e] {
+				nb = append(nb, e)
+			}
+		}
+		if len(nb) > 0 {
+			seed.Buckets = append(seed.Buckets, nb)
+		}
+	}
+	return seed
+}
+
+// minRestOf computes minRest[j] = Σ min-pair-cost over pairs with at least
+// one endpoint in order[j:] (a pair (order[i], order[j']) with i < j' is
+// charged to its deeper endpoint j'); bound(node at depth j) = placedCost
+// + minRest[j].
+func minRestOf(p *kendall.Pairs, order []int) []int64 {
+	minRest := make([]int64, len(order)+1)
 	for j := len(order) - 1; j >= 0; j-- {
 		var lvl int64
 		for i := 0; i < j; i++ {
 			lvl += p.MinPairCost(order[i], order[j])
 		}
-		s.minRest[j] = s.minRest[j+1] + lvl
+		minRest[j] = minRest[j+1] + lvl
+	}
+	return minRest
+}
+
+// solveGroup runs the branch & bound restricted to the given elements,
+// seeded with the group's primed ingredients.
+func (a *ExactBnB) solveGroup(elems []int, p *kendall.Pairs, prime *groupPrime, poll *searchPoll) (*rankings.Ranking, bool, int64) {
+	if len(elems) == 1 {
+		return rankings.New([]int{elems[0]}), true, 0
+	}
+	s := &bnbSearch{
+		p:       p,
+		order:   prime.order,
+		upper:   prime.upper,
+		best:    prime.incumbent,
+		poll:    poll,
+		noBound: a.DisablePairBound,
+		minRest: prime.minRest,
 	}
 	s.run()
 	return s.best, !s.poll.stopped(), s.nodes
@@ -291,44 +423,6 @@ func bordaOrder(d *rankings.Dataset, elems []int) []int {
 		return order[i] < order[j]
 	})
 	return order
-}
-
-// bioConsertOn runs BioConsert restricted to a subset of elements to prime
-// the incumbent. The descent is context-aware: under an expired deadline it
-// returns the best (possibly unrefined) restriction promptly, which is
-// still a valid incumbent.
-func bioConsertOn(ctx context.Context, d *rankings.Dataset, p *kendall.Pairs, elems []int) *rankings.Ranking {
-	in := make(map[int]bool, len(elems))
-	for _, e := range elems {
-		in[e] = true
-	}
-	var best *rankings.Ranking
-	var bestScore int64
-	for _, r := range d.Rankings {
-		seed := &rankings.Ranking{}
-		for _, b := range r.Buckets {
-			var nb []int
-			for _, e := range b {
-				if in[e] {
-					nb = append(nb, e)
-				}
-			}
-			if len(nb) > 0 {
-				seed.Buckets = append(seed.Buckets, nb)
-			}
-		}
-		if seed.Len() != len(elems) {
-			continue
-		}
-		cand, _ := localSearchCtx(ctx, p, seed)
-		if s := scoreWithin(p, cand, elems); best == nil || s < bestScore {
-			best, bestScore = cand, s
-		}
-	}
-	if best == nil {
-		best = rankings.New(append([]int(nil), elems...))
-	}
-	return best
 }
 
 // scoreWithin computes the Kemeny contribution of pairs inside the group.

@@ -43,14 +43,20 @@ func UnanimityDecomposition(p *kendall.Pairs, elems []int) [][]int {
 	// needed, so the scan works unchanged on the derived-tied backend);
 	// everything below is O(1) lookups.
 	rel := make([]int8, ne*ne)
-	if p.Wide() {
+	switch p.Width() {
+	case 32:
 		unanimityRel(rel, elems, m, func(a int) ([]int32, []int32) {
 			bef, aft, _ := p.Rows32(a)
 			return bef, aft
 		})
-	} else {
+	case 16:
 		unanimityRel(rel, elems, m, func(a int) ([]int16, []int16) {
 			bef, aft, _ := p.Rows16(a)
+			return bef, aft
+		})
+	default:
+		unanimityRel(rel, elems, m, func(a int) ([]int8, []int8) {
+			bef, aft, _ := p.Rows8(a)
 			return bef, aft
 		})
 	}

@@ -1,0 +1,149 @@
+package algo
+
+import (
+	"math/rand"
+	"testing"
+
+	"rankagg/internal/gen"
+	"rankagg/internal/kendall"
+	"rankagg/internal/rankings"
+)
+
+// dropSome removes each element of r with probability 1/4 (keeping at
+// least two so the descent has something to move), yielding the partial
+// seeds and rankings the gather/general scan paths exist for.
+func dropSome(rng *rand.Rand, r *rankings.Ranking) *rankings.Ranking {
+	out := &rankings.Ranking{}
+	for _, b := range r.Buckets {
+		var nb []int
+		for _, e := range b {
+			if rng.Intn(4) == 0 {
+				continue
+			}
+			nb = append(nb, e)
+		}
+		if len(nb) > 0 {
+			out.Buckets = append(out.Buckets, nb)
+		}
+	}
+	if out.Len() < 2 {
+		return r
+	}
+	return out
+}
+
+// TestScanEngineMatchesOracle is the scan-engine equivalence property: the
+// tiled int8/int16 backends, the planar untiled layout, and gap pruning
+// must all drive the placement-scan descent move-for-move identically to
+// the unpruned int32 oracle — same final ranking, same score, same number
+// of applied moves — from every input seed, on complete and partial
+// datasets alike. The applied-move count is the descent's full trajectory
+// fingerprint: two descents that ever disagree on one move selection
+// cannot keep ranking, score and move count all aligned across seeds.
+func TestScanEngineMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 10; trial++ {
+		m, n := 2+rng.Intn(6), 3+rng.Intn(15)
+		for _, partial := range []bool{false, true} {
+			rks := make([]*rankings.Ranking, m)
+			for i := range rks {
+				rks[i] = gen.UniformRanking(rng, n)
+				if partial {
+					rks[i] = dropSome(rng, rks[i])
+				}
+			}
+			d := rankings.NewDataset(n, rks...)
+			oracle := kendall.NewPairsMode(d, kendall.ModeInt32)
+			backends := []struct {
+				name string
+				p    *kendall.Pairs
+			}{
+				{"auto", kendall.NewPairsMode(d, kendall.ModeAuto)},
+				{"int16", kendall.NewPairsMode(d, kendall.ModeInt16)},
+				{"int8", kendall.NewPairsMode(d, kendall.ModeInt8)},
+				{"untiled-int16", kendall.NewPairsUntiled(d, kendall.ModeInt16)},
+				{"int32", oracle}, // pruned-vs-unpruned on the oracle itself
+			}
+			seeds := append([]*rankings.Ranking{}, d.Rankings...)
+			if !partial {
+				// A subset seed on a complete dataset drives the bucket-gather
+				// fallback (the streaming scatter needs a full universe).
+				seeds = append(seeds, dropSome(rng, d.Rankings[0]))
+			}
+			for si, seed := range seeds {
+				wantR, wantS, wantM := DescentSweeps(oracle, seed, 0, false)
+				if got := oracle.Score(wantR); got != wantS {
+					t.Fatalf("trial %d seed %d: oracle descent score %d, rescore %d", trial, si, wantS, got)
+				}
+				for _, b := range backends {
+					for _, prune := range []bool{false, true} {
+						gotR, gotS, gotM := DescentSweeps(b.p, seed, 0, prune)
+						if !gotR.Equal(wantR) || gotS != wantS || gotM != wantM {
+							t.Fatalf("trial %d (m=%d n=%d partial=%v) seed %d backend %s prune=%v:\n got %v score %d moves %d\nwant %v score %d moves %d",
+								trial, m, n, partial, si, b.name, prune, gotR, gotS, gotM, wantR, wantS, wantM)
+						}
+						// The legacy gather (the benchmark's baseline engine)
+						// must walk the identical move sequence too.
+						gotR, gotS, gotM = DescentSweepsGather(b.p, seed, 0, prune)
+						if !gotR.Equal(wantR) || gotS != wantS || gotM != wantM {
+							t.Fatalf("trial %d (m=%d n=%d partial=%v) seed %d backend %s prune=%v legacy gather:\n got %v score %d moves %d\nwant %v score %d moves %d",
+								trial, m, n, partial, si, b.name, prune, gotR, gotS, gotM, wantR, wantS, wantM)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestScatterMatchesGather pins the two complete-scan accumulators against
+// each other in lockstep on identical inputs: a state forced off the
+// streaming-scatter fast path (white-box full=false) must select the exact
+// same move as the scatter state at every single improveElement call.
+func TestScatterMatchesGather(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for trial := 0; trial < 20; trial++ {
+		m, n := 2+rng.Intn(6), 3+rng.Intn(15)
+		d := randomTiedDataset(rng, m, n)
+		for _, mode := range []kendall.MatrixMode{kendall.ModeAuto, kendall.ModeInt32} {
+			p := kendall.NewPairsMode(d, mode)
+			seed := d.Rankings[rng.Intn(m)]
+			fast := newSearchState(p, seed)
+			slow := newSearchState(p, seed)
+			if !fast.full {
+				t.Fatalf("trial %d: complete seed did not mark the state full", trial)
+			}
+			slow.full = false
+			for sweep := 0; sweep < 3; sweep++ {
+				for _, x := range fast.elems {
+					df := fast.improveElement(x)
+					ds := slow.improveElement(x)
+					if df != ds {
+						t.Fatalf("trial %d mode %v: scatter delta %d, gather delta %d at element %d", trial, mode, df, ds, x)
+					}
+				}
+			}
+			if !fast.ranking().Equal(slow.ranking()) {
+				t.Fatalf("trial %d mode %v: scatter and gather descents diverged", trial, mode)
+			}
+		}
+	}
+}
+
+// TestDescentSweepsBudget pins the sweep budget: one sweep applies at most
+// one move per element, and the unbounded run matches localSearch.
+func TestDescentSweepsBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	d := randomTiedDataset(rng, 5, 12)
+	p := kendall.NewPairs(d)
+	seed := d.Rankings[0]
+	_, _, moves1 := DescentSweeps(p, seed, 1, true)
+	if moves1 > int64(seed.Len()) {
+		t.Fatalf("one sweep applied %d moves over %d elements", moves1, seed.Len())
+	}
+	full, score, _ := DescentSweeps(p, seed, 0, true)
+	lsR, lsScore := localSearch(p, seed)
+	if score != lsScore || !full.Equal(lsR) {
+		t.Fatalf("unbounded DescentSweeps (score %d) diverges from localSearch (score %d)", score, lsScore)
+	}
+}

@@ -41,6 +41,10 @@ type Stats struct {
 	// Rekeys counts entries moved to a new key by Mutate (a PATCHed
 	// dataset rotates its content hash).
 	Rekeys int64
+	// Compactions counts cached matrices re-packed by CompactSweep, and
+	// CompactedBytes the total bytes those re-packs gave back.
+	Compactions    int64
+	CompactedBytes int64
 	// Entries and Bytes describe the current cache content.
 	Entries int
 	Bytes   int64
@@ -52,16 +56,18 @@ type Cache struct {
 	maxEntries int
 	maxBytes   int64
 
-	mu      sync.Mutex
-	ll      *list.List // front = most recently used
-	items   map[string]*list.Element
-	flight  map[string]*flightCall
-	bytes   int64
-	hits    int64
-	misses  int64
-	builds  int64
-	evicted int64
-	rekeys  int64
+	mu           sync.Mutex
+	ll           *list.List // front = most recently used
+	items        map[string]*list.Element
+	flight       map[string]*flightCall
+	bytes        int64
+	hits         int64
+	misses       int64
+	builds       int64
+	evicted      int64
+	rekeys       int64
+	compactions  int64
+	compactBytes int64
 }
 
 type entry struct {
@@ -177,6 +183,52 @@ func (c *Cache) Mutate(oldKey string, mutate func(*rankagg.Session) (newKey stri
 	return e.sess, newKey, true, nil
 }
 
+// CompactSweep re-packs every cached session's pair matrix into its
+// leanest layout (Session.CompactMatrix) and re-accounts the byte budget,
+// returning how many matrices shrank and the bytes reclaimed. Deltas only
+// promote representations, so after a burst of PATCH traffic the cache can
+// hold matrices several times their minimal size; the serving layer runs
+// this sweep when the server is idle (Server.StartCompactor).
+//
+// Each O(n²) re-pack runs outside the cache lock against the session's own
+// copy-on-write snapshot; the sweep then re-reads MatrixBytes under the
+// lock for entries still cached under the same key with the same session.
+// Entries evicted, re-keyed or rebuilt mid-sweep are simply skipped — the
+// sweep is best-effort and never blocks serving. LRU order is untouched:
+// compaction is maintenance, not a use.
+func (c *Cache) CompactSweep() (compacted int, reclaimed int64) {
+	c.mu.Lock()
+	sessions := make([]*rankagg.Session, 0, c.ll.Len())
+	keys := make([]string, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		sessions = append(sessions, e.sess)
+		keys = append(keys, e.key)
+	}
+	c.mu.Unlock()
+
+	for i, sess := range sessions {
+		freed := sess.CompactMatrix()
+		if freed <= 0 {
+			continue
+		}
+		c.mu.Lock()
+		if el, ok := c.items[keys[i]]; ok {
+			if e := el.Value.(*entry); e.sess == sess {
+				nb := sess.MatrixBytes()
+				c.bytes += nb - e.bytes
+				e.bytes = nb
+				compacted++
+				reclaimed += freed
+				c.compactions++
+				c.compactBytes += freed
+			}
+		}
+		c.mu.Unlock()
+	}
+	return compacted, reclaimed
+}
+
 // Get returns the session cached under key without building on a miss.
 func (c *Cache) Get(key string) (*rankagg.Session, bool) {
 	c.mu.Lock()
@@ -253,12 +305,14 @@ func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Builds:    c.builds,
-		Evictions: c.evicted,
-		Rekeys:    c.rekeys,
-		Entries:   c.ll.Len(),
-		Bytes:     c.bytes,
+		Hits:           c.hits,
+		Misses:         c.misses,
+		Builds:         c.builds,
+		Evictions:      c.evicted,
+		Rekeys:         c.rekeys,
+		Compactions:    c.compactions,
+		CompactedBytes: c.compactBytes,
+		Entries:        c.ll.Len(),
+		Bytes:          c.bytes,
 	}
 }

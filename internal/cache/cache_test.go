@@ -57,10 +57,10 @@ func TestGetOrBuildCachesAndCounts(t *testing.T) {
 		t.Errorf("stats = %+v", st)
 	}
 	// The weight is the REAL backing size of the chosen representation —
-	// n = 10, complete, m ≤ 32767 resolves to int16 + derived-tied: two
-	// n² planes of 2 bytes, a third of the 1200-byte int32 figure.
-	if st.Bytes != s1.MatrixBytes() || st.Bytes != 2*2*10*10 {
-		t.Errorf("bytes = %d, want %d (= MatrixBytes %d)", st.Bytes, 2*2*10*10, s1.MatrixBytes())
+	// n = 10, complete, m ≤ 127 resolves to int8 tiles + derived-tied: two
+	// n² planes of 1 byte, a sixth of the 1200-byte int32 figure.
+	if st.Bytes != s1.MatrixBytes() || st.Bytes != 2*1*10*10 {
+		t.Errorf("bytes = %d, want %d (= MatrixBytes %d)", st.Bytes, 2*1*10*10, s1.MatrixBytes())
 	}
 }
 
@@ -110,10 +110,10 @@ func TestGetRefreshesRecency(t *testing.T) {
 }
 
 func TestByteBudgetEvicts(t *testing.T) {
-	// n = 10 complete → 400 bytes per int16-derived matrix; the budget
+	// n = 10 complete → 200 bytes per int8-derived matrix; the budget
 	// fits two matrices but not three (the compact backends are exactly
-	// why a fixed -cache-bytes budget now holds ~3× more sessions).
-	c := New(0, 850)
+	// why a fixed -cache-bytes budget now holds ~6× more sessions).
+	c := New(0, 450)
 	for i := 0; i < 3; i++ {
 		calls := 0
 		if _, _, err := c.GetOrBuild(fmt.Sprintf("k%d", i), builderOf(t, 10, int64(i), &calls)); err != nil {
@@ -121,16 +121,16 @@ func TestByteBudgetEvicts(t *testing.T) {
 		}
 	}
 	st := c.Stats()
-	if st.Entries != 2 || st.Bytes != 800 || st.Evictions != 1 {
+	if st.Entries != 2 || st.Bytes != 400 || st.Evictions != 1 {
 		t.Errorf("stats after byte eviction = %+v", st)
 	}
 	// An entry larger than the whole budget is still admitted (alone).
 	calls := 0
-	if _, _, err := c.GetOrBuild("big", builderOf(t, 40, 9, &calls)); err != nil { // 6400 bytes
+	if _, _, err := c.GetOrBuild("big", builderOf(t, 40, 9, &calls)); err != nil { // 3200 bytes
 		t.Fatal(err)
 	}
 	st = c.Stats()
-	if st.Entries != 1 || st.Bytes != 6400 {
+	if st.Entries != 1 || st.Bytes != 3200 {
 		t.Errorf("oversize entry not retained alone: %+v", st)
 	}
 }
@@ -441,5 +441,91 @@ func TestMutateReaccountsPromotedBytes(t *testing.T) {
 	}
 	if sess.MatrixBuilds() != 1 || sess.MatrixDeltas() != 1 {
 		t.Errorf("builds=%d deltas=%d, want 1 and 1 (promotion must not rebuild)", sess.MatrixBuilds(), sess.MatrixDeltas())
+	}
+}
+
+// TestCompactSweepReclaims drives the idle-compaction path end to end: a
+// 127-ranking session builds int8-tiled, a transient add/remove delta
+// promotes it to int16 (promotions are one-way on the delta path), and
+// CompactSweep re-compacts it back, re-accounting the cache's byte gauge
+// and bumping the compaction counters. Sweeps with nothing to reclaim
+// must be free no-ops.
+func TestCompactSweepReclaims(t *testing.T) {
+	const n = 4
+	base := rankagg.NewRanking([]int{0, 1}, []int{2}, []int{3})
+	rks := make([]*rankagg.Ranking, 127)
+	for i := range rks {
+		rks[i] = base
+	}
+	sess, err := rankagg.NewSession(rankagg.NewDataset(n, rks...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.Pairs()
+	compact := sess.MatrixBytes()
+	if compact != 2*1*n*n {
+		t.Fatalf("pre-promotion MatrixBytes = %d, want %d (int8 + derived-tied)", compact, 2*1*n*n)
+	}
+
+	c := New(4, 0)
+	key := sess.Hash()
+	if _, _, err := c.GetOrBuild(key, func() (*rankagg.Session, error) { return sess, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if cnt, freed := c.CompactSweep(); cnt != 0 || freed != 0 {
+		t.Fatalf("sweep on a compact cache reclaimed %d entries / %d bytes", cnt, freed)
+	}
+
+	extra := rankagg.NewRanking([]int{3}, []int{2, 1}, []int{0})
+	_, key, _, err = c.Mutate(key, func(s *rankagg.Session) (string, error) {
+		if err := s.AddRanking(extra); err != nil {
+			return "", err
+		}
+		return s.Hash(), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, key, _, err = c.Mutate(key, func(s *rankagg.Session) (string, error) {
+		if err := s.RemoveRanking(extra); err != nil {
+			return "", err
+		}
+		return s.Hash(), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	widened := sess.MatrixBytes()
+	if widened != 2*2*n*n {
+		t.Fatalf("post-roundtrip MatrixBytes = %d, want %d (int16 sticks until compaction)", widened, 2*2*n*n)
+	}
+	if st := c.Stats(); st.Bytes != widened {
+		t.Fatalf("cache accounts %d bytes before the sweep, want %d", st.Bytes, widened)
+	}
+
+	cnt, freed := c.CompactSweep()
+	if cnt != 1 || freed != widened-compact {
+		t.Fatalf("sweep reclaimed %d entries / %d bytes, want 1 / %d", cnt, freed, widened-compact)
+	}
+	if got := sess.MatrixBytes(); got != compact {
+		t.Errorf("MatrixBytes after sweep = %d, want %d", got, compact)
+	}
+	st := c.Stats()
+	if st.Bytes != compact || st.Compactions != 1 || st.CompactedBytes != widened-compact {
+		t.Errorf("stats after sweep = %+v", st)
+	}
+	// The re-compacted matrix must still be byte-identical to a fresh build.
+	fresh, err := rankagg.NewSession(sess.Dataset().Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sess.Pairs().Equal(fresh.Pairs()) {
+		t.Error("compacted matrix differs from a fresh build of its dataset")
+	}
+	if cnt, freed := c.CompactSweep(); cnt != 0 || freed != 0 {
+		t.Errorf("second sweep reclaimed %d entries / %d bytes, want a no-op", cnt, freed)
+	}
+	if _, ok := c.Get(key); !ok {
+		t.Error("entry lost its key across compaction")
 	}
 }

@@ -3,11 +3,17 @@ package kendall
 import "fmt"
 
 // Count constrains the storage widths a pair matrix can hold its counts
-// in. Every count is a number of rankings, so int16 suffices whenever
-// m ≤ MaxInt16Rankings; generic consumers (the fused placement scans of
-// algo.searchState, the unanimity relation scan) instantiate once per
-// width and run branch-free inside.
-type Count interface{ ~int16 | ~int32 }
+// in. Every count is a number of rankings, so int8 suffices whenever
+// m ≤ MaxInt8Rankings and int16 whenever m ≤ MaxInt16Rankings; generic
+// consumers (the fused placement scans of algo.searchState, the unanimity
+// relation scan) instantiate once per width and run branch-free inside.
+type Count interface{ ~int8 | ~int16 | ~int32 }
+
+// MaxInt8Rankings is the largest ranking count the int8 backend can
+// represent: a count never exceeds m, so m ≤ 127 makes overflow
+// impossible. Pairs.Add promotes the storage to int16 before m would
+// cross it.
+const MaxInt8Rankings = 1<<7 - 1
 
 // MaxInt16Rankings is the largest ranking count the int16 backend can
 // represent: a count never exceeds m, so m ≤ 32767 makes overflow
@@ -23,25 +29,32 @@ type MatrixMode int
 
 const (
 	// ModeAuto picks the leanest representation the dataset admits:
-	// int16 counts when m ≤ MaxInt16Rankings, and the derived-tied
-	// layout (no stored tied plane) when every ranking covers the whole
-	// universe. It is the default everywhere.
+	// int8 counts when m ≤ MaxInt8Rankings (int16 up to MaxInt16Rankings),
+	// and, when every ranking covers the whole universe, the tiled
+	// derived layout — no stored tied plane, and each element's before
+	// and after rows packed into one contiguous row-pair tile. It is the
+	// default everywhere.
 	ModeAuto MatrixMode = iota
 	// ModeInt32 pins the historical layout — three n² int32 planes,
 	// 12 bytes per element pair — regardless of dataset shape. It is
 	// the oracle the compact backends are property-tested against.
 	ModeInt32
-	// ModeInt16 pins the compact-width request explicitly: int16 planes
-	// (falling back to int32 width when m > MaxInt16Rankings, which the
-	// narrow counts cannot represent) plus derived-tied on complete
-	// datasets. Today it selects exactly what ModeAuto would; the two
-	// names exist so operators can pin the choice while auto stays free
-	// to grow smarter policies (e.g. blocked layouts).
+	// ModeInt16 pins the count width at int16 (falling back to int32
+	// width when m > MaxInt16Rankings, which the narrow counts cannot
+	// represent) plus the tiled derived layout on complete datasets.
+	// Unlike ModeAuto it never narrows to int8, so operators can cap the
+	// promotion churn of datasets hovering around m = 127.
 	ModeInt16
+	// ModeInt8 pins the narrowest-width request explicitly: int8 counts
+	// while m ≤ MaxInt8Rankings, with the same widening fallbacks as
+	// ModeAuto. Today it selects exactly what ModeAuto would; the two
+	// names exist so operators can pin the choice while auto stays free
+	// to grow smarter policies.
+	ModeInt8
 )
 
 // ParseMatrixMode parses the wire/flag spelling of a mode: "auto",
-// "int32" or "int16".
+// "int32", "int16" or "int8".
 func ParseMatrixMode(s string) (MatrixMode, error) {
 	switch s {
 	case "auto", "":
@@ -50,8 +63,10 @@ func ParseMatrixMode(s string) (MatrixMode, error) {
 		return ModeInt32, nil
 	case "int16":
 		return ModeInt16, nil
+	case "int8":
+		return ModeInt8, nil
 	}
-	return ModeAuto, fmt.Errorf("kendall: unknown matrix mode %q (want auto, int32 or int16)", s)
+	return ModeAuto, fmt.Errorf("kendall: unknown matrix mode %q (want auto, int32, int16 or int8)", s)
 }
 
 // String returns the flag spelling of the mode.
@@ -61,16 +76,41 @@ func (m MatrixMode) String() string {
 		return "int32"
 	case ModeInt16:
 		return "int16"
+	case ModeInt8:
+		return "int8"
 	}
 	return "auto"
 }
 
-// layout resolves a mode against a dataset shape into the two concrete
-// representation axes: count width and whether the tied plane is stored.
-func (m MatrixMode) layout(rankingCount int, complete bool) (wide, derived bool) {
-	wide = m == ModeInt32 || rankingCount > MaxInt16Rankings
-	derived = m != ModeInt32 && complete
-	return wide, derived
+// repr is a concrete storage layout: the count width in bytes (1, 2 or
+// 4), whether the tied plane is derived rather than stored, and whether
+// the before/after planes are packed into row-pair tiles. tiled implies
+// derived implies Complete.
+type repr struct {
+	width   int // bytes per count: 1, 2 or 4
+	derived bool
+	tiled   bool
+}
+
+// resolve maps a mode against a dataset shape to the concrete layout a
+// fresh build would allocate. Width is the narrowest the mode admits for
+// m (a mode never picks a width that could overflow); on complete
+// datasets every compact mode drops the tied plane and tiles the
+// remaining two into row pairs.
+func (m MatrixMode) resolve(rankingCount int, complete bool) repr {
+	if m == ModeInt32 {
+		return repr{width: 4}
+	}
+	r := repr{width: 1}
+	if m == ModeInt16 || rankingCount > MaxInt8Rankings {
+		r.width = 2
+	}
+	if rankingCount > MaxInt16Rankings {
+		r.width = 4
+	}
+	r.derived = complete
+	r.tiled = r.derived
+	return r
 }
 
 // PredictBytes returns the backing bytes NewPairsMode would allocate for
@@ -78,20 +118,28 @@ func (m MatrixMode) layout(rankingCount int, complete bool) (wide, derived bool)
 // the number an admission control can check BEFORE any allocation
 // happens (the serving layer's -max-elements guard).
 func PredictBytes(mode MatrixMode, n, m int, complete bool) int64 {
-	wide, derived := mode.layout(m, complete)
-	return planeBytes(n, wide, derived)
+	return mode.resolve(m, complete).bytes(n)
 }
 
-// planeBytes is the footprint of a concrete layout: 2 or 3 planes of n²
-// counts at 2 or 4 bytes each.
-func planeBytes(n int, wide, derived bool) int64 {
+// bytes is the footprint of a concrete layout: 2 or 3 planes of n²
+// counts at 1, 2 or 4 bytes each. The tiled layout stores exactly the
+// same counts as two planar planes (the tiles are a permutation), so it
+// never pads and costs the same bytes.
+func (r repr) bytes(n int) int64 {
 	planes := int64(3)
-	if derived {
+	if r.derived {
 		planes = 2
 	}
-	width := int64(4)
-	if !wide {
-		width = 2
+	return planes * int64(r.width) * int64(n) * int64(n)
+}
+
+// maxRankings returns the largest m the layout's width can count.
+func (r repr) maxRankings() int {
+	switch r.width {
+	case 1:
+		return MaxInt8Rankings
+	case 2:
+		return MaxInt16Rankings
 	}
-	return planes * width * int64(n) * int64(n)
+	return 1<<31 - 1
 }

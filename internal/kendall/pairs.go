@@ -1,6 +1,7 @@
 package kendall
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -17,20 +18,33 @@ import (
 // by that ranking.
 //
 // The storage is representation-polymorphic, chosen at build time by a
-// MatrixMode (see NewPairsMode): counts live in int32 or int16 planes
-// (int16 halves the memory and is always safe while m ≤ MaxInt16Rankings),
-// and on complete datasets the tied plane may not be stored at all —
-// tied(a,b) is then derived as m − before(a,b) − after(a,b), cutting a
-// third plane. Every accessor reads identically across backends; hot loops
-// dispatch once on Wide() and run a generic (kendall.Count) scan over the
-// typed rows of Rows16/Rows32.
+// MatrixMode (see NewPairsMode) along three axes:
+//
+//   - count width: int32, int16 or int8 planes. A count never exceeds m,
+//     so the narrow widths are always safe while m stays below
+//     MaxInt16Rankings / MaxInt8Rankings (deltas promote first otherwise).
+//   - derived tied: on complete datasets the tied plane is not stored at
+//     all — tied(a,b) = m − before(a,b) − after(a,b), cutting a third of
+//     the planes.
+//   - tiled row pairs: derived matrices pack each element's before row
+//     and after row into one contiguous 2n-count tile (before counts
+//     first, then after), so a placement scan streams a single
+//     L1/L2-resident block per element instead of striding two planes n²
+//     counts apart. The tiles are a permutation of the two planar planes:
+//     same counts, same total bytes, no padding.
+//
+// Every accessor reads identically across backends; hot loops dispatch
+// once on Width() and run a generic (kendall.Count) scan over the typed
+// rows of Rows8/Rows16/Rows32 — which alias the tile halves on a tiled
+// matrix, so the same monomorphized loop serves every layout.
 //
 // A Pairs value built by NewPairs is safe for concurrent readers: one
 // matrix can be shared by any number of algorithms running in parallel
 // (see core.AggregateWithPairs). The Add/Remove delta methods mutate the
 // matrix in place and must never race with readers — mutating callers
 // (rankagg.Session) Clone first so in-flight readers keep an immutable
-// snapshot.
+// snapshot. Compact returns a NEW value, so the same copy-on-write swap
+// discipline covers re-compaction too.
 type Pairs struct {
 	N int
 	// M is the number of input rankings the matrix was built from.
@@ -44,25 +58,31 @@ type Pairs struct {
 	// that hand a matrix across a mutation boundary compare versions to
 	// detect staleness; rankagg.Session additionally restamps it so a
 	// session's matrix version always matches the session's own mutation
-	// count.
+	// count. Compact carries the version over unchanged — it swaps the
+	// representation, not the content.
 	Version uint64
 	// incomplete counts the rankings not covering the whole universe, so
 	// Complete stays derivable (incomplete == 0) as rankings are added and
 	// removed.
 	incomplete int
-	// wide selects the count width: int32 planes (b32/a32/t32) when true,
-	// int16 planes (b16/a16/t16) otherwise. Exactly one family is non-nil.
-	wide bool
-	// derived drops the tied plane: tied(a,b) = M − before − after for
-	// a ≠ b (and 0 on the diagonal). It requires Complete — Add
-	// materializes the plane before the first partial ranking lands.
-	derived bool
-	b32     []int32 // before[a*N+b] = #rankings with a strictly before b
-	a32     []int32 // after[a*N+b] = before[b*N+a], kept for row-local reads
-	t32     []int32 // tied[a*N+b] = #rankings tying a and b (nil when derived)
-	b16     []int16
-	a16     []int16
-	t16     []int16
+	// mode is the MatrixMode the matrix was built under. Deltas may walk
+	// the representation away from what the mode would choose (widening,
+	// tied materialization, un-tiling); Compact re-resolves the mode
+	// against the current shape and converts back.
+	mode MatrixMode
+	// rep is the concrete layout in use. Exactly one width family below is
+	// non-nil; on a tiled layout the before buffer holds the row-pair
+	// tiles and the after/tied buffers are nil.
+	rep repr
+	b32 []int32 // before[a*N+b] (planar) or row-pair tiles (tiled)
+	a32 []int32 // after[a*N+b] = before[b*N+a], kept for row-local reads
+	t32 []int32 // tied[a*N+b] = #rankings tying a and b (nil when derived)
+	b16 []int16
+	a16 []int16
+	t16 []int16
+	b8  []int8
+	a8  []int8
+	t8  []int8
 }
 
 // NewPairs computes the pair matrix of a dataset in the default ModeAuto
@@ -82,6 +102,20 @@ func NewPairsMode(d *rankings.Dataset, mode MatrixMode) *Pairs {
 	return newPairsWorkersMode(d, 0, mode)
 }
 
+// NewPairsUntiled builds the mode's layout with row-pair tiling forced
+// off: on complete datasets that is the planar derived layout (two
+// separate n² planes) the compact backends used before tiling existed.
+// It is retained as the baseline cmd/bench measures the tiled scan engine
+// against and as a conversion-source fixture for Compact tests; library
+// code should always use NewPairs/NewPairsMode.
+func NewPairsUntiled(d *rankings.Dataset, mode MatrixMode) *Pairs {
+	p := newPairsShell(d, mode)
+	p.rep.tiled = false
+	p.alloc()
+	p.build(d, 0)
+	return p
+}
+
 // NewPairsLegacy is the seed's construction — branchy position compares
 // over all n² element pairs per ranking, single-threaded, always the full
 // three-plane int32 layout. It is retained verbatim as the baseline
@@ -94,7 +128,8 @@ func NewPairsLegacy(d *rankings.Dataset) *Pairs {
 		M:          len(d.Rankings),
 		Complete:   d.Complete(),
 		incomplete: countIncomplete(d),
-		wide:       true,
+		mode:       ModeInt32,
+		rep:        repr{width: 4},
 		b32:        make([]int32, n*n),
 		a32:        make([]int32, n*n),
 		t32:        make([]int32, n*n),
@@ -121,7 +156,7 @@ func NewPairsLegacy(d *rankings.Dataset) *Pairs {
 			}
 		}
 	}
-	transpose(p.a32, p.b32, n)
+	transposeStride(p.a32, n, 0, p.b32, n, n)
 	return p
 }
 
@@ -138,39 +173,104 @@ func newPairsWorkers(d *rankings.Dataset, workers int) *Pairs {
 // newPairsWorkersMode allocates the representation the mode resolves to
 // for this dataset and runs the sharded bucket-run accumulation into it.
 func newPairsWorkersMode(d *rankings.Dataset, workers int, mode MatrixMode) *Pairs {
-	n := d.N
-	p := &Pairs{
-		N:          n,
-		M:          len(d.Rankings),
-		Complete:   d.Complete(),
-		incomplete: countIncomplete(d),
-	}
-	p.wide, p.derived = mode.layout(p.M, p.Complete)
-	if p.wide {
-		p.b32 = make([]int32, n*n)
-		p.a32 = make([]int32, n*n)
-		if !p.derived {
-			p.t32 = make([]int32, n*n)
-		}
-		buildPlanes(d, workers, p.b32, p.a32, p.t32)
-	} else {
-		p.b16 = make([]int16, n*n)
-		p.a16 = make([]int16, n*n)
-		if !p.derived {
-			p.t16 = make([]int16, n*n)
-		}
-		buildPlanes(d, workers, p.b16, p.a16, p.t16)
-	}
+	p := newPairsShell(d, mode)
+	p.alloc()
+	p.build(d, workers)
 	return p
 }
 
+// newPairsShell fills the metadata and resolves the layout, leaving the
+// planes unallocated.
+func newPairsShell(d *rankings.Dataset, mode MatrixMode) *Pairs {
+	p := &Pairs{
+		N:          d.N,
+		M:          len(d.Rankings),
+		Complete:   d.Complete(),
+		incomplete: countIncomplete(d),
+		mode:       mode,
+	}
+	p.rep = mode.resolve(p.M, p.Complete)
+	return p
+}
+
+// alloc creates the zeroed planes of p.rep: three planar planes when the
+// tied plane is stored, two planar planes for the untiled derived layout,
+// or one 2n² row-pair buffer (held in the before field) when tiled.
+func (p *Pairs) alloc() {
+	n := p.N
+	bn := n * n
+	if p.rep.tiled {
+		bn = 2 * n * n
+	}
+	switch p.rep.width {
+	case 4:
+		p.b32 = make([]int32, bn)
+		if !p.rep.tiled {
+			p.a32 = make([]int32, n*n)
+			if !p.rep.derived {
+				p.t32 = make([]int32, n*n)
+			}
+		}
+	case 2:
+		p.b16 = make([]int16, bn)
+		if !p.rep.tiled {
+			p.a16 = make([]int16, n*n)
+			if !p.rep.derived {
+				p.t16 = make([]int16, n*n)
+			}
+		}
+	default:
+		p.b8 = make([]int8, bn)
+		if !p.rep.tiled {
+			p.a8 = make([]int8, n*n)
+			if !p.rep.derived {
+				p.t8 = make([]int8, n*n)
+			}
+		}
+	}
+}
+
+// build runs the sharded accumulation into p's allocated planes. On a
+// tiled layout the before counts are accumulated straight into the tile
+// halves (row stride 2n) and the after halves are filled by one strided
+// transpose at the end — no planar staging copy.
+func (p *Pairs) build(d *rankings.Dataset, workers int) {
+	n := p.N
+	rs, ao := n, 0
+	if p.rep.tiled {
+		rs, ao = 2*n, n
+	}
+	switch p.rep.width {
+	case 4:
+		a := p.a32
+		if p.rep.tiled {
+			a = p.b32
+		}
+		buildPlanes(d, workers, p.b32, a, p.t32, rs, ao)
+	case 2:
+		a := p.a16
+		if p.rep.tiled {
+			a = p.b16
+		}
+		buildPlanes(d, workers, p.b16, a, p.t16, rs, ao)
+	default:
+		a := p.a8
+		if p.rep.tiled {
+			a = p.b8
+		}
+		buildPlanes(d, workers, p.b8, a, p.t8, rs, ao)
+	}
+}
+
 // buildPlanes runs the sharded accumulation into a concrete set of planes
-// (tied may be nil — the derived layout). Worker 0 accumulates straight
-// into the result; the others get their own arrays, summed in afterwards.
-// Count addition commutes, so any schedule produces identical planes, and
+// (tied may be nil — the derived layout; after may alias before — the
+// tiled layout, with before rows at stride rs and after rows ao counts
+// further in). Worker 0 accumulates straight into the result; the others
+// get their own compact planar arrays, summed in afterwards. Count
+// addition commutes, so any schedule produces identical planes, and
 // partial sums never exceed the final count ≤ m, so the narrow width
 // cannot overflow mid-merge either.
-func buildPlanes[T Count](d *rankings.Dataset, workers int, before, after, tied []T) {
+func buildPlanes[T Count](d *rankings.Dataset, workers int, before, after, tied []T, rs, ao int) {
 	n := d.N
 	m := len(d.Rankings)
 	if workers <= 0 {
@@ -189,7 +289,7 @@ func buildPlanes[T Count](d *rankings.Dataset, workers int, before, after, tied 
 	}
 	if workers <= 1 || n < 2 {
 		for _, r := range d.Rankings {
-			accumulatePairs(before, tied, n, r)
+			accumulatePairs(before, tied, n, rs, r)
 		}
 	} else {
 		extras := make([][2][]T, workers-1)
@@ -197,8 +297,10 @@ func buildPlanes[T Count](d *rankings.Dataset, workers int, before, after, tied 
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			bacc, tacc := before, tied
+			brs := rs
 			if w > 0 {
 				bacc = make([]T, n*n)
+				brs = n
 				if tied != nil {
 					tacc = make([]T, n*n)
 				}
@@ -212,19 +314,19 @@ func buildPlanes[T Count](d *rankings.Dataset, workers int, before, after, tied 
 					if i >= m {
 						return
 					}
-					accumulatePairs(bacc, tacc, n, d.Rankings[i])
+					accumulatePairs(bacc, tacc, n, brs, d.Rankings[i])
 				}
 			}()
 		}
 		wg.Wait()
 		for _, acc := range extras {
-			addInto(before, acc[0])
+			addInto(before, rs, acc[0], n, n)
 			if tied != nil {
-				addInto(tied, acc[1])
+				addInto(tied, n, acc[1], n, n)
 			}
 		}
 	}
-	transpose(after, before, n)
+	transposeStride(after, rs, ao, before, rs, n)
 }
 
 // accumulatePairs adds one ranking's pair counts. For each bucket, every
@@ -232,9 +334,11 @@ func buildPlanes[T Count](d *rankings.Dataset, workers int, before, after, tied 
 // later bucket — absent elements are simply never visited, and the diagonal
 // stays zero (the self-tie increment is undone without a branch). The
 // ranking is flattened first so the hot loop is a single run over a
-// contiguous suffix. tied may be nil (derived layout): tie counts are then
-// implicit in m − before − after and nothing needs writing.
-func accumulatePairs[T Count](before, tied []T, n int, r *rankings.Ranking) {
+// contiguous suffix. Before rows start at stride rs (2n on the tiled
+// layout, whose after halves are filled later by the transpose); tied may
+// be nil (derived layout): tie counts are then implicit in
+// m − before − after and nothing needs writing.
+func accumulatePairs[T Count](before, tied []T, n, rs int, r *rankings.Ranking) {
 	bs := r.Buckets
 	flat := make([]int, 0, n)
 	for _, b := range bs {
@@ -252,7 +356,7 @@ func accumulatePairs[T Count](before, tied []T, n int, r *rankings.Ranking) {
 				}
 				trow[a]--
 			}
-			brow := before[a*n : a*n+n]
+			brow := before[a*rs : a*rs+n]
 			for _, b := range rest {
 				brow[b]++
 			}
@@ -272,15 +376,23 @@ func countIncomplete(d *rankings.Dataset) int {
 	return c
 }
 
-func addInto[T Count](dst, src []T) {
-	for i, v := range src {
-		dst[i] += v
+// addInto accumulates src's n×n rows (stride ss) into dst's rows (stride
+// ds).
+func addInto[T Count](dst []T, ds int, src []T, ss, n int) {
+	for a := 0; a < n; a++ {
+		drow := dst[a*ds : a*ds+n]
+		srow := src[a*ss : a*ss+n]
+		for i, v := range srow {
+			drow[i] += v
+		}
 	}
 }
 
-// transpose fills dst with the transpose of src (n×n), in cache-friendly
-// blocks.
-func transpose[T Count](dst, src []T, n int) {
+// transposeStride fills dst rows (stride ds, offset doff into each row)
+// with the transpose of src rows (stride ss), in cache-friendly blocks:
+// dst[b*ds+doff+a] = src[a*ss+b]. With dst == src, ds == ss == 2n and
+// doff == n it fills the after halves of the row-pair tiles in place.
+func transposeStride[T Count](dst []T, ds, doff int, src []T, ss, n int) {
 	const tb = 64
 	for i0 := 0; i0 < n; i0 += tb {
 		iMax := i0 + tb
@@ -293,9 +405,9 @@ func transpose[T Count](dst, src []T, n int) {
 				jMax = n
 			}
 			for i := i0; i < iMax; i++ {
-				row := src[i*n : i*n+n]
+				row := src[i*ss : i*ss+n]
 				for j := j0; j < jMax; j++ {
-					dst[j*n+i] = row[j]
+					dst[j*ds+doff+i] = row[j]
 				}
 			}
 		}
@@ -304,96 +416,147 @@ func transpose[T Count](dst, src []T, n int) {
 
 // Bytes returns the memory footprint of the matrix storage — the real
 // backing size of the representation in use, not a fixed formula: 2 or 3
-// planes of n² counts at 2 or 4 bytes each. A byte-budgeted cache (the
-// serving layer's matrix LRU) charges entries by this value, so leaner
-// backends directly buy more cached sessions per -cache-bytes.
+// planes of n² counts at 1, 2 or 4 bytes each (the row-pair tiles are a
+// permutation of the two derived planes and cost the same). A
+// byte-budgeted cache (the serving layer's matrix LRU) charges entries by
+// this value, so leaner backends directly buy more cached sessions per
+// -cache-bytes.
 func (p *Pairs) Bytes() int64 {
-	return planeBytes(p.N, p.wide, p.derived)
+	return p.rep.bytes(p.N)
 }
 
-// Wide reports whether counts are stored as int32; false means int16.
-// Hot loops dispatch on it once and run a generic scan over the matching
-// Rows32/Rows16 typed rows.
-func (p *Pairs) Wide() bool { return p.wide }
+// Width returns the count storage width in bits: 8, 16 or 32. Hot loops
+// dispatch on it once and run a generic scan over the matching
+// Rows8/Rows16/Rows32 typed rows.
+func (p *Pairs) Width() int { return 8 * p.rep.width }
+
+// Wide reports whether counts are stored as int32 (Width() == 32), the
+// historical two-way dispatch predating the int8 backend.
+func (p *Pairs) Wide() bool { return p.rep.width == 4 }
 
 // DerivedTied reports that the tied plane is not stored: Tied(a,b) is
 // derived as M − Before(a,b) − Before(b,a), which requires (and implies)
-// a complete dataset. Rows16/Rows32 then return a nil tied row.
-func (p *Pairs) DerivedTied() bool { return p.derived }
+// a complete dataset. Rows8/Rows16/Rows32 then return a nil tied row.
+func (p *Pairs) DerivedTied() bool { return p.rep.derived }
 
-// Layout names the concrete representation ("int32", "int16",
-// "int32-derived", "int16-derived") for logs and metrics.
+// Tiled reports the row-pair layout: each element's before and after rows
+// are stored as one contiguous 2n-count tile. Tiled implies DerivedTied.
+func (p *Pairs) Tiled() bool { return p.rep.tiled }
+
+// Layout names the concrete representation for logs and metrics: the
+// width ("int32", "int16", "int8"), "-derived" when the tied plane is
+// dropped, and "-tiled/<w>" with the tile width in counts (2n: one
+// before row and one after row per tile) for the row-pair layout.
 func (p *Pairs) Layout() string {
 	s := "int32"
-	if !p.wide {
+	switch p.rep.width {
+	case 2:
 		s = "int16"
+	case 1:
+		s = "int8"
 	}
-	if p.derived {
+	if p.rep.tiled {
+		return fmt.Sprintf("%s-tiled/%d", s, 2*p.N)
+	}
+	if p.rep.derived {
 		s += "-derived"
 	}
 	return s
 }
 
 // Rows32 returns rows a of the before, after and tied planes of an int32
-// (Wide) matrix; tied is nil in derived-tied mode (the caller then holds
-// Complete and can use before + after + tied = M). The slices alias the
-// matrix and must not be modified. Calling it on an int16 matrix panics.
+// (Width 32) matrix; tied is nil in derived-tied mode (the caller then
+// holds Complete and can use before + after + tied = M). On a tiled
+// matrix the two slices are the halves of row a's tile — adjacent in
+// memory, which is the whole point. The slices alias the matrix and must
+// not be modified. Calling it on another width panics.
 func (p *Pairs) Rows32(a int) (before, after, tied []int32) {
-	n := p.N
-	before = p.b32[a*n : a*n+n]
-	after = p.a32[a*n : a*n+n]
-	if p.t32 != nil {
-		tied = p.t32[a*n : a*n+n]
-	}
-	return before, after, tied
+	return rowsOf(p, p.b32, p.a32, p.t32, a)
 }
 
 // Rows16 is Rows32 for the int16 backend; see there.
 func (p *Pairs) Rows16(a int) (before, after, tied []int16) {
+	return rowsOf(p, p.b16, p.a16, p.t16, a)
+}
+
+// Rows8 is Rows32 for the int8 backend; see there.
+func (p *Pairs) Rows8(a int) (before, after, tied []int8) {
+	return rowsOf(p, p.b8, p.a8, p.t8, a)
+}
+
+func rowsOf[T Count](p *Pairs, b, aft, t []T, a int) (before, after, tied []T) {
 	n := p.N
-	before = p.b16[a*n : a*n+n]
-	after = p.a16[a*n : a*n+n]
-	if p.t16 != nil {
-		tied = p.t16[a*n : a*n+n]
+	if p.rep.tiled {
+		row := b[2*a*n : 2*a*n+2*n]
+		return row[:n:n], row[n:], nil
+	}
+	before = b[a*n : a*n+n]
+	after = aft[a*n : a*n+n]
+	if t != nil {
+		tied = t[a*n : a*n+n]
 	}
 	return before, after, tied
 }
 
-// beforeAt and afterAt read one linear-index count through the width
+// before64 and after64 read one (a, b) count through the width and layout
 // dispatch (scalar accessors; hot loops use the typed rows instead).
-func (p *Pairs) beforeAt(i int) int64 {
-	if p.wide {
-		return int64(p.b32[i])
+func (p *Pairs) before64(a, b int) int64 {
+	i := a*p.N + b
+	if p.rep.tiled {
+		i = 2*a*p.N + b
 	}
-	return int64(p.b16[i])
+	switch p.rep.width {
+	case 4:
+		return int64(p.b32[i])
+	case 2:
+		return int64(p.b16[i])
+	}
+	return int64(p.b8[i])
 }
 
-func (p *Pairs) afterAt(i int) int64 {
-	if p.wide {
-		return int64(p.a32[i])
+func (p *Pairs) after64(a, b int) int64 {
+	if p.rep.tiled {
+		i := (2*a+1)*p.N + b
+		switch p.rep.width {
+		case 4:
+			return int64(p.b32[i])
+		case 2:
+			return int64(p.b16[i])
+		}
+		return int64(p.b8[i])
 	}
-	return int64(p.a16[i])
+	i := a*p.N + b
+	switch p.rep.width {
+	case 4:
+		return int64(p.a32[i])
+	case 2:
+		return int64(p.a16[i])
+	}
+	return int64(p.a8[i])
 }
 
 // tiedPair returns the tie count of (a, b), deriving it from
 // M − before − after when the plane is not stored (diagonal pinned to 0,
 // as a stored plane would hold).
 func (p *Pairs) tiedPair(a, b int) int64 {
-	i := a*p.N + b
-	if !p.derived {
-		if p.wide {
+	if !p.rep.derived {
+		i := a*p.N + b
+		switch p.rep.width {
+		case 4:
 			return int64(p.t32[i])
+		case 2:
+			return int64(p.t16[i])
 		}
-		return int64(p.t16[i])
+		return int64(p.t8[i])
 	}
 	if a == b {
 		return 0
 	}
-	return int64(p.M) - p.beforeAt(i) - p.afterAt(i)
+	return int64(p.M) - p.before64(a, b) - p.after64(a, b)
 }
 
 // Before returns the number of rankings placing a strictly before b.
-func (p *Pairs) Before(a, b int) int { return int(p.beforeAt(a*p.N + b)) }
+func (p *Pairs) Before(a, b int) int { return int(p.before64(a, b)) }
 
 // Tied returns the number of rankings tying a and b.
 func (p *Pairs) Tied(a, b int) int { return int(p.tiedPair(a, b)) }
@@ -402,25 +565,20 @@ func (p *Pairs) Tied(a, b int) int { return int(p.tiedPair(a, b)) }
 // the consensus: every input ranking with b before a, or with a and b tied,
 // disagrees (w_{b≤a} in the LPB objective of Section 4.2).
 func (p *Pairs) CostBefore(a, b int) int64 {
-	if p.derived {
+	if p.rep.derived {
 		// after + tied = after + (M − before − after) = M − before.
 		if a == b {
 			return 0
 		}
-		return int64(p.M) - p.beforeAt(a*p.N+b)
+		return int64(p.M) - p.before64(a, b)
 	}
-	i := a*p.N + b
-	if p.wide {
-		return int64(p.a32[i]) + int64(p.t32[i])
-	}
-	return int64(p.a16[i]) + int64(p.t16[i])
+	return p.after64(a, b) + p.tiedPair(a, b)
 }
 
 // CostTied returns the disagreement cost of tying a and b in the consensus:
 // every input ranking ordering them strictly disagrees (w_{a<b} + w_{a>b}).
 func (p *Pairs) CostTied(a, b int) int64 {
-	i := a*p.N + b
-	return p.beforeAt(i) + p.afterAt(i)
+	return p.before64(a, b) + p.after64(a, b)
 }
 
 // MinPairCost returns min(cost(a<b), cost(b<a), cost(a=b)) for the pair — the
@@ -454,23 +612,44 @@ func (p *Pairs) LowerBound(elems []int) int64 {
 // accumulation, it walks bucket runs instead of comparing positions, once
 // per backend instantiation.
 func (p *Pairs) Score(r *rankings.Ranking) int64 {
-	if p.wide {
-		return scorePlanes(p.N, int64(p.M), p.b32, p.a32, p.t32, r)
+	n := p.N
+	rs, ao := n, 0
+	if p.rep.tiled {
+		rs, ao = 2*n, n
 	}
-	return scorePlanes(p.N, int64(p.M), p.b16, p.a16, p.t16, r)
+	switch p.rep.width {
+	case 4:
+		a := p.a32
+		if p.rep.tiled {
+			a = p.b32
+		}
+		return scorePlanes(n, int64(p.M), p.b32, a, p.t32, rs, ao, r)
+	case 2:
+		a := p.a16
+		if p.rep.tiled {
+			a = p.b16
+		}
+		return scorePlanes(n, int64(p.M), p.b16, a, p.t16, rs, ao, r)
+	}
+	a := p.a8
+	if p.rep.tiled {
+		a = p.b8
+	}
+	return scorePlanes(n, int64(p.M), p.b8, a, p.t8, rs, ao, r)
 }
 
-// scorePlanes is the bucket-run Score over one concrete backend. With a
-// nil tied plane (derived layout, hence complete) the cross-bucket cost
-// after + tied collapses to m − before — one row load per element instead
-// of two.
-func scorePlanes[T Count](n int, m int64, before, after, tied []T, r *rankings.Ranking) int64 {
+// scorePlanes is the bucket-run Score over one concrete backend. Before
+// rows sit at stride rs in bbuf and after rows ao counts further into
+// abuf (abuf aliases bbuf on the tiled layout). With a nil tied plane
+// (derived layout, hence complete) the cross-bucket cost after + tied
+// collapses to m − before — one row load per element instead of two.
+func scorePlanes[T Count](n int, m int64, bbuf, abuf, tied []T, rs, ao int, r *rankings.Ranking) int64 {
 	var k int64
 	bs := r.Buckets
 	for i, bi := range bs {
 		for xi, a := range bi {
-			brow := before[a*n : a*n+n]
-			arow := after[a*n : a*n+n]
+			brow := bbuf[a*rs : a*rs+n]
+			arow := abuf[a*rs+ao : a*rs+ao+n]
 			// a tied with the rest of its bucket: CostTied = before + after.
 			for _, b := range bi[xi+1:] {
 				k += int64(brow[b]) + int64(arow[b])
@@ -498,6 +677,5 @@ func scorePlanes[T Count](n int, m int64, before, after, tied []T, r *rankings.R
 // MajorityPrefers reports whether strictly more rankings place a before b
 // than b before a (the MC4 transition test).
 func (p *Pairs) MajorityPrefers(a, b int) bool {
-	i := a*p.N + b
-	return p.beforeAt(i) > p.afterAt(i)
+	return p.before64(a, b) > p.after64(a, b)
 }

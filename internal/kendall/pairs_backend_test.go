@@ -23,7 +23,7 @@ func TestBackendReadsMatchInt32Oracle(t *testing.T) {
 			elems[i] = i
 		}
 		cand := randomTiedRanking(rng, n, trial%3 == 0)
-		for _, mode := range []MatrixMode{ModeAuto, ModeInt16} {
+		for _, mode := range []MatrixMode{ModeAuto, ModeInt16, ModeInt8} {
 			p := NewPairsMode(d, mode)
 			if !p.Equal(oracle) || !oracle.Equal(p) {
 				t.Fatalf("trial %d mode %v: Equal vs int32 oracle failed (layout %s)", trial, mode, p.Layout())
@@ -75,9 +75,11 @@ func TestBackendLayoutSelection(t *testing.T) {
 		bytes   int64
 		rowWide bool
 	}{
-		{"auto complete", complete, ModeAuto, "int16-derived", 2 * 2 * 100, false},
-		{"auto partial", partial, ModeAuto, "int16", 3 * 2 * 100, false},
-		{"int16 complete", complete, ModeInt16, "int16-derived", 2 * 2 * 100, false},
+		{"auto complete", complete, ModeAuto, "int8-tiled/20", 2 * 1 * 100, false},
+		{"auto partial", partial, ModeAuto, "int8", 3 * 1 * 100, false},
+		{"int8 complete", complete, ModeInt8, "int8-tiled/20", 2 * 1 * 100, false},
+		{"int16 complete", complete, ModeInt16, "int16-tiled/20", 2 * 2 * 100, false},
+		{"int16 partial", partial, ModeInt16, "int16", 3 * 2 * 100, false},
 		{"int32 complete", complete, ModeInt32, "int32", 3 * 4 * 100, true},
 		{"int32 partial", partial, ModeInt32, "int32", 3 * 4 * 100, true},
 	}
@@ -107,14 +109,21 @@ func checkRows(t *testing.T, p *Pairs, a int, name string) {
 	t.Helper()
 	n := p.N
 	read := func(b int) (bef, aft int64, tied int64, hasTied bool) {
-		if p.Wide() {
+		switch p.Width() {
+		case 32:
 			br, ar, tr := p.Rows32(a)
 			if tr != nil {
 				return int64(br[b]), int64(ar[b]), int64(tr[b]), true
 			}
 			return int64(br[b]), int64(ar[b]), 0, false
+		case 16:
+			br, ar, tr := p.Rows16(a)
+			if tr != nil {
+				return int64(br[b]), int64(ar[b]), int64(tr[b]), true
+			}
+			return int64(br[b]), int64(ar[b]), 0, false
 		}
-		br, ar, tr := p.Rows16(a)
+		br, ar, tr := p.Rows8(a)
 		if tr != nil {
 			return int64(br[b]), int64(ar[b]), int64(tr[b]), true
 		}
@@ -198,7 +207,8 @@ func TestParseMatrixMode(t *testing.T) {
 		{"", ModeAuto, false},
 		{"int32", ModeInt32, false},
 		{"int16", ModeInt16, false},
-		{"int8", ModeAuto, true},
+		{"int8", ModeInt8, false},
+		{"int64", ModeAuto, true},
 	} {
 		got, err := ParseMatrixMode(tc.in)
 		if (err != nil) != tc.err || got != tc.want {

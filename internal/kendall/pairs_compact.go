@@ -1,0 +1,134 @@
+package kendall
+
+// Compact returns this matrix re-packed into the leanest layout its build
+// mode admits for its CURRENT shape, or the receiver itself when it is
+// already minimal. Deltas only ever promote — Add widens the count planes
+// and materializes (un-tiling) the tied plane, and Remove never undoes
+// either — so a transient delta (a partial ranking added and later
+// removed, or m briefly crossing a width cap) leaves the matrix up to 6×
+// its fresh-build footprint forever. Compact is the reverse edge: it
+// re-resolves the mode against (M, Complete) exactly like a fresh
+// NewPairsMode build would and converts the counts over in O(n²),
+// narrowing the width, re-deriving the tied plane, and re-tiling the row
+// pairs as the shape allows.
+//
+// The receiver is never mutated: callers swap the returned value in under
+// their own lock (copy-on-write, the same discipline as Clone-before-Add)
+// so concurrent readers of the old representation stay consistent.
+// Metadata — including Version — carries over unchanged: the logical
+// content is identical, so a reader holding the old snapshot and a reader
+// of the compacted value observe the same matrix. A ModeInt32 matrix is
+// always already minimal (that mode pins the full layout).
+//
+// The serving layer runs Compact from an idle-time cache sweep
+// (cache.CompactSweep → rankagg.Session.CompactMatrix) and re-accounts
+// the reclaimed bytes against the cache budget.
+func (p *Pairs) Compact() *Pairs {
+	target := p.mode.resolve(p.M, p.Complete)
+	if target == p.rep {
+		return p
+	}
+	q := &Pairs{
+		N:          p.N,
+		M:          p.M,
+		Complete:   p.Complete,
+		Version:    p.Version,
+		incomplete: p.incomplete,
+		mode:       p.mode,
+		rep:        target,
+	}
+	q.alloc()
+	n := p.N
+	bef := make([]int64, n)
+	aft := make([]int64, n)
+	var tie []int64
+	if !target.derived {
+		tie = make([]int64, n)
+	}
+	for a := 0; a < n; a++ {
+		p.readRow(a, bef, aft, tie)
+		q.writeRow(a, bef, aft, tie)
+	}
+	return q
+}
+
+// readRow widens row a of the before/after (and, when tie is non-nil,
+// tied) planes into the int64 staging rows, through the typed row
+// accessors so every source layout reads the same way.
+func (p *Pairs) readRow(a int, bef, aft, tie []int64) {
+	switch p.rep.width {
+	case 4:
+		br, ar, tr := p.Rows32(a)
+		widenInto(bef, br)
+		widenInto(aft, ar)
+		readTiedRow(p, a, tie, tr)
+	case 2:
+		br, ar, tr := p.Rows16(a)
+		widenInto(bef, br)
+		widenInto(aft, ar)
+		readTiedRow(p, a, tie, tr)
+	default:
+		br, ar, tr := p.Rows8(a)
+		widenInto(bef, br)
+		widenInto(aft, ar)
+		readTiedRow(p, a, tie, tr)
+	}
+}
+
+// readTiedRow fills the tied staging row when the target stores a tied
+// plane. A derived source (nil typed row) is only reachable here in
+// theory — a stored target implies an incomplete dataset, which a derived
+// source cannot be — but the scalar fallback keeps the conversion total.
+func readTiedRow[T Count](p *Pairs, a int, tie []int64, tr []T) {
+	if tie == nil {
+		return
+	}
+	if tr != nil {
+		widenInto(tie, tr)
+		return
+	}
+	for b := range tie {
+		tie[b] = p.tiedPair(a, b)
+	}
+}
+
+// writeRow narrows the staging rows into row a of q's planes. The counts
+// fit by construction: Compact only narrows a width when M is back under
+// the narrow cap, and every count is at most M.
+func (q *Pairs) writeRow(a int, bef, aft, tie []int64) {
+	switch q.rep.width {
+	case 4:
+		br, ar, tr := q.Rows32(a)
+		narrowInto(br, bef)
+		narrowInto(ar, aft)
+		if tr != nil {
+			narrowInto(tr, tie)
+		}
+	case 2:
+		br, ar, tr := q.Rows16(a)
+		narrowInto(br, bef)
+		narrowInto(ar, aft)
+		if tr != nil {
+			narrowInto(tr, tie)
+		}
+	default:
+		br, ar, tr := q.Rows8(a)
+		narrowInto(br, bef)
+		narrowInto(ar, aft)
+		if tr != nil {
+			narrowInto(tr, tie)
+		}
+	}
+}
+
+func widenInto[S Count](dst []int64, src []S) {
+	for i, v := range src {
+		dst[i] = int64(v)
+	}
+}
+
+func narrowInto[D Count](dst []D, src []int64) {
+	for i, v := range src {
+		dst[i] = D(v)
+	}
+}

@@ -15,10 +15,13 @@ import (
 // (test-asserted byte-identical in pairs_delta_test.go).
 //
 // The compact backends promote before a delta they cannot represent:
-// Add widens int16 planes to int32 when m would cross MaxInt16Rankings,
-// and materializes the derived tied plane before the first partial
-// ranking breaks the before+after+tied = M invariant. Promotions go one
-// way — a matrix never re-compacts on Remove (rebuild to reclaim).
+// Add widens int8 planes to int16 when m would cross MaxInt8Rankings
+// (and int16 to int32 at MaxInt16Rankings), and materializes the derived
+// tied plane — un-tiling the row pairs back into planar planes first —
+// before the first partial ranking breaks the before+after+tied = M
+// invariant. Promotions go one way on the delta path; Compact converts a
+// promoted matrix back to the leanest layout its mode admits once the
+// transient shape has passed (the serving layer runs it on idle).
 
 // Add accumulates one more ranking into the matrix in O(n²): after the
 // call the counts are identical to a fresh NewPairs build of the dataset
@@ -26,16 +29,16 @@ import (
 // be valid for the matrix's universe (element IDs below N, no
 // duplicates); partial rankings are fine and flip Complete off until they
 // are removed again — on a derived-tied matrix the tied plane is
-// materialized first, and an int16 matrix at m = MaxInt16Rankings widens
-// to int32 before the count that could overflow it.
+// materialized first (dropping the tiles), and a matrix at its width's
+// ranking cap widens before the count that could overflow it.
 //
 // Add mutates the matrix and bumps Version; it must not run concurrently
 // with readers — Clone first when old snapshots may still be read.
 func (p *Pairs) Add(r *rankings.Ranking) {
-	if !p.wide && p.M+1 > MaxInt16Rankings {
+	if p.M+1 > p.rep.maxRankings() {
 		p.widen()
 	}
-	if p.derived && r.Len() != p.N {
+	if p.rep.derived && r.Len() != p.N {
 		p.materializeTied()
 	}
 	p.accumulateDelta(r, 1)
@@ -54,7 +57,8 @@ func (p *Pairs) Add(r *rankings.Ranking) {
 // counts, so callers resolve membership first (rankagg.Session matches by
 // Ranking.Equal before delegating here). Removal never promotes: a
 // derived matrix only ever held complete rankings, and counts only
-// shrink.
+// shrink. It never demotes either — Compact reclaims the width once m is
+// back under a narrower cap.
 //
 // Like Add, Remove mutates in place and bumps Version.
 func (p *Pairs) Remove(r *rankings.Ranking) {
@@ -67,22 +71,33 @@ func (p *Pairs) Remove(r *rankings.Ranking) {
 	p.Version++
 }
 
-// widen converts int16 planes to int32 in place (the overflow-safety
-// promotion Add performs before m crosses MaxInt16Rankings).
+// widen converts the planes to the next-wider count in place (the
+// overflow-safety promotion Add performs before m crosses the current
+// width's ranking cap), preserving the tiled/planar layout.
 func (p *Pairs) widen() {
-	p.b32 = widenPlane(p.b16)
-	p.a32 = widenPlane(p.a16)
-	if p.t16 != nil {
-		p.t32 = widenPlane(p.t16)
+	switch p.rep.width {
+	case 1:
+		p.b16 = widenPlane[int8, int16](p.b8)
+		p.a16 = widenPlane[int8, int16](p.a8)
+		p.t16 = widenPlane[int8, int16](p.t8)
+		p.b8, p.a8, p.t8 = nil, nil, nil
+		p.rep.width = 2
+	case 2:
+		p.b32 = widenPlane[int16, int32](p.b16)
+		p.a32 = widenPlane[int16, int32](p.a16)
+		p.t32 = widenPlane[int16, int32](p.t16)
+		p.b16, p.a16, p.t16 = nil, nil, nil
+		p.rep.width = 4
 	}
-	p.b16, p.a16, p.t16 = nil, nil, nil
-	p.wide = true
 }
 
-func widenPlane(src []int16) []int32 {
-	dst := make([]int32, len(src))
+func widenPlane[S, D Count](src []S) []D {
+	if src == nil {
+		return nil
+	}
+	dst := make([]D, len(src))
 	for i, v := range src {
-		dst[i] = int32(v)
+		dst[i] = D(v)
 	}
 	return dst
 }
@@ -90,14 +105,20 @@ func widenPlane(src []int16) []int32 {
 // materializeTied reconstructs the dropped tied plane from the derived
 // invariant tied = M − before − after (diagonal 0), turning a derived
 // matrix into a stored-tied one so partial rankings can be accumulated.
+// A tiled matrix is un-tiled into planar planes first: the stored-tied
+// layout keeps three parallel planes.
 func (p *Pairs) materializeTied() {
+	p.untile()
 	n := p.N
-	if p.wide {
+	switch p.rep.width {
+	case 4:
 		p.t32 = materializePlane(p.b32, p.a32, n, int32(p.M))
-	} else {
+	case 2:
 		p.t16 = materializePlane(p.b16, p.a16, n, int16(p.M))
+	default:
+		p.t8 = materializePlane(p.b8, p.a8, n, int8(p.M))
 	}
-	p.derived = false
+	p.rep.derived = false
 }
 
 func materializePlane[T Count](before, after []T, n int, m T) []T {
@@ -114,6 +135,34 @@ func materializePlane[T Count](before, after []T, n int, m T) []T {
 	return tied
 }
 
+// untile splits the row-pair tiles back into two planar planes (a no-op
+// on an already-planar matrix).
+func (p *Pairs) untile() {
+	if !p.rep.tiled {
+		return
+	}
+	n := p.N
+	switch p.rep.width {
+	case 4:
+		p.b32, p.a32 = untilePlane(p.b32, n)
+	case 2:
+		p.b16, p.a16 = untilePlane(p.b16, n)
+	default:
+		p.b8, p.a8 = untilePlane(p.b8, n)
+	}
+	p.rep.tiled = false
+}
+
+func untilePlane[T Count](rp []T, n int) (before, after []T) {
+	before = make([]T, n*n)
+	after = make([]T, n*n)
+	for a := 0; a < n; a++ {
+		copy(before[a*n:a*n+n], rp[2*a*n:2*a*n+n])
+		copy(after[a*n:a*n+n], rp[(2*a+1)*n:(2*a+2)*n])
+	}
+	return before, after
+}
+
 // Clone returns a deep copy of the matrix (planes included, representation
 // and Version carried over). Mutating callers clone before Add/Remove so
 // concurrent readers of the original keep a consistent immutable snapshot
@@ -126,23 +175,25 @@ func (p *Pairs) Clone() *Pairs {
 	q.b16 = slices.Clone(p.b16)
 	q.a16 = slices.Clone(p.a16)
 	q.t16 = slices.Clone(p.t16)
+	q.b8 = slices.Clone(p.b8)
+	q.a8 = slices.Clone(p.a8)
+	q.t8 = slices.Clone(p.t8)
 	return &q
 }
 
 // Equal reports whether two matrices hold identical counts and metadata —
-// across representations: an int16 derived-tied matrix equals the int32
-// oracle of the same dataset. Version (and the storage layout) is
-// deliberately ignored: a delta-maintained or promoted matrix equals a
+// across representations: an int8 tiled matrix equals the int32 oracle of
+// the same dataset. Version (and the storage layout) is deliberately
+// ignored: a delta-maintained, promoted or re-compacted matrix equals a
 // fresh build of the same dataset even though their histories differ.
 func (p *Pairs) Equal(q *Pairs) bool {
 	if p.N != q.N || p.M != q.M || p.Complete != q.Complete || p.incomplete != q.incomplete {
 		return false
 	}
-	if p.wide == q.wide && p.derived == q.derived {
-		if p.wide {
-			return slices.Equal(p.b32, q.b32) && slices.Equal(p.a32, q.a32) && slices.Equal(p.t32, q.t32)
-		}
-		return slices.Equal(p.b16, q.b16) && slices.Equal(p.a16, q.a16) && slices.Equal(p.t16, q.t16)
+	if p.rep == q.rep {
+		return slices.Equal(p.b32, q.b32) && slices.Equal(p.a32, q.a32) && slices.Equal(p.t32, q.t32) &&
+			slices.Equal(p.b16, q.b16) && slices.Equal(p.a16, q.a16) && slices.Equal(p.t16, q.t16) &&
+			slices.Equal(p.b8, q.b8) && slices.Equal(p.a8, q.a8) && slices.Equal(p.t8, q.t8)
 	}
 	// Cross-representation: compare logical counts. after is always the
 	// transpose of before, so comparing before over all ordered pairs
@@ -150,7 +201,7 @@ func (p *Pairs) Equal(q *Pairs) bool {
 	n := p.N
 	for a := 0; a < n; a++ {
 		for b := 0; b < n; b++ {
-			if p.beforeAt(a*n+b) != q.beforeAt(a*n+b) || p.tiedPair(a, b) != q.tiedPair(a, b) {
+			if p.before64(a, b) != q.before64(a, b) || p.tiedPair(a, b) != q.tiedPair(a, b) {
 				return false
 			}
 		}
@@ -162,18 +213,40 @@ func (p *Pairs) Equal(q *Pairs) bool {
 // It is accumulatePairs with two differences: the increments are signed,
 // and the transposed after mirror is maintained inline (the builders
 // instead transpose once at the end) — the column-strided after writes
-// are cache-unfriendly but the whole delta stays O(n²). On a derived
-// matrix the tied plane is nil and tie counts stay implicit (Add promotes
-// first whenever that would be unsound).
+// are cache-unfriendly but the whole delta stays O(n²). The tiled layout
+// is updated in place through the same strided addressing the builders
+// use (before rows at stride 2n, after halves n counts further in); on a
+// derived matrix the tied plane is nil and tie counts stay implicit (Add
+// promotes first whenever that would be unsound).
 func (p *Pairs) accumulateDelta(r *rankings.Ranking, sign int) {
-	if p.wide {
-		accumulateDeltaPlanes(p.b32, p.a32, p.t32, p.N, r, int32(sign))
-	} else {
-		accumulateDeltaPlanes(p.b16, p.a16, p.t16, p.N, r, int16(sign))
+	n := p.N
+	rs, ao := n, 0
+	if p.rep.tiled {
+		rs, ao = 2*n, n
+	}
+	switch p.rep.width {
+	case 4:
+		a := p.a32
+		if p.rep.tiled {
+			a = p.b32
+		}
+		accumulateDeltaPlanes(p.b32, a, p.t32, n, rs, ao, r, int32(sign))
+	case 2:
+		a := p.a16
+		if p.rep.tiled {
+			a = p.b16
+		}
+		accumulateDeltaPlanes(p.b16, a, p.t16, n, rs, ao, r, int16(sign))
+	default:
+		a := p.a8
+		if p.rep.tiled {
+			a = p.b8
+		}
+		accumulateDeltaPlanes(p.b8, a, p.t8, n, rs, ao, r, int8(sign))
 	}
 }
 
-func accumulateDeltaPlanes[T Count](before, after, tied []T, n int, r *rankings.Ranking, sign T) {
+func accumulateDeltaPlanes[T Count](before, after, tied []T, n, rs, ao int, r *rankings.Ranking, sign T) {
 	bs := r.Buckets
 	flat := make([]int, 0, n)
 	for _, b := range bs {
@@ -191,10 +264,10 @@ func accumulateDeltaPlanes[T Count](before, after, tied []T, n int, r *rankings.
 				}
 				trow[a] -= sign // undo the self-tie without a branch
 			}
-			brow := before[a*n : a*n+n]
+			brow := before[a*rs : a*rs+n]
 			for _, b := range rest {
 				brow[b] += sign
-				after[b*n+a] += sign
+				after[b*rs+ao+a] += sign
 			}
 		}
 	}

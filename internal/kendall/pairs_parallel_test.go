@@ -82,8 +82,8 @@ func materialize(p *Pairs) (before, after, tied []int32) {
 	for a := 0; a < n; a++ {
 		for b := 0; b < n; b++ {
 			i := a*n + b
-			before[i] = int32(p.beforeAt(i))
-			after[i] = int32(p.afterAt(i))
+			before[i] = int32(p.before64(a, b))
+			after[i] = int32(p.after64(a, b))
 			tied[i] = int32(p.tiedPair(a, b))
 		}
 	}
@@ -91,7 +91,7 @@ func materialize(p *Pairs) (before, after, tied []int32) {
 }
 
 // allModes enumerates every storage mode for backend-parametrized suites.
-var allModes = []MatrixMode{ModeAuto, ModeInt32, ModeInt16}
+var allModes = []MatrixMode{ModeAuto, ModeInt32, ModeInt16, ModeInt8}
 
 // TestNewPairsMatchesLegacy checks the bucket-run accumulation against the
 // seed's position-compare construction, on complete and partial datasets.

@@ -3,12 +3,14 @@ package server_test
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"rankagg"
 	"rankagg/internal/cache"
@@ -409,5 +411,94 @@ func TestPatchRespectsMatrixByteBudget(t *testing.T) {
 	}
 	if sess.MatrixDeltas() != 1 {
 		t.Fatalf("deltas = %d after the shrinking PATCH, want 1", sess.MatrixDeltas())
+	}
+}
+
+// TestCompactionMetrics drives the idle re-compaction loop through the
+// HTTP surface: a 127-ranking dataset builds an int8-tiled matrix (32
+// bytes at n = 4), a PATCH add/remove roundtrip promotes it to int16 (64
+// bytes — delta promotions are one-way), and the background compactor
+// re-packs it. The rankagg_cache_bytes gauge must drop back to the
+// pre-promotion footprint and the compaction counters must show up on
+// /metrics.
+func TestCompactionMetrics(t *testing.T) {
+	s, ts := newTestServer(t, server.Config{})
+	base := rankings.New([]int{0, 1}, []int{2}, []int{3})
+	req := server.AggregateRequest{
+		Algorithm: "BioConsert",
+		DatasetWire: rankings.DatasetWire{
+			Names:    []string{"A", "B", "C", "D"},
+			Rankings: make([]*rankings.Ranking, 127),
+		},
+	}
+	for i := range req.Rankings {
+		req.Rankings[i] = base
+	}
+	resp, data := postAggregate(t, ts.URL, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold build: %d %s", resp.StatusCode, data)
+	}
+	var cold server.AggregateResponse
+	if err := json.Unmarshal(data, &cold); err != nil {
+		t.Fatal(err)
+	}
+	const compactBytes, widenedBytes = 2 * 1 * 4 * 4, 2 * 2 * 4 * 4
+	if got := s.CacheStats().Bytes; got != compactBytes {
+		t.Fatalf("cold cache bytes = %d, want %d (int8 tiles)", got, compactBytes)
+	}
+
+	resp, data = doPatch(t, ts.URL, cold.DatasetHash, server.PatchRequest{Add: []*rankings.Ranking{extraRanking()}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("promoting PATCH: %d %s", resp.StatusCode, data)
+	}
+	var grown server.PatchResponse
+	if err := json.Unmarshal(data, &grown); err != nil {
+		t.Fatal(err)
+	}
+	resp, data = doPatch(t, ts.URL, grown.DatasetHash, server.PatchRequest{Remove: []*rankings.Ranking{extraRanking()}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("removing PATCH: %d %s", resp.StatusCode, data)
+	}
+	if got := s.CacheStats().Bytes; got != widenedBytes {
+		t.Fatalf("post-roundtrip cache bytes = %d, want %d (promotion sticks)", got, widenedBytes)
+	}
+
+	// The background compactor only sweeps an idle server; this one is.
+	stop := s.StartCompactor(2 * time.Millisecond)
+	defer stop()
+	deadline := time.Now().Add(5 * time.Second)
+	var text string
+	for {
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		text = string(data)
+		if strings.Contains(text, "rankagg_matrix_compactions_total 1") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("compactor never re-packed the promoted matrix:\n%s", text)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	stop()
+	stop() // idempotent
+	for _, want := range []string{
+		fmt.Sprintf("rankagg_matrix_compact_reclaimed_bytes_total %d", widenedBytes-compactBytes),
+		fmt.Sprintf("rankagg_cache_bytes %d", compactBytes), // the gauge drop
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+	if got := s.CacheStats().Bytes; got != compactBytes {
+		t.Errorf("cache bytes after compaction = %d, want %d", got, compactBytes)
+	}
+	// An explicit sweep on the already-compact cache is a no-op.
+	if n, freed := s.CompactNow(); n != 0 || freed != 0 {
+		t.Errorf("CompactNow on compact cache reclaimed %d entries / %d bytes", n, freed)
 	}
 }

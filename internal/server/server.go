@@ -46,6 +46,7 @@ import (
 	"log"
 	"net/http"
 	"runtime"
+	"sync"
 	"time"
 
 	"rankagg"
@@ -617,7 +618,56 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "# HELP rankagg_cache_bytes Pair-matrix bytes currently cached.\n")
 		fmt.Fprintf(w, "# TYPE rankagg_cache_bytes gauge\n")
 		fmt.Fprintf(w, "rankagg_cache_bytes %d\n", st.Bytes)
+		fmt.Fprintf(w, "# HELP rankagg_matrix_compactions_total Cached pair matrices re-packed to their minimal layout by the idle sweep.\n")
+		fmt.Fprintf(w, "# TYPE rankagg_matrix_compactions_total counter\n")
+		fmt.Fprintf(w, "rankagg_matrix_compactions_total %d\n", st.Compactions)
+		fmt.Fprintf(w, "# HELP rankagg_matrix_compact_reclaimed_bytes_total Bytes reclaimed by matrix re-compaction.\n")
+		fmt.Fprintf(w, "# TYPE rankagg_matrix_compact_reclaimed_bytes_total counter\n")
+		fmt.Fprintf(w, "rankagg_matrix_compact_reclaimed_bytes_total %d\n", st.CompactedBytes)
 	})
+}
+
+// CompactNow runs one compaction sweep over the session cache (see
+// cache.CompactSweep), re-packing every matrix a transient delta left in a
+// promoted layout and returning the count re-packed and the bytes given
+// back. It is safe to call while requests are in flight — the swap is
+// copy-on-write per session — but the O(n²) re-packs cost CPU, which is
+// why StartCompactor only sweeps an idle server.
+func (s *Server) CompactNow() (compacted int, reclaimed int64) {
+	return s.cache.CompactSweep()
+}
+
+// StartCompactor launches the idle-time re-compaction loop: every interval
+// it sweeps the cache — but only when no aggregation request is executing,
+// deferring to the next tick otherwise so maintenance never competes with
+// serving. It returns a stop function; stop is idempotent and waits for a
+// sweep in progress to finish.
+func (s *Server) StartCompactor(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = time.Minute
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				if s.metrics.inFlight.Load() == 0 {
+					s.cache.CompactSweep()
+				}
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(done) })
+		<-finished
+	}
 }
 
 // acquireWorkers blocks for one token of the global worker budget, then

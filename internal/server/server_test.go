@@ -186,8 +186,8 @@ func TestMaxElementsGuard(t *testing.T) {
 		t.Errorf("413 body does not name the cap: %s", data)
 	}
 
-	// Auto mode: the complete 2-ranking dataset resolves to int16 +
-	// derived-tied — 400 bytes, inside the same budget — and is served.
+	// Auto mode: the complete 2-ranking dataset resolves to int8 tiled +
+	// derived-tied — 200 bytes, inside the same budget — and is served.
 	_, ts = newTestServer(t, server.Config{MaxElements: 8})
 	resp, data = postAggregate(t, ts.URL, req)
 	if resp.StatusCode != http.StatusOK {
@@ -452,7 +452,8 @@ func TestMetricsExposition(t *testing.T) {
 // rankagg_matrix_bytes gauge of the real backing size.
 func TestMatrixModeWiring(t *testing.T) {
 	// The 4-element complete dataset of smallRequest: int32 needs
-	// 3·4·16 = 192 bytes, int16 + derived-tied 2·2·16 = 64.
+	// 3·4·16 = 192 bytes, int16 tiled + derived-tied 2·2·16 = 64, and the
+	// auto (and int8) resolution lands on int8 tiles at 2·1·16 = 32.
 	cases := []struct {
 		mode      rankagg.MatrixMode
 		bytes     int64
@@ -460,7 +461,8 @@ func TestMatrixModeWiring(t *testing.T) {
 	}{
 		{rankagg.MatrixInt32, 192, "int32"},
 		{rankagg.MatrixInt16, 64, "int16"},
-		{rankagg.MatrixAuto, 64, "auto"},
+		{rankagg.MatrixAuto, 32, "auto"},
+		{rankagg.MatrixInt8, 32, "int8"},
 	}
 	for _, tc := range cases {
 		s, ts := newTestServer(t, server.Config{MatrixMode: tc.mode})

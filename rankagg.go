@@ -77,8 +77,8 @@ type (
 	// Pairs is the pairwise disagreement-count matrix of a dataset.
 	Pairs = kendall.Pairs
 	// MatrixMode selects the pair matrix's storage representation
-	// (MatrixAuto, MatrixInt32, MatrixInt16); the logical counts are
-	// identical across modes, only the backing memory differs.
+	// (MatrixAuto, MatrixInt32, MatrixInt16, MatrixInt8); the logical
+	// counts are identical across modes, only the backing memory differs.
 	MatrixMode = kendall.MatrixMode
 	// Features summarizes a dataset for algorithm recommendation.
 	Features = eval.Features
@@ -170,17 +170,19 @@ func Tau(r, s *Ranking, n int) float64 { return kendall.Tau(r, s, n) }
 func Similarity(d *Dataset) float64 { return kendall.Similarity(d) }
 
 // Matrix storage modes (see MatrixMode): auto picks the leanest backend
-// the dataset admits — int16 counts when m ≤ 32767, and no stored tied
-// plane on complete datasets (tied = m − before − after) — while int32
-// pins the full three-plane layout and int16 pins the compact request.
+// the dataset admits — int8 counts when m ≤ 127 (int16 up to 32767), no
+// stored tied plane on complete datasets (tied = m − before − after), and
+// row-pair tiles on the derived layouts — while int32 pins the full
+// three-plane layout, and int16/int8 pin a compact width floor.
 const (
 	MatrixAuto  = kendall.ModeAuto
 	MatrixInt32 = kendall.ModeInt32
 	MatrixInt16 = kendall.ModeInt16
+	MatrixInt8  = kendall.ModeInt8
 )
 
 // ParseMatrixMode parses the flag/wire spelling of a matrix mode:
-// "auto", "int32" or "int16".
+// "auto", "int32", "int16" or "int8".
 func ParseMatrixMode(s string) (MatrixMode, error) { return kendall.ParseMatrixMode(s) }
 
 // PredictMatrixBytes returns the backing bytes the pair matrix of a

@@ -361,6 +361,40 @@ func (s *Session) MatrixBytes() int64 {
 	return s.pairs.Bytes()
 }
 
+// CompactMatrix re-packs the cached pair matrix into the leanest layout
+// its mode admits (Pairs.Compact) and returns the bytes reclaimed — 0 when
+// no matrix is built, it is already minimal, or a concurrent mutation
+// raced the re-pack. Deltas only ever promote the representation (a
+// partial ranking materializes the tied plane, a width-cap crossing widens
+// the counts; see Pairs.Add), so a session that saw a transient delta can
+// hold a matrix several times its fresh-build size; serving layers call
+// this from an idle sweep (cache.CompactSweep) to give that memory back.
+//
+// The O(n²) conversion runs outside the session lock against an immutable
+// snapshot, and the swap is copy-on-write: concurrent Run readers keep
+// whichever consistent matrix they snapshotted, and the compacted value
+// carries the same Version, so WithPairs staleness checks are unaffected.
+// If the matrix changed while converting, the result is discarded.
+func (s *Session) CompactMatrix() int64 {
+	s.mu.Lock()
+	p := s.pairs
+	s.mu.Unlock()
+	if p == nil {
+		return 0
+	}
+	np := p.Compact()
+	if np == p {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pairs != p {
+		return 0 // a mutation won the race; its layout is current
+	}
+	s.pairs = np
+	return p.Bytes() - np.Bytes()
+}
+
 // Hash returns the current dataset's content hash (32 hex characters),
 // computed lazily and cached until the next mutation invalidates it (the
 // recompute is O(m·n), dominated by the O(n²) matrix delta). It

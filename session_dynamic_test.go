@@ -264,3 +264,104 @@ func TestSessionConcurrentMutationAndRuns(t *testing.T) {
 		t.Fatal("final matrix differs from a fresh build after the toggle storm")
 	}
 }
+
+// TestSessionCompactRace races background matrix re-compaction against
+// concurrent Run readers and a delta mutator (run under -race in CI). The
+// copy-on-write swap discipline means no reader ever observes a torn
+// matrix: every run scores exactly like one of the two dataset snapshots,
+// and after the storm one quiescent CompactMatrix returns Bytes() to the
+// pre-promotion int8 footprint.
+func TestSessionCompactRace(t *testing.T) {
+	ctx := context.Background()
+	const n = 5
+	rng := rand.New(rand.NewSource(71))
+	base := completeRandomRanking(rng, n)
+	rks := make([]*Ranking, 127)
+	for i := range rks {
+		rks[i] = base
+	}
+	d := NewDataset(n, rks...)
+	extra := completeRandomRanking(rng, n)
+	grown := d.Clone()
+	grown.Rankings = append(grown.Rankings, extra)
+
+	scoreOf := func(d *Dataset) int64 {
+		t.Helper()
+		res, err := newTestSession(t, d.Clone()).Run(ctx, "CopelandPairwise")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Score
+	}
+	baseScore, grownScore := scoreOf(d), scoreOf(grown)
+
+	s := newTestSession(t, d.Clone())
+	s.Pairs()
+	baseBytes := s.MatrixBytes()
+	if baseBytes != 2*1*n*n {
+		t.Fatalf("127-ranking matrix is %d bytes, want %d (int8 tiles)", baseBytes, 2*1*n*n)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := s.Run(ctx, "CopelandPairwise")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if res.Score != baseScore && res.Score != grownScore {
+					t.Errorf("score %d matches neither snapshot (%d / %d): torn matrix", res.Score, baseScore, grownScore)
+					return
+				}
+			}
+		}()
+	}
+	// Background compactor, sweeping as fast as it can while deltas fly.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s.CompactMatrix()
+			}
+		}
+	}()
+	// The mutator toggles the 128th ranking: each add crosses m = 127 and
+	// promotes the plane to int16; each remove leaves it widened for the
+	// compactor to reclaim.
+	for i := 0; i < 30; i++ {
+		var err error
+		if i%2 == 0 {
+			err = s.AddRanking(extra)
+		} else {
+			err = s.RemoveRanking(extra)
+		}
+		if err != nil {
+			t.Error(err)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	s.CompactMatrix() // quiescent: must fully re-pack
+	if got := s.MatrixBytes(); got != baseBytes {
+		t.Fatalf("MatrixBytes after the storm = %d, want the pre-promotion %d", got, baseBytes)
+	}
+	if !s.Pairs().Equal(kendall.NewPairs(d)) {
+		t.Fatal("compacted matrix differs from a fresh build of the dataset")
+	}
+}

@@ -316,15 +316,24 @@ func TestSessionMatrixMode(t *testing.T) {
 		t.Errorf("int32 MatrixBytes = %d, want %d", got, wantWide)
 	}
 
-	for _, mode := range []MatrixMode{MatrixAuto, MatrixInt16} {
+	// Complete dataset: m ≤ 127 resolves auto (and int8) to int8 + derived
+	// tied = 2 bytes/pair; the pinned int16 floor costs twice that.
+	for _, tc := range []struct {
+		mode  MatrixMode
+		bytes int64
+	}{
+		{MatrixAuto, 2 * 1 * 12 * 12},
+		{MatrixInt8, 2 * 1 * 12 * 12},
+		{MatrixInt16, 2 * 2 * 12 * 12},
+	} {
+		mode := tc.mode
 		s := newTestSession(t, d, WithMatrixMode(mode))
 		res, err := s.Run(ctx, "BioConsert")
 		if err != nil {
 			t.Fatal(err)
 		}
-		// Complete dataset, m ≤ 32767: int16 + derived tied = 4 bytes/pair.
-		if got, want := s.MatrixBytes(), int64(2*2*12*12); got != want {
-			t.Errorf("mode %v MatrixBytes = %d, want %d", mode, got, want)
+		if got := s.MatrixBytes(); got != tc.bytes {
+			t.Errorf("mode %v MatrixBytes = %d, want %d", mode, got, tc.bytes)
 		}
 		if res.Score != resWide.Score || !res.Consensus.Equal(resWide.Consensus) {
 			t.Errorf("mode %v: consensus diverges from the int32 backend", mode)
