@@ -5,7 +5,7 @@
 //
 //	rankagg [-algo name] [-normalize unify|unify-broken|project|k-unify] [-k N]
 //	        [-format text|csv] [-eps E] [-timeout D] [-workers N] [-seed S]
-//	        [-json] [file]
+//	        [-approx-mode auto|force|off] [-json] [file]
 //	rankagg -list
 //
 // Text input holds one ranking per line in bracket notation ("[{A},{B,C}]")
@@ -18,6 +18,15 @@
 //
 // -timeout bounds the aggregation: on expiry the best incumbent found so
 // far is printed and marked deadline-hit. Ctrl-C cancels the run cleanly.
+//
+// -approx-mode governs the matrix-free approximation tier (lehmer,
+// avgrank, scores). Under auto (the default) a dataset whose projected
+// pair matrix exceeds the 12·4096² byte budget is diverted to the tier
+// with a substituted algorithm and a stderr note; force runs every
+// aggregation matrix-free; off never diverts (explicitly requested
+// matrix-free algorithms still run). Matrix-free runs accept incomplete
+// datasets directly — no -normalize needed — and mark their JSON output
+// with "approx": true.
 package main
 
 import (
@@ -42,6 +51,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "aggregation time budget (0 = none); on expiry the best incumbent is printed")
 	workers := flag.Int("workers", 0, "worker budget for parallel restarts/runs (0 = all CPUs)")
 	seedFlag := flag.Int64("seed", 0, "seed for randomized algorithms")
+	approxMode := flag.String("approx-mode", "auto", "matrix-free approximation tier: auto (divert datasets whose projected pair matrix exceeds 12*4096^2 bytes), force (always matrix-free), off (never divert)")
 	jsonOut := flag.Bool("json", false, "emit a JSON result document")
 	list := flag.Bool("list", false, "list available algorithms and exit")
 	verbose := flag.Bool("v", false, "print dataset features, run statistics, and per-input distances")
@@ -52,6 +62,11 @@ func main() {
 			fmt.Println(n)
 		}
 		return
+	}
+	switch *approxMode {
+	case "auto", "force", "off":
+	default:
+		fatal(fmt.Errorf("unknown -approx-mode %q (auto, force, off)", *approxMode))
 	}
 
 	in := os.Stdin
@@ -83,7 +98,7 @@ func main() {
 		fatal(fmt.Errorf("no rankings in input"))
 	}
 
-	if !d.Complete() {
+	if !d.Complete() && *norm != "" {
 		var toOld []int
 		switch *norm {
 		case "unify":
@@ -94,8 +109,6 @@ func main() {
 			d, toOld, _ = rankagg.Project(d)
 		case "k-unify":
 			d, toOld, _ = rankagg.KUnify(d, *kFlag)
-		case "":
-			fatal(fmt.Errorf("rankings cover different elements; pass -normalize unify|unify-broken|project|k-unify"))
 		default:
 			fatal(fmt.Errorf("unknown -normalize %q", *norm))
 		}
@@ -105,14 +118,34 @@ func main() {
 		fatal(fmt.Errorf("normalization removed every element"))
 	}
 
+	// Tier admission, mirroring the server's router: explicit matrix-free
+	// algorithms always take the approx path; otherwise auto diverts when
+	// the projected pair matrix would blow the default serve budget.
+	const approxBudget = 12 * 4096 * 4096 // cmd/serve's default -max-elements budget
+	runName := *algoName
+	approxTier := rankagg.MatrixFree(runName)
+	if !approxTier {
+		switch *approxMode {
+		case "force":
+			runName = rankagg.ApproxDefault(d)
+			approxTier = true
+		case "auto":
+			if need := rankagg.PredictMatrixBytes(rankagg.MatrixAuto, d.N, d.M(), d.Complete()); need > approxBudget {
+				runName = rankagg.ApproxDefault(d)
+				approxTier = true
+				fmt.Fprintf(os.Stderr, "rankagg: projected pair matrix (%d bytes) exceeds the %d-byte budget; aggregating matrix-free with %s (-approx-mode off forces the exact tier)\n",
+					need, int64(approxBudget), runName)
+			}
+		}
+	}
+	if !d.Complete() && !approxTier {
+		fatal(fmt.Errorf("rankings cover different elements; pass -normalize unify|unify-broken|project|k-unify or a matrix-free algorithm (lehmer, avgrank, scores)"))
+	}
+
 	// Ctrl-C cancels the run; -timeout becomes a deadline that keeps the
 	// incumbent.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	sess, err := rankagg.NewSession(d, rankagg.WithWorkers(*workers))
-	if err != nil {
-		fatal(err)
-	}
 	var opts []rankagg.Option
 	if *timeout > 0 {
 		opts = append(opts, rankagg.WithTimeLimit(*timeout))
@@ -120,7 +153,17 @@ func main() {
 	if *seedFlag != 0 {
 		opts = append(opts, rankagg.WithSeed(*seedFlag))
 	}
-	res, err := sess.Run(ctx, *algoName, opts...)
+	var res *rankagg.Result
+	if approxTier {
+		res, err = rankagg.RunMatrixFree(ctx, runName, d, append(opts, rankagg.WithWorkers(*workers))...)
+	} else {
+		var sess *rankagg.Session
+		sess, err = rankagg.NewSession(d, rankagg.WithWorkers(*workers))
+		if err != nil {
+			fatal(err)
+		}
+		res, err = sess.Run(ctx, runName, opts...)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -132,6 +175,9 @@ func main() {
 	}
 	fmt.Println(u.Format(consensus))
 	fmt.Printf("generalized Kemeny score: %d\n", res.Score)
+	if res.Approx {
+		fmt.Printf("matrix-free approximation (%s): no pair matrix was built\n", res.Algorithm)
+	}
 	if res.DeadlineHit {
 		fmt.Printf("time budget hit after %v: best incumbent shown (not a completed run)\n", res.Elapsed.Round(time.Millisecond))
 	} else if res.Proved {
@@ -141,7 +187,7 @@ func main() {
 		f := rankagg.ExtractFeatures(d)
 		fmt.Printf("n=%d m=%d similarity=%.3f largeTies=%v\n", f.N, f.M, f.Similarity, f.LargeTies)
 		fmt.Printf("elapsed=%v restarts=%d nodes=%d iterations=%d dataset=%s\n",
-			res.Elapsed.Round(time.Microsecond), res.Stats.Restarts, res.Stats.Nodes, res.Stats.Iterations, sess.Hash())
+			res.Elapsed.Round(time.Microsecond), res.Stats.Restarts, res.Stats.Nodes, res.Stats.Iterations, d.Hash())
 		for i, r := range d.Rankings {
 			fmt.Printf("G(consensus, input %d) = %d\n", i+1, rankagg.Dist(consensus, r, d.N))
 		}
@@ -155,6 +201,7 @@ func main() {
 type jsonResult struct {
 	Algorithm   string     `json:"algorithm"`
 	Score       int64      `json:"score"`
+	Approx      bool       `json:"approx,omitempty"`
 	Proved      bool       `json:"proved"`
 	DeadlineHit bool       `json:"deadline_hit,omitempty"`
 	ElapsedMS   float64    `json:"elapsed_ms"`
@@ -169,6 +216,7 @@ func printJSON(r *rankagg.Result, u *rankagg.Universe, d *rankagg.Dataset) {
 	res := jsonResult{
 		Algorithm:   r.Algorithm,
 		Score:       r.Score,
+		Approx:      r.Approx,
 		Proved:      r.Proved,
 		DeadlineHit: r.DeadlineHit,
 		ElapsedMS:   float64(r.Elapsed.Nanoseconds()) / 1e6,

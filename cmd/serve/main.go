@@ -8,7 +8,8 @@
 //	serve [-addr :8080] [-cache-entries 64] [-cache-bytes 1073741824]
 //	      [-workers N] [-max-workers-per-run N] [-max-timeout 30s]
 //	      [-max-body 33554432] [-max-elements 4096]
-//	      [-matrix-mode auto|int32|int16|int8] [-compact-interval 1m]
+//	      [-matrix-mode auto|int32|int16|int8] [-approx-mode auto|force|off]
+//	      [-compact-interval 1m]
 //
 // Endpoints: POST /v1/aggregate, PATCH /v1/datasets/{hash} (apply
 // add/remove ranking deltas to a cached dataset in O(n²) per ranking — the
@@ -48,10 +49,16 @@ func main() {
 	maxBody := flag.Int64("max-body", 32<<20, "max request body bytes")
 	maxElements := flag.Int("max-elements", 4096, "pair-matrix memory cap, expressed as a universe size: the budget is 12·n² bytes and each request is charged its real projected matrix bytes under -matrix-mode (0 = unlimited)")
 	matrixMode := flag.String("matrix-mode", "auto", "pair-matrix storage: auto (leanest backend the dataset admits: int8 counts when m <= 127, int16 when m <= 32767, derived tied plane on complete datasets), int32 (full 3-plane layout), int16 or int8 (pin a compact width)")
+	approxMode := flag.String("approx-mode", "auto", "matrix-free approximation tier admission: auto (serve over-budget and top-list datasets via lehmer/avgrank/scores instead of rejecting them), force (serve every aggregation matrix-free), off (over-budget datasets 413; explicitly requested approx algorithms still run)")
 	compactInterval := flag.Duration("compact-interval", time.Minute, "idle-sweep period for re-compacting cached matrices widened by PATCH deltas back to their natural storage width (0 = never)")
 	flag.Parse()
 
 	mode, err := rankagg.ParseMatrixMode(*matrixMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(2)
+	}
+	amode, err := server.ParseApproxMode(*approxMode)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(2)
@@ -81,6 +88,7 @@ func main() {
 		MaxBodyBytes:     *maxBody,
 		MaxElements:      unlimitedInt(*maxElements),
 		MatrixMode:       mode,
+		ApproxMode:       amode,
 		Log:              logger,
 	})
 	httpSrv := &http.Server{
@@ -96,8 +104,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		logger.Printf("listening on %s (workers=%d cache=%d entries / %d bytes, matrix-mode=%s, max timeout %v)",
-			*addr, *workers, *cacheEntries, *cacheBytes, mode, *maxTimeout)
+		logger.Printf("listening on %s (workers=%d cache=%d entries / %d bytes, matrix-mode=%s, approx-mode=%s, max timeout %v)",
+			*addr, *workers, *cacheEntries, *cacheBytes, mode, amode, *maxTimeout)
 		errc <- httpSrv.ListenAndServe()
 	}()
 

@@ -257,6 +257,7 @@ type searchState struct {
 	store    [][]int // bucket id → members (emptied, kept for reuse, when dead)
 	free     []int32 // dead bucket ids available for reuse
 	order    []int32 // bucket ids in consensus order
+	idxOf    []int32 // bucket id → its position in order (stale for dead ids)
 	bucketOf []int32 // element → bucket id (meaningful only for seed elements)
 	// version counts applied moves; lastSeen[x] records the version at which
 	// x was last found move-free, so unchanged elements skip their O(n) scan
@@ -308,9 +309,11 @@ func newSearchState(p *kendall.Pairs, seed *rankings.Ranking) *searchState {
 	st.full = len(st.elems) == p.N
 	st.store = make([][]int, len(seed.Buckets))
 	st.order = make([]int32, len(seed.Buckets))
+	st.idxOf = make([]int32, len(seed.Buckets))
 	for i, b := range seed.Buckets {
 		st.store[i] = append([]int(nil), b...)
 		st.order[i] = int32(i)
+		st.idxOf[i] = int32(i)
 		for _, e := range b {
 			st.bucketOf[e] = int32(i)
 		}
@@ -804,6 +807,9 @@ func (st *searchState) apply(x, cur, tie, newPos int) {
 	if len(b) == 0 {
 		st.free = append(st.free, id)
 		st.order = append(st.order[:cur], st.order[cur+1:]...)
+		for _, oid := range st.order[cur:] {
+			st.idxOf[oid]--
+		}
 		if tie > cur {
 			tie--
 		}
@@ -831,6 +837,13 @@ func (st *searchState) apply(x, cur, tie, newPos int) {
 		st.order = append(st.order, 0)
 		copy(st.order[newPos+1:], st.order[newPos:])
 		st.order[newPos] = nid
+		for _, oid := range st.order[newPos+1:] {
+			st.idxOf[oid]++
+		}
+		if int(nid) >= len(st.idxOf) {
+			st.idxOf = append(st.idxOf, 0)
+		}
+		st.idxOf[nid] = int32(newPos)
 		st.bucketOf[x] = nid
 		if st.scat != nil {
 			if len(st.scat) < 3*(int(nid)+1) {
@@ -842,8 +855,17 @@ func (st *searchState) apply(x, cur, tie, newPos int) {
 	}
 }
 
-// curIndex returns the position of x's bucket in the current bucket order.
+// curIndex returns the position of x's bucket in the current bucket order,
+// in O(1) from the incrementally maintained idxOf (apply shifts only the
+// entries its memmoves already touch, so maintenance rides the existing
+// O(shift) cost instead of adding an O(k) walk per lookup).
 func (st *searchState) curIndex(x int) int {
+	return int(st.idxOf[st.bucketOf[x]])
+}
+
+// curIndexWalk is the pre-idxOf O(k) order walk, kept as the oracle the
+// incremental index is tested against (see scan_engine_test.go).
+func (st *searchState) curIndexWalk(x int) int {
 	mine := st.bucketOf[x]
 	for j, id := range st.order {
 		if id == mine {

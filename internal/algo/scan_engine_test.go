@@ -147,3 +147,44 @@ func TestDescentSweepsBudget(t *testing.T) {
 		t.Fatalf("unbounded DescentSweeps (score %d) diverges from localSearch (score %d)", score, lsScore)
 	}
 }
+
+// TestCurIndexIncremental pins the incrementally maintained bucket-position
+// index against the O(k) order walk it replaced, move for move: after every
+// improveElement call of a full descent — on complete and partial seeds —
+// curIndex must agree with curIndexWalk for every live element, and the
+// order/idxOf tables must stay exact inverses.
+func TestCurIndexIncremental(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	check := func(t *testing.T, st *searchState, trial, sweep int) {
+		t.Helper()
+		for j, id := range st.order {
+			if got := st.idxOf[id]; got != int32(j) {
+				t.Fatalf("trial %d sweep %d: idxOf[%d] = %d, order says %d", trial, sweep, id, got, j)
+			}
+		}
+		for _, x := range st.elems {
+			if fast, walk := st.curIndex(x), st.curIndexWalk(x); fast != walk {
+				t.Fatalf("trial %d sweep %d: curIndex(%d) = %d, walk oracle = %d", trial, sweep, x, fast, walk)
+			}
+		}
+	}
+	for trial := 0; trial < 20; trial++ {
+		m, n := 2+rng.Intn(6), 3+rng.Intn(15)
+		d := randomTiedDataset(rng, m, n)
+		p := kendall.NewPairs(d)
+		seed := d.Rankings[rng.Intn(m)]
+		if trial%2 == 1 {
+			// Partial seeds exercise the gather/general paths and their
+			// singleton-insertion order shifts.
+			seed = dropSome(rng, seed)
+		}
+		st := newSearchState(p, seed)
+		check(t, st, trial, -1)
+		for sweep := 0; sweep < 4; sweep++ {
+			for _, x := range st.elems {
+				st.improveElement(x)
+				check(t, st, trial, sweep)
+			}
+		}
+	}
+}

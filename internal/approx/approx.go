@@ -1,0 +1,57 @@
+// Package approx is the matrix-free approximation tier: aggregation
+// algorithms that never build or consult the O(n²) pairwise
+// disagreement-count matrix, so they keep working on universes far past the
+// matrix tier's memory ceiling (n ≈ 10⁴–10⁵ at 2–12 bytes per pair).
+//
+// Two algorithm families are registered, both O(m·n log n) time and O(n)
+// working memory per ranking:
+//
+//   - "lehmer" — Lehmer-code aggregation after Li, Mazumdar and Milenkovic
+//     ("Efficient Rank Aggregation via Lehmer Codes"): each ranking becomes a
+//     ties-aware inversion vector, the vectors are aggregated coordinate-wise
+//     by median, and the median vector decodes back into a permutation.
+//   - "avgrank" / "scores" — score-based top-list aggregation after Mathieu
+//     and Mauras ("How to aggregate Top-lists"): elements are ordered by
+//     their summed (average) rank, with ties for exactly equal sums. The two
+//     differ only in where they place elements missing from a ranking.
+//
+// Unlike the exact tier, these algorithms accept incomplete datasets
+// directly: an element absent from a ranking is treated as tied with every
+// other absent element in a virtual bucket after the last real one — the
+// unified incomplete-ranking model of the paper — so top-k lists aggregate
+// without a normalization pass. The price is approximation: the consensus
+// minimizes a surrogate objective (inversion-vector distance, summed rank),
+// not the generalized Kemeny score itself. internal/eval's approx harness
+// measures the gap against the exact tier on small universes.
+package approx
+
+import (
+	"rankagg/internal/core"
+	"rankagg/internal/rankings"
+)
+
+// CheckInput validates a dataset for matrix-free aggregation. Unlike
+// core.CheckInput it accepts incomplete datasets — absent elements fall
+// into the unified model's virtual last bucket — which is the point of the
+// tier: top-k lists aggregate as-is.
+func CheckInput(d *rankings.Dataset) error {
+	if d == nil || d.M() == 0 || d.N == 0 {
+		return core.ErrEmpty
+	}
+	return d.Validate()
+}
+
+// Default picks the approximation algorithm for a dataset the admission
+// router is diverting to this tier: "lehmer" when every ranking is a strict
+// (possibly partial) permutation — the Lehmer code's home turf, and the
+// shape top-k lists arrive in — and "avgrank" when ties are present, where
+// the decoded permutation would have to break every tie arbitrarily while
+// average-rank aggregation keeps exactly-tied elements tied.
+func Default(d *rankings.Dataset) string {
+	for _, r := range d.Rankings {
+		if !r.IsPermutation() {
+			return "avgrank"
+		}
+	}
+	return "lehmer"
+}

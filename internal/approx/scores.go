@@ -1,0 +1,109 @@
+package approx
+
+import (
+	"sort"
+
+	"rankagg/internal/core"
+	"rankagg/internal/rankings"
+)
+
+func init() {
+	core.Register("avgrank", func() core.Aggregator { return ScoreRank{} })
+	core.Register("scores", func() core.Aggregator { return ScoreRank{Optimistic: true} })
+}
+
+// ScoreRank aggregates by summed rank position: every element accumulates
+// its (doubled, to stay integral) rank across the rankings and the
+// consensus orders elements by ascending sum, tying elements whose sums are
+// exactly equal. On complete datasets this is average-rank aggregation —
+// the footrule-flavored approximation of Mathieu/Mauras — and the two
+// registered variants coincide; they differ only in the rank charged to an
+// element ABSENT from a ranking of length L over a universe of n:
+//
+//   - "avgrank" (Optimistic=false) charges the midpoint of the unseen tail,
+//     doubled rank n+L+1: exactly the unified model's virtual last bucket,
+//     where every absent element is tied at the average of the remaining
+//     positions.
+//   - "scores" (Optimistic=true) charges position L+1 (doubled rank
+//     2(L+1)): one past the end of the list, the optimistic "it just missed
+//     the cutoff" score of top-k list aggregation — absent elements are not
+//     pushed to the bottom of a huge universe by rankings that never
+//     considered them.
+//
+// Inside one bucket of size c starting at 1-based position p the doubled
+// rank is 2p+c−1 (twice the average of positions p..p+c−1), so ties are
+// exact integer arithmetic with no float comparison anywhere.
+type ScoreRank struct {
+	// Optimistic selects the "scores" absent-element rule (see above).
+	Optimistic bool
+}
+
+// Name implements core.Aggregator.
+func (s ScoreRank) Name() string {
+	if s.Optimistic {
+		return "scores"
+	}
+	return "avgrank"
+}
+
+// MatrixFree marks the algorithm for the approximation tier
+// (core.MatrixFreeAggregator): no pair matrix is ever built or read.
+func (ScoreRank) MatrixFree() {}
+
+// Aggregate implements core.Aggregator. O(m·n + n log n) time, O(n)
+// memory: one int64 accumulator per element and one sort.
+func (s ScoreRank) Aggregate(d *rankings.Dataset) (*rankings.Ranking, error) {
+	if err := CheckInput(d); err != nil {
+		return nil, err
+	}
+	n := d.N
+	total := make([]int64, n)
+	seen := make([]bool, n)
+	for _, r := range d.Rankings {
+		for i := range seen {
+			seen[i] = false
+		}
+		p := 1
+		for _, b := range r.Buckets {
+			dr := int64(2*p + len(b) - 1)
+			for _, e := range b {
+				total[e] += dr
+				seen[e] = true
+			}
+			p += len(b)
+		}
+		if l := p - 1; l < n {
+			absent := int64(n + l + 1)
+			if s.Optimistic {
+				absent = int64(2 * (l + 1))
+			}
+			for e, ok := range seen {
+				if !ok {
+					total[e] += absent
+				}
+			}
+		}
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	// Ascending sum; element ID breaks ordering (not bucket) ties for
+	// determinism — equal sums still land in one shared bucket below.
+	sort.Slice(order, func(i, j int) bool {
+		if total[order[i]] != total[order[j]] {
+			return total[order[i]] < total[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	var out rankings.Ranking
+	for i := 0; i < n; {
+		j := i + 1
+		for j < n && total[order[j]] == total[order[i]] {
+			j++
+		}
+		out.Buckets = append(out.Buckets, append([]int(nil), order[i:j]...))
+		i = j
+	}
+	return &out, nil
+}

@@ -58,6 +58,27 @@ type ExactPairsAggregator interface {
 	AggregateExactWithPairs(d *rankings.Dataset, p *kendall.Pairs) (*rankings.Ranking, bool, error)
 }
 
+// MatrixFreeAggregator marks the approximation tier (internal/approx):
+// algorithms whose whole run never builds or reads an O(n²) pair matrix, so
+// callers holding one universe too large for the matrix tier can still
+// aggregate. The marker is a promise about resources, not a capability
+// method — matrix-free algorithms also accept incomplete datasets (the
+// unified virtual-last-bucket model) where Aggregate's usual contract
+// demands completeness.
+type MatrixFreeAggregator interface {
+	Aggregator
+	// MatrixFree is the marker method; implementations are empty.
+	MatrixFree()
+}
+
+// IsMatrixFree reports whether a belongs to the matrix-free approximation
+// tier. Session and server admission routing branch on it: no pair-matrix
+// build, no WithPairs, scores computed ranking-by-ranking instead.
+func IsMatrixFree(a Aggregator) bool {
+	_, ok := a.(MatrixFreeAggregator)
+	return ok
+}
+
 // AggregateWithPairs runs a on d, handing it the prebuilt pair matrix p when
 // the algorithm can consume one; algorithms without pair-matrix support (or
 // a nil p) fall back to plain Aggregate. p, when non-nil, must be the pair

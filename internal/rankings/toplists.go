@@ -1,0 +1,72 @@
+package rankings
+
+import "fmt"
+
+// TopListsWire is the wire form of a top-k list collection: each list is an
+// ordered best-to-worst array of element IDs — a strict prefix of a
+// permutation, the "top-k list" model of incomplete rankings. It is the
+// compact input shape of the matrix-free approximation tier: a million-user
+// service posts each user's top 10, not a million-element bucket order.
+//
+// Decode returns an incomplete dataset — each list becomes a ranking of
+// singleton buckets over just its own elements — which the approximation
+// tier aggregates directly (absent elements fall into the unified model's
+// virtual last bucket); the exact tier would demand normalization first.
+type TopListsWire struct {
+	// N is the universe size; 0 infers it from the largest element ID and
+	// the name count, like DatasetWire.
+	N int `json:"n,omitempty"`
+	// Names optionally names the universe (index = element ID).
+	Names []string `json:"names,omitempty"`
+	// TopLists holds one ID list per voter, best first, no duplicates
+	// within a list.
+	TopLists [][]int `json:"toplists"`
+}
+
+// Decode validates the wire form and returns the (typically incomplete)
+// dataset, plus the universe when the payload carried names (nil
+// otherwise).
+func (w *TopListsWire) Decode() (*Dataset, *Universe, error) {
+	if len(w.TopLists) == 0 {
+		return nil, nil, ErrNoRankings
+	}
+	rks := make([]*Ranking, len(w.TopLists))
+	for i, list := range w.TopLists {
+		if len(list) == 0 {
+			return nil, nil, fmt.Errorf("rankings: top-list %d is empty", i)
+		}
+		rks[i] = FromPermutation(list)
+		if err := rks[i].Validate(); err != nil {
+			return nil, nil, fmt.Errorf("rankings: top-list %d: %w", i, err)
+		}
+	}
+	n := w.N
+	if n == 0 {
+		for _, r := range rks {
+			if m := r.MaxElement() + 1; m > n {
+				n = m
+			}
+		}
+		if len(w.Names) > n {
+			n = len(w.Names)
+		}
+	}
+	d := &Dataset{N: n, Rankings: rks}
+	if err := d.Validate(); err != nil {
+		return nil, nil, err
+	}
+	var u *Universe
+	if len(w.Names) > 0 {
+		if len(w.Names) != n {
+			return nil, nil, fmt.Errorf("rankings: %d names for %d elements", len(w.Names), n)
+		}
+		u = NewUniverse()
+		for _, nm := range w.Names {
+			u.ID(nm)
+		}
+		if u.Size() != n {
+			return nil, nil, fmt.Errorf("rankings: duplicate names in top-lists payload")
+		}
+	}
+	return d, u, nil
+}

@@ -1,0 +1,70 @@
+package rankings
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestTopListsDecode(t *testing.T) {
+	w := TopListsWire{TopLists: [][]int{{3, 0}, {1, 2, 0}}}
+	d, u, err := w.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u != nil {
+		t.Error("universe from a nameless payload")
+	}
+	if d.N != 4 {
+		t.Errorf("inferred N = %d, want 4", d.N)
+	}
+	if d.Complete() {
+		t.Error("top-lists decoded as a complete dataset")
+	}
+	want := FromPermutation([]int{3, 0})
+	if !d.Rankings[0].Equal(want) {
+		t.Errorf("ranking 0 = %v, want %v", d.Rankings[0], want)
+	}
+	for i, r := range d.Rankings {
+		if !r.IsPermutation() {
+			t.Errorf("ranking %d is not a strict list: %v", i, r)
+		}
+	}
+}
+
+func TestTopListsDecodeNames(t *testing.T) {
+	w := TopListsWire{
+		Names:    []string{"A", "B", "C"},
+		TopLists: [][]int{{2, 1}},
+	}
+	d, u, err := w.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N != 3 || u == nil || u.Name(2) != "C" {
+		t.Errorf("decode: n=%d u=%v", d.N, u)
+	}
+	if _, _, err := (&TopListsWire{Names: []string{"A"}, TopLists: [][]int{{0, 1}}}).Decode(); err == nil {
+		t.Error("name/universe size mismatch accepted")
+	}
+	if _, _, err := (&TopListsWire{Names: []string{"A", "A"}, TopLists: [][]int{{0, 1}}}).Decode(); err == nil {
+		t.Error("duplicate names accepted")
+	}
+}
+
+func TestTopListsDecodeErrors(t *testing.T) {
+	if _, _, err := (&TopListsWire{}).Decode(); !errors.Is(err, ErrNoRankings) {
+		t.Errorf("empty payload: %v, want ErrNoRankings", err)
+	}
+	if _, _, err := (&TopListsWire{TopLists: [][]int{{}}}).Decode(); err == nil {
+		t.Error("empty list accepted")
+	}
+	if _, _, err := (&TopListsWire{TopLists: [][]int{{1, 1}}}).Decode(); err == nil {
+		t.Error("duplicate element accepted")
+	}
+	if _, _, err := (&TopListsWire{TopLists: [][]int{{-1}}}).Decode(); err == nil {
+		t.Error("negative ID accepted")
+	}
+	if _, _, err := (&TopListsWire{N: 2, TopLists: [][]int{{0, 5}}}).Decode(); err == nil {
+		t.Error("ID past the declared universe accepted")
+	}
+}

@@ -1,0 +1,242 @@
+package server_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"rankagg"
+	"rankagg/internal/rankings"
+	"rankagg/internal/server"
+)
+
+// decodeJSON unmarshals a response body or fails the test.
+func decodeJSON(t *testing.T, data []byte, v any) {
+	t.Helper()
+	if err := json.Unmarshal(data, v); err != nil {
+		t.Fatalf("invalid response JSON: %v (%s)", err, data)
+	}
+}
+
+// scrape fetches /metrics and returns the exposition text.
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	return string(data)
+}
+
+// overBudgetRequest is a complete permutation dataset whose projected
+// matrix exceeds a MaxElements=8 byte budget in every storage mode
+// (n = 64 → 8192 bytes even at auto's 2 bytes/pair, vs the 768 budget).
+func overBudgetRequest(algorithm string) server.AggregateRequest {
+	perm := identityPerm(64)
+	rev := make([]int, 64)
+	for i := range rev {
+		rev[i] = 63 - i
+	}
+	return server.AggregateRequest{
+		Algorithm: algorithm,
+		DatasetWire: rankings.DatasetWire{
+			N:        64,
+			Rankings: []*rankings.Ranking{rankings.FromPermutation(perm), rankings.FromPermutation(rev)},
+		},
+	}
+}
+
+// TestApproxRouting: under the default auto mode an over-budget dataset is
+// served by the matrix-free tier — 200 with approx: true, a substituted
+// algorithm, the tier header, the routed counter — and never touches the
+// session cache.
+func TestApproxRouting(t *testing.T) {
+	s, ts := newTestServer(t, server.Config{MaxElements: 8})
+	resp, data := postAggregate(t, ts.URL, overBudgetRequest("BioConsert"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("over-budget POST under auto: %d %s, want 200", resp.StatusCode, data)
+	}
+	var out server.AggregateResponse
+	decodeJSON(t, data, &out)
+	if !out.Approx {
+		t.Error("routed response missing approx: true")
+	}
+	if out.Algorithm != "lehmer" {
+		t.Errorf("substituted algorithm %q, want lehmer for a permutation dataset", out.Algorithm)
+	}
+	if got := resp.Header.Get("X-Rankagg-Tier"); got != "approx" {
+		t.Errorf("X-Rankagg-Tier = %q, want approx", got)
+	}
+	if out.N != 64 || out.M != 2 {
+		t.Errorf("response n=%d m=%d, want 64/2", out.N, out.M)
+	}
+	if st := s.CacheStats(); st.Entries != 0 || st.Builds != 0 {
+		t.Errorf("approx-routed request touched the session cache: %+v", st)
+	}
+	text := scrape(t, ts.URL)
+	for _, want := range []string{
+		"rankagg_approx_requests_total 1",
+		"rankagg_approx_routed_total 1",
+		`rankagg_admission_rejected_total{reason="matrix-budget"} 0`,
+		`rankagg_approx_mode{mode="auto"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestApproxExplicitRequest: asking for a matrix-free algorithm by name is
+// approx-tier in every mode — including off — and does not count as
+// routed.
+func TestApproxExplicitRequest(t *testing.T) {
+	for _, mode := range []server.ApproxMode{server.ApproxAuto, server.ApproxOff} {
+		s, ts := newTestServer(t, server.Config{ApproxMode: mode})
+		resp, data := postAggregate(t, ts.URL, smallRequest("avgrank"))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("mode %v: explicit avgrank: %d %s", mode, resp.StatusCode, data)
+		}
+		var out server.AggregateResponse
+		decodeJSON(t, data, &out)
+		if !out.Approx || out.Algorithm != "avgrank" {
+			t.Errorf("mode %v: approx=%v algorithm=%q", mode, out.Approx, out.Algorithm)
+		}
+		// The names of smallRequest must flow through the approx leg too.
+		if len(out.ConsensusNames) == 0 {
+			t.Errorf("mode %v: consensus_names missing", mode)
+		}
+		if st := s.CacheStats(); st.Entries != 0 {
+			t.Errorf("mode %v: explicit approx request cached a session", mode)
+		}
+		text := scrape(t, ts.URL)
+		if !strings.Contains(text, "rankagg_approx_requests_total 1") {
+			t.Errorf("mode %v: approx request not counted", mode)
+		}
+		if !strings.Contains(text, "rankagg_approx_routed_total 0") {
+			t.Errorf("mode %v: explicit request counted as routed", mode)
+		}
+	}
+}
+
+// TestApproxForce: force mode serves even a tiny in-budget dataset
+// matrix-free with a substituted algorithm.
+func TestApproxForce(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{ApproxMode: server.ApproxForce})
+	resp, data := postAggregate(t, ts.URL, smallRequest("BioConsert"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("force mode: %d %s", resp.StatusCode, data)
+	}
+	var out server.AggregateResponse
+	decodeJSON(t, data, &out)
+	// smallRequest has tied buckets, so the substitution picks avgrank.
+	if !out.Approx || out.Algorithm != "avgrank" {
+		t.Errorf("force mode: approx=%v algorithm=%q, want avgrank", out.Approx, out.Algorithm)
+	}
+}
+
+// TestApproxOffRejects: with routing off the over-budget dataset 413s and
+// the rejection is visible in rankagg_admission_rejected_total.
+func TestApproxOffRejects(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{MaxElements: 8, ApproxMode: server.ApproxOff})
+	resp, data := postAggregate(t, ts.URL, overBudgetRequest("BioConsert"))
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("over-budget POST under off: %d %s, want 413", resp.StatusCode, data)
+	}
+	text := scrape(t, ts.URL)
+	for _, want := range []string{
+		`rankagg_admission_rejected_total{reason="matrix-budget"} 1`,
+		"rankagg_approx_routed_total 0",
+		`rankagg_approx_mode{mode="off"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestTopListsEndToEnd: a "toplists" payload is served by the approx tier
+// with names resolved, an exact-algorithm request substituted, and the
+// rankings/toplists exclusivity enforced.
+func TestTopListsEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{})
+	req := server.AggregateRequest{
+		Algorithm: "BioConsert", // substituted: top-lists are incomplete
+		TopLists:  [][]int{{0, 1}, {0, 2}, {1, 0}},
+	}
+	req.Names = []string{"A", "B", "C"}
+	resp, data := postAggregate(t, ts.URL, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("toplists POST: %d %s", resp.StatusCode, data)
+	}
+	var out server.AggregateResponse
+	decodeJSON(t, data, &out)
+	if !out.Approx {
+		t.Error("toplists response missing approx: true")
+	}
+	if out.Algorithm != "lehmer" {
+		t.Errorf("substituted algorithm %q, want lehmer for strict lists", out.Algorithm)
+	}
+	if out.N != 3 || out.M != 3 {
+		t.Errorf("n=%d m=%d, want 3/3", out.N, out.M)
+	}
+	if len(out.ConsensusNames) == 0 || out.ConsensusNames[0][0] != "A" {
+		t.Errorf("consensus_names = %v, want A ranked first", out.ConsensusNames)
+	}
+
+	// Explicit approx algorithm on top-lists needs no substitution.
+	resp, data = postAggregate(t, ts.URL, server.AggregateRequest{Algorithm: "scores", TopLists: [][]int{{1, 0}, {1, 2}}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("toplists + scores: %d %s", resp.StatusCode, data)
+	}
+
+	// Both dataset shapes at once is a client error.
+	both := smallRequest("avgrank")
+	both.TopLists = [][]int{{0, 1}}
+	if resp, data = postAggregate(t, ts.URL, both); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("rankings+toplists: %d %s, want 400", resp.StatusCode, data)
+	}
+
+	// Structurally invalid lists are 400.
+	if resp, data = postAggregate(t, ts.URL, server.AggregateRequest{Algorithm: "lehmer", TopLists: [][]int{{0, 0}}}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("duplicate in toplist: %d %s, want 400", resp.StatusCode, data)
+	}
+}
+
+// TestTopListsOffMode: with substitution off, a top-lists payload must
+// name a matrix-free algorithm — an exact one is a 400, not a silent
+// divert.
+func TestTopListsOffMode(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{ApproxMode: server.ApproxOff})
+	req := server.AggregateRequest{Algorithm: "BioConsert", TopLists: [][]int{{0, 1}, {2, 0}}}
+	resp, data := postAggregate(t, ts.URL, req)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("toplists + exact algorithm under off: %d %s, want 400", resp.StatusCode, data)
+	}
+	req.Algorithm = "lehmer"
+	if resp, data = postAggregate(t, ts.URL, req); resp.StatusCode != http.StatusOK {
+		t.Fatalf("toplists + lehmer under off: %d %s, want 200", resp.StatusCode, data)
+	}
+}
+
+// TestApproxScoreMatchesRecompute: the routed response's score is the real
+// generalized Kemeny score of the returned consensus against the posted
+// dataset — computed matrix-free, verified here against the public
+// recompute.
+func TestApproxScoreMatchesRecompute(t *testing.T) {
+	_, ts := newTestServer(t, server.Config{MaxElements: 8})
+	req := overBudgetRequest("lehmer")
+	resp, data := postAggregate(t, ts.URL, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST: %d %s", resp.StatusCode, data)
+	}
+	var out server.AggregateResponse
+	decodeJSON(t, data, &out)
+	d := rankings.NewDataset(64, req.Rankings...)
+	if want := rankagg.Score(out.Consensus, d); out.Score != want {
+		t.Errorf("score %d, recomputed %d", out.Score, want)
+	}
+}

@@ -1,0 +1,49 @@
+package server
+
+import "fmt"
+
+// ApproxMode governs the admission router's use of the matrix-free
+// approximation tier (the -approx-mode flag). Explicitly requested approx
+// algorithms (lehmer, avgrank, scores) run in every mode — they are
+// registered algorithms like any other; the mode only controls when the
+// server SUBSTITUTES the tier for requests that asked for something else.
+type ApproxMode int
+
+const (
+	// ApproxAuto, the default, diverts to the approximation tier the
+	// requests the exact tier would reject: datasets whose projected pair
+	// matrix exceeds the -max-elements byte budget (previously a 413), and
+	// top-list payloads (incomplete by construction). The substituted
+	// algorithm is rankagg.ApproxDefault's pick for the dataset's shape.
+	ApproxAuto ApproxMode = iota
+	// ApproxForce serves every aggregation matrix-free regardless of size —
+	// load shedding, and A/B measurement of the tier against exact answers.
+	ApproxForce
+	// ApproxOff disables substitution: over-budget datasets are rejected
+	// with 413 and top-list payloads with 400, exactly as if the tier's
+	// routing did not exist.
+	ApproxOff
+)
+
+// ParseApproxMode parses the flag/wire spelling: "auto", "force" or "off".
+func ParseApproxMode(s string) (ApproxMode, error) {
+	switch s {
+	case "", "auto":
+		return ApproxAuto, nil
+	case "force":
+		return ApproxForce, nil
+	case "off":
+		return ApproxOff, nil
+	}
+	return ApproxAuto, fmt.Errorf("server: unknown approx mode %q (want auto, force or off)", s)
+}
+
+func (m ApproxMode) String() string {
+	switch m {
+	case ApproxForce:
+		return "force"
+	case ApproxOff:
+		return "off"
+	}
+	return "auto"
+}

@@ -16,15 +16,20 @@ import (
 type metrics struct {
 	start      time.Time
 	matrixMode string // the -matrix-mode label, fixed at startup
+	approxMode string // the -approx-mode label, fixed at startup
 
-	inFlight     atomic.Int64 // aggregation requests currently executing
-	tokensInUse  atomic.Int64 // worker tokens currently held by requests
-	cancels      atomic.Int64 // runs aborted by client disconnect
-	deadlineHits atomic.Int64 // runs that returned an incumbent on deadline
-	queueRejects atomic.Int64 // requests whose budget expired waiting for a worker token
-	deltaApplied atomic.Int64 // PATCH deltas applied to a cached session (O(n²) instead of a rebuild)
-	deltaMisses  atomic.Int64 // PATCH requests whose base dataset was not cached (client falls back to a full POST)
-	matrixBytes  atomic.Int64 // backing bytes of the most recently built (or PATCHed) pair matrix
+	inFlight       atomic.Int64 // aggregation requests currently executing
+	tokensInUse    atomic.Int64 // worker tokens currently held by requests
+	cancels        atomic.Int64 // runs aborted by client disconnect
+	deadlineHits   atomic.Int64 // runs that returned an incumbent on deadline
+	queueRejects   atomic.Int64 // requests whose budget expired waiting for a worker token
+	deltaApplied   atomic.Int64 // PATCH deltas applied to a cached session (O(n²) instead of a rebuild)
+	deltaMisses    atomic.Int64 // PATCH requests whose base dataset was not cached (client falls back to a full POST)
+	matrixBytes    atomic.Int64 // backing bytes of the most recently built (or PATCHed) pair matrix
+	approxRequests atomic.Int64 // aggregations served by the matrix-free approximation tier (requested or routed)
+	approxRouted   atomic.Int64 // over-budget aggregations the admission router diverted to the approx tier instead of 413ing
+	rejectedMatrix atomic.Int64 // POSTs 413ed because the projected pair matrix exceeds the byte budget
+	rejectedDelta  atomic.Int64 // PATCHes 413ed because the delta would promote the matrix past the byte budget
 
 	mu       sync.Mutex
 	requests map[reqKey]int64   // (endpoint, code) → count
@@ -37,10 +42,11 @@ type reqKey struct {
 	code     int
 }
 
-func newMetrics(matrixMode string) *metrics {
+func newMetrics(matrixMode, approxMode string) *metrics {
 	return &metrics{
 		start:      time.Now(),
 		matrixMode: matrixMode,
+		approxMode: approxMode,
 		requests:   make(map[reqKey]int64),
 		latSum:     make(map[string]float64),
 		latCount:   make(map[string]int64),
@@ -99,6 +105,23 @@ func (m *metrics) write(w io.Writer, extra func(io.Writer)) {
 	fmt.Fprintf(w, "# HELP rankagg_matrix_mode The configured pair-matrix storage mode.\n")
 	fmt.Fprintf(w, "# TYPE rankagg_matrix_mode gauge\n")
 	fmt.Fprintf(w, "rankagg_matrix_mode{mode=%q} 1\n", m.matrixMode)
+
+	fmt.Fprintf(w, "# HELP rankagg_approx_mode The configured approximation-tier admission mode.\n")
+	fmt.Fprintf(w, "# TYPE rankagg_approx_mode gauge\n")
+	fmt.Fprintf(w, "rankagg_approx_mode{mode=%q} 1\n", m.approxMode)
+
+	fmt.Fprintf(w, "# HELP rankagg_approx_requests_total Aggregations served by the matrix-free approximation tier (explicitly requested or routed).\n")
+	fmt.Fprintf(w, "# TYPE rankagg_approx_requests_total counter\n")
+	fmt.Fprintf(w, "rankagg_approx_requests_total %d\n", m.approxRequests.Load())
+
+	fmt.Fprintf(w, "# HELP rankagg_approx_routed_total Over-budget aggregations the admission router diverted to the approximation tier instead of rejecting with 413.\n")
+	fmt.Fprintf(w, "# TYPE rankagg_approx_routed_total counter\n")
+	fmt.Fprintf(w, "rankagg_approx_routed_total %d\n", m.approxRouted.Load())
+
+	fmt.Fprintf(w, "# HELP rankagg_admission_rejected_total Requests rejected with 413 by the matrix byte-budget admission check, by reason.\n")
+	fmt.Fprintf(w, "# TYPE rankagg_admission_rejected_total counter\n")
+	fmt.Fprintf(w, "rankagg_admission_rejected_total{reason=\"matrix-budget\"} %d\n", m.rejectedMatrix.Load())
+	fmt.Fprintf(w, "rankagg_admission_rejected_total{reason=\"delta-budget\"} %d\n", m.rejectedDelta.Load())
 
 	m.mu.Lock()
 	reqKeys := make([]reqKey, 0, len(m.requests))

@@ -403,6 +403,9 @@ func TestPatchRespectsMatrixByteBudget(t *testing.T) {
 	if _, ok := c.Get(hash); !ok {
 		t.Fatal("entry not restored under its old hash after the rejected PATCH")
 	}
+	if text := scrape(t, ts.URL); !strings.Contains(text, `rankagg_admission_rejected_total{reason="delta-budget"} 1`) {
+		t.Errorf("rejected delta not counted in rankagg_admission_rejected_total:\n%s", text)
+	}
 
 	// A delta that stays inside the budget still goes through.
 	resp, data = doPatch(t, ts.URL, hash, server.PatchRequest{Remove: []*rankings.Ranking{other}})

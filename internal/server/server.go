@@ -21,6 +21,19 @@
 // 404 (rankagg_delta_miss_fallback_total) — the client falls back to a
 // full POST.
 //
+// Admission routing: datasets whose projected pair matrix exceeds the
+// -max-elements byte budget are not rejected by default — under
+// -approx-mode auto they are served by the matrix-free approximation tier
+// (lehmer / avgrank / scores, substituted by dataset shape), marked with
+// approx: true and the X-Rankagg-Tier header, and counted in
+// rankagg_approx_routed_total. Top-list payloads ("toplists" instead of
+// "rankings") always run on that tier. -approx-mode force serves every
+// aggregation matrix-free; off restores the 413, counted in
+// rankagg_admission_rejected_total{reason="matrix-budget"}. Approx-tier
+// requests bypass the session cache entirely — there is no matrix to
+// share, and the O(m·n log n) run is cheaper than a cache round-trip for
+// the universes that land there.
+//
 // Request scheduling: every aggregation holds at least one token of a
 // global worker budget (Config.Workers, default NumCPU) for its whole
 // run, so concurrent requests never oversubscribe the CPU. A request
@@ -87,6 +100,12 @@ type Config struct {
 	// value is rankagg.MatrixAuto: the leanest backend each dataset
 	// admits, which multiplies how many sessions CacheBytes holds.
 	MatrixMode rankagg.MatrixMode
+	// ApproxMode governs the admission router's use of the matrix-free
+	// approximation tier (the -approx-mode flag). The zero value is
+	// ApproxAuto: requests whose projected matrix exceeds the byte budget
+	// — and top-list payloads — are served matrix-free instead of
+	// rejected. See ApproxMode's constants.
+	ApproxMode ApproxMode
 	// MaxTimeout caps every request's time budget; it is also the default
 	// for requests that set none (0: 30s).
 	MaxTimeout time.Duration
@@ -107,6 +126,7 @@ type Server struct {
 	maxBody     int64
 	maxElements int
 	matrixMode  rankagg.MatrixMode
+	approxMode  ApproxMode
 	log         *log.Logger
 	metrics     *metrics
 	draining    chan struct{} // closed by Drain
@@ -164,8 +184,9 @@ func New(cfg Config) *Server {
 		maxBody:     maxBody,
 		maxElements: maxElements,
 		matrixMode:  cfg.MatrixMode,
+		approxMode:  cfg.ApproxMode,
 		log:         logger,
-		metrics:     newMetrics(cfg.MatrixMode.String()),
+		metrics:     newMetrics(cfg.MatrixMode.String(), cfg.ApproxMode.String()),
 		draining:    make(chan struct{}),
 	}
 	s.mux = http.NewServeMux()
@@ -200,11 +221,19 @@ func (s *Server) CacheStats() cache.Stats { return s.cache.Stats() }
 
 // AggregateRequest is the POST /v1/aggregate body. The dataset fields are
 // the rankings wire form (rankings.DatasetWire): "rankings" as bucket
-// arrays, optional "n" and "names".
+// arrays, optional "n" and "names" — or "toplists", the approximation
+// tier's compact shape (one best-first ID list per voter).
 type AggregateRequest struct {
 	// Algorithm is a registered algorithm name (GET /v1/algorithms).
 	Algorithm string `json:"algorithm"`
 	rankings.DatasetWire
+	// TopLists carries the dataset as top-k lists instead of "rankings":
+	// one ordered best-to-worst element-ID list per voter, no ties, each
+	// covering only the elements that voter ranked (rankings.TopListsWire).
+	// The decoded dataset is incomplete, so it is served by the matrix-free
+	// approximation tier: a non-approx Algorithm is substituted (400 under
+	// -approx-mode off). Mutually exclusive with "rankings".
+	TopLists [][]int `json:"toplists,omitempty"`
 	// TimeoutMS bounds the run in milliseconds; it is clamped to the
 	// server's max budget, which also applies when the field is absent. On
 	// expiry the best incumbent is returned with deadline_hit set.
@@ -231,10 +260,17 @@ type AggregateResponse struct {
 	DatasetHash    string            `json:"dataset_hash"`
 	// CacheHit reports that the dataset's session (and pair matrix) was
 	// already cached when the request arrived.
-	CacheHit bool                `json:"cache_hit"`
-	N        int                 `json:"n"`
-	M        int                 `json:"m"`
-	Stats    rankagg.SearchStats `json:"stats"`
+	CacheHit bool `json:"cache_hit"`
+	// Approx reports the consensus came from the matrix-free approximation
+	// tier: no pair matrix was built, the score was computed per ranking,
+	// and the algorithm may differ from the requested one (admission
+	// routing substitutes rankagg.ApproxDefault's pick — Algorithm carries
+	// what actually ran). The X-Rankagg-Tier response header says the same
+	// ("approx" / "exact") without parsing the body.
+	Approx bool                `json:"approx,omitempty"`
+	N      int                 `json:"n"`
+	M      int                 `json:"m"`
+	Stats  rankagg.SearchStats `json:"stats"`
 }
 
 // errorResponse is the body of every non-2xx reply.
@@ -299,24 +335,72 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	d, u, err := req.DatasetWire.Decode()
+	var (
+		d   *rankings.Dataset
+		u   *rankings.Universe
+		err error
+	)
+	fromTopLists := len(req.TopLists) > 0
+	if fromTopLists {
+		if len(req.Rankings) > 0 {
+			s.writeError(w, http.StatusBadRequest, "supply \"rankings\" or \"toplists\", not both")
+			return
+		}
+		tw := rankings.TopListsWire{N: req.N, Names: req.Names, TopLists: req.TopLists}
+		d, u, err = tw.Decode()
+	} else {
+		d, u, err = req.DatasetWire.Decode()
+	}
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	// A tiny body can declare a huge universe, and the O(n²) matrix build
-	// is neither budgeted by the cache (entries are weighed after the
-	// build) nor cancellable — bound it before any allocation. The budget
-	// is what an int32 matrix of -max-elements elements would cost, and
-	// each request is charged its REAL projected bytes under the server's
-	// matrix mode: leaner representations admit the larger universes the
-	// fixed-n cap used to reject.
-	if s.maxElements > 0 {
-		budget := 3 * 4 * int64(s.maxElements) * int64(s.maxElements)
-		need := rankagg.PredictMatrixBytes(s.matrixMode, d.N, d.M(), d.Complete())
-		if need > budget {
+
+	// Tier admission. Requests for a matrix-free algorithm are approx-tier
+	// by definition; top-list payloads decode to incomplete datasets only
+	// that tier can serve; and everything else is admitted to the exact
+	// tier only if its projected pair matrix fits the byte budget — a tiny
+	// body can declare a huge universe, and the O(n²) build is neither
+	// budgeted by the cache (entries are weighed after the build) nor
+	// cancellable, so the check runs before any allocation. The budget is
+	// what an int32 matrix of -max-elements elements would cost; each
+	// request is charged its REAL projected bytes under the server's
+	// matrix mode. Over-budget datasets are diverted to the matrix-free
+	// tier under -approx-mode auto (routed, with a substituted algorithm)
+	// and rejected with 413 under off.
+	runName := req.Algorithm
+	approxTier := rankagg.MatrixFree(runName)
+	routed := false
+	if !approxTier && fromTopLists {
+		if s.approxMode == ApproxOff {
+			s.writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("top-lists decode to an incomplete dataset only the approximation tier serves, and -approx-mode off disables substituting it for %q: request a matrix-free algorithm (lehmer, avgrank, scores) or POST normalized \"rankings\"", runName))
+			return
+		}
+		approxTier = true
+		runName = rankagg.ApproxDefault(d)
+	}
+	if !approxTier {
+		overBudget := false
+		var need, budget int64
+		if s.maxElements > 0 {
+			budget = 3 * 4 * int64(s.maxElements) * int64(s.maxElements)
+			need = rankagg.PredictMatrixBytes(s.matrixMode, d.N, d.M(), d.Complete())
+			overBudget = need > budget
+		}
+		switch {
+		case s.approxMode == ApproxForce:
+			approxTier = true
+			routed = overBudget
+			runName = rankagg.ApproxDefault(d)
+		case overBudget && s.approxMode == ApproxAuto:
+			approxTier = true
+			routed = true
+			runName = rankagg.ApproxDefault(d)
+		case overBudget:
+			s.metrics.rejectedMatrix.Add(1)
 			s.writeError(w, http.StatusRequestEntityTooLarge,
-				fmt.Sprintf("dataset has %d elements and its %s pair matrix would need %d bytes; the server cap is %d elements at int32's 12 bytes/pair (%d bytes) — shrink the dataset or raise -max-elements",
+				fmt.Sprintf("dataset has %d elements and its %s pair matrix would need %d bytes; the server cap is %d elements at int32's 12 bytes/pair (%d bytes) — shrink the dataset, raise -max-elements, or serve it matrix-free (-approx-mode auto)",
 					d.N, s.matrixMode, need, s.maxElements, budget))
 			return
 		}
@@ -351,6 +435,11 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 
 	s.metrics.inFlight.Add(1)
 	defer s.metrics.inFlight.Add(-1)
+
+	if approxTier {
+		s.serveApprox(ctx, w, &req, d, u, runName, routed, tokens)
+		return
+	}
 
 	start := time.Now()
 	hash := d.Hash()
@@ -441,6 +530,60 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 	if u != nil {
 		resp.ConsensusNames = rankings.BucketNames(res.Consensus, u)
 	}
+	w.Header().Set("X-Rankagg-Tier", "exact")
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// serveApprox is the matrix-free leg of handleAggregate: the dataset never
+// touches the session cache (there is no matrix to share and nothing
+// O(n²) to amortize — the run IS the cheap part), runName is the
+// algorithm that actually executes (the requested one, or the admission
+// router's substitution), and the response is marked with approx: true
+// plus the X-Rankagg-Tier header. The worker tokens are already held by
+// the caller and released when it returns.
+func (s *Server) serveApprox(ctx context.Context, w http.ResponseWriter, req *AggregateRequest, d *rankings.Dataset, u *rankings.Universe, runName string, routed bool, tokens int) {
+	s.metrics.approxRequests.Add(1)
+	if routed {
+		s.metrics.approxRouted.Add(1)
+	}
+	start := time.Now()
+	opts := []rankagg.Option{rankagg.WithWorkers(tokens)}
+	if req.Seed != nil {
+		opts = append(opts, rankagg.WithSeed(*req.Seed))
+	}
+	if req.Restarts > 0 {
+		opts = append(opts, rankagg.WithRestarts(req.Restarts))
+	}
+	res, err := rankagg.RunMatrixFree(ctx, runName, d, opts...)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			s.metrics.cancels.Add(1)
+			w.WriteHeader(statusClientClosedRequest)
+			return
+		}
+		s.log.Printf("approx aggregate %s: %v", runName, err)
+		s.writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	if res.DeadlineHit {
+		s.metrics.deadlineHits.Add(1)
+	}
+	resp := AggregateResponse{
+		Algorithm:   res.Algorithm,
+		Consensus:   res.Consensus,
+		Score:       res.Score,
+		DeadlineHit: res.DeadlineHit,
+		ElapsedMS:   float64(time.Since(start).Nanoseconds()) / 1e6,
+		DatasetHash: d.Hash(),
+		Approx:      true,
+		N:           d.N,
+		M:           d.M(),
+		Stats:       res.Stats,
+	}
+	if u != nil {
+		resp.ConsensusNames = rankings.BucketNames(res.Consensus, u)
+	}
+	w.Header().Set("X-Rankagg-Tier", "approx")
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
@@ -544,6 +687,7 @@ func (s *Server) handlePatchDataset(w http.ResponseWriter, r *http.Request) {
 			code = http.StatusConflict
 		case errors.Is(err, errMatrixBudget):
 			code = http.StatusRequestEntityTooLarge
+			s.metrics.rejectedDelta.Add(1)
 		}
 		s.writeError(w, code, err.Error())
 		return

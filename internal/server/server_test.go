@@ -160,12 +160,15 @@ func TestAggregateErrorPaths(t *testing.T) {
 	}
 }
 
-// TestMaxElementsGuard: a tiny body declaring a huge universe must be
-// rejected before the uncancellable O(n²) matrix allocation. The cap is a
-// byte budget (what an int32 matrix of -max-elements elements would cost)
+// TestMaxElementsGuard: a tiny body declaring a huge universe must not
+// reach the uncancellable O(n²) matrix allocation. The cap is a byte
+// budget (what an int32 matrix of -max-elements elements would cost)
 // charged at each request's real projected bytes: pinning int32 keeps the
 // historical exact-n cap, while the compact auto backends admit the same
 // dataset inside the same budget — the capacity the leaner storage buys.
+// Under -approx-mode off the over-budget request is rejected with 413;
+// the default auto mode routes it to the matrix-free tier instead (see
+// approx_test.go).
 func TestMaxElementsGuard(t *testing.T) {
 	wire := rankings.DatasetWire{
 		N: 10,
@@ -177,7 +180,7 @@ func TestMaxElementsGuard(t *testing.T) {
 	req := server.AggregateRequest{Algorithm: "BioConsert", DatasetWire: wire}
 
 	// int32 mode: n = 10 needs 1200 bytes, over the 12·8² = 768 budget.
-	_, ts := newTestServer(t, server.Config{MaxElements: 8, MatrixMode: rankagg.MatrixInt32})
+	_, ts := newTestServer(t, server.Config{MaxElements: 8, MatrixMode: rankagg.MatrixInt32, ApproxMode: server.ApproxOff})
 	resp, data := postAggregate(t, ts.URL, req)
 	if resp.StatusCode != http.StatusRequestEntityTooLarge {
 		t.Fatalf("oversized dataset: %d %s, want 413", resp.StatusCode, data)
@@ -187,14 +190,19 @@ func TestMaxElementsGuard(t *testing.T) {
 	}
 
 	// Auto mode: the complete 2-ranking dataset resolves to int8 tiled +
-	// derived-tied — 200 bytes, inside the same budget — and is served.
-	_, ts = newTestServer(t, server.Config{MaxElements: 8})
+	// derived-tied — 200 bytes, inside the same budget — and is served
+	// exactly.
+	_, ts = newTestServer(t, server.Config{MaxElements: 8, ApproxMode: server.ApproxOff})
 	resp, data = postAggregate(t, ts.URL, req)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("compact dataset within byte budget: %d %s, want 200", resp.StatusCode, data)
 	}
+	if resp.Header.Get("X-Rankagg-Tier") != "exact" {
+		t.Errorf("in-budget request tier = %q, want exact", resp.Header.Get("X-Rankagg-Tier"))
+	}
 
-	// A universe too large even for the compact layout still 413s.
+	// A universe too large even for the compact layout still 413s with
+	// routing off.
 	big := server.AggregateRequest{Algorithm: "BioConsert", DatasetWire: rankings.DatasetWire{N: 64}}
 	big.Rankings = []*rankings.Ranking{rankings.FromPermutation(identityPerm(64))}
 	resp, data = postAggregate(t, ts.URL, big)

@@ -47,11 +47,24 @@
 // Datasets whose rankings cover different element sets must first be
 // normalized with Unify, UnifyBroken, or Project (Section 5.1 of the
 // paper).
+//
+// # Approximation tier
+//
+// Three matrix-free algorithms — lehmer (Lehmer-code median aggregation),
+// avgrank and scores (summed average-rank aggregation, differing in how
+// they charge elements missing from a ranking) — run in O(m·n log n) with
+// O(n) working memory per ranking and never build the O(n²) pair matrix,
+// so they keep working on universes far past the matrix tier's ceiling.
+// They also accept incomplete datasets (top-k lists) directly. Session.Run
+// reports their results with Result.Approx set; MatrixFree tells callers
+// which tier a name belongs to, and ApproxDefault picks the variant best
+// suited to a dataset's shape.
 package rankagg
 
 import (
 	"io"
 
+	"rankagg/internal/approx"
 	"rankagg/internal/core"
 	"rankagg/internal/eval"
 	"rankagg/internal/kendall"
@@ -154,6 +167,23 @@ func NewAggregator(name string) (Aggregator, error) { return core.New(name) }
 
 // Algorithms lists the registered algorithm names.
 func Algorithms() []string { return core.Names() }
+
+// MatrixFree reports whether the named registered algorithm belongs to the
+// matrix-free approximation tier (lehmer, avgrank, scores): its runs never
+// build or read a pair matrix, it accepts incomplete datasets directly,
+// and Session.Run takes the matrix-free path for it (see Result.Approx).
+// Unknown names report false.
+func MatrixFree(name string) bool {
+	a, err := core.New(name)
+	return err == nil && core.IsMatrixFree(a)
+}
+
+// ApproxDefault picks the approximation-tier algorithm for a dataset's
+// shape: "lehmer" when every ranking is a strict (possibly partial)
+// permutation, "avgrank" when ties are present. Admission routers use it
+// to substitute an algorithm when diverting an over-budget request to the
+// matrix-free tier.
+func ApproxDefault(d *Dataset) string { return approx.Default(d) }
 
 // Dist returns the generalized Kendall-τ distance G(r, s) over a universe
 // of n elements (Section 2.2 of the paper, unit untying cost).

@@ -7,7 +7,9 @@ import (
 	"sync"
 	"time"
 
+	"rankagg/internal/approx"
 	"rankagg/internal/core"
+	"rankagg/internal/kendall"
 )
 
 // Session is the context-aware entry point for aggregating one dataset. It
@@ -58,6 +60,11 @@ var (
 	// ErrDatasetEmptied rejects a delta that would leave the dataset with
 	// no rankings at all.
 	ErrDatasetEmptied = errors.New("rankagg: delta would leave the dataset empty")
+	// ErrMatrixFreePairs rejects a per-run WithPairs matrix on an
+	// approximation-tier run (lehmer, avgrank, scores): matrix-free
+	// algorithms never read pair counts, so a supplied matrix signals a
+	// caller misunderstanding rather than a reusable optimization.
+	ErrMatrixFreePairs = errors.New("rankagg: matrix-free algorithm does not take a pair matrix")
 )
 
 // runConfig collects the functional options of NewSession and Session.Run.
@@ -148,6 +155,13 @@ type Result struct {
 	// TooLargeError, and a deadline that fires before any solution exists
 	// at all (Ailon3/2's first LP solve) a TimeLimitError.
 	DeadlineHit bool
+	// Approx reports that the consensus came from the matrix-free
+	// approximation tier (lehmer, avgrank, scores): no pair matrix was
+	// built or consulted — Score was computed ranking-by-ranking in
+	// O(m·n log n) instead of from matrix counts — and the consensus
+	// minimizes a surrogate objective (inversion-vector median, summed
+	// rank), not the generalized Kemeny score itself.
+	Approx bool
 	// Elapsed is the wall-clock time of the run (excluding a cached matrix
 	// reuse, including a first-run matrix build).
 	Elapsed time.Duration
@@ -424,6 +438,12 @@ func (s *Session) Hash() string {
 //
 // Algorithms without long-running searches honor the context at call
 // boundaries; all registered algorithms work through Run.
+//
+// Approximation-tier algorithms (lehmer, avgrank, scores) take a
+// matrix-free path: the session builds no pair matrix for them —
+// MatrixBuilds and MatrixBytes stay 0 on an approx-only session — the
+// Result's Score is computed ranking-by-ranking, Result.Approx is set, and
+// a per-run WithPairs is rejected with ErrMatrixFreePairs.
 func (s *Session) Run(ctx context.Context, name string, opts ...Option) (*Result, error) {
 	a, err := core.New(name)
 	if err != nil {
@@ -433,6 +453,9 @@ func (s *Session) Run(ctx context.Context, name string, opts ...Option) (*Result
 	cfg.pairs = nil
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if core.IsMatrixFree(a) {
+		return s.runMatrixFree(ctx, a, cfg)
 	}
 	start := time.Now()
 	// Snapshot dataset and matrix together under the lock: a concurrent
@@ -466,6 +489,73 @@ func (s *Session) Run(ctx context.Context, name string, opts ...Option) (*Result
 		Score:       p.Score(rr.Consensus),
 		Proved:      rr.Proved,
 		DeadlineHit: rr.DeadlineHit,
+		Elapsed:     time.Since(start),
+		Stats:       rr.Stats,
+	}, nil
+}
+
+// runMatrixFree is the approximation-tier Run path: the dataset snapshot is
+// taken without touching (or building) the pair matrix, and the score comes
+// from kendall.Score — one O(n log n) distance per ranking — so a session
+// serving only approx runs never pays the O(m·n²) build or the O(n²)
+// memory.
+func (s *Session) runMatrixFree(ctx context.Context, a core.Aggregator, cfg runConfig) (*Result, error) {
+	if cfg.pairs != nil {
+		return nil, fmt.Errorf("%w: %s never reads pair counts; drop the WithPairs option", ErrMatrixFreePairs, a.Name())
+	}
+	s.mu.Lock()
+	d := s.d
+	s.mu.Unlock()
+	return runMatrixFree(ctx, a, d, cfg)
+}
+
+// RunMatrixFree executes a matrix-free approximation-tier algorithm (see
+// MatrixFree) under ctx on d and returns a full Result with Approx set.
+// Unlike NewSession + Run, d may be incomplete — top-k lists aggregate
+// directly, absent elements falling into the unified model's virtual last
+// bucket — which is why the serving layer's approx tier runs through this
+// entry point instead of the session cache. Non-matrix-free names are
+// rejected; WithPairs is rejected with ErrMatrixFreePairs.
+func RunMatrixFree(ctx context.Context, name string, d *Dataset, opts ...Option) (*Result, error) {
+	a, err := core.New(name)
+	if err != nil {
+		return nil, err
+	}
+	if !core.IsMatrixFree(a) {
+		return nil, fmt.Errorf("rankagg: %s is not a matrix-free algorithm (approximation tier: lehmer, avgrank, scores)", name)
+	}
+	if err := approx.CheckInput(d); err != nil {
+		return nil, err
+	}
+	var cfg runConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.pairs != nil {
+		return nil, fmt.Errorf("%w: %s never reads pair counts; drop the WithPairs option", ErrMatrixFreePairs, a.Name())
+	}
+	return runMatrixFree(ctx, a, d, cfg)
+}
+
+func runMatrixFree(ctx context.Context, a core.Aggregator, d *Dataset, cfg runConfig) (*Result, error) {
+	start := time.Now()
+	rr, err := core.Run(ctx, a, d, core.RunOptions{
+		Workers:   cfg.workers,
+		Seed:      cfg.seed,
+		SeedSet:   cfg.seedSet,
+		Restarts:  cfg.restarts,
+		TimeLimit: cfg.timeLimit,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Algorithm:   a.Name(),
+		Consensus:   rr.Consensus,
+		Score:       kendall.Score(rr.Consensus, d),
+		Proved:      rr.Proved,
+		DeadlineHit: rr.DeadlineHit,
+		Approx:      true,
 		Elapsed:     time.Since(start),
 		Stats:       rr.Stats,
 	}, nil

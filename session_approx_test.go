@@ -1,0 +1,154 @@
+package rankagg_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"rankagg"
+	"rankagg/internal/gen"
+)
+
+// TestSessionMatrixFree: an approx-only session never builds the pair
+// matrix — MatrixBuilds and MatrixBytes stay 0 across runs — and the
+// Result carries Approx with a score equal to the public Score recompute.
+func TestSessionMatrixFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	d := gen.MallowsDataset(rng, 7, 40, 0.4)
+	sess, err := rankagg.NewSession(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"lehmer", "avgrank", "scores"} {
+		res, err := sess.Run(context.Background(), name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Approx {
+			t.Errorf("%s: Result.Approx not set", name)
+		}
+		if res.Algorithm != name {
+			t.Errorf("Result.Algorithm = %q, want %q", res.Algorithm, name)
+		}
+		if want := rankagg.Score(res.Consensus, d); res.Score != want {
+			t.Errorf("%s: Score %d, recomputed %d", name, res.Score, want)
+		}
+	}
+	if b := sess.MatrixBuilds(); b != 0 {
+		t.Errorf("approx-only session built the matrix %d times", b)
+	}
+	if b := sess.MatrixBytes(); b != 0 {
+		t.Errorf("approx-only session reports %d matrix bytes", b)
+	}
+
+	// An exact run afterwards builds the matrix once and is NOT approx.
+	res, err := sess.Run(context.Background(), "BordaCount")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Approx {
+		t.Error("BordaCount reported Approx")
+	}
+	if b := sess.MatrixBuilds(); b != 1 {
+		t.Errorf("MatrixBuilds = %d after one exact run", b)
+	}
+	// ...and a later approx run still does not rebuild or consume it.
+	if _, err := sess.Run(context.Background(), "lehmer"); err != nil {
+		t.Fatal(err)
+	}
+	if b := sess.MatrixBuilds(); b != 1 {
+		t.Errorf("MatrixBuilds = %d after a post-exact approx run", b)
+	}
+}
+
+// TestSessionMatrixFreeRejectsWithPairs: a per-run WithPairs on an approx
+// algorithm is a caller error, reported via the ErrMatrixFreePairs
+// sentinel rather than silently ignored.
+func TestSessionMatrixFreeRejectsWithPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	d := gen.UniformDataset(rng, 4, 12)
+	sess, err := rankagg.NewSession(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := sess.Pairs()
+	_, err = sess.Run(context.Background(), "lehmer", rankagg.WithPairs(p))
+	if !errors.Is(err, rankagg.ErrMatrixFreePairs) {
+		t.Fatalf("Run(lehmer, WithPairs) = %v, want ErrMatrixFreePairs", err)
+	}
+	// The session-wide WithPairs seed is a cache seed, not a per-run
+	// matrix: approx runs on a seeded session still work.
+	seeded, err := rankagg.NewSession(d, rankagg.WithPairs(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := seeded.Run(context.Background(), "avgrank"); err != nil {
+		t.Fatalf("approx run on a WithPairs-seeded session: %v", err)
+	}
+}
+
+// TestSessionMatrixFreeSeesMutations: approx runs read the session's
+// current dataset, so a delta mutation changes their input like any other
+// run's — with no matrix (and hence no delta bookkeeping) involved.
+func TestSessionMatrixFreeSeesMutations(t *testing.T) {
+	d := rankagg.NewDataset(3,
+		rankagg.FromPermutation([]int{0, 1, 2}),
+		rankagg.FromPermutation([]int{0, 1, 2}),
+	)
+	sess, err := rankagg.NewSession(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Run(context.Background(), "lehmer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := rankagg.FromPermutation([]int{0, 1, 2}); !res.Consensus.Equal(want) {
+		t.Fatalf("consensus %v, want %v", res.Consensus, want)
+	}
+	for i := 0; i < 3; i++ {
+		if err := sess.AddRanking(rankagg.FromPermutation([]int{2, 1, 0})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err = sess.Run(context.Background(), "lehmer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := rankagg.FromPermutation([]int{2, 1, 0}); !res.Consensus.Equal(want) {
+		t.Fatalf("post-mutation consensus %v, want %v", res.Consensus, want)
+	}
+	if b := sess.MatrixBuilds(); b != 0 {
+		t.Errorf("MatrixBuilds = %d on an approx-only mutated session", b)
+	}
+}
+
+// TestSessionMatrixFreeCancelled: a pre-cancelled context surfaces as
+// context.Canceled through the matrix-free path too.
+func TestSessionMatrixFreeCancelled(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	sess, err := rankagg.NewSession(gen.UniformDataset(rng, 3, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sess.Run(ctx, "lehmer"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled approx run = %v, want context.Canceled", err)
+	}
+}
+
+// TestMatrixFreeExport pins the public tier predicate.
+func TestMatrixFreeExport(t *testing.T) {
+	for _, name := range []string{"lehmer", "avgrank", "scores"} {
+		if !rankagg.MatrixFree(name) {
+			t.Errorf("MatrixFree(%q) = false", name)
+		}
+	}
+	for _, name := range []string{"BioConsert", "BordaCount", "no-such-algo"} {
+		if rankagg.MatrixFree(name) {
+			t.Errorf("MatrixFree(%q) = true", name)
+		}
+	}
+}
