@@ -5,7 +5,7 @@
 //
 //	rankagg [-algo name] [-normalize unify|unify-broken|project|k-unify] [-k N]
 //	        [-format text|csv] [-eps E] [-timeout D] [-workers N] [-seed S]
-//	        [-approx-mode auto|force|off] [-json] [file]
+//	        [-restarts N] [-approx-mode auto|force|off] [-json] [file]
 //	rankagg -list
 //
 // Text input holds one ranking per line in bracket notation ("[{A},{B,C}]")
@@ -51,6 +51,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "aggregation time budget (0 = none); on expiry the best incumbent is printed")
 	workers := flag.Int("workers", 0, "worker budget for parallel restarts/runs (0 = all CPUs)")
 	seedFlag := flag.Int64("seed", 0, "seed for randomized algorithms")
+	restarts := flag.Int("restarts", 0, "restart-pool size for multi-start algorithms (0 = algorithm default)")
 	approxMode := flag.String("approx-mode", "auto", "matrix-free approximation tier: auto (divert datasets whose projected pair matrix exceeds 12*4096^2 bytes), force (always matrix-free), off (never divert)")
 	jsonOut := flag.Bool("json", false, "emit a JSON result document")
 	list := flag.Bool("list", false, "list available algorithms and exit")
@@ -146,23 +147,29 @@ func main() {
 	// incumbent.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	// The CLI, the library, and the server all run from the same canonical
+	// RunSpec, so a flag set here reproduces a server request bit-for-bit
+	// (Normalize resolves the defaults in one place — an unset -seed is the
+	// same run as -seed 0).
+	spec := rankagg.RunSpec{
+		Algorithm: runName,
+		Seed:      seedFlag,
+		Restarts:  *restarts,
+	}
 	var opts []rankagg.Option
 	if *timeout > 0 {
 		opts = append(opts, rankagg.WithTimeLimit(*timeout))
 	}
-	if *seedFlag != 0 {
-		opts = append(opts, rankagg.WithSeed(*seedFlag))
-	}
 	var res *rankagg.Result
 	if approxTier {
-		res, err = rankagg.RunMatrixFree(ctx, runName, d, append(opts, rankagg.WithWorkers(*workers))...)
+		res, err = rankagg.RunMatrixFreeSpec(ctx, spec, d, append(opts, rankagg.WithWorkers(*workers))...)
 	} else {
 		var sess *rankagg.Session
 		sess, err = rankagg.NewSession(d, rankagg.WithWorkers(*workers))
 		if err != nil {
 			fatal(err)
 		}
-		res, err = sess.Run(ctx, runName, opts...)
+		res, err = sess.RunSpec(ctx, spec, opts...)
 	}
 	if err != nil {
 		fatal(err)

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	serve [-addr :8080] [-cache-entries 64] [-cache-bytes 1073741824]
+//	      [-consensus-bytes 67108864]
 //	      [-workers N] [-max-workers-per-run N] [-max-timeout 30s]
 //	      [-max-body 33554432] [-max-elements 4096]
 //	      [-matrix-mode auto|int32|int16|int8] [-approx-mode auto|force|off]
@@ -14,7 +15,8 @@
 // Endpoints: POST /v1/aggregate, PATCH /v1/datasets/{hash} (apply
 // add/remove ranking deltas to a cached dataset in O(n²) per ranking — the
 // dynamic-sessions path; the response carries the rotated dataset hash),
-// GET /v1/algorithms, GET /healthz, GET /metrics (Prometheus text format).
+// GET /v1/datasets/{hash} (cached-session metadata), GET /v1/algorithms,
+// GET /healthz, GET /metrics (Prometheus text format).
 // See the README's Serving section for the request schemas and curl
 // examples.
 //
@@ -43,6 +45,7 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	cacheEntries := flag.Int("cache-entries", 64, "max sessions in the matrix LRU (0 = unlimited)")
 	cacheBytes := flag.Int64("cache-bytes", 1<<30, "max pair-matrix bytes in the LRU (0 = unlimited)")
+	consensusBytes := flag.Int64("consensus-bytes", 64<<20, "max bytes of cached consensus results keyed by (dataset hash, run spec) (0 = unlimited)")
 	workers := flag.Int("workers", 0, "global worker budget shared by concurrent requests (0 = all CPUs)")
 	perRun := flag.Int("max-workers-per-run", 0, "cap one request's share of the worker budget (0 = may take all)")
 	maxTimeout := flag.Duration("max-timeout", 30*time.Second, "cap on any request's time budget (also the default budget)")
@@ -82,6 +85,7 @@ func main() {
 	s := server.New(server.Config{
 		CacheEntries:     unlimitedInt(*cacheEntries),
 		CacheBytes:       unlimitedInt64(*cacheBytes),
+		ConsensusBytes:   unlimitedInt64(*consensusBytes),
 		Workers:          *workers,
 		MaxWorkersPerRun: *perRun,
 		MaxTimeout:       *maxTimeout,

@@ -72,15 +72,32 @@ func (a *Anneal) AggregateCtx(ctx context.Context, d *rankings.Dataset, opts cor
 		return nil, ctx.Err()
 	}
 	seed := a.StartFrom
+	warm := false
 	if seed == nil {
-		best, err := (PickAPerm{}).AggregateWithPairs(d, p)
-		if err != nil {
-			return nil, err
+		if w := opts.WarmStart; w != nil && w.Len() == d.N && w.MaxElement() < d.N {
+			// Start the walk from the prior consensus: the anneal then
+			// spends its sweeps exploring around a known-good optimum
+			// instead of climbing out of an arbitrary input ranking.
+			seed = w
+			warm = true
+		} else {
+			best, err := (PickAPerm{}).AggregateWithPairs(d, p)
+			if err != nil {
+				return nil, err
+			}
+			seed = best
 		}
-		seed = best
 	}
-	return a.annealCtx(ctx, d, seed, p, opts)
+	res, err := a.annealCtx(ctx, d, seed, p, opts)
+	if err == nil {
+		res.Stats.WarmStart = warm
+	}
+	return res, err
 }
+
+// AcceptsWarmStart implements core.WarmStartable: AggregateCtx starts the
+// walk from RunOptions.WarmStart.
+func (a *Anneal) AcceptsWarmStart() {}
 
 // AggregateFrom implements Seedable: anneal starting from the given
 // solution.
@@ -173,10 +190,12 @@ walk:
 		return nil, err
 	}
 	out := best
+	var polishMoves int64
 	if !deadlineHit {
 		// Final descent polishes the annealed state into a local optimum
 		// (skipped under an expired deadline — the walk's best stands).
-		polished, pscore := localSearchCtx(ctx, p, best)
+		polished, pscore, pmoves := localSearchCtx(ctx, p, best)
+		polishMoves = pmoves
 		if pscore <= bestScore {
 			out = polished
 		}
@@ -184,7 +203,7 @@ walk:
 	return &core.RunResult{
 		Consensus:   out,
 		DeadlineHit: deadlineHit,
-		Stats:       core.SearchStats{Iterations: sweepsDone},
+		Stats:       core.SearchStats{Iterations: sweepsDone, Moves: polishMoves},
 	}, nil
 }
 

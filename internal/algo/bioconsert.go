@@ -76,8 +76,16 @@ func (a *BioConsert) AggregateCtx(ctx context.Context, d *rankings.Dataset, opts
 		return nil, ctx.Err()
 	}
 	seeds := d.Rankings
+	warm := false
 	if a.StartFrom != nil {
 		seeds = []*rankings.Ranking{a.StartFrom}
+	} else if w := opts.WarmStart; w != nil && w.Len() == d.N && w.MaxElement() < d.N {
+		// A warm start replaces the whole restart pool: a prior consensus
+		// is already (near) locally optimal, so one descent from it does
+		// the work the m input-seeded descents would repeat. A warm ranking
+		// that does not cover the universe is ignored (cold policy).
+		seeds = []*rankings.Ranking{w}
+		warm = true
 	}
 	// Dedup seeds up front (restarting twice from the same bucket order finds
 	// the same optimum), preserving first-seen order for the index tie-break.
@@ -94,6 +102,7 @@ func (a *BioConsert) AggregateCtx(ctx context.Context, d *rankings.Dataset, opts
 	type result struct {
 		r     *rankings.Ranking
 		score int64
+		moves int64
 	}
 	results := make([]result, len(uniq))
 	workers := opts.Workers
@@ -112,8 +121,8 @@ func (a *BioConsert) AggregateCtx(ctx context.Context, d *rankings.Dataset, opts
 			if poll.stopNow() {
 				break
 			}
-			r, score := localSearchCtx(ctx, p, seed)
-			results[i] = result{r, score}
+			r, score, moves := localSearchCtx(ctx, p, seed)
+			results[i] = result{r, score, moves}
 		}
 	} else {
 		var next int64
@@ -129,8 +138,8 @@ func (a *BioConsert) AggregateCtx(ctx context.Context, d *rankings.Dataset, opts
 					if i >= len(uniq) || poll.stopNow() {
 						return
 					}
-					r, score := localSearchCtx(ctx, p, uniq[i])
-					results[i] = result{r, score}
+					r, score, moves := localSearchCtx(ctx, p, uniq[i])
+					results[i] = result{r, score, moves}
 				}
 			}()
 		}
@@ -141,11 +150,13 @@ func (a *BioConsert) AggregateCtx(ctx context.Context, d *rankings.Dataset, opts
 	// stop have a nil ranking and are passed over.
 	var best result
 	restarts := 0
+	var totalMoves int64
 	for _, r := range results {
 		if r.r == nil {
 			continue
 		}
 		restarts++
+		totalMoves += r.moves
 		if best.r == nil || r.score < best.score {
 			best = r
 		}
@@ -157,31 +168,37 @@ func (a *BioConsert) AggregateCtx(ctx context.Context, d *rankings.Dataset, opts
 	if best.r == nil {
 		// Deadline expired before any descent ran: fall back to the first
 		// seed unrefined — still a valid consensus candidate.
-		best = result{uniq[0].Clone(), p.Score(uniq[0])}
+		best = result{uniq[0].Clone(), p.Score(uniq[0]), 0}
 	}
 	return &core.RunResult{
 		Consensus:   best.r,
 		DeadlineHit: deadlineHit,
-		Stats:       core.SearchStats{Restarts: restarts},
+		Stats:       core.SearchStats{Restarts: restarts, Moves: totalMoves, WarmStart: warm},
 	}, nil
 }
+
+// AcceptsWarmStart implements core.WarmStartable: AggregateCtx consumes
+// RunOptions.WarmStart as the restart pool's one seed.
+func (a *BioConsert) AcceptsWarmStart() {}
 
 // localSearch runs BioConsert's descent from the given seed and returns the
 // local optimum and its score.
 func localSearch(p *kendall.Pairs, seed *rankings.Ranking) (*rankings.Ranking, int64) {
-	return localSearchCtx(context.Background(), p, seed)
+	r, score, _ := localSearchCtx(context.Background(), p, seed)
+	return r, score
 }
 
 // localSearchCtx runs BioConsert's descent from the given seed and returns
-// the best state reached and its score. The seed may cover a subset of the
-// universe; only its elements are moved (and scored). The score is
-// maintained incrementally from the move deltas — only the seed is ever
-// scored in full. The descent polls ctx every pollEvery placement scans
-// (each O(n + k)) and returns its current state when the context is done;
-// with an undisturbed context the result is the exact local optimum,
-// identical to the historical non-ctx descent (gap pruning skips scans, not
-// moves — the move sequence is provably unchanged, see improveElement).
-func localSearchCtx(ctx context.Context, p *kendall.Pairs, seed *rankings.Ranking) (*rankings.Ranking, int64) {
+// the best state reached, its score, and the number of applied moves. The
+// seed may cover a subset of the universe; only its elements are moved (and
+// scored). The score is maintained incrementally from the move deltas —
+// only the seed is ever scored in full. The descent polls ctx every
+// pollEvery placement scans (each O(n + k)) and returns its current state
+// when the context is done; with an undisturbed context the result is the
+// exact local optimum, identical to the historical non-ctx descent (gap
+// pruning skips scans, not moves — the move sequence is provably unchanged,
+// see improveElement).
+func localSearchCtx(ctx context.Context, p *kendall.Pairs, seed *rankings.Ranking) (*rankings.Ranking, int64, int64) {
 	st := newSearchState(p, seed)
 	score := p.Score(seed)
 	poll := newSearchPoll(ctx)
@@ -189,7 +206,7 @@ func localSearchCtx(ctx context.Context, p *kendall.Pairs, seed *rankings.Rankin
 		improved = false
 		for _, x := range st.elems {
 			if poll.stop() {
-				return st.ranking(), score
+				return st.ranking(), score, st.version - 1
 			}
 			if delta := st.improveElement(x); delta < 0 {
 				score += delta
@@ -197,7 +214,7 @@ func localSearchCtx(ctx context.Context, p *kendall.Pairs, seed *rankings.Rankin
 			}
 		}
 	}
-	return st.ranking(), score
+	return st.ranking(), score, st.version - 1
 }
 
 // DescentSweeps runs BioConsert's placement-scan descent from seed for at

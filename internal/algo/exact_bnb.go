@@ -193,7 +193,7 @@ func primeGroups(ctx context.Context, d *rankings.Dataset, p *kendall.Pairs, gro
 	run := func(t int) {
 		if t < len(descents) {
 			de := descents[t]
-			cand, _ := localSearchCtx(ctx, p, de.seed)
+			cand, _, _ := localSearchCtx(ctx, p, de.seed)
 			results[t] = primeResult{cand, scoreWithin(p, cand, groups[de.gi])}
 			return
 		}

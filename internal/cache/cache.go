@@ -229,6 +229,20 @@ func (c *Cache) CompactSweep() (compacted int, reclaimed int64) {
 	return compacted, reclaimed
 }
 
+// Peek returns the session cached under key without touching LRU order or
+// the hit/miss counters — pure introspection (the GET /v1/datasets/{hash}
+// endpoint), so reading metadata never perturbs eviction or the metrics
+// smoke asserts on.
+func (c *Cache) Peek(key string) (*rankagg.Session, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	return el.Value.(*entry).sess, true
+}
+
 // Get returns the session cached under key without building on a miss.
 func (c *Cache) Get(key string) (*rankagg.Session, bool) {
 	c.mu.Lock()

@@ -1,0 +1,308 @@
+package cache
+
+import (
+	"container/list"
+	"sync"
+
+	"rankagg"
+)
+
+// ConsensusStats is a point-in-time snapshot of the consensus cache
+// counters.
+type ConsensusStats struct {
+	// Hits counts lookups answered by a stored result.
+	Hits int64
+	// Misses counts lookups with no stored result — including lookups
+	// coalesced onto another request's in-flight solve (those increment
+	// Misses but not Runs).
+	Misses int64
+	// Runs counts solver runs executed on behalf of the cache; with
+	// single-flighting this is the number of aggregations actually
+	// computed.
+	Runs int64
+	// Evictions counts entries dropped to satisfy the byte budget.
+	Evictions int64
+	// Invalidations counts entries dropped by InvalidateDataset (a PATCH
+	// rotated the dataset away from the entries' hash).
+	Invalidations int64
+	// Entries and Bytes describe the current cache content (warm hints
+	// included — they live under the same budget).
+	Entries int
+	Bytes   int64
+}
+
+// ConsensusCache is the serving layer's second cache tier: a byte-budgeted
+// LRU of aggregation results keyed on (dataset content hash, canonical run
+// spec key). Runs are deterministic under a fixed seed, so the pair fully
+// identifies the consensus and repeat traffic becomes an O(1) lookup where
+// the session cache below it only shares the matrix build. Lookups of a
+// missing key are single-flighted like Cache.GetOrBuild: concurrent
+// identical requests run the solver once.
+//
+// The cache also carries at most one "warm hint" per dataset hash: the
+// best pre-PATCH consensus, harvested by InvalidateDataset and stored
+// under the post-PATCH hash, which the next solve on that dataset consumes
+// as a warm-start seed (TakeWarmHint). Hints are ordinary budgeted entries
+// — an idle hint ages out through the same LRU.
+//
+// All methods are safe for concurrent use.
+type ConsensusCache struct {
+	maxBytes int64
+
+	mu            sync.Mutex
+	ll            *list.List // front = most recently used
+	items         map[string]*list.Element
+	flight        map[string]*consensusFlight
+	byDataset     map[string]map[string]*list.Element // dataset hash → its entries
+	bytes         int64
+	hits          int64
+	misses        int64
+	runs          int64
+	evicted       int64
+	invalidations int64
+}
+
+// warmHintSpec is the reserved spec-key slot of a dataset's warm hint.
+// Real spec keys are hex (RunSpec.Key), so the name cannot collide.
+const warmHintSpec = "!warm"
+
+type consensusEntry struct {
+	key     string // dataset + "/" + spec
+	dataset string
+	spec    string
+	version uint64 // session mutation version the result was computed at
+	res     *rankagg.Result
+	bytes   int64
+}
+
+// consensusFlight is one in-flight solve; latecomers Wait and then read
+// the outcome.
+type consensusFlight struct {
+	wg  sync.WaitGroup
+	res *rankagg.Result
+	err error
+}
+
+// NewConsensus returns a consensus cache bounded to maxBytes of stored
+// results (0: unlimited).
+func NewConsensus(maxBytes int64) *ConsensusCache {
+	return &ConsensusCache{
+		maxBytes:  maxBytes,
+		ll:        list.New(),
+		items:     make(map[string]*list.Element),
+		flight:    make(map[string]*consensusFlight),
+		byDataset: make(map[string]map[string]*list.Element),
+	}
+}
+
+// GetOrRun returns the result cached under (datasetHash, specKey), running
+// the solver via run on a miss. hit reports whether a stored result
+// answered the lookup. Concurrent misses on one key are coalesced: a
+// single run executes and every caller receives its outcome (an error is
+// returned to all waiters and nothing is cached).
+//
+// run returns the result plus the session mutation version it was computed
+// at, recorded on the entry for introspection and invalidation-race
+// checks. Results flagged DeadlineHit are returned but never stored — an
+// incumbent cut off by a deadline depends on timing, not just on the spec,
+// so it must not answer for the converged consensus. Approx results are
+// not stored either: the matrix-free tier's runs are cheaper than the
+// entries they would pin.
+func (c *ConsensusCache) GetOrRun(datasetHash, specKey string, run func() (*rankagg.Result, uint64, error)) (res *rankagg.Result, hit bool, err error) {
+	key := datasetHash + "/" + specKey
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		c.mu.Unlock()
+		return el.Value.(*consensusEntry).res, true, nil
+	}
+	c.misses++
+	if fc, ok := c.flight[key]; ok {
+		c.mu.Unlock()
+		fc.wg.Wait()
+		return fc.res, false, fc.err
+	}
+	fc := &consensusFlight{}
+	fc.wg.Add(1)
+	c.flight[key] = fc
+	c.mu.Unlock()
+
+	res, version, err := run()
+
+	c.mu.Lock()
+	delete(c.flight, key)
+	if err == nil {
+		c.runs++
+		if res != nil && !res.DeadlineHit && !res.Approx {
+			c.insertLocked(datasetHash, specKey, version, res)
+		}
+	}
+	c.mu.Unlock()
+	fc.res, fc.err = res, err
+	fc.wg.Done()
+	return res, false, err
+}
+
+// InvalidateDataset drops every entry of the given dataset hash (a PATCH
+// bumped the session version and rotated the hash, so the entries can
+// never be hit again — invalidating frees their budget immediately instead
+// of waiting for LRU aging). It returns how many consensus entries were
+// dropped and the best of them (lowest score) as a warm-start candidate
+// for the mutated dataset; a pending warm hint of the old hash is dropped
+// without being returned (it described an even older version).
+func (c *ConsensusCache) InvalidateDataset(datasetHash string) (dropped int, warm *rankagg.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, el := range c.byDataset[datasetHash] {
+		e := el.Value.(*consensusEntry)
+		if e.spec != warmHintSpec {
+			dropped++
+			if warm == nil || e.res.Score < warm.Score {
+				warm = e.res
+			}
+		}
+		c.removeLocked(el)
+		c.invalidations++
+	}
+	return dropped, warm
+}
+
+// PutWarmHint stores res as the warm-start candidate of datasetHash,
+// replacing any existing hint. version is the session version the hint is
+// meant for (the post-PATCH version).
+func (c *ConsensusCache) PutWarmHint(datasetHash string, res *rankagg.Result, version uint64) {
+	if res == nil || res.Consensus == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[datasetHash+"/"+warmHintSpec]; ok {
+		c.removeLocked(el)
+	}
+	c.insertLocked(datasetHash, warmHintSpec, version, res)
+}
+
+// TakeWarmHint removes and returns the warm-start candidate of
+// datasetHash, or nil when there is none. Consume-once: a hint seeds
+// exactly one re-solve, whose cached result then serves as the dataset's
+// stored consensus.
+func (c *ConsensusCache) TakeWarmHint(datasetHash string) *rankagg.Result {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[datasetHash+"/"+warmHintSpec]
+	if !ok {
+		return nil
+	}
+	res := el.Value.(*consensusEntry).res
+	c.removeLocked(el)
+	return res
+}
+
+// DatasetEntries reports what the cache holds for one dataset hash: the
+// number of stored consensus results and whether a warm hint is pending.
+// Introspection only — LRU order and counters are untouched.
+func (c *ConsensusCache) DatasetEntries(datasetHash string) (consensus int, warmHint bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, el := range c.byDataset[datasetHash] {
+		if el.Value.(*consensusEntry).spec == warmHintSpec {
+			warmHint = true
+		} else {
+			consensus++
+		}
+	}
+	return consensus, warmHint
+}
+
+// insertLocked adds a fresh entry at the MRU position and evicts from the
+// LRU end until the byte budget holds; the just-inserted entry is never
+// evicted (mirroring Cache.insertLocked). A key collision keeps the
+// existing entry — with single-flighted runs it is just as fresh.
+func (c *ConsensusCache) insertLocked(datasetHash, specKey string, version uint64, res *rankagg.Result) {
+	key := datasetHash + "/" + specKey
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return
+	}
+	e := &consensusEntry{
+		key:     key,
+		dataset: datasetHash,
+		spec:    specKey,
+		version: version,
+		res:     res,
+		bytes:   resultWeight(res),
+	}
+	el := c.ll.PushFront(e)
+	c.items[key] = el
+	ds := c.byDataset[datasetHash]
+	if ds == nil {
+		ds = make(map[string]*list.Element)
+		c.byDataset[datasetHash] = ds
+	}
+	ds[specKey] = el
+	c.bytes += e.bytes
+	for c.maxBytes > 0 && c.bytes > c.maxBytes {
+		back := c.ll.Back()
+		if back == nil || back == el {
+			break
+		}
+		c.removeLocked(back)
+		c.evicted++
+	}
+}
+
+func (c *ConsensusCache) removeLocked(el *list.Element) {
+	e := el.Value.(*consensusEntry)
+	c.ll.Remove(el)
+	delete(c.items, e.key)
+	c.bytes -= e.bytes
+	if ds := c.byDataset[e.dataset]; ds != nil {
+		delete(ds, e.spec)
+		if len(ds) == 0 {
+			delete(c.byDataset, e.dataset)
+		}
+	}
+}
+
+// resultWeight approximates the bytes an entry pins: the consensus
+// ranking's buckets dominate (a Result is otherwise a flat struct). The
+// constant covers the Result, the entry, and the map/list bookkeeping.
+func resultWeight(res *rankagg.Result) int64 {
+	const overhead = 256
+	b := int64(overhead)
+	if res.Consensus != nil {
+		b += int64(len(res.Consensus.Buckets)) * 24
+		b += int64(res.Consensus.Len()) * 8
+	}
+	return b
+}
+
+// Len returns the number of stored entries (warm hints included).
+func (c *ConsensusCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Bytes returns the total bytes currently pinned.
+func (c *ConsensusCache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Stats returns a snapshot of the counters.
+func (c *ConsensusCache) Stats() ConsensusStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ConsensusStats{
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Runs:          c.runs,
+		Evictions:     c.evicted,
+		Invalidations: c.invalidations,
+		Entries:       c.ll.Len(),
+		Bytes:         c.bytes,
+	}
+}

@@ -1,0 +1,245 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"rankagg"
+	"rankagg/internal/rankings"
+)
+
+// testResult fabricates a consensus result whose ranking has nBuckets
+// singleton buckets — enough structure for resultWeight to vary.
+func testResult(score int64, nBuckets int) *rankagg.Result {
+	r := &rankings.Ranking{}
+	for i := 0; i < nBuckets; i++ {
+		r.Buckets = append(r.Buckets, []int{i})
+	}
+	return &rankagg.Result{Algorithm: "BioConsert", Score: score, Consensus: r}
+}
+
+func runnerOf(res *rankagg.Result, version uint64, calls *int64) func() (*rankagg.Result, uint64, error) {
+	return func() (*rankagg.Result, uint64, error) {
+		atomic.AddInt64(calls, 1)
+		return res, version, nil
+	}
+}
+
+func TestConsensusGetOrRunCachesAndCounts(t *testing.T) {
+	c := NewConsensus(0)
+	var calls int64
+	want := testResult(42, 6)
+
+	res, hit, err := c.GetOrRun("ds1", "spec1", runnerOf(want, 1, &calls))
+	if err != nil || hit || res != want {
+		t.Fatalf("first lookup: res=%p hit=%v err=%v", res, hit, err)
+	}
+	res, hit, err = c.GetOrRun("ds1", "spec1", runnerOf(nil, 0, &calls))
+	if err != nil || !hit || res != want {
+		t.Fatalf("second lookup: res=%p hit=%v err=%v", res, hit, err)
+	}
+	if calls != 1 {
+		t.Fatalf("solver ran %d times, want 1", calls)
+	}
+	// Another spec on the same dataset is a distinct entry.
+	other := testResult(50, 6)
+	if _, hit, _ := c.GetOrRun("ds1", "spec2", runnerOf(other, 1, &calls)); hit {
+		t.Fatal("different spec key must miss")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Runs != 2 || st.Entries != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// Errors propagate and cache nothing.
+	boom := errors.New("boom")
+	if _, _, err := c.GetOrRun("ds9", "s", func() (*rankagg.Result, uint64, error) {
+		return nil, 0, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if _, hit, _ := c.GetOrRun("ds9", "s", runnerOf(want, 1, &calls)); hit {
+		t.Fatal("a failed run must not be cached")
+	}
+}
+
+// TestConsensusSingleFlightStorm launches a burst of identical lookups
+// against a slow solver: exactly one run must execute and every caller
+// must receive its result.
+func TestConsensusSingleFlightStorm(t *testing.T) {
+	c := NewConsensus(0)
+	var calls int64
+	want := testResult(7, 4)
+	gate := make(chan struct{})
+
+	const waiters = 32
+	var wg sync.WaitGroup
+	results := make([]*rankagg.Result, waiters)
+	errs := make([]error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], _, errs[i] = c.GetOrRun("ds", "spec", func() (*rankagg.Result, uint64, error) {
+				atomic.AddInt64(&calls, 1)
+				<-gate // hold every coalesced waiter until all goroutines queued
+				return want, 3, nil
+			})
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	if calls != 1 {
+		t.Fatalf("storm ran the solver %d times, want 1", calls)
+	}
+	for i := 0; i < waiters; i++ {
+		if errs[i] != nil || results[i] != want {
+			t.Fatalf("waiter %d: res=%p err=%v", i, results[i], errs[i])
+		}
+	}
+}
+
+// TestConsensusByteBudgetEviction pins LRU eviction order under the byte
+// budget: oldest-untouched entries go first, a just-touched entry
+// survives, and the just-inserted entry is never the victim.
+func TestConsensusByteBudgetEviction(t *testing.T) {
+	w := resultWeight(testResult(0, 4))
+	c := NewConsensus(3 * w) // room for exactly three entries
+
+	for i := 0; i < 3; i++ {
+		var calls int64
+		c.GetOrRun("ds", fmt.Sprintf("s%d", i), runnerOf(testResult(int64(i), 4), 1, &calls))
+	}
+	// Touch s0 so s1 becomes the LRU victim.
+	if _, hit, _ := c.GetOrRun("ds", "s0", nil); !hit {
+		t.Fatal("s0 should be cached")
+	}
+	var calls int64
+	c.GetOrRun("ds", "s3", runnerOf(testResult(3, 4), 1, &calls))
+
+	if c.Len() != 3 {
+		t.Fatalf("len = %d, want 3", c.Len())
+	}
+	// Probe with a DeadlineHit runner so a miss inserts nothing and the
+	// probes cannot themselves evict entries still awaiting their check.
+	probe := testResult(99, 4)
+	probe.DeadlineHit = true
+	for spec, want := range map[string]bool{"s0": true, "s1": false, "s2": true, "s3": true} {
+		_, hit, _ := c.GetOrRun("ds", spec, runnerOf(probe, 1, &calls))
+		if hit != want {
+			t.Errorf("spec %s cached=%v, want %v (LRU order violated)", spec, hit, want)
+		}
+	}
+	if st := c.Stats(); st.Evictions < 1 {
+		t.Errorf("evictions = %d, want >= 1", st.Evictions)
+	}
+	// An over-budget entry still serves: inserted, never self-evicted.
+	small := NewConsensus(1)
+	small.GetOrRun("ds", "big", runnerOf(testResult(1, 64), 1, &calls))
+	if small.Len() != 1 {
+		t.Fatalf("over-budget entry evicted itself (len=%d)", small.Len())
+	}
+}
+
+// TestConsensusDeadlineAndApproxNotCached verifies timing-dependent and
+// matrix-free results are returned but never stored.
+func TestConsensusDeadlineAndApproxNotCached(t *testing.T) {
+	c := NewConsensus(0)
+	var calls int64
+
+	dh := testResult(5, 3)
+	dh.DeadlineHit = true
+	c.GetOrRun("ds", "s", runnerOf(dh, 1, &calls))
+	if _, hit, _ := c.GetOrRun("ds", "s", runnerOf(testResult(5, 3), 1, &calls)); hit {
+		t.Error("DeadlineHit result was cached")
+	}
+
+	ap := testResult(5, 3)
+	ap.Approx = true
+	c.GetOrRun("ds", "a", runnerOf(ap, 1, &calls))
+	if _, hit, _ := c.GetOrRun("ds", "a", runnerOf(testResult(5, 3), 1, &calls)); hit {
+		t.Error("Approx result was cached")
+	}
+}
+
+// TestConsensusInvalidateHarvestsWarmHint checks the PATCH flow:
+// InvalidateDataset drops every entry of the hash and returns the
+// best-scoring consensus, which PutWarmHint plants under the new hash
+// and TakeWarmHint consumes exactly once.
+func TestConsensusInvalidateHarvestsWarmHint(t *testing.T) {
+	c := NewConsensus(0)
+	var calls int64
+	best := testResult(10, 4)
+	c.GetOrRun("old", "s1", runnerOf(testResult(30, 4), 1, &calls))
+	c.GetOrRun("old", "s2", runnerOf(best, 1, &calls))
+	c.GetOrRun("old", "s3", runnerOf(testResult(20, 4), 1, &calls))
+	c.GetOrRun("other", "s1", runnerOf(testResult(1, 4), 1, &calls))
+
+	dropped, warm := c.InvalidateDataset("old")
+	if dropped != 3 || warm != best {
+		t.Fatalf("dropped=%d warm=%p, want 3 and the lowest-score entry", dropped, warm)
+	}
+	if _, hit, _ := c.GetOrRun("old", "s2", runnerOf(testResult(10, 4), 1, &calls)); hit {
+		t.Error("invalidated entry still served")
+	}
+	if _, hit, _ := c.GetOrRun("other", "s1", nil); !hit {
+		t.Error("invalidation leaked onto another dataset")
+	}
+
+	c.PutWarmHint("new", warm, 2)
+	if n, hint := c.DatasetEntries("new"); n != 0 || !hint {
+		t.Fatalf("DatasetEntries(new) = %d,%v, want 0,true", n, hint)
+	}
+	if got := c.TakeWarmHint("new"); got != warm {
+		t.Fatalf("TakeWarmHint = %p, want the planted hint", got)
+	}
+	if got := c.TakeWarmHint("new"); got != nil {
+		t.Fatal("warm hint must be consume-once")
+	}
+	// Invalidating a dataset that only has a pending hint drops it
+	// without returning it — it describes an even older version.
+	c.PutWarmHint("new", warm, 2)
+	dropped, warm2 := c.InvalidateDataset("new")
+	if dropped != 0 || warm2 != nil {
+		t.Fatalf("hint-only invalidation: dropped=%d warm=%p, want 0,nil", dropped, warm2)
+	}
+	if c.TakeWarmHint("new") != nil {
+		t.Fatal("stale hint survived invalidation")
+	}
+}
+
+// TestConsensusInvalidationRace hammers GetOrRun and InvalidateDataset
+// concurrently under -race: the cache must stay consistent (no torn
+// bookkeeping, Bytes matches the entries) whatever interleaving occurs.
+func TestConsensusInvalidationRace(t *testing.T) {
+	c := NewConsensus(1 << 20)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				ds := fmt.Sprintf("ds%d", i%4)
+				var calls int64
+				c.GetOrRun(ds, fmt.Sprintf("s%d", g%3), runnerOf(testResult(int64(i), 5), uint64(i), &calls))
+				if i%7 == 0 {
+					if _, warm := c.InvalidateDataset(ds); warm != nil {
+						c.PutWarmHint(ds+"'", warm, uint64(i))
+					}
+				}
+				if i%11 == 0 {
+					c.TakeWarmHint(ds + "'")
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Byte accounting must agree with the surviving entries.
+	want := int64(c.Len()) * resultWeight(testResult(0, 5))
+	if got := c.Bytes(); got != want {
+		t.Fatalf("bytes = %d, want %d for %d entries", got, want, c.Len())
+	}
+}

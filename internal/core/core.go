@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"rankagg/internal/kendall"
@@ -136,10 +137,21 @@ func Register(name string, factory func() Aggregator) {
 	registry[name] = factory
 }
 
-// New constructs a registered aggregator by name.
+// New constructs a registered aggregator by name. Lookup is exact first,
+// then case-insensitive, so a spec written as "bioconsert" resolves to the
+// canonical "BioConsert" (RunSpec.Normalize reads the canonical spelling
+// back from the aggregator's Name).
 func New(name string) (Aggregator, error) {
 	regMu.RLock()
 	f, ok := registry[name]
+	if !ok {
+		for n, rf := range registry {
+			if strings.EqualFold(n, name) {
+				f, ok = rf, true
+				break
+			}
+		}
+	}
 	regMu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("core: unknown aggregator %q (known: %v)", name, Names())

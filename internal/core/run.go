@@ -33,6 +33,13 @@ type RunOptions struct {
 	// Pairs is a prebuilt pair matrix of the dataset (nil: the algorithm
 	// builds its own). The matrix is only read, never written.
 	Pairs *kendall.Pairs
+	// WarmStart, when non-nil, seeds the search from a previously computed
+	// consensus instead of the algorithm's cold-start policy (BioConsert's
+	// input-ranking restart pool, Anneal's best-input start). Algorithms
+	// that consume it implement WarmStartable and report the use in
+	// SearchStats.WarmStart; everything else ignores the field. The ranking
+	// must cover the dataset's whole universe or it is ignored.
+	WarmStart *rankings.Ranking
 }
 
 // WorkerBudget resolves the effective worker count: the explicit budget, or
@@ -56,6 +63,14 @@ type SearchStats struct {
 	// Iterations counts convergence-loop iterations (MC power iteration,
 	// annealing sweeps).
 	Iterations int `json:"iterations"`
+	// Moves counts the local-search moves actually applied (BioConsert's
+	// descents across all restarts, Anneal's polish). It is the
+	// convergence-work measure warm starts shrink: a warm-started re-solve
+	// reports far fewer moves than a cold restart pool.
+	Moves int64 `json:"moves,omitempty"`
+	// WarmStart reports that the search consumed RunOptions.WarmStart —
+	// it started from the supplied prior consensus instead of cold.
+	WarmStart bool `json:"warm_start,omitempty"`
 }
 
 // Add accumulates another stage's statistics (chained algorithms).
@@ -63,6 +78,8 @@ func (s *SearchStats) Add(o SearchStats) {
 	s.Restarts += o.Restarts
 	s.Nodes += o.Nodes
 	s.Iterations += o.Iterations
+	s.Moves += o.Moves
+	s.WarmStart = s.WarmStart || o.WarmStart
 }
 
 // RunResult is the structured outcome of a context-aware aggregation.
@@ -92,6 +109,20 @@ type RunResult struct {
 type CtxAggregator interface {
 	Aggregator
 	AggregateCtx(ctx context.Context, d *rankings.Dataset, opts RunOptions) (*RunResult, error)
+}
+
+// WarmStartable marks an aggregator whose search consumes
+// RunOptions.WarmStart (a prior consensus as the starting solution).
+// Serving layers use it to decide whether spending a stored warm hint on a
+// run can pay off.
+type WarmStartable interface {
+	AcceptsWarmStart()
+}
+
+// CanWarmStart reports whether a consumes RunOptions.WarmStart.
+func CanWarmStart(a Aggregator) bool {
+	_, ok := a.(WarmStartable)
+	return ok
 }
 
 // Run executes an aggregation under a context. Algorithms implementing

@@ -30,6 +30,7 @@ type metrics struct {
 	approxRouted   atomic.Int64 // over-budget aggregations the admission router diverted to the approx tier instead of 413ing
 	rejectedMatrix atomic.Int64 // POSTs 413ed because the projected pair matrix exceeds the byte budget
 	rejectedDelta  atomic.Int64 // PATCHes 413ed because the delta would promote the matrix past the byte budget
+	warmStarts     atomic.Int64 // solver runs seeded from a pre-PATCH consensus (stats.warm_start)
 
 	mu       sync.Mutex
 	requests map[reqKey]int64   // (endpoint, code) → count
@@ -117,6 +118,10 @@ func (m *metrics) write(w io.Writer, extra func(io.Writer)) {
 	fmt.Fprintf(w, "# HELP rankagg_approx_routed_total Over-budget aggregations the admission router diverted to the approximation tier instead of rejecting with 413.\n")
 	fmt.Fprintf(w, "# TYPE rankagg_approx_routed_total counter\n")
 	fmt.Fprintf(w, "rankagg_approx_routed_total %d\n", m.approxRouted.Load())
+
+	fmt.Fprintf(w, "# HELP rankagg_warm_starts_total Solver runs seeded from a pre-PATCH consensus instead of cold restarts.\n")
+	fmt.Fprintf(w, "# TYPE rankagg_warm_starts_total counter\n")
+	fmt.Fprintf(w, "rankagg_warm_starts_total %d\n", m.warmStarts.Load())
 
 	fmt.Fprintf(w, "# HELP rankagg_admission_rejected_total Requests rejected with 413 by the matrix byte-budget admission check, by reason.\n")
 	fmt.Fprintf(w, "# TYPE rankagg_admission_rejected_total counter\n")

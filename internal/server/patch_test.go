@@ -248,14 +248,32 @@ func TestPatchErrorPaths(t *testing.T) {
 	if !again.CacheHit {
 		t.Error("failed PATCHes evicted or corrupted the entry")
 	}
-	// Wrong method on the datasets resource.
+	// GET on the datasets resource is the metadata endpoint now; the entry
+	// survived the failed PATCHes, so it must describe the original dataset.
 	getResp, err := http.Get(ts.URL + "/v1/datasets/" + cold.DatasetHash)
 	if err != nil {
 		t.Fatal(err)
 	}
+	var info server.DatasetInfoResponse
+	err = json.NewDecoder(getResp.Body).Decode(&info)
 	getResp.Body.Close()
-	if getResp.StatusCode != http.StatusMethodNotAllowed {
-		t.Errorf("GET /v1/datasets: %d, want 405", getResp.StatusCode)
+	if getResp.StatusCode != http.StatusOK || err != nil {
+		t.Errorf("GET /v1/datasets: %d (%v), want 200", getResp.StatusCode, err)
+	} else if info.DatasetHash != cold.DatasetHash {
+		t.Errorf("GET /v1/datasets: hash %s, want %s", info.DatasetHash, cold.DatasetHash)
+	}
+	// A wrong method still 405s.
+	putReq, err := http.NewRequest(http.MethodPut, ts.URL+"/v1/datasets/"+cold.DatasetHash, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	putResp, err := http.DefaultClient.Do(putReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	putResp.Body.Close()
+	if putResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("PUT /v1/datasets: %d, want 405", putResp.StatusCode)
 	}
 }
 

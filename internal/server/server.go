@@ -7,9 +7,22 @@
 //
 //	POST  /v1/aggregate       aggregate a dataset with a named algorithm
 //	PATCH /v1/datasets/{hash} delta-update a cached dataset in place
+//	GET   /v1/datasets/{hash} introspect a cached dataset's session
 //	GET   /v1/algorithms      list registered algorithms
 //	GET   /healthz            liveness (503 while draining for shutdown)
 //	GET   /metrics            Prometheus text exposition
+//
+// Consensus cache: exact-tier runs are deterministic under a fixed seed,
+// so their results are cached under (dataset hash, canonical run spec key)
+// — rankagg.RunSpec.Key over the result-determining fields algorithm, seed
+// and restarts — and a repeat POST with an identical spec is served as an
+// O(1) lookup (consensus_hit: true, no solver run, no worker token held).
+// Concurrent identical requests single-flight onto one solve. A PATCH
+// invalidates the base hash's stored results and harvests the best of them
+// as a warm-start hint for the rotated hash: the next warm-startable solve
+// (BioConsert, Anneal) seeds from the pre-PATCH optimum instead of cold
+// restarts (rankagg_warm_starts_total, stats.warm_start in the response).
+// Deadline-cut and approx-tier results are never cached.
 //
 // Dynamic datasets: PATCH applies add/remove ranking deltas to the cached
 // session of a hot dataset in O(n²) per ranking (Session.ApplyDelta over
@@ -78,6 +91,9 @@ type Config struct {
 	// (0: 64 entries / 1 GiB; negative: that bound is unlimited).
 	CacheEntries int
 	CacheBytes   int64
+	// ConsensusBytes bounds the consensus cache — stored (dataset hash,
+	// run spec) → result entries (0: 64 MiB; negative: unlimited).
+	ConsensusBytes int64
 	// Workers is the global worker budget shared by all in-flight
 	// aggregations (<= 0: NumCPU).
 	Workers int
@@ -119,6 +135,7 @@ type Config struct {
 // and flip Drain before shutting the listener down.
 type Server struct {
 	cache       *cache.Cache
+	consensus   *cache.ConsensusCache
 	workers     int
 	perRun      int
 	tokens      chan struct{}
@@ -159,6 +176,12 @@ func New(cfg Config) *Server {
 		}
 		c = cache.New(entries, bytes)
 	}
+	consensusBytes := cfg.ConsensusBytes
+	if consensusBytes == 0 {
+		consensusBytes = 64 << 20
+	} else if consensusBytes < 0 {
+		consensusBytes = 0 // NewConsensus's "unlimited"
+	}
 	maxElements := cfg.MaxElements
 	if maxElements == 0 {
 		maxElements = 4096
@@ -177,6 +200,7 @@ func New(cfg Config) *Server {
 	}
 	s := &Server{
 		cache:       c,
+		consensus:   cache.NewConsensus(consensusBytes),
 		workers:     workers,
 		perRun:      perRun,
 		tokens:      make(chan struct{}, workers),
@@ -192,6 +216,7 @@ func New(cfg Config) *Server {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/aggregate", s.instrument("aggregate", s.handleAggregate))
 	s.mux.HandleFunc("PATCH /v1/datasets/{hash}", s.instrument("datasets", s.handlePatchDataset))
+	s.mux.HandleFunc("GET /v1/datasets/{hash}", s.instrument("datasets", s.handleDatasetInfo))
 	s.mux.HandleFunc("/v1/algorithms", s.instrument("algorithms", s.handleAlgorithms))
 	s.mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("/metrics", s.instrument("metrics", s.handleMetrics))
@@ -219,30 +244,73 @@ func (s *Server) InFlight() int64 { return s.metrics.inFlight.Load() }
 // CacheStats exposes the session cache counters.
 func (s *Server) CacheStats() cache.Stats { return s.cache.Stats() }
 
+// ConsensusStats exposes the consensus cache counters.
+func (s *Server) ConsensusStats() cache.ConsensusStats { return s.consensus.Stats() }
+
 // AggregateRequest is the POST /v1/aggregate body. The dataset fields are
 // the rankings wire form (rankings.DatasetWire): "rankings" as bucket
 // arrays, optional "n" and "names" — or "toplists", the approximation
 // tier's compact shape (one best-first ID list per voter).
 type AggregateRequest struct {
+	// Spec is the canonical run description (rankagg.RunSpec, verbatim):
+	// algorithm, seed, restarts, timeout_ms, workers in one nested object.
+	// Its result-determining fields are the consensus cache's key material
+	// — two requests whose specs normalize identically share one cached
+	// result. The top-level fields below remain accepted as aliases; where
+	// both are present, the spec wins. ("workers" is advisory only: the
+	// server's token scheduler assigns the actual parallelism.)
+	Spec *rankagg.RunSpec `json:"spec,omitempty"`
 	// Algorithm is a registered algorithm name (GET /v1/algorithms).
-	Algorithm string `json:"algorithm"`
+	//
+	// Deprecated: alias for Spec.Algorithm, kept for one release.
+	Algorithm string `json:"algorithm,omitempty"`
 	rankings.DatasetWire
 	// TopLists carries the dataset as top-k lists instead of "rankings":
 	// one ordered best-to-worst element-ID list per voter, no ties, each
 	// covering only the elements that voter ranked (rankings.TopListsWire).
 	// The decoded dataset is incomplete, so it is served by the matrix-free
-	// approximation tier: a non-approx Algorithm is substituted (400 under
+	// approximation tier: a non-approx algorithm is substituted (400 under
 	// -approx-mode off). Mutually exclusive with "rankings".
 	TopLists [][]int `json:"toplists,omitempty"`
 	// TimeoutMS bounds the run in milliseconds; it is clamped to the
 	// server's max budget, which also applies when the field is absent. On
 	// expiry the best incumbent is returned with deadline_hit set.
+	//
+	// Deprecated: alias for Spec.TimeoutMS, kept for one release.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 	// Seed fixes the randomness of randomized algorithms.
+	//
+	// Deprecated: alias for Spec.Seed, kept for one release.
 	Seed *int64 `json:"seed,omitempty"`
 	// Restarts overrides the independent-run count of the algorithms that
 	// take one.
+	//
+	// Deprecated: alias for Spec.Restarts, kept for one release.
 	Restarts int `json:"restarts,omitempty"`
+}
+
+// resolveSpec folds the request into one rankagg.RunSpec: the nested spec
+// object where present, with the deprecated top-level aliases filling the
+// fields it leaves unset. The result is not yet normalized — the caller
+// runs it through RunSpec.Normalize, the one place defaults resolve.
+func (req *AggregateRequest) resolveSpec() rankagg.RunSpec {
+	var sp rankagg.RunSpec
+	if req.Spec != nil {
+		sp = *req.Spec
+	}
+	if sp.Algorithm == "" {
+		sp.Algorithm = req.Algorithm
+	}
+	if sp.Seed == nil {
+		sp.Seed = req.Seed
+	}
+	if sp.Restarts == 0 {
+		sp.Restarts = req.Restarts
+	}
+	if sp.TimeoutMS == 0 {
+		sp.TimeoutMS = req.TimeoutMS
+	}
+	return sp
 }
 
 // AggregateResponse is the POST /v1/aggregate success body.
@@ -258,9 +326,14 @@ type AggregateResponse struct {
 	DeadlineHit    bool              `json:"deadline_hit,omitempty"`
 	ElapsedMS      float64           `json:"elapsed_ms"`
 	DatasetHash    string            `json:"dataset_hash"`
-	// CacheHit reports that the dataset's session (and pair matrix) was
-	// already cached when the request arrived.
+	// CacheHit reports that the request was answered from warm state: the
+	// dataset's session (and pair matrix) was already cached, or the
+	// consensus itself was (ConsensusHit).
 	CacheHit bool `json:"cache_hit"`
+	// ConsensusHit reports that the whole result came from the consensus
+	// cache — an identical (dataset, spec) pair was served before, so no
+	// solver ran for this request at all.
+	ConsensusHit bool `json:"consensus_hit"`
 	// Approx reports the consensus came from the matrix-free approximation
 	// tier: no pair matrix was built, the score was computed per ranking,
 	// and the algorithm may differ from the requested one (admission
@@ -327,18 +400,18 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid request body: %v", err))
 		return
 	}
-	if req.Algorithm == "" {
-		s.writeError(w, http.StatusBadRequest, "missing \"algorithm\" (see GET /v1/algorithms)")
-		return
-	}
-	if _, err := rankagg.NewAggregator(req.Algorithm); err != nil {
+	// One spec, every surface: the nested "spec" object (or its deprecated
+	// top-level aliases) normalizes through rankagg.RunSpec.Normalize, the
+	// same defaults resolution the CLI and the library use — and the
+	// normalized spec's key is the consensus cache's key material.
+	spec, err := req.resolveSpec().Normalize()
+	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	var (
-		d   *rankings.Dataset
-		u   *rankings.Universe
-		err error
+		d *rankings.Dataset
+		u *rankings.Universe
 	)
 	fromTopLists := len(req.TopLists) > 0
 	if fromTopLists {
@@ -368,7 +441,7 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 	// matrix mode. Over-budget datasets are diverted to the matrix-free
 	// tier under -approx-mode auto (routed, with a substituted algorithm)
 	// and rejected with 413 under off.
-	runName := req.Algorithm
+	runName := spec.Algorithm
 	approxTier := rankagg.MatrixFree(runName)
 	routed := false
 	if !approxTier && fromTopLists {
@@ -410,104 +483,150 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 	// matrix build, and the run itself — is one deadline, and the context
 	// also dies with the client connection.
 	budget := s.maxTimeout
-	if req.TimeoutMS > 0 {
-		if t := time.Duration(req.TimeoutMS) * time.Millisecond; t < budget {
+	if spec.TimeoutMS > 0 {
+		if t := time.Duration(spec.TimeoutMS) * time.Millisecond; t < budget {
 			budget = t
 		}
 	}
 	ctx, cancelBudget := context.WithTimeout(r.Context(), budget)
 	defer cancelBudget()
 
-	tokens, err := s.acquireWorkers(ctx)
-	if err != nil {
-		if r.Context().Err() != nil {
-			// Client gone while queued; nobody reads the reply, but record
-			// the abort honestly (nginx's 499) instead of a default 200.
-			s.metrics.cancels.Add(1)
-			w.WriteHeader(statusClientClosedRequest)
+	if approxTier {
+		tokens, err := s.acquireWorkers(ctx)
+		if err != nil {
+			if r.Context().Err() != nil {
+				// Client gone while queued; nobody reads the reply, but
+				// record the abort honestly (nginx's 499) instead of a
+				// default 200.
+				s.metrics.cancels.Add(1)
+				w.WriteHeader(statusClientClosedRequest)
+				return
+			}
+			s.metrics.queueRejects.Add(1)
+			s.writeError(w, http.StatusServiceUnavailable, "worker budget exhausted within the request's time budget")
 			return
 		}
-		s.metrics.queueRejects.Add(1)
-		s.writeError(w, http.StatusServiceUnavailable, "worker budget exhausted within the request's time budget")
-		return
-	}
-	defer s.releaseWorkers(tokens)
-
-	s.metrics.inFlight.Add(1)
-	defer s.metrics.inFlight.Add(-1)
-
-	if approxTier {
-		s.serveApprox(ctx, w, &req, d, u, runName, routed, tokens)
+		defer s.releaseWorkers(tokens)
+		s.metrics.inFlight.Add(1)
+		defer s.metrics.inFlight.Add(-1)
+		s.serveApprox(ctx, w, spec, d, u, runName, routed, tokens)
 		return
 	}
 
 	start := time.Now()
 	hash := d.Hash()
-	sess, hit, err := s.cache.GetOrBuild(hash, func() (*rankagg.Session, error) {
-		sess, err := rankagg.NewSession(d, rankagg.WithMatrixMode(s.matrixMode))
-		if err != nil {
-			return nil, err
-		}
-		sess.Pairs() // eager O(m·n²) build inside the single flight
-		s.metrics.matrixBytes.Store(sess.MatrixBytes())
-		return sess, nil
-	})
+	specKey, err := spec.Key()
 	if err != nil {
-		// NewSession rejections are input problems (incomplete dataset,
-		// structural invalidity that slipped past the wire checks).
 		s.writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-
-	opts := []rankagg.Option{rankagg.WithWorkers(tokens)}
-	if req.Seed != nil {
-		opts = append(opts, rankagg.WithSeed(*req.Seed))
-	}
-	if req.Restarts > 0 {
-		opts = append(opts, rankagg.WithRestarts(req.Restarts))
-	}
-	// The response is labeled with the POSTed dataset's hash, so the run
-	// must happen on exactly that dataset — but the cached session is
-	// dynamic, and a concurrent PATCH may rotate it away between the
-	// lookup above and the run below. Pin the run to a snapshot: capture
-	// the matrix, confirm the session still hashes to the request, and
-	// hand the snapshot back through WithPairs — Run checks its version
-	// stamp against the session under the same lock that picks the
-	// dataset, so a mutation sneaking in between fails with ErrStalePairs
-	// instead of mislabeling the result.
-	var res *rankagg.Result
-	snap := sess.Pairs()
-	if sess.Hash() == hash {
-		res, err = sess.Run(ctx, req.Algorithm, append(opts, rankagg.WithPairs(snap))...)
-		if errors.Is(err, rankagg.ErrStalePairs) {
-			res = nil
-		}
-	}
-	if res == nil && (err == nil || errors.Is(err, rankagg.ErrStalePairs)) {
-		// Lost the race: the cached session now holds a different dataset.
-		// Serve this request from a private session over its own rankings
-		// (a fresh O(m·n²) build — the same cost as a plain cache miss)
-		// rather than fighting over the cache entry.
-		hit = false
-		var priv *rankagg.Session
-		priv, err = rankagg.NewSession(d, rankagg.WithMatrixMode(s.matrixMode))
+	// sessHit records the session-cache outcome observed by the solve
+	// closure; it stays false on a consensus hit (no session lookup at
+	// all) and for waiters coalesced onto another request's solve.
+	var sessHit bool
+	res, consensusHit, err := s.consensus.GetOrRun(hash, specKey, func() (*rankagg.Result, uint64, error) {
+		// Worker tokens are acquired inside the single flight: a consensus
+		// hit — and every waiter coalesced onto this solve — never queues
+		// for the worker budget at all.
+		tokens, err := s.acquireWorkers(ctx)
 		if err != nil {
-			s.writeError(w, http.StatusBadRequest, err.Error())
-			return
+			return nil, 0, err
 		}
-		res, err = priv.Run(ctx, req.Algorithm, opts...)
-	}
+		defer s.releaseWorkers(tokens)
+		s.metrics.inFlight.Add(1)
+		defer s.metrics.inFlight.Add(-1)
+
+		sess, hit, err := s.cache.GetOrBuild(hash, func() (*rankagg.Session, error) {
+			sess, err := rankagg.NewSession(d, rankagg.WithMatrixMode(s.matrixMode))
+			if err != nil {
+				return nil, err
+			}
+			sess.Pairs() // eager O(m·n²) build inside the single flight
+			s.metrics.matrixBytes.Store(sess.MatrixBytes())
+			return sess, nil
+		})
+		if err != nil {
+			// NewSession rejections are input problems (incomplete dataset,
+			// structural invalidity that slipped past the wire checks).
+			return nil, 0, inputError{err}
+		}
+		sessHit = hit
+		version := sess.Version()
+
+		opts := []rankagg.Option{rankagg.WithWorkers(tokens)}
+		if rankagg.CanWarmStart(spec.Algorithm) {
+			// A PATCH on this dataset's ancestor left its best pre-PATCH
+			// consensus as a hint; spend it (consume-once) on this solve.
+			if hint := s.consensus.TakeWarmHint(hash); hint != nil {
+				opts = append(opts, rankagg.WithWarmStart(hint.Consensus))
+			}
+		}
+		// The response is labeled with the POSTed dataset's hash, so the
+		// run must happen on exactly that dataset — but the cached session
+		// is dynamic, and a concurrent PATCH may rotate it away between
+		// the lookup above and the run below. Pin the run to a snapshot:
+		// capture the matrix, confirm the session still hashes to the
+		// request, and hand the snapshot back through WithPairs — the run
+		// checks its version stamp against the session under the same lock
+		// that picks the dataset, so a mutation sneaking in between fails
+		// with ErrStalePairs instead of mislabeling the result (or
+		// poisoning the consensus cache under the wrong hash).
+		var res *rankagg.Result
+		snap := sess.Pairs()
+		if sess.Hash() == hash {
+			res, err = sess.RunSpec(ctx, spec, append(opts, rankagg.WithPairs(snap))...)
+			if errors.Is(err, rankagg.ErrStalePairs) {
+				res = nil
+			}
+		}
+		if res == nil && (err == nil || errors.Is(err, rankagg.ErrStalePairs)) {
+			// Lost the race: the cached session now holds a different
+			// dataset. Serve this request from a private session over its
+			// own rankings (a fresh O(m·n²) build — the same cost as a
+			// plain cache miss) rather than fighting over the cache entry.
+			sessHit = false
+			var priv *rankagg.Session
+			priv, err = rankagg.NewSession(d, rankagg.WithMatrixMode(s.matrixMode))
+			if err != nil {
+				return nil, 0, inputError{err}
+			}
+			version = priv.Version()
+			res, err = priv.RunSpec(ctx, spec, opts...)
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		if res.Stats.WarmStart {
+			s.metrics.warmStarts.Add(1)
+		}
+		return res, version, nil
+	})
 	if err != nil {
-		if errors.Is(err, context.Canceled) {
-			// Client disconnected mid-search; the run stopped promptly and
-			// there is nobody to answer, but the metrics must not count the
-			// aborted run as a 200.
-			s.metrics.cancels.Add(1)
-			w.WriteHeader(statusClientClosedRequest)
-			return
+		var ie inputError
+		switch {
+		case errors.As(err, &ie):
+			s.writeError(w, http.StatusBadRequest, ie.Error())
+		case errors.Is(err, context.Canceled):
+			if r.Context().Err() != nil {
+				// Client disconnected (queued or mid-search); the run
+				// stopped promptly and there is nobody to answer, but the
+				// metrics must not count the aborted run as a 200.
+				s.metrics.cancels.Add(1)
+				w.WriteHeader(statusClientClosedRequest)
+			} else {
+				// Coalesced onto an identical in-flight request whose own
+				// client disconnected. This client is still here; a retry
+				// runs the solve itself.
+				s.writeError(w, http.StatusServiceUnavailable, "the identical in-flight request this one coalesced with was cancelled; retry")
+			}
+		case errors.Is(err, context.DeadlineExceeded):
+			// The whole time budget went to queueing for a worker token.
+			s.metrics.queueRejects.Add(1)
+			s.writeError(w, http.StatusServiceUnavailable, "worker budget exhausted within the request's time budget")
+		default:
+			s.log.Printf("aggregate %s on %s: %v", spec.Algorithm, hash, err)
+			s.writeError(w, http.StatusUnprocessableEntity, err.Error())
 		}
-		s.log.Printf("aggregate %s on %s: %v", req.Algorithm, hash, err)
-		s.writeError(w, http.StatusUnprocessableEntity, err.Error())
 		return
 	}
 	if res.DeadlineHit {
@@ -515,17 +634,18 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 	}
 
 	resp := AggregateResponse{
-		Algorithm:   res.Algorithm,
-		Consensus:   res.Consensus,
-		Score:       res.Score,
-		Proved:      res.Proved,
-		DeadlineHit: res.DeadlineHit,
-		ElapsedMS:   float64(time.Since(start).Nanoseconds()) / 1e6,
-		DatasetHash: hash,
-		CacheHit:    hit,
-		N:           d.N,
-		M:           d.M(),
-		Stats:       res.Stats,
+		Algorithm:    res.Algorithm,
+		Consensus:    res.Consensus,
+		Score:        res.Score,
+		Proved:       res.Proved,
+		DeadlineHit:  res.DeadlineHit,
+		ElapsedMS:    float64(time.Since(start).Nanoseconds()) / 1e6,
+		DatasetHash:  hash,
+		CacheHit:     consensusHit || sessHit,
+		ConsensusHit: consensusHit,
+		N:            d.N,
+		M:            d.M(),
+		Stats:        res.Stats,
 	}
 	if u != nil {
 		resp.ConsensusNames = rankings.BucketNames(res.Consensus, u)
@@ -534,6 +654,14 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
+// inputError marks a solve failure caused by the request's own dataset (a
+// NewSession rejection inside the consensus single flight); the handler
+// maps it to 400 where run failures are 422.
+type inputError struct{ err error }
+
+func (e inputError) Error() string { return e.err.Error() }
+func (e inputError) Unwrap() error { return e.err }
+
 // serveApprox is the matrix-free leg of handleAggregate: the dataset never
 // touches the session cache (there is no matrix to share and nothing
 // O(n²) to amortize — the run IS the cheap part), runName is the
@@ -541,20 +669,16 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 // router's substitution), and the response is marked with approx: true
 // plus the X-Rankagg-Tier header. The worker tokens are already held by
 // the caller and released when it returns.
-func (s *Server) serveApprox(ctx context.Context, w http.ResponseWriter, req *AggregateRequest, d *rankings.Dataset, u *rankings.Universe, runName string, routed bool, tokens int) {
+func (s *Server) serveApprox(ctx context.Context, w http.ResponseWriter, spec rankagg.RunSpec, d *rankings.Dataset, u *rankings.Universe, runName string, routed bool, tokens int) {
 	s.metrics.approxRequests.Add(1)
 	if routed {
 		s.metrics.approxRouted.Add(1)
 	}
 	start := time.Now()
-	opts := []rankagg.Option{rankagg.WithWorkers(tokens)}
-	if req.Seed != nil {
-		opts = append(opts, rankagg.WithSeed(*req.Seed))
-	}
-	if req.Restarts > 0 {
-		opts = append(opts, rankagg.WithRestarts(req.Restarts))
-	}
-	res, err := rankagg.RunMatrixFree(ctx, runName, d, opts...)
+	// The admission router may have substituted the algorithm; the token
+	// scheduler, not the client, decides the parallelism.
+	spec.Algorithm = runName
+	res, err := rankagg.RunMatrixFreeSpec(ctx, spec, d, rankagg.WithWorkers(tokens))
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			s.metrics.cancels.Add(1)
@@ -642,6 +766,7 @@ func (s *Server) handlePatchDataset(w http.ResponseWriter, r *http.Request) {
 	// later mutation's state.
 	var n, m, matrixBuilds, matrixDeltas int
 	var matrixBytes int64
+	var version uint64
 	_, newKey, found, err := s.cache.Mutate(hash, func(sess *rankagg.Session) (string, error) {
 		// A delta can promote the matrix backend (int16 → int32 when m
 		// crosses 32767), growing the allocation the dataset was admitted
@@ -667,6 +792,7 @@ func (s *Server) handlePatchDataset(w http.ResponseWriter, r *http.Request) {
 		n, m = d.N, d.M()
 		matrixBuilds, matrixDeltas = sess.MatrixBuilds(), sess.MatrixDeltas()
 		matrixBytes = sess.MatrixBytes()
+		version = sess.Version()
 		return sess.Hash(), nil
 	})
 	if !found {
@@ -696,6 +822,14 @@ func (s *Server) handlePatchDataset(w http.ResponseWriter, r *http.Request) {
 	// A delta can promote the backend (int16 → int32, tied-plane
 	// materialization); keep the gauge tracking the real size.
 	s.metrics.matrixBytes.Store(matrixBytes)
+	// The session version bump rotated the hash, so the base hash's stored
+	// consensus results can never be hit again: drop them now (freeing
+	// their budget) and keep the best one as the rotated hash's warm-start
+	// hint — the next warm-startable solve seeds from the pre-PATCH
+	// optimum instead of cold restarts.
+	if _, warm := s.consensus.InvalidateDataset(hash); warm != nil && newKey != hash {
+		s.consensus.PutWarmHint(newKey, warm, version)
+	}
 	s.writeJSON(w, http.StatusOK, PatchResponse{
 		BaseHash:     hash,
 		DatasetHash:  newKey,
@@ -707,6 +841,57 @@ func (s *Server) handlePatchDataset(w http.ResponseWriter, r *http.Request) {
 		MatrixBuilds: matrixBuilds,
 		MatrixDeltas: matrixDeltas,
 		ElapsedMS:    float64(time.Since(start).Nanoseconds()) / 1e6,
+	})
+}
+
+// DatasetInfoResponse is the GET /v1/datasets/{hash} success body: the
+// cached session's metadata, so callers can introspect what a PATCH
+// rotated — the hash rotation was previously write-only.
+type DatasetInfoResponse struct {
+	DatasetHash string `json:"dataset_hash"`
+	N           int    `json:"n"`
+	M           int    `json:"m"`
+	// Version is the session's mutation version: +1 per ranking added or
+	// removed since the session was built.
+	Version uint64 `json:"version"`
+	// MatrixLayout is the pair matrix's storage layout in use ("" while no
+	// matrix is built); MatrixBytes its backing size.
+	MatrixLayout string `json:"matrix_layout,omitempty"`
+	MatrixBytes  int64  `json:"matrix_bytes"`
+	MatrixBuilds int    `json:"matrix_builds"`
+	MatrixDeltas int    `json:"matrix_deltas"`
+	// CachedConsensus counts this dataset's stored results in the
+	// consensus cache; WarmHint reports a pending warm-start hint (the
+	// best pre-PATCH consensus, waiting for the next solve).
+	CachedConsensus int  `json:"cached_consensus"`
+	WarmHint        bool `json:"warm_hint"`
+}
+
+// handleDatasetInfo reports the cached session of the path hash without
+// perturbing anything: the lookup is a cache Peek (no LRU move, no
+// hit/miss counting) and the session fields are lock-protected reads. A
+// hash that is not cached is a 404, exactly like a PATCH of it.
+func (s *Server) handleDatasetInfo(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	sess, ok := s.cache.Peek(hash)
+	if !ok {
+		s.writeError(w, http.StatusNotFound,
+			fmt.Sprintf("dataset %s is not cached", hash))
+		return
+	}
+	d := sess.Dataset()
+	consensus, warmHint := s.consensus.DatasetEntries(hash)
+	s.writeJSON(w, http.StatusOK, DatasetInfoResponse{
+		DatasetHash:     hash,
+		N:               d.N,
+		M:               d.M(),
+		Version:         sess.Version(),
+		MatrixLayout:    sess.MatrixLayout(),
+		MatrixBytes:     sess.MatrixBytes(),
+		MatrixBuilds:    sess.MatrixBuilds(),
+		MatrixDeltas:    sess.MatrixDeltas(),
+		CachedConsensus: consensus,
+		WarmHint:        warmHint,
 	})
 }
 
@@ -762,6 +947,28 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "# HELP rankagg_cache_bytes Pair-matrix bytes currently cached.\n")
 		fmt.Fprintf(w, "# TYPE rankagg_cache_bytes gauge\n")
 		fmt.Fprintf(w, "rankagg_cache_bytes %d\n", st.Bytes)
+		cs := s.consensus.Stats()
+		fmt.Fprintf(w, "# HELP rankagg_consensus_hits_total Aggregations answered entirely from the consensus cache (no solver run).\n")
+		fmt.Fprintf(w, "# TYPE rankagg_consensus_hits_total counter\n")
+		fmt.Fprintf(w, "rankagg_consensus_hits_total %d\n", cs.Hits)
+		fmt.Fprintf(w, "# HELP rankagg_consensus_misses_total Consensus cache lookups that found no stored result.\n")
+		fmt.Fprintf(w, "# TYPE rankagg_consensus_misses_total counter\n")
+		fmt.Fprintf(w, "rankagg_consensus_misses_total %d\n", cs.Misses)
+		fmt.Fprintf(w, "# HELP rankagg_consensus_solver_runs_total Solver runs executed on behalf of the consensus cache (single-flighted).\n")
+		fmt.Fprintf(w, "# TYPE rankagg_consensus_solver_runs_total counter\n")
+		fmt.Fprintf(w, "rankagg_consensus_solver_runs_total %d\n", cs.Runs)
+		fmt.Fprintf(w, "# HELP rankagg_consensus_evictions_total Consensus entries evicted to satisfy the byte budget.\n")
+		fmt.Fprintf(w, "# TYPE rankagg_consensus_evictions_total counter\n")
+		fmt.Fprintf(w, "rankagg_consensus_evictions_total %d\n", cs.Evictions)
+		fmt.Fprintf(w, "# HELP rankagg_consensus_invalidations_total Consensus entries dropped because a PATCH rotated their dataset hash.\n")
+		fmt.Fprintf(w, "# TYPE rankagg_consensus_invalidations_total counter\n")
+		fmt.Fprintf(w, "rankagg_consensus_invalidations_total %d\n", cs.Invalidations)
+		fmt.Fprintf(w, "# HELP rankagg_consensus_entries Consensus results currently stored (warm hints included).\n")
+		fmt.Fprintf(w, "# TYPE rankagg_consensus_entries gauge\n")
+		fmt.Fprintf(w, "rankagg_consensus_entries %d\n", cs.Entries)
+		fmt.Fprintf(w, "# HELP rankagg_consensus_bytes_total Bytes pinned by stored consensus results.\n")
+		fmt.Fprintf(w, "# TYPE rankagg_consensus_bytes_total gauge\n")
+		fmt.Fprintf(w, "rankagg_consensus_bytes_total %d\n", cs.Bytes)
 		fmt.Fprintf(w, "# HELP rankagg_matrix_compactions_total Cached pair matrices re-packed to their minimal layout by the idle sweep.\n")
 		fmt.Fprintf(w, "# TYPE rankagg_matrix_compactions_total counter\n")
 		fmt.Fprintf(w, "rankagg_matrix_compactions_total %d\n", st.Compactions)

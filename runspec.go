@@ -1,0 +1,142 @@
+package rankagg
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"rankagg/internal/core"
+)
+
+// RunSpec is the canonical, serializable description of one aggregation
+// run: the algorithm plus every parameter that determines its result. It is
+// the one spec shared by every surface — Session.RunSpec consumes it
+// directly, the functional options (WithSeed, WithRestarts, ...) are thin
+// setters over the same fields, the CLI builds one from its flags, and the
+// server's wire form embeds it verbatim ("spec" in POST /v1/aggregate) —
+// so a run described in client JSON, on a command line, or in library code
+// normalizes to identical key material.
+//
+// The fields split into two groups. Result-determining fields (Algorithm,
+// Seed, Restarts) enter the canonical key: runs are deterministic under a
+// fixed seed, so (dataset hash, Key) fully identifies the consensus and a
+// consensus cache may serve a stored result in their place. Execution
+// fields (TimeoutMS, Workers) shape how fast the run converges, never what
+// it converges to — consensus results are worker-count invariant, and a
+// deadline-cut run is flagged DeadlineHit and never cached — so they stay
+// out of the key.
+type RunSpec struct {
+	// Algorithm is a registered algorithm name (see Algorithms). Required.
+	Algorithm string `json:"algorithm"`
+	// Seed fixes the randomness of randomized algorithms (KwikSort's
+	// pivots, annealing's walk). nil is equivalent to an explicit 0: every
+	// registered algorithm defaults to seed 0, which is what Normalize
+	// resolves nil to.
+	Seed *int64 `json:"seed,omitempty"`
+	// Restarts overrides the independent-run count of the algorithms that
+	// take one (KwikSortMin, RepeatChoiceMin, Ailon's roundings). 0 keeps
+	// the algorithm's default.
+	Restarts int `json:"restarts,omitempty"`
+	// TimeoutMS bounds the run's wall clock in milliseconds; 0 means no
+	// limit beyond the context's own deadline. Execution-only: not in the
+	// key.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Workers is the worker budget for internally parallel work; 0 lets
+	// the runner choose. Execution-only: not in the key (consensus results
+	// are worker-count invariant).
+	Workers int `json:"workers,omitempty"`
+}
+
+// specKey is the canonical key material of a RunSpec: the
+// result-determining fields only, in a fixed order, with the seed resolved.
+// encoding/json emits struct fields in declaration order, so marshaling it
+// is deterministic.
+type specKey struct {
+	Algorithm string `json:"algorithm"`
+	Seed      int64  `json:"seed"`
+	Restarts  int    `json:"restarts"`
+}
+
+// Normalize validates the spec and resolves every default in one place —
+// the single source of truth the library, the CLI and the server all
+// funnel through, so their defaults cannot drift. The returned spec has a
+// registry-validated Algorithm (with its canonical capitalization), a
+// non-nil Seed (nil resolves to 0, the default seed of every registered
+// algorithm — an explicit 0 and an absent seed describe the same run), and
+// negative counts clamped to "default" (0). The receiver is not modified.
+func (sp RunSpec) Normalize() (RunSpec, error) {
+	if sp.Algorithm == "" {
+		return RunSpec{}, fmt.Errorf("rankagg: run spec has no algorithm (see Algorithms)")
+	}
+	a, err := core.New(sp.Algorithm)
+	if err != nil {
+		return RunSpec{}, err
+	}
+	sp.Algorithm = a.Name()
+	if sp.Seed == nil {
+		sp.Seed = new(int64)
+	} else {
+		// Copy so the normalized spec shares no memory with the input.
+		v := *sp.Seed
+		sp.Seed = &v
+	}
+	if sp.Restarts < 0 {
+		sp.Restarts = 0
+	}
+	if sp.TimeoutMS < 0 {
+		sp.TimeoutMS = 0
+	}
+	if sp.Workers < 0 {
+		sp.Workers = 0
+	}
+	return sp, nil
+}
+
+// CanonicalJSON returns the spec's stable key material: a JSON document of
+// the result-determining fields only (algorithm, seed, restarts), in a
+// fixed field order, after Normalize. Two specs describing the same
+// deterministic run — whatever surface or field spelling they came from —
+// canonicalize to byte-identical documents; specs differing only in
+// execution fields (TimeoutMS, Workers) do too.
+func (sp RunSpec) CanonicalJSON() ([]byte, error) {
+	n, err := sp.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(specKey{Algorithm: n.Algorithm, Seed: *n.Seed, Restarts: n.Restarts})
+}
+
+// Key returns the spec's canonical hash (32 hex characters, like
+// Dataset.Hash): sha256 over CanonicalJSON. (dataset hash, Key) identifies
+// a deterministic run's consensus to external caches.
+func (sp RunSpec) Key() (string, error) {
+	doc, err := sp.CanonicalJSON()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(doc)
+	return hex.EncodeToString(sum[:16]), nil
+}
+
+// TimeLimit returns TimeoutMS as a duration (0 when unset).
+func (sp RunSpec) TimeLimit() time.Duration {
+	if sp.TimeoutMS <= 0 {
+		return 0
+	}
+	return time.Duration(sp.TimeoutMS) * time.Millisecond
+}
+
+// CanWarmStart reports whether the named algorithm consumes a warm-start
+// seed (WithWarmStart): its search can start from a prior consensus
+// instead of its cold-start policy. BioConsert (the restart pool collapses
+// to the warm seed) and Anneal (the walk starts there) do; every other
+// algorithm ignores warm starts.
+func CanWarmStart(name string) bool {
+	a, err := core.New(name)
+	if err != nil {
+		return false
+	}
+	return core.CanWarmStart(a)
+}

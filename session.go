@@ -68,14 +68,45 @@ var (
 )
 
 // runConfig collects the functional options of NewSession and Session.Run.
+// The result-determining and execution parameters live in an embedded
+// RunSpec — the options are thin setters over its fields, so an option
+// list and a client-supplied spec describe runs in exactly the same terms.
 type runConfig struct {
-	workers    int
-	seed       int64
-	seedSet    bool
-	restarts   int
+	spec runSpecState
+	// timeLimit is WithTimeLimit's duration-typed override; when zero,
+	// spec.TimeoutMS (millisecond-typed, the wire form) applies.
 	timeLimit  time.Duration
 	pairs      *Pairs
 	matrixMode MatrixMode
+	warmStart  *Ranking
+}
+
+// runSpecState mirrors RunSpec with an explicit set-bit for the seed (a
+// RunSpec uses pointer-nil for the same distinction; options avoid the
+// allocation).
+type runSpecState struct {
+	algorithm string
+	seed      int64
+	seedSet   bool
+	restarts  int
+	timeoutMS int64
+	workers   int
+}
+
+// merge overlays a normalized RunSpec onto the session defaults:
+// result-determining fields come from the spec wholesale (Normalize
+// resolved them — a normalized spec is a complete description of the
+// run), execution fields only where the spec sets them.
+func (st *runSpecState) merge(sp RunSpec) {
+	st.algorithm = sp.Algorithm
+	st.seed, st.seedSet = *sp.Seed, true
+	st.restarts = sp.Restarts
+	if sp.TimeoutMS > 0 {
+		st.timeoutMS = sp.TimeoutMS
+	}
+	if sp.Workers > 0 {
+		st.workers = sp.Workers
+	}
 }
 
 // Option configures a Session (session-wide defaults) or a single
@@ -88,19 +119,19 @@ type Option func(*runConfig)
 // replacing the scattered per-struct Workers fields and per-call
 // runtime.NumCPU() decisions; as a run option it overrides the budget for
 // that run. n <= 0 means "let the algorithm choose" (typically all CPUs).
-func WithWorkers(n int) Option { return func(c *runConfig) { c.workers = n } }
+func WithWorkers(n int) Option { return func(c *runConfig) { c.spec.workers = n } }
 
 // WithSeed fixes the randomness seed of randomized algorithms (KwikSort's
 // pivots, RepeatChoice's visit order, annealing's walk). Runs with the same
 // seed and options are deterministic.
 func WithSeed(seed int64) Option {
-	return func(c *runConfig) { c.seed = seed; c.seedSet = true }
+	return func(c *runConfig) { c.spec.seed = seed; c.spec.seedSet = true }
 }
 
 // WithRestarts overrides the number of independent randomized runs for the
 // algorithms that take one (KwikSortMin, RepeatChoiceMin, Ailon's
 // roundings). 0 keeps the algorithm's default.
-func WithRestarts(n int) Option { return func(c *runConfig) { c.restarts = n } }
+func WithRestarts(n int) Option { return func(c *runConfig) { c.spec.restarts = n } }
 
 // WithTimeLimit bounds a run's wall-clock time. The limit is merged into
 // the run's context as a deadline, so it propagates mid-descent exactly
@@ -108,6 +139,18 @@ func WithRestarts(n int) Option { return func(c *runConfig) { c.restarts = n } }
 // returned with Result.DeadlineHit set (see Run).
 func WithTimeLimit(d time.Duration) Option {
 	return func(c *runConfig) { c.timeLimit = d }
+}
+
+// WithWarmStart seeds the search from a previously computed consensus
+// instead of the algorithm's cold-start policy: BioConsert's restart pool
+// collapses to the one warm seed and Anneal's walk starts there, so a
+// re-solve after a small dataset delta converges in a fraction of the
+// moves (a one-ranking delta rarely shifts the optimum far). Algorithms
+// without warm-start support (see CanWarmStart) ignore it. The warm
+// ranking must cover the session's whole universe; Result.Stats.WarmStart
+// reports whether the search actually consumed it.
+func WithWarmStart(r *Ranking) Option {
+	return func(c *runConfig) { c.warmStart = r }
 }
 
 // WithMatrixMode selects the storage representation of the session's pair
@@ -375,6 +418,19 @@ func (s *Session) MatrixBytes() int64 {
 	return s.pairs.Bytes()
 }
 
+// MatrixLayout returns the storage layout of the cached pair matrix
+// (kendall.Pairs.Layout — "int32", "int16+derived", "rowpair-int8", ...),
+// or "" when no matrix has been built yet. Introspection only: unlike
+// Pairs it never triggers the O(m·n²) build.
+func (s *Session) MatrixLayout() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pairs == nil {
+		return ""
+	}
+	return s.pairs.Layout()
+}
+
 // CompactMatrix re-packs the cached pair matrix into the leanest layout
 // its mode admits (Pairs.Compact) and returns the bytes reclaimed — 0 when
 // no matrix is built, it is already minimal, or a concurrent mutation
@@ -454,6 +510,38 @@ func (s *Session) Run(ctx context.Context, name string, opts ...Option) (*Result
 	for _, o := range opts {
 		o(&cfg)
 	}
+	return s.run(ctx, a, cfg)
+}
+
+// RunSpec executes the run described by a canonical RunSpec (the form
+// client JSON and CLI flags reduce to — see RunSpec) on the session's
+// dataset. The spec is normalized first (Normalize is the single place
+// defaults resolve, so the library, the CLI and the server cannot drift),
+// then overlaid on the session defaults: result-determining fields
+// (algorithm, seed, restarts) come from the spec, execution fields
+// (timeout, workers) only where the spec sets them. Options apply on top,
+// for the per-run knobs a spec does not carry (WithPairs, WithWarmStart).
+// Semantics are otherwise exactly Run's.
+func (s *Session) RunSpec(ctx context.Context, spec RunSpec, opts ...Option) (*Result, error) {
+	norm, err := spec.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	a, err := core.New(norm.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	cfg := s.defaults
+	cfg.pairs = nil
+	cfg.spec.merge(norm)
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return s.run(ctx, a, cfg)
+}
+
+// run is the shared body of Run and RunSpec.
+func (s *Session) run(ctx context.Context, a core.Aggregator, cfg runConfig) (*Result, error) {
 	if core.IsMatrixFree(a) {
 		return s.runMatrixFree(ctx, a, cfg)
 	}
@@ -472,14 +560,9 @@ func (s *Session) Run(ctx context.Context, name string, opts ...Option) (*Result
 			ErrStalePairs, pv, p.N, p.M, sv, d.N, len(d.Rankings))
 	}
 	s.mu.Unlock()
-	rr, err := core.Run(ctx, a, d, core.RunOptions{
-		Workers:   cfg.workers,
-		Seed:      cfg.seed,
-		SeedSet:   cfg.seedSet,
-		Restarts:  cfg.restarts,
-		TimeLimit: cfg.timeLimit,
-		Pairs:     p,
-	})
+	ro := cfg.runOptions()
+	ro.Pairs = p
+	rr, err := core.Run(ctx, a, d, ro)
 	if err != nil {
 		return nil, err
 	}
@@ -537,15 +620,57 @@ func RunMatrixFree(ctx context.Context, name string, d *Dataset, opts ...Option)
 	return runMatrixFree(ctx, a, d, cfg)
 }
 
+// RunMatrixFreeSpec is RunMatrixFree driven by a canonical RunSpec instead
+// of a name + options: the spec normalizes through the same
+// RunSpec.Normalize as every other surface, then runs on the
+// approximation-tier path. Options apply on top of the spec.
+func RunMatrixFreeSpec(ctx context.Context, spec RunSpec, d *Dataset, opts ...Option) (*Result, error) {
+	norm, err := spec.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	var cfg runConfig
+	cfg.spec.merge(norm)
+	for _, o := range opts {
+		o(&cfg)
+	}
+	a, err := core.New(norm.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	if !core.IsMatrixFree(a) {
+		return nil, fmt.Errorf("rankagg: %s is not a matrix-free algorithm (approximation tier: lehmer, avgrank, scores)", norm.Algorithm)
+	}
+	if err := approx.CheckInput(d); err != nil {
+		return nil, err
+	}
+	if cfg.pairs != nil {
+		return nil, fmt.Errorf("%w: %s never reads pair counts; drop the WithPairs option", ErrMatrixFreePairs, a.Name())
+	}
+	return runMatrixFree(ctx, a, d, cfg)
+}
+
+// runOptions lowers the config into the core layer's per-run parameters.
+// WithTimeLimit's duration wins over the spec's millisecond field when both
+// are set — it is the more precise spelling of the same knob.
+func (cfg *runConfig) runOptions() core.RunOptions {
+	tl := cfg.timeLimit
+	if tl == 0 && cfg.spec.timeoutMS > 0 {
+		tl = time.Duration(cfg.spec.timeoutMS) * time.Millisecond
+	}
+	return core.RunOptions{
+		Workers:   cfg.spec.workers,
+		Seed:      cfg.spec.seed,
+		SeedSet:   cfg.spec.seedSet,
+		Restarts:  cfg.spec.restarts,
+		TimeLimit: tl,
+		WarmStart: cfg.warmStart,
+	}
+}
+
 func runMatrixFree(ctx context.Context, a core.Aggregator, d *Dataset, cfg runConfig) (*Result, error) {
 	start := time.Now()
-	rr, err := core.Run(ctx, a, d, core.RunOptions{
-		Workers:   cfg.workers,
-		Seed:      cfg.seed,
-		SeedSet:   cfg.seedSet,
-		Restarts:  cfg.restarts,
-		TimeLimit: cfg.timeLimit,
-	})
+	rr, err := core.Run(ctx, a, d, cfg.runOptions())
 	if err != nil {
 		return nil, err
 	}
