@@ -10,15 +10,25 @@
 //	      [-workers N] [-max-workers-per-run N] [-max-timeout 30s]
 //	      [-max-body 33554432] [-max-elements 4096]
 //	      [-matrix-mode auto|int32|int16|int8] [-approx-mode auto|force|off]
-//	      [-compact-interval 1m]
+//	      [-compact-interval 1m] [-data-dir DIR] [-replay-budget 64]
 //
-// Endpoints: POST /v1/aggregate, PATCH /v1/datasets/{hash} (apply
-// add/remove ranking deltas to a cached dataset in O(n²) per ranking — the
-// dynamic-sessions path; the response carries the rotated dataset hash),
-// GET /v1/datasets/{hash} (cached-session metadata), GET /v1/algorithms,
-// GET /healthz, GET /metrics (Prometheus text format).
-// See the README's Serving section for the request schemas and curl
-// examples.
+// Endpoints: PUT/GET /v1/datasets (create by content / list), POST
+// /v1/datasets/{hash}/aggregate (canonical run endpoint), PATCH
+// /v1/datasets/{hash} (apply an atomic batch of ranking deltas in O(n²)
+// per ranking; the response and Location header carry the rotated dataset
+// hash), GET /v1/datasets/{hash} (dataset metadata), DELETE
+// /v1/datasets/{hash}, POST /v1/aggregate (inline-dataset compatibility
+// alias), GET /v1/algorithms, GET /healthz, GET /metrics (Prometheus text
+// format). See the README's Serving and "Persistence & dataset API"
+// sections for the request schemas and curl examples.
+//
+// With -data-dir, datasets PUT to /v1/datasets persist across restarts:
+// each one keeps a wire-form snapshot plus an fsync'd append-only delta
+// log, PATCHes are write-ahead logged before any in-memory state moves,
+// evicted or post-restart sessions rebuild by snapshot + replay, and
+// consensus results persist alongside — a restarted server answers repeat
+// traffic with consensus_hit: true and zero solver runs. -replay-budget
+// bounds the pending log length before it is folded into a fresh snapshot.
 //
 // SIGINT/SIGTERM triggers a graceful shutdown: /healthz flips to 503 so
 // load balancers drain the instance, in-flight aggregations run to
@@ -39,6 +49,7 @@ import (
 
 	"rankagg"
 	"rankagg/internal/server"
+	"rankagg/internal/store"
 )
 
 func main() {
@@ -54,6 +65,8 @@ func main() {
 	matrixMode := flag.String("matrix-mode", "auto", "pair-matrix storage: auto (leanest backend the dataset admits: int8 counts when m <= 127, int16 when m <= 32767, derived tied plane on complete datasets), int32 (full 3-plane layout), int16 or int8 (pin a compact width)")
 	approxMode := flag.String("approx-mode", "auto", "matrix-free approximation tier admission: auto (serve over-budget and top-list datasets via lehmer/avgrank/scores instead of rejecting them), force (serve every aggregation matrix-free), off (over-budget datasets 413; explicitly requested approx algorithms still run)")
 	compactInterval := flag.Duration("compact-interval", time.Minute, "idle-sweep period for re-compacting cached matrices widened by PATCH deltas back to their natural storage width (0 = never)")
+	dataDir := flag.String("data-dir", "", "durable dataset store directory: PUT datasets, their delta logs and consensus results survive restarts (empty = ephemeral, cache only)")
+	replayBudget := flag.Int("replay-budget", 64, "pending delta-log records per dataset before the log is folded into a fresh snapshot (0 = never compact)")
 	flag.Parse()
 
 	mode, err := rankagg.ParseMatrixMode(*matrixMode)
@@ -82,6 +95,19 @@ func main() {
 		return v
 	}
 	logger := log.New(os.Stderr, "serve: ", log.LstdFlags)
+	var st *store.Store
+	if *dataDir != "" {
+		st, err = store.Open(store.Config{
+			Dir:          *dataDir,
+			ReplayBudget: unlimitedInt(*replayBudget),
+			MatrixMode:   mode,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+		defer st.Close()
+	}
 	s := server.New(server.Config{
 		CacheEntries:     unlimitedInt(*cacheEntries),
 		CacheBytes:       unlimitedInt64(*cacheBytes),
@@ -93,6 +119,7 @@ func main() {
 		MaxElements:      unlimitedInt(*maxElements),
 		MatrixMode:       mode,
 		ApproxMode:       amode,
+		Store:            st,
 		Log:              logger,
 	})
 	httpSrv := &http.Server{

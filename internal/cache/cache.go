@@ -243,6 +243,34 @@ func (c *Cache) Peek(key string) (*rankagg.Session, bool) {
 	return el.Value.(*entry).sess, true
 }
 
+// Remove drops the entry cached under key (the DELETE /v1/datasets/{hash}
+// eviction), reporting whether one was held. Requests that already fetched
+// the session keep running on their copy-on-write snapshots; removal only
+// stops future lookups from finding it.
+func (c *Cache) Remove(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.removeLocked(el)
+	return true
+}
+
+// Keys returns the cached dataset hashes in most-recently-used order —
+// the session-cache half of the GET /v1/datasets listing (datasets that
+// exist only as cache entries, with no persisted counterpart).
+func (c *Cache) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]string, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		keys = append(keys, el.Value.(*entry).key)
+	}
+	return keys
+}
+
 // Get returns the session cached under key without building on a miss.
 func (c *Cache) Get(key string) (*rankagg.Session, bool) {
 	c.mu.Lock()

@@ -144,6 +144,21 @@ func (c *ConsensusCache) GetOrRun(datasetHash, specKey string, run func() (*rank
 	return res, false, err
 }
 
+// Put stores res under (datasetHash, specKey) without running anything —
+// the restart-preload path: a server opening a durable store feeds the
+// persisted consensus entries straight into the cache so repeat traffic
+// hits before any solver runs. A key collision keeps the existing entry
+// (it was computed or preloaded just as legitimately); results a GetOrRun
+// would refuse to store (nil, deadline-cut, approx) are refused here too.
+func (c *ConsensusCache) Put(datasetHash, specKey string, version uint64, res *rankagg.Result) {
+	if res == nil || res.DeadlineHit || res.Approx {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.insertLocked(datasetHash, specKey, version, res)
+}
+
 // InvalidateDataset drops every entry of the given dataset hash (a PATCH
 // bumped the session version and rotated the hash, so the entries can
 // never be hit again — invalidating frees their budget immediately instead

@@ -3,14 +3,44 @@
 // LRU of sessions (internal/cache), so repeated and concurrent requests
 // over the same dataset share one cached O(m·n²) pair matrix.
 //
-// Endpoints:
+// Endpoints — datasets are first-class resources identified by their
+// content hash:
 //
-//	POST  /v1/aggregate       aggregate a dataset with a named algorithm
-//	PATCH /v1/datasets/{hash} delta-update a cached dataset in place
-//	GET   /v1/datasets/{hash} introspect a cached dataset's session
-//	GET   /v1/algorithms      list registered algorithms
-//	GET   /healthz            liveness (503 while draining for shutdown)
-//	GET   /metrics            Prometheus text exposition
+//	PUT    /v1/datasets                create a dataset by content (idempotent)
+//	GET    /v1/datasets                list datasets (persisted and cached)
+//	POST   /v1/datasets/{hash}/aggregate  aggregate a stored dataset (canonical)
+//	PATCH  /v1/datasets/{hash}         delta-update a dataset in place
+//	GET    /v1/datasets/{hash}         introspect a dataset
+//	DELETE /v1/datasets/{hash}         evict and tombstone a dataset
+//	POST   /v1/aggregate               aggregate an inline dataset (compatibility
+//	                                   alias: auto-creates without persisting)
+//	GET    /v1/algorithms              list registered algorithms
+//	GET    /healthz                    liveness (503 while draining for shutdown)
+//	GET    /metrics                    Prometheus text exposition
+//
+// Persistence: with Config.Store set (the -data-dir flag), datasets created
+// via PUT are durable — internal/store keeps each one's wire-form snapshot
+// plus an append-only delta log, and the session cache becomes exactly
+// that: a cache. A PATCH appends its delta to the log (fsync'd) BEFORE any
+// in-memory state moves, a PATCH or aggregation whose session was evicted
+// rebuilds it by snapshot load + log replay instead of 404ing, and each
+// dataset's consensus-cache entries persist alongside it, so a restarted
+// server answers repeat traffic with consensus_hit: true and zero solver
+// runs. POST /v1/aggregate never persists: it remains the one-shot
+// compatibility surface (deprecated in favor of PUT + the hash endpoints;
+// kept for at least two releases).
+//
+// Hash-rotation contract (the one place it is documented): a dataset's
+// handle IS its content hash, so every successful PATCH rotates the handle
+// — the response carries the new hash in dataset_hash AND in a Location
+// header (/v1/datasets/{newhash}), the old hash immediately stops matching
+// (404 on subsequent use, or 409 from the store when the rotation raced),
+// and everything keyed on the hash moves with it: the cache entry is
+// re-keyed, the stored consensus entries of the old hash are invalidated
+// with the best one demoted to a consume-once warm-start hint under the
+// new hash, and the delta log keeps its directory under the CREATION hash
+// while serving lookups only by the current one. Clients must treat
+// dataset_hash/Location as the sole handle for further requests.
 //
 // Consensus cache: exact-tier runs are deterministic under a fixed seed,
 // so their results are cached under (dataset hash, canonical run spec key)
@@ -78,6 +108,7 @@ import (
 	"rankagg"
 	"rankagg/internal/cache"
 	"rankagg/internal/rankings"
+	"rankagg/internal/store"
 )
 
 // Config parameterizes New. The zero value serves with NumCPU workers, a
@@ -127,6 +158,12 @@ type Config struct {
 	MaxTimeout time.Duration
 	// MaxBodyBytes caps the request body (0: 32 MiB).
 	MaxBodyBytes int64
+	// Store is the durable dataset store backing the cache (the -data-dir
+	// flag). Nil: the server is ephemeral — datasets live only in the LRU,
+	// exactly the pre-store behavior. With a store, New preloads every
+	// persisted consensus entry into the consensus cache, so the first
+	// request after a restart can already be a consensus hit.
+	Store *store.Store
 	// Log receives request errors (nil: the standard logger).
 	Log *log.Logger
 }
@@ -136,6 +173,7 @@ type Config struct {
 type Server struct {
 	cache       *cache.Cache
 	consensus   *cache.ConsensusCache
+	store       *store.Store
 	workers     int
 	perRun      int
 	tokens      chan struct{}
@@ -201,6 +239,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cache:       c,
 		consensus:   cache.NewConsensus(consensusBytes),
+		store:       cfg.Store,
 		workers:     workers,
 		perRun:      perRun,
 		tokens:      make(chan struct{}, workers),
@@ -215,12 +254,38 @@ func New(cfg Config) *Server {
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/aggregate", s.instrument("aggregate", s.handleAggregate))
+	s.mux.HandleFunc("POST /v1/datasets/{hash}/aggregate", s.instrument("aggregate", s.handleDatasetAggregate))
+	s.mux.HandleFunc("PUT /v1/datasets", s.instrument("datasets", s.handlePutDatasets))
+	s.mux.HandleFunc("GET /v1/datasets", s.instrument("datasets", s.handleListDatasets))
 	s.mux.HandleFunc("PATCH /v1/datasets/{hash}", s.instrument("datasets", s.handlePatchDataset))
 	s.mux.HandleFunc("GET /v1/datasets/{hash}", s.instrument("datasets", s.handleDatasetInfo))
+	s.mux.HandleFunc("DELETE /v1/datasets/{hash}", s.instrument("datasets", s.handleDeleteDataset))
 	s.mux.HandleFunc("/v1/algorithms", s.instrument("algorithms", s.handleAlgorithms))
 	s.mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("/metrics", s.instrument("metrics", s.handleMetrics))
+	s.preloadConsensus()
 	return s
+}
+
+// preloadConsensus feeds every persisted consensus entry (and warm hint)
+// into the in-memory consensus cache, so a restarted server's first repeat
+// request is already a consensus_hit with zero solver runs.
+func (s *Server) preloadConsensus() {
+	if s.store == nil {
+		return
+	}
+	for _, info := range s.store.List() {
+		entries, warm, version, ok := s.store.Consensus(info.Hash)
+		if !ok {
+			continue
+		}
+		for specKey, e := range entries {
+			s.consensus.Put(info.Hash, specKey, version, e.Result())
+		}
+		if warm != nil {
+			s.consensus.PutWarmHint(info.Hash, warm.Result(), version)
+		}
+	}
 }
 
 // Handler returns the root handler.
@@ -428,7 +493,15 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	s.serveAggregateOn(w, r, spec, d, u, fromTopLists)
+}
 
+// serveAggregateOn is the shared admission + solve flow behind both
+// aggregation surfaces: POST /v1/aggregate (dataset inline in the body)
+// and POST /v1/datasets/{hash}/aggregate (dataset resolved from the cache
+// or the durable store). d is the dataset to aggregate, u its universe
+// when element names are known.
+func (s *Server) serveAggregateOn(w http.ResponseWriter, r *http.Request, spec rankagg.RunSpec, d *rankings.Dataset, u *rankings.Universe, fromTopLists bool) {
 	// Tier admission. Requests for a matrix-free algorithm are approx-tier
 	// by definition; top-list payloads decode to incomplete datasets only
 	// that tier can serve; and everything else is admitted to the exact
@@ -537,6 +610,18 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 		defer s.metrics.inFlight.Add(-1)
 
 		sess, hit, err := s.cache.GetOrBuild(hash, func() (*rankagg.Session, error) {
+			// A persisted dataset reconstructs from the durable store —
+			// snapshot load plus delta-log replay through the same
+			// Pairs.Add/Remove path a live PATCH takes, byte-identical to
+			// the fresh build below — so an evicted session (or a restarted
+			// process) costs a replay, not a 404. A store error falls back
+			// to the fresh build: d is in hand on this surface.
+			if s.store != nil && s.store.Has(hash) {
+				if sess, _, err := s.store.Rebuild(hash); err == nil {
+					s.metrics.matrixBytes.Store(sess.MatrixBytes())
+					return sess, nil
+				}
+			}
 			sess, err := rankagg.NewSession(d, rankagg.WithMatrixMode(s.matrixMode))
 			if err != nil {
 				return nil, err
@@ -598,6 +683,14 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 		}
 		if res.Stats.WarmStart {
 			s.metrics.warmStarts.Add(1)
+		}
+		// Persist the result alongside the dataset (inside the single
+		// flight, so coalesced waiters don't re-write it). The store
+		// applies the same exclusions the in-memory cache does — nothing
+		// deadline-cut or approx — and silently drops results for hashes
+		// it no longer serves (non-persisted datasets, raced rotations).
+		if s.store != nil {
+			s.store.SaveConsensus(hash, specKey, store.WireFromResult(res))
 		}
 		return res, version, nil
 	})
@@ -711,19 +804,59 @@ func (s *Server) serveApprox(ctx context.Context, w http.ResponseWriter, spec ra
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
+// PatchOp is one operation of a batch PATCH: exactly one of Add or Remove
+// must be set.
+type PatchOp struct {
+	Add    *rankings.Ranking `json:"add,omitempty"`
+	Remove *rankings.Ranking `json:"remove,omitempty"`
+}
+
 // PatchRequest is the PATCH /v1/datasets/{hash} body: ranking deltas to
-// apply to the cached dataset identified by the path hash. Removals are
-// matched by bucket-order equality against the current rankings (each
-// matched at most once) and applied before the additions, which append in
-// order. Added rankings must cover the dataset's whole universe.
+// apply to the dataset identified by the path hash. The batch wire is
+// "ops" — a list of single-ranking operations applied ATOMICALLY as one
+// delta: one delta-log record, one session clone, one hash rotation, and
+// one warm-started re-solve for the whole burst, however many rankings it
+// carries. Within the batch, removals are matched by bucket-order equality
+// against the current rankings (each matched at most once) and applied
+// before the additions, which append in order; added rankings must cover
+// the dataset's whole universe. The whole batch succeeds or fails
+// together — a delta that fails validation mutates nothing and logs
+// nothing.
 type PatchRequest struct {
+	Ops []PatchOp `json:"ops,omitempty"`
+	// Add and Remove are the legacy single-list wire, equivalent to ops
+	// with all removals first. Mutually exclusive with Ops.
+	//
+	// Deprecated: aliases for Ops, kept for one release.
 	Add    []*rankings.Ranking `json:"add,omitempty"`
 	Remove []*rankings.Ranking `json:"remove,omitempty"`
 }
 
+// delta flattens the request into the one (add, remove) pair the delta
+// machinery consumes, rejecting bodies that mix the two wire forms.
+func (req *PatchRequest) delta() (add, remove []*rankings.Ranking, err error) {
+	if len(req.Ops) == 0 {
+		return req.Add, req.Remove, nil
+	}
+	if len(req.Add) > 0 || len(req.Remove) > 0 {
+		return nil, nil, errors.New("supply \"ops\" or the legacy \"add\"/\"remove\" lists, not both")
+	}
+	for i, op := range req.Ops {
+		switch {
+		case op.Add != nil && op.Remove == nil:
+			add = append(add, op.Add)
+		case op.Remove != nil && op.Add == nil:
+			remove = append(remove, op.Remove)
+		default:
+			return nil, nil, fmt.Errorf("ops[%d]: exactly one of \"add\" or \"remove\" per op", i)
+		}
+	}
+	return add, remove, nil
+}
+
 // PatchResponse is the PATCH success body. DatasetHash is the mutated
-// dataset's new content hash — the handle for further PATCHes, and the
-// hash a full POST of the changed dataset will hit in the cache.
+// dataset's new content hash — the handle for further requests, repeated
+// in the Location header (see the package doc's hash-rotation contract).
 type PatchResponse struct {
 	BaseHash    string `json:"base_hash"`
 	DatasetHash string `json:"dataset_hash"`
@@ -734,18 +867,28 @@ type PatchResponse struct {
 	// DeltaApplied reports the mutation went through the O(n²) delta path
 	// (always true on success; the field keeps smoke checks explicit).
 	DeltaApplied bool `json:"delta_applied"`
+	// Persisted reports the delta was fsync'd to the dataset's delta log
+	// before anything in memory moved: it survives a crash or restart.
+	Persisted bool `json:"persisted,omitempty"`
 	// MatrixBuilds and MatrixDeltas expose the session's counters: a PATCH
-	// must move MatrixDeltas, never MatrixBuilds.
+	// of a live session must move MatrixDeltas, never MatrixBuilds. Both
+	// are 0 when the base session was not cached (a persisted dataset
+	// PATCHed cold — the store accepted the delta, and the next
+	// aggregation rebuilds by replay).
 	MatrixBuilds int     `json:"matrix_builds"`
 	MatrixDeltas int     `json:"matrix_deltas"`
 	ElapsedMS    float64 `json:"elapsed_ms"`
 }
 
-// handlePatchDataset mutates the cached session of the path hash in
-// place: an O(n²)-per-ranking delta instead of a full rebuild. The cache
-// entry is re-keyed to the rotated hash atomically with the mutation
-// (cache.Mutate), so concurrent requests either hit the old dataset
-// before the move or the new one after it — never a mismatched pair.
+// handlePatchDataset applies one atomic delta to the dataset at the path
+// hash. For a persisted dataset the delta is write-ahead: it is validated
+// and appended (fsync'd) to the store's delta log BEFORE any in-memory
+// state moves, so a crash at any later point replays it deterministically
+// on restart — and a base session that fell out of the LRU is no longer a
+// 404, because the store holds the truth. For cache-only datasets the
+// pre-store behavior stands: the cached session mutates in place, re-keyed
+// to the rotated hash atomically with the mutation (cache.Mutate), and a
+// cache miss is a 404 falling back to a full POST.
 func (s *Server) handlePatchDataset(w http.ResponseWriter, r *http.Request) {
 	hash := r.PathValue("hash")
 	var req PatchRequest
@@ -754,11 +897,21 @@ func (s *Server) handlePatchDataset(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid request body: %v", err))
 		return
 	}
-	if len(req.Add) == 0 && len(req.Remove) == 0 {
-		s.writeError(w, http.StatusBadRequest, "empty delta: supply \"add\" and/or \"remove\" rankings")
+	add, remove, err := req.delta()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(add) == 0 && len(remove) == 0 {
+		s.writeError(w, http.StatusBadRequest, "empty delta: supply \"ops\" (or the legacy \"add\"/\"remove\" lists)")
 		return
 	}
 	start := time.Now()
+	if s.store != nil && s.store.Has(hash) {
+		s.patchPersisted(w, hash, add, remove, start)
+		return
+	}
+	// Cache-only dataset (or no store at all): the session IS the truth.
 	// The response fields are captured inside the closure, while this
 	// request exclusively owns the detached entry: once Mutate re-inserts
 	// it, a concurrent PATCH may mutate the session again, and reading
@@ -773,19 +926,10 @@ func (s *Server) handlePatchDataset(w http.ResponseWriter, r *http.Request) {
 		// under — re-check the byte budget BEFORE mutating, so rejection
 		// leaves the session untouched and the entry restored. Promotions
 		// are one-way, so the post-delta size is at least the current one.
-		if s.maxElements > 0 {
-			d0 := sess.Dataset()
-			m2 := d0.M() + len(req.Add) - len(req.Remove)
-			need := rankagg.PredictMatrixBytes(s.matrixMode, d0.N, m2, d0.Complete())
-			if cur := sess.MatrixBytes(); cur > need {
-				need = cur
-			}
-			if budget := 3 * 4 * int64(s.maxElements) * int64(s.maxElements); need > budget {
-				return "", fmt.Errorf("%w: the delta would grow the pair matrix to %d bytes, over the server budget of %d (-max-elements %d)",
-					errMatrixBudget, need, budget, s.maxElements)
-			}
+		if err := s.checkDeltaBudget(sess.Dataset(), sess.MatrixBytes(), len(add), len(remove)); err != nil {
+			return "", err
 		}
-		if err := sess.ApplyDelta(req.Add, req.Remove); err != nil {
+		if err := sess.ApplyDelta(add, remove); err != nil {
 			return "", err
 		}
 		d := sess.Dataset()
@@ -798,50 +942,156 @@ func (s *Server) handlePatchDataset(w http.ResponseWriter, r *http.Request) {
 	if !found {
 		s.metrics.deltaMisses.Add(1)
 		s.writeError(w, http.StatusNotFound,
-			fmt.Sprintf("dataset %s is not cached; POST the full dataset to /v1/aggregate instead", hash))
+			fmt.Sprintf("dataset %s is not cached; POST the full dataset to /v1/aggregate, or PUT it to /v1/datasets to persist it", hash))
 		return
 	}
 	if err != nil {
-		// The delta was rejected up front and the session is unchanged.
-		// Conflicts with the dataset's current content are 409 (the caller
-		// holds a stale view of what is cached); a delta that would blow
-		// the matrix byte budget is 413 like the equivalent POST;
-		// structurally invalid rankings are 400.
-		code := http.StatusBadRequest
-		switch {
-		case errors.Is(err, rankagg.ErrRankingNotFound) || errors.Is(err, rankagg.ErrDatasetEmptied):
-			code = http.StatusConflict
-		case errors.Is(err, errMatrixBudget):
-			code = http.StatusRequestEntityTooLarge
-			s.metrics.rejectedDelta.Add(1)
-		}
-		s.writeError(w, code, err.Error())
+		s.writePatchError(w, err)
 		return
 	}
 	s.metrics.deltaApplied.Add(1)
 	// A delta can promote the backend (int16 → int32, tied-plane
 	// materialization); keep the gauge tracking the real size.
 	s.metrics.matrixBytes.Store(matrixBytes)
-	// The session version bump rotated the hash, so the base hash's stored
-	// consensus results can never be hit again: drop them now (freeing
-	// their budget) and keep the best one as the rotated hash's warm-start
-	// hint — the next warm-startable solve seeds from the pre-PATCH
-	// optimum instead of cold restarts.
-	if _, warm := s.consensus.InvalidateDataset(hash); warm != nil && newKey != hash {
-		s.consensus.PutWarmHint(newKey, warm, version)
-	}
+	s.harvestWarmHint(hash, newKey, version)
+	w.Header().Set("Location", "/v1/datasets/"+newKey)
 	s.writeJSON(w, http.StatusOK, PatchResponse{
 		BaseHash:     hash,
 		DatasetHash:  newKey,
 		N:            n,
 		M:            m,
-		Added:        len(req.Add),
-		Removed:      len(req.Remove),
+		Added:        len(add),
+		Removed:      len(remove),
 		DeltaApplied: true,
 		MatrixBuilds: matrixBuilds,
 		MatrixDeltas: matrixDeltas,
 		ElapsedMS:    float64(time.Since(start).Nanoseconds()) / 1e6,
 	})
+}
+
+// patchPersisted is the PATCH leg for store-backed datasets: validate and
+// budget-check first (an append-then-reject would poison the log), append
+// the delta as ONE fsync'd log record — the write-ahead point — and only
+// then touch the cache. The cached session, if present, mutates through
+// the same ApplyDelta the store's validation mirrored; if it was evicted,
+// nothing rebuilds eagerly — the next aggregation reconstructs by replay.
+func (s *Server) patchPersisted(w http.ResponseWriter, hash string, add, remove []*rankings.Ranking, start time.Time) {
+	d0, _, err := s.store.Dataset(hash)
+	if err != nil {
+		s.writeError(w, http.StatusConflict,
+			fmt.Sprintf("dataset %s rotated concurrently; re-GET the dataset for its current hash", hash))
+		return
+	}
+	curBytes := int64(0)
+	if sess, ok := s.cache.Peek(hash); ok {
+		curBytes = sess.MatrixBytes()
+	}
+	if err := s.checkDeltaBudget(d0, curBytes, len(add), len(remove)); err != nil {
+		s.writePatchError(w, err)
+		return
+	}
+	newHash, info, err := s.store.AppendPatch(hash, add, remove)
+	if err != nil {
+		switch {
+		case errors.Is(err, store.ErrNotFound), errors.Is(err, store.ErrStaleHash):
+			s.writeError(w, http.StatusConflict,
+				fmt.Sprintf("dataset %s rotated concurrently; re-GET the dataset for its current hash", hash))
+		default:
+			s.writePatchError(w, err)
+		}
+		return
+	}
+	// The delta is durable. Apply it to the cached session too — and if
+	// the session somehow disagrees with the store (it cannot, short of a
+	// bug: both run the same validation and the same delta semantics), the
+	// store wins: drop the entry and let the next request rebuild by
+	// replay.
+	var matrixBuilds, matrixDeltas int
+	var matrixBytes int64
+	_, newKey, found, merr := s.cache.Mutate(hash, func(sess *rankagg.Session) (string, error) {
+		if err := sess.ApplyDelta(add, remove); err != nil {
+			return "", err
+		}
+		matrixBuilds, matrixDeltas = sess.MatrixBuilds(), sess.MatrixDeltas()
+		matrixBytes = sess.MatrixBytes()
+		return sess.Hash(), nil
+	})
+	if found && merr == nil {
+		s.metrics.matrixBytes.Store(matrixBytes)
+		if newKey != newHash {
+			s.cache.Remove(newKey)
+			found = false
+		}
+	} else if found {
+		s.cache.Remove(hash)
+		found = false
+	}
+	if !found {
+		matrixBuilds, matrixDeltas = 0, 0
+	}
+	s.metrics.deltaApplied.Add(1)
+	s.harvestWarmHint(hash, newHash, info.Version)
+	w.Header().Set("Location", "/v1/datasets/"+newHash)
+	s.writeJSON(w, http.StatusOK, PatchResponse{
+		BaseHash:     hash,
+		DatasetHash:  newHash,
+		N:            info.N,
+		M:            info.M,
+		Added:        len(add),
+		Removed:      len(remove),
+		DeltaApplied: true,
+		Persisted:    true,
+		MatrixBuilds: matrixBuilds,
+		MatrixDeltas: matrixDeltas,
+		ElapsedMS:    float64(time.Since(start).Nanoseconds()) / 1e6,
+	})
+}
+
+// checkDeltaBudget re-checks the matrix byte budget a delta could grow
+// past (backend promotion is one-way, so the post-delta size is at least
+// curBytes). d0 is the pre-delta dataset; nAdd/nRemove size the delta.
+func (s *Server) checkDeltaBudget(d0 *rankings.Dataset, curBytes int64, nAdd, nRemove int) error {
+	if s.maxElements <= 0 {
+		return nil
+	}
+	m2 := d0.M() + nAdd - nRemove
+	need := rankagg.PredictMatrixBytes(s.matrixMode, d0.N, m2, d0.Complete())
+	if curBytes > need {
+		need = curBytes
+	}
+	if budget := 3 * 4 * int64(s.maxElements) * int64(s.maxElements); need > budget {
+		return fmt.Errorf("%w: the delta would grow the pair matrix to %d bytes, over the server budget of %d (-max-elements %d)",
+			errMatrixBudget, need, budget, s.maxElements)
+	}
+	return nil
+}
+
+// writePatchError maps a rejected delta to its status: conflicts with the
+// dataset's current content are 409 (the caller holds a stale view), a
+// delta that would blow the matrix byte budget is 413 like the equivalent
+// POST, and structurally invalid rankings are 400. In every case nothing
+// was mutated and nothing was logged.
+func (s *Server) writePatchError(w http.ResponseWriter, err error) {
+	code := http.StatusBadRequest
+	switch {
+	case errors.Is(err, rankagg.ErrRankingNotFound) || errors.Is(err, rankagg.ErrDatasetEmptied):
+		code = http.StatusConflict
+	case errors.Is(err, errMatrixBudget):
+		code = http.StatusRequestEntityTooLarge
+		s.metrics.rejectedDelta.Add(1)
+	}
+	s.writeError(w, code, err.Error())
+}
+
+// harvestWarmHint retires the base hash's stored consensus results after a
+// rotation: they can never be hit again, so drop them now (freeing their
+// budget) and keep the best one as the rotated hash's consume-once
+// warm-start hint — the next warm-startable solve seeds from the
+// pre-PATCH optimum instead of cold restarts.
+func (s *Server) harvestWarmHint(oldHash, newHash string, version uint64) {
+	if _, warm := s.consensus.InvalidateDataset(oldHash); warm != nil && newHash != oldHash {
+		s.consensus.PutWarmHint(newHash, warm, version)
+	}
 }
 
 // DatasetInfoResponse is the GET /v1/datasets/{hash} success body: the
@@ -865,34 +1115,53 @@ type DatasetInfoResponse struct {
 	// best pre-PATCH consensus, waiting for the next solve).
 	CachedConsensus int  `json:"cached_consensus"`
 	WarmHint        bool `json:"warm_hint"`
+	// Cached reports a live session is in the LRU; Persisted that the
+	// durable store holds the dataset (either alone suffices to serve it).
+	// LogRecords is the persisted dataset's pending delta-log length and
+	// StoreBytes its on-disk footprint (snapshot + log).
+	Cached     bool  `json:"cached"`
+	Persisted  bool  `json:"persisted"`
+	LogRecords int   `json:"log_records,omitempty"`
+	StoreBytes int64 `json:"store_bytes,omitempty"`
 }
 
-// handleDatasetInfo reports the cached session of the path hash without
-// perturbing anything: the lookup is a cache Peek (no LRU move, no
-// hit/miss counting) and the session fields are lock-protected reads. A
-// hash that is not cached is a 404, exactly like a PATCH of it.
+// handleDatasetInfo reports the dataset at the path hash without
+// perturbing anything: the cache lookup is a Peek (no LRU move, no
+// hit/miss counting) and the store lookup reads metadata only. A dataset
+// held by neither is a 404. An evicted-but-persisted dataset answers from
+// the store with Cached false — the GET that previously 404ed cold.
 func (s *Server) handleDatasetInfo(w http.ResponseWriter, r *http.Request) {
 	hash := r.PathValue("hash")
-	sess, ok := s.cache.Peek(hash)
-	if !ok {
+	resp := DatasetInfoResponse{DatasetHash: hash}
+	sess, cached := s.cache.Peek(hash)
+	if cached {
+		d := sess.Dataset()
+		resp.N, resp.M = d.N, d.M()
+		resp.Version = sess.Version()
+		resp.MatrixLayout = sess.MatrixLayout()
+		resp.MatrixBytes = sess.MatrixBytes()
+		resp.MatrixBuilds = sess.MatrixBuilds()
+		resp.MatrixDeltas = sess.MatrixDeltas()
+		resp.Cached = true
+	}
+	if s.store != nil {
+		if info, ok := s.store.Info(hash); ok {
+			resp.Persisted = true
+			resp.LogRecords = info.LogRecords
+			resp.StoreBytes = info.Bytes
+			if !cached {
+				resp.N, resp.M = info.N, info.M
+				resp.Version = info.Version
+			}
+		}
+	}
+	if !resp.Cached && !resp.Persisted {
 		s.writeError(w, http.StatusNotFound,
-			fmt.Sprintf("dataset %s is not cached", hash))
+			fmt.Sprintf("dataset %s is neither cached nor persisted", hash))
 		return
 	}
-	d := sess.Dataset()
-	consensus, warmHint := s.consensus.DatasetEntries(hash)
-	s.writeJSON(w, http.StatusOK, DatasetInfoResponse{
-		DatasetHash:     hash,
-		N:               d.N,
-		M:               d.M(),
-		Version:         sess.Version(),
-		MatrixLayout:    sess.MatrixLayout(),
-		MatrixBytes:     sess.MatrixBytes(),
-		MatrixBuilds:    sess.MatrixBuilds(),
-		MatrixDeltas:    sess.MatrixDeltas(),
-		CachedConsensus: consensus,
-		WarmHint:        warmHint,
-	})
+	resp.CachedConsensus, resp.WarmHint = s.consensus.DatasetEntries(hash)
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
@@ -975,6 +1244,30 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "# HELP rankagg_matrix_compact_reclaimed_bytes_total Bytes reclaimed by matrix re-compaction.\n")
 		fmt.Fprintf(w, "# TYPE rankagg_matrix_compact_reclaimed_bytes_total counter\n")
 		fmt.Fprintf(w, "rankagg_matrix_compact_reclaimed_bytes_total %d\n", st.CompactedBytes)
+		if s.store != nil {
+			ss := s.store.Stats()
+			fmt.Fprintf(w, "# HELP rankagg_store_datasets Datasets currently persisted in the durable store.\n")
+			fmt.Fprintf(w, "# TYPE rankagg_store_datasets gauge\n")
+			fmt.Fprintf(w, "rankagg_store_datasets %d\n", ss.Datasets)
+			fmt.Fprintf(w, "# HELP rankagg_store_log_records Pending (un-compacted) delta-log records across all persisted datasets.\n")
+			fmt.Fprintf(w, "# TYPE rankagg_store_log_records gauge\n")
+			fmt.Fprintf(w, "rankagg_store_log_records %d\n", ss.LogRecords)
+			fmt.Fprintf(w, "# HELP rankagg_store_bytes On-disk bytes of persisted snapshots and delta logs.\n")
+			fmt.Fprintf(w, "# TYPE rankagg_store_bytes gauge\n")
+			fmt.Fprintf(w, "rankagg_store_bytes %d\n", ss.Bytes)
+			fmt.Fprintf(w, "# HELP rankagg_store_replays_total Sessions reconstructed from the store (snapshot load + delta-log replay).\n")
+			fmt.Fprintf(w, "# TYPE rankagg_store_replays_total counter\n")
+			fmt.Fprintf(w, "rankagg_store_replays_total %d\n", ss.Replays)
+			fmt.Fprintf(w, "# HELP rankagg_store_replay_seconds Cumulative wall-clock seconds spent reconstructing sessions.\n")
+			fmt.Fprintf(w, "# TYPE rankagg_store_replay_seconds counter\n")
+			fmt.Fprintf(w, "rankagg_store_replay_seconds %.6f\n", ss.ReplaySeconds)
+			fmt.Fprintf(w, "# HELP rankagg_store_compactions_total Delta logs folded into a fresh snapshot.\n")
+			fmt.Fprintf(w, "# TYPE rankagg_store_compactions_total counter\n")
+			fmt.Fprintf(w, "rankagg_store_compactions_total %d\n", ss.Compactions)
+			fmt.Fprintf(w, "# HELP rankagg_store_log_truncations_total Corrupt delta-log tails truncated on open.\n")
+			fmt.Fprintf(w, "# TYPE rankagg_store_log_truncations_total counter\n")
+			fmt.Fprintf(w, "rankagg_store_log_truncations_total %d\n", ss.Truncations)
+		}
 	})
 }
 

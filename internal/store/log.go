@@ -1,0 +1,117 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// Delta-log framing: each record is [uint32 payload length][uint32 IEEE
+// CRC32 of the payload][payload JSON], little-endian, appended with one
+// write and fsync'd before the append returns. A torn tail — a crash mid-
+// write leaves a short header, a short payload, or a checksum mismatch —
+// is detected on replay and truncated away, never parsed.
+
+const (
+	recordHeaderLen = 8
+	// maxRecordLen rejects absurd lengths before allocating: a corrupt
+	// header must not be trusted to size a buffer. Generous — a record is
+	// one PATCH body's rankings.
+	maxRecordLen = 1 << 30
+)
+
+// appendRecord frames payload, appends it to f in a single write, and
+// fsyncs. The returned length is what the record added to the file.
+func appendRecord(f *os.File, payload []byte) (int64, error) {
+	buf := make([]byte, recordHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[recordHeaderLen:], payload)
+	if _, err := f.Write(buf); err != nil {
+		return 0, fmt.Errorf("store: appending log record: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return 0, fmt.Errorf("store: syncing log: %w", err)
+	}
+	return int64(len(buf)), nil
+}
+
+// readLog parses every intact record of data in order. goodLen is the byte
+// offset after the last intact record; when goodLen < len(data) the tail is
+// corrupt (torn write or bit rot) and the caller truncates the file there.
+func readLog(data []byte) (payloads [][]byte, goodLen int64) {
+	off := 0
+	for {
+		if len(data)-off < recordHeaderLen {
+			return payloads, int64(off)
+		}
+		n := binary.LittleEndian.Uint32(data[off : off+4])
+		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if n > maxRecordLen || len(data)-off-recordHeaderLen < int(n) {
+			return payloads, int64(off)
+		}
+		payload := data[off+recordHeaderLen : off+recordHeaderLen+int(n)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return payloads, int64(off)
+		}
+		payloads = append(payloads, payload)
+		off += recordHeaderLen + int(n)
+	}
+}
+
+// writeFileSync atomically replaces path with data: write to a temp file in
+// the same directory, fsync it, rename over path, fsync the directory. A
+// crash at any point leaves either the old file or the new one, never a
+// partial write.
+func writeFileSync(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(pathDir(path))
+}
+
+func pathDir(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' || path[i] == os.PathSeparator {
+			return path[:i]
+		}
+	}
+	return "."
+}
+
+// syncDir fsyncs a directory so a just-created or just-renamed entry is
+// durable. Best-effort on platforms where directories cannot be synced.
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := f.Sync(); err != nil {
+		// Some filesystems (and Windows) reject directory fsync; the
+		// rename itself is still atomic.
+		return nil
+	}
+	return nil
+}
