@@ -23,39 +23,59 @@ const (
 
 // appendRecord frames payload, appends it to f in a single write, and
 // fsyncs. The returned length is what the record added to the file.
-func appendRecord(f *os.File, payload []byte) (int64, error) {
+// prevLen is the record-aligned length of the log before the append: on a
+// write or sync failure the append is rolled back by truncating there and
+// syncing again, so a record the caller never acknowledged cannot survive
+// on disk and replay after a restart. If the rollback itself fails, the
+// returned error wraps ErrLogDiverged — the file may hold the record, the
+// caller's sequence numbering can no longer be trusted to match it, and the
+// dataset must stop accepting mutations until a restart replays the log.
+func appendRecord(f *os.File, payload []byte, prevLen int64) (int64, error) {
 	buf := make([]byte, recordHeaderLen+len(payload))
 	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
 	copy(buf[recordHeaderLen:], payload)
+	var ioErr error
 	if _, err := f.Write(buf); err != nil {
-		return 0, fmt.Errorf("store: appending log record: %w", err)
+		ioErr = fmt.Errorf("store: appending log record: %w", err)
+	} else if err := f.Sync(); err != nil {
+		ioErr = fmt.Errorf("store: syncing log: %w", err)
+	} else {
+		return int64(len(buf)), nil
+	}
+	// The truncation must reach disk too: an unsynced shrink can un-happen
+	// in a crash exactly like the write it is undoing.
+	if err := f.Truncate(prevLen); err != nil {
+		return 0, fmt.Errorf("%w: truncate: %v (after %v)", ErrLogDiverged, err, ioErr)
 	}
 	if err := f.Sync(); err != nil {
-		return 0, fmt.Errorf("store: syncing log: %w", err)
+		return 0, fmt.Errorf("%w: sync after truncate: %v (after %v)", ErrLogDiverged, err, ioErr)
 	}
-	return int64(len(buf)), nil
+	return 0, ioErr
 }
 
-// readLog parses every intact record of data in order. goodLen is the byte
+// readLog parses every intact record of data in order. offsets[i] is the
+// byte offset at which record i starts — what the caller truncates at when
+// a checksum-valid record turns out to be unusable. goodLen is the byte
 // offset after the last intact record; when goodLen < len(data) the tail is
 // corrupt (torn write or bit rot) and the caller truncates the file there.
-func readLog(data []byte) (payloads [][]byte, goodLen int64) {
+func readLog(data []byte) (payloads [][]byte, offsets []int64, goodLen int64) {
 	off := 0
 	for {
 		if len(data)-off < recordHeaderLen {
-			return payloads, int64(off)
+			return payloads, offsets, int64(off)
 		}
 		n := binary.LittleEndian.Uint32(data[off : off+4])
 		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
 		if n > maxRecordLen || len(data)-off-recordHeaderLen < int(n) {
-			return payloads, int64(off)
+			return payloads, offsets, int64(off)
 		}
 		payload := data[off+recordHeaderLen : off+recordHeaderLen+int(n)]
 		if crc32.ChecksumIEEE(payload) != sum {
-			return payloads, int64(off)
+			return payloads, offsets, int64(off)
 		}
 		payloads = append(payloads, payload)
+		offsets = append(offsets, int64(off))
 		off += recordHeaderLen + int(n)
 	}
 }

@@ -13,18 +13,27 @@
 // Durability protocol:
 //
 //   - Create writes the snapshot atomically (temp + fsync + rename + dir
-//     fsync) and is idempotent by content hash.
+//     fsync) and is idempotent by content hash. Directories are named by the
+//     creation hash but claimed with os.Mkdir: a name still owned by a live
+//     dataset whose hash has rotated away (or left by a crashed create) is
+//     never reused — the new dataset takes a suffixed name instead.
 //   - A PATCH appends ONE log record — however many ops it batches — and
 //     fsyncs before anything in-memory mutates (write-ahead). A crash after
 //     the append replays the record on restart; the un-acknowledged PATCH
-//     is simply already applied, deterministically.
+//     is simply already applied, deterministically. A FAILED append is
+//     rolled back (fsync'd truncate to the pre-append length) so a record
+//     the client was told failed cannot replay; if the rollback itself
+//     fails the dataset refuses further mutations (ErrLogDiverged) until a
+//     restart replays the file as written.
 //   - Records carry monotone sequence numbers and the snapshot records the
 //     last sequence folded into it, so compaction — rewriting the snapshot
 //     at the current state once the log exceeds the replay budget — commits
 //     atomically at the snapshot rename: a crash before the log truncation
 //     leaves old records that replay skips as no-ops.
 //   - A corrupt log tail (torn write) is truncated on open and counted,
-//     never parsed and never fatal.
+//     never parsed and never fatal. A checksum-valid record that no longer
+//     applies is truncated the same way — together with everything after
+//     it — so the file always matches the state the store serves.
 //   - Delete appends a tombstone record before removing the directory, so
 //     a crash mid-removal finishes the cleanup on the next open instead of
 //     resurrecting a half-deleted dataset.
@@ -62,6 +71,13 @@ var ErrNotFound = errors.New("store: dataset not found")
 // rotated since. The caller follows the rotation (Location header) or
 // retries.
 var ErrStaleHash = errors.New("store: dataset hash rotated concurrently")
+
+// ErrLogDiverged reports a dataset whose delta log hit an append failure
+// that could not be rolled back: the file may hold a record the client was
+// never told about, so in-memory and on-disk sequence numbers can no longer
+// be trusted to agree. The dataset rejects further mutations (reads still
+// serve the last acknowledged state) until a restart replays the log.
+var ErrLogDiverged = errors.New("store: dataset log diverged; restart to recover")
 
 // Config parameterizes Open.
 type Config struct {
@@ -139,6 +155,10 @@ type dataset struct {
 
 	consensus consensusFile
 	deleted   bool
+	// failed latches an append whose rollback also failed (ErrLogDiverged):
+	// the on-disk log may hold a record in-memory state never applied, so
+	// mutations are refused until a restart replays the file as written.
+	failed bool
 }
 
 // Store is the durable dataset store. All methods are safe for concurrent
@@ -151,6 +171,11 @@ type Store struct {
 
 	mu     sync.Mutex
 	byHash map[string]*dataset
+	// creating holds the content hashes with a Create in flight: the
+	// snapshot's fsync'd I/O runs outside mu, so the hash is reserved here
+	// first and a second identical PUT waits on the channel instead of
+	// writing a duplicate directory.
+	creating map[string]chan struct{}
 
 	replays     atomic.Int64
 	replayNanos atomic.Int64
@@ -184,6 +209,7 @@ func Open(cfg Config) (*Store, error) {
 		replayBudget: budget,
 		matrixMode:   cfg.MatrixMode,
 		byHash:       make(map[string]*dataset),
+		creating:     make(map[string]chan struct{}),
 	}
 	entries, err := os.ReadDir(root)
 	if err != nil {
@@ -252,7 +278,7 @@ func (s *Store) openDataset(dir string) (*dataset, error) {
 	if err != nil && !os.IsNotExist(err) {
 		return nil, err
 	}
-	payloads, goodLen := readLog(data)
+	payloads, offsets, goodLen := readLog(data)
 	if goodLen < int64(len(data)) {
 		if err := os.Truncate(logPath, goodLen); err != nil {
 			return nil, fmt.Errorf("truncating corrupt log tail: %w", err)
@@ -260,7 +286,7 @@ func (s *Store) openDataset(dir string) (*dataset, error) {
 		s.truncations.Add(1)
 	}
 	tombstoned := false
-	for _, payload := range payloads {
+	for i, payload := range payloads {
 		var rec logRecord
 		if err := json.Unmarshal(payload, &rec); err != nil {
 			return nil, fmt.Errorf("parsing log record: %w", err)
@@ -276,7 +302,13 @@ func (s *Store) openDataset(dir string) (*dataset, error) {
 		if err != nil {
 			// A record that no longer applies can only come from
 			// corruption that passed the checksum; treat it — and
-			// everything after it — as the torn tail it effectively is.
+			// everything after it — as the torn tail it effectively is,
+			// ON DISK TOO: left in place it would shadow every later
+			// append (duplicate sequence numbers, records skipped on the
+			// next open), so the file must match the state served here.
+			if err := os.Truncate(logPath, offsets[i]); err != nil {
+				return nil, fmt.Errorf("truncating unappliable log tail: %w", err)
+			}
 			s.truncations.Add(1)
 			break
 		}
@@ -390,27 +422,68 @@ func (s *Store) Has(hash string) bool {
 // Create persists d (with optional element names) under its content hash,
 // idempotently: an existing dataset with the same hash is left untouched
 // and created reports false. The snapshot is durable when Create returns.
+//
+// The fsync'd snapshot I/O runs outside the store mutex — lookups, PATCH
+// re-keys and deletes on other datasets never wait behind a PUT's disk
+// latency. The hash is reserved first so two identical concurrent PUTs
+// serialize; the loser reports the dataset as already existing.
 func (s *Store) Create(d *rankings.Dataset, names []string) (hash string, created bool, err error) {
 	hash = d.Hash()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.byHash[hash]; ok {
-		return hash, false, nil
+	var reserved chan struct{}
+	for {
+		s.mu.Lock()
+		if _, ok := s.byHash[hash]; ok {
+			s.mu.Unlock()
+			return hash, false, nil
+		}
+		ch, busy := s.creating[hash]
+		if !busy {
+			reserved = make(chan struct{})
+			s.creating[hash] = reserved
+			s.mu.Unlock()
+			break
+		}
+		s.mu.Unlock()
+		<-ch
 	}
-	dir := filepath.Join(s.dir, datasetsDir, hash)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return "", false, fmt.Errorf("store: creating %s: %w", dir, err)
+	defer func() {
+		s.mu.Lock()
+		delete(s.creating, hash)
+		s.mu.Unlock()
+		close(reserved)
+	}()
+
+	// The directory is named by the creation hash, but a PATCH rotates the
+	// index key while the directory keeps its name — so the hash being free
+	// does NOT mean its directory is. os.Mkdir is the collision detector:
+	// on EEXIST the name belongs to someone else (a live rotated dataset,
+	// or debris from a crashed create) and this dataset takes the next
+	// suffixed name instead of overwriting files another dataset owns.
+	root := filepath.Join(s.dir, datasetsDir)
+	dir := filepath.Join(root, hash)
+	for i := 1; ; i++ {
+		mkErr := os.Mkdir(dir, 0o755)
+		if mkErr == nil {
+			break
+		}
+		if !os.IsExist(mkErr) {
+			return "", false, fmt.Errorf("store: creating %s: %w", dir, mkErr)
+		}
+		dir = filepath.Join(root, fmt.Sprintf("%s-%d", hash, i))
 	}
 	snap := snapshotWire{Hash: hash, N: d.N, Names: names, Rankings: d.Rankings}
 	raw, err := json.Marshal(snap)
 	if err != nil {
+		os.RemoveAll(dir)
 		return "", false, err
 	}
 	if err := writeFileSync(filepath.Join(dir, snapshotFile), raw); err != nil {
+		os.RemoveAll(dir)
 		return "", false, fmt.Errorf("store: writing snapshot: %w", err)
 	}
 	f, err := os.OpenFile(filepath.Join(dir, deltaLogFile), os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
 	if err != nil {
+		os.RemoveAll(dir)
 		return "", false, err
 	}
 	ds := &dataset{
@@ -423,7 +496,19 @@ func (s *Store) Create(d *rankings.Dataset, names []string) (hash string, create
 		log:       f,
 		consensus: consensusFile{Hash: hash},
 	}
+	s.mu.Lock()
+	if _, clash := s.byHash[hash]; clash {
+		// While the snapshot was being written, a PATCH rotated another
+		// dataset TO this exact content. Identical content is
+		// indistinguishable to every caller — keep the incumbent, drop the
+		// just-written copy.
+		s.mu.Unlock()
+		f.Close()
+		os.RemoveAll(dir)
+		return hash, false, nil
+	}
 	s.byHash[hash] = ds
+	s.mu.Unlock()
 	return hash, true, nil
 }
 
@@ -445,6 +530,9 @@ func (s *Store) AppendPatch(hash string, add, remove []*rankings.Ranking) (newHa
 	if ds.deleted || ds.curHash != hash {
 		return "", DatasetInfo{}, ErrStaleHash
 	}
+	if ds.failed {
+		return "", DatasetInfo{}, ErrLogDiverged
+	}
 	next, err := applyDelta(ds.cur, add, remove)
 	if err != nil {
 		return "", DatasetInfo{}, err
@@ -455,8 +543,11 @@ func (s *Store) AppendPatch(hash string, add, remove []*rankings.Ranking) (newHa
 	if err != nil {
 		return "", DatasetInfo{}, err
 	}
-	n, err := appendRecord(ds.log, payload)
+	n, err := appendRecord(ds.log, payload, ds.logBytes)
 	if err != nil {
+		if errors.Is(err, ErrLogDiverged) {
+			ds.failed = true
+		}
 		return "", DatasetInfo{}, err
 	}
 	ds.logBytes += n
@@ -515,11 +606,11 @@ func (ds *dataset) compactLocked() error {
 	ds.baseSeq = ds.seq
 	ds.snapBytes = int64(len(raw))
 	ds.pending = nil
-	// Reset the log in place; a failure here costs disk, not correctness.
+	// Reset the log in place; a failure here costs disk, not correctness —
+	// logBytes keeps tracking the file's true length either way (it is the
+	// rollback point of the next append, so it must never exceed the file).
 	if err := ds.log.Truncate(0); err == nil {
-		if _, err := ds.log.Seek(0, 0); err == nil {
-			ds.logBytes = 0
-		}
+		ds.logBytes = 0
 	}
 	return nil
 }
@@ -537,12 +628,18 @@ func (s *Store) Delete(hash string) (bool, error) {
 	if ds.deleted || ds.curHash != hash {
 		return false, nil
 	}
+	if ds.failed {
+		return false, ErrLogDiverged
+	}
 	rec := logRecord{Seq: ds.seq + 1, Op: opTombstone}
 	payload, err := json.Marshal(rec)
 	if err != nil {
 		return false, err
 	}
-	if _, err := appendRecord(ds.log, payload); err != nil {
+	if _, err := appendRecord(ds.log, payload, ds.logBytes); err != nil {
+		if errors.Is(err, ErrLogDiverged) {
+			ds.failed = true
+		}
 		return false, err
 	}
 	ds.deleted = true

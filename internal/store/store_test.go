@@ -251,7 +251,11 @@ func appendRaw(t *testing.T, dir, dsDir string, rec logRecord) {
 		t.Fatal(err)
 	}
 	defer f.Close()
-	if _, err := appendRecord(f, payload); err != nil {
+	fi, err := f.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := appendRecord(f, payload, fi.Size()); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -498,5 +502,140 @@ func TestSaveConsensusRotation(t *testing.T) {
 	entries, warm, _, ok = s.Consensus(h1)
 	if !ok || len(entries) != 1 || warm != nil {
 		t.Fatalf("post-save consensus: entries=%v warm=%+v ok=%v", entries, warm, ok)
+	}
+}
+
+// TestCreateAfterRotationDoesNotReuseDir is the REVIEW.md high-severity
+// repro: a dataset's directory is named by its creation hash, a PATCH
+// rotates the index key but not the directory — so re-creating the original
+// content must NOT land in (and clobber) the rotated dataset's directory.
+func TestCreateAfterRotationDoesNotReuseDir(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(7))
+	d := randDataset(rng, 5, 3)
+
+	s := open(t, dir, -1)
+	h0, _, err := s.Create(d, nil)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	h1 := mustPatch(t, s, h0, []*rankings.Ranking{randRanking(rng, 5)}, nil)
+
+	// h0 is free in the index, but its directory still belongs to the
+	// rotated dataset.
+	h0b, created, err := s.Create(d, nil)
+	if err != nil || !created || h0b != h0 {
+		t.Fatalf("re-Create: hash=%s created=%v err=%v, want %s true nil", h0b, created, err, h0)
+	}
+	if !s.Has(h0) || !s.Has(h1) {
+		t.Fatalf("Has(h0)=%v Has(h1)=%v after re-create, want both", s.Has(h0), s.Has(h1))
+	}
+	// Both datasets keep appending to their OWN logs.
+	h2 := mustPatch(t, s, h1, []*rankings.Ranking{randRanking(rng, 5)}, nil)
+	s.Close()
+
+	// Both survive a restart with their exact states — before the fix the
+	// re-create reset the shared snapshot and the rotated dataset (or its
+	// acknowledged PATCH) was lost.
+	r := open(t, dir, -1)
+	if got := r.List(); len(got) != 2 {
+		t.Fatalf("List after reopen = %d datasets, want 2 (%+v)", len(got), got)
+	}
+	if d0, _, err := r.Dataset(h0); err != nil || d0.Hash() != h0 {
+		t.Fatalf("re-created dataset lost after restart: err=%v", err)
+	}
+	if d2, _, err := r.Dataset(h2); err != nil || d2.Hash() != h2 {
+		t.Fatalf("rotated dataset's PATCH lost after restart: err=%v", err)
+	}
+	if _, _, err := r.Rebuild(h2); err != nil {
+		t.Fatalf("Rebuild(h2): %v", err)
+	}
+}
+
+// TestUnappliableRecordTruncatedOnDisk covers the REVIEW.md medium finding:
+// a checksum-valid record that fails to apply must be truncated OUT OF THE
+// FILE (with everything after it), exactly like a CRC-corrupt tail — left
+// in place it would shadow later appends with duplicate sequence numbers.
+func TestUnappliableRecordTruncatedOnDisk(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(11))
+	d := randDataset(rng, 5, 3)
+
+	s := open(t, dir, -1)
+	h0, _, err := s.Create(d, nil)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	added := randRanking(rng, 5)
+	h1 := mustPatch(t, s, h0, []*rankings.Ranking{added}, nil)
+	cur, err := applyDelta(d, []*rankings.Ranking{added}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	logPath := filepath.Join(dir, datasetsDir, h0, deltaLogFile)
+	fi, err := os.Stat(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodLen := fi.Size()
+
+	// A well-framed record that cannot apply (removes a ranking the dataset
+	// does not hold), then a perfectly applicable record after it.
+	bogus := randRanking(rng, 5)
+	for i := 0; containsRanking(cur, bogus); i++ {
+		bogus = randRanking(rng, 5)
+		if i > 100 {
+			t.Fatal("could not find a ranking outside the dataset")
+		}
+	}
+	appendRaw(t, dir, h0, logRecord{Seq: 2, Op: opPatch, Remove: []*rankings.Ranking{bogus}})
+	appendRaw(t, dir, h0, logRecord{Seq: 3, Op: opPatch, Add: []*rankings.Ranking{randRanking(rng, 5)}})
+
+	r := open(t, dir, -1)
+	if st := r.Stats(); st.Truncations != 1 {
+		t.Fatalf("Stats.Truncations = %d, want 1", st.Truncations)
+	}
+	if !r.Has(h1) {
+		t.Fatalf("intact prefix at %s not served", h1)
+	}
+	if fi, err := os.Stat(logPath); err != nil || fi.Size() != goodLen {
+		t.Fatalf("log not truncated at the unappliable record: %d bytes, want %d (err=%v)", fi.Size(), goodLen, err)
+	}
+	// New appends take the freed sequence numbers and survive replay —
+	// before the fix the stale tail was skipped once, then duplicated seqs
+	// forever.
+	h2 := mustPatch(t, r, h1, []*rankings.Ranking{randRanking(rng, 5)}, nil)
+	r.Close()
+	r2 := open(t, dir, -1)
+	if _, _, err := r2.Dataset(h2); err != nil {
+		t.Fatalf("append after truncation lost on reopen: %v", err)
+	}
+	if _, _, err := r2.Rebuild(h2); err != nil {
+		t.Fatalf("Rebuild(h2): %v", err)
+	}
+}
+
+func containsRanking(d *rankings.Dataset, r *rankings.Ranking) bool {
+	for _, have := range d.Rankings {
+		if have.Equal(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestAppendRecordDiverged: when neither the append nor its rollback can
+// reach the file, the error must carry ErrLogDiverged so the dataset
+// latches read-only instead of reusing the orphaned sequence number.
+func TestAppendRecordDiverged(t *testing.T) {
+	f, err := os.Create(filepath.Join(t.TempDir(), "log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close() // every subsequent Write/Truncate fails
+	if _, err := appendRecord(f, []byte("x"), 0); !errors.Is(err, ErrLogDiverged) {
+		t.Fatalf("appendRecord on dead file: err=%v, want ErrLogDiverged", err)
 	}
 }
