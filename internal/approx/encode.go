@@ -1,0 +1,167 @@
+package approx
+
+import (
+	"context"
+	"errors"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"rankagg/internal/rankings"
+)
+
+// rankCode is one ranking's Lehmer code in its leanest form. A complete
+// ranking is dense: dense[e] is element e's coordinate. A truncated
+// ranking is compact: elems lists its present elements ascending, codes is
+// aligned with elems, and every absent element's coordinate is 0 by the
+// virtual-last-bucket rule — never materialized, never touched.
+type rankCode struct {
+	dense []int32
+	elems []int32
+	codes []int32
+}
+
+// forEach visits the ranking's explicit (element, code) coordinates in
+// ascending element order.
+func (rc *rankCode) forEach(fn func(e int, c int32)) {
+	if rc.dense != nil {
+		for e, c := range rc.dense {
+			fn(e, c)
+		}
+		return
+	}
+	for i, e := range rc.elems {
+		fn(int(e), rc.codes[i])
+	}
+}
+
+// encoder carries one worker's encode scratch: a full-universe Fenwick for
+// dense encodes, a compacted Fenwick resized per ranking for truncated
+// ones, and an element → compact-id map. The map is only ever read for the
+// current ranking's own elements — all freshly written — so it needs no
+// clearing between rankings.
+type encoder struct {
+	n  int
+	f  *fenwick
+	cf fenwick
+	id []int32
+}
+
+func newEncoder(n int) *encoder {
+	return &encoder{
+		n:  n,
+		f:  newFenwick(n),
+		id: make([]int32, n),
+	}
+}
+
+// encode returns r's Lehmer code over the encoder's universe: dense when r
+// covers it, compact otherwise.
+func (enc *encoder) encode(r *rankings.Ranking) rankCode {
+	if r.Len() == enc.n {
+		dense := make([]int32, enc.n)
+		codeRanking(r, enc.n, enc.f, dense)
+		return rankCode{dense: dense}
+	}
+	elems, codes := enc.encodeCompact(r)
+	return rankCode{elems: elems, codes: codes}
+}
+
+// encodeCompact is the truncation-aware encoder: a length-L list is coded
+// over the compacted id space of its L present elements, so the pass costs
+// O(L log L) instead of the dense path's O(n log n). The absent mass is
+// closed-form: every absent element sits in the virtual last bucket —
+// strictly after each present element — so the (e − i) absent elements
+// smaller than present element e (i being e's rank among the sorted
+// present elements) each contribute exactly 1 to its coordinate. What
+// remains is the present-vs-present part, the same worst-to-best
+// query-before-insert Fenwick pass as codeRanking, just over L slots:
+//
+//	code[e] = (e − i) + |{present e' < e ranked strictly after e}|
+//
+// Returned codes are aligned with the ascending present-element slice;
+// byte-identical to codeRanking's coordinates for every present element
+// (absent ones are 0 on both paths) — pinned by TestCompactEncodeMatchesOracle.
+func (enc *encoder) encodeCompact(r *rankings.Ranking) (elems, codes []int32) {
+	l := r.Len()
+	elems = make([]int32, 0, l)
+	for _, b := range r.Buckets {
+		for _, e := range b {
+			elems = append(elems, int32(e))
+		}
+	}
+	slices.Sort(elems)
+	for i, e := range elems {
+		enc.id[e] = int32(i)
+	}
+	enc.cf.resize(l)
+	codes = make([]int32, l)
+	for bi := len(r.Buckets) - 1; bi >= 0; bi-- {
+		b := r.Buckets[bi]
+		for _, e := range b {
+			i := enc.id[e]
+			codes[i] = (int32(e) - i) + enc.cf.prefix(int(i))
+		}
+		for _, e := range b {
+			enc.cf.add(int(enc.id[e]), 1)
+		}
+	}
+	return elems, codes
+}
+
+// cancelled reports an explicit cancellation of ctx. A ctx whose deadline
+// merely expired is NOT cancelled for the encode's purposes: the pass is
+// bounded work with no incumbent to fall back on, so it runs to completion
+// and returns the full result — mirroring how the exact tier's deadline
+// policy keeps the best solution instead of erroring.
+func cancelled(ctx context.Context) bool {
+	return errors.Is(ctx.Err(), context.Canceled)
+}
+
+// encodeAll encodes every ranking of d, sharding the per-ranking passes
+// across workers (striped j % workers, so ranking j's output slot never
+// depends on the worker count) and polling ctx between rankings: a client
+// disconnect aborts a large-m encode promptly with context.Canceled. Each
+// worker owns its scratch; the outputs land in per-ranking slots, so the
+// result is deterministic and worker-count invariant.
+func encodeAll(ctx context.Context, d *rankings.Dataset, workers int) ([]rankCode, error) {
+	m := d.M()
+	if workers > m {
+		workers = m
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	out := make([]rankCode, m)
+	if workers == 1 {
+		enc := newEncoder(d.N)
+		for j, r := range d.Rankings {
+			if cancelled(ctx) {
+				return nil, context.Canceled
+			}
+			out[j] = enc.encode(r)
+		}
+		return out, nil
+	}
+	var wg sync.WaitGroup
+	var aborted atomic.Bool
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			enc := newEncoder(d.N)
+			for j := w; j < m; j += workers {
+				if cancelled(ctx) {
+					aborted.Store(true)
+					return
+				}
+				out[j] = enc.encode(d.Rankings[j])
+			}
+		}(w)
+	}
+	wg.Wait()
+	if aborted.Load() {
+		return nil, context.Canceled
+	}
+	return out, nil
+}

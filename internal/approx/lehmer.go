@@ -1,6 +1,7 @@
 package approx
 
 import (
+	"context"
 	"slices"
 
 	"rankagg/internal/core"
@@ -12,16 +13,23 @@ func init() {
 }
 
 // Lehmer aggregates rankings through their Lehmer codes (inversion
-// vectors): code each ranking in O(n log n), take the coordinate-wise
-// median across the m codes, and decode the median vector back into a
-// permutation. The coordinate system is chosen so that every coordinate
-// satisfies 0 ≤ code[e] ≤ e, which makes ANY coordinate-wise aggregate —
-// in particular the median — decodable without clamping.
+// vectors): code each ranking, take the coordinate-wise median across the
+// m codes, and decode the median vector back into a permutation. The
+// coordinate system is chosen so that every coordinate satisfies
+// 0 ≤ code[e] ≤ e, which makes ANY coordinate-wise aggregate — in
+// particular the median — decodable without clamping.
 //
 // Ties and absent elements are handled by the unified model: tied elements
 // contribute nothing to each other's coordinates, and absent elements sit
 // in a virtual bucket after the last real one. The decoded consensus is
 // always a strict permutation of the full universe.
+//
+// The engine is truncation-aware and parallel: a length-L list encodes
+// over the compacted id space of its present elements in O(L log L)
+// (encoder.encodeCompact — the absent mass is closed-form), the
+// per-ranking passes shard across the RunOptions worker budget, and the
+// consensus is invariant to the worker count. A toplists dataset therefore
+// costs O(Σ L_i log L_i) to encode instead of O(m·n log n).
 type Lehmer struct{}
 
 // Name implements core.Aggregator.
@@ -31,10 +39,38 @@ func (Lehmer) Name() string { return "lehmer" }
 // (core.MatrixFreeAggregator): no pair matrix is ever built or read.
 func (Lehmer) MatrixFree() {}
 
-// Aggregate implements core.Aggregator. O(m·n log n) time, O(m·n) memory
-// for the code vectors (int32 — 4 bytes per ranking-element, versus the
-// matrix tier's 2–12 bytes per element PAIR).
-func (Lehmer) Aggregate(d *rankings.Dataset) (*rankings.Ranking, error) {
+// Aggregate implements core.Aggregator: the single-worker form of
+// AggregateCtx.
+func (l Lehmer) Aggregate(d *rankings.Dataset) (*rankings.Ranking, error) {
+	rr, err := l.AggregateCtx(context.Background(), d, core.RunOptions{Workers: 1})
+	if err != nil {
+		return nil, err
+	}
+	return rr.Consensus, nil
+}
+
+// AggregateCtx implements core.CtxAggregator: encode passes shard across
+// opts.WorkerBudget() and poll ctx between rankings, so a client
+// disconnect aborts a large-m run promptly with context.Canceled. An
+// expired deadline does NOT truncate the run — the encode is bounded work
+// with no meaningful incumbent, so it completes and returns the full
+// consensus (DeadlineHit stays false), the matrix-free analogue of the
+// exact tier keeping its best solution.
+func (Lehmer) AggregateCtx(ctx context.Context, d *rankings.Dataset, opts core.RunOptions) (*core.RunResult, error) {
+	st, err := BuildLehmer(ctx, d, opts.WorkerBudget())
+	if err != nil {
+		return nil, err
+	}
+	return &core.RunResult{Consensus: st.Consensus()}, nil
+}
+
+// AggregateFullUniverse is the pre-truncation reference implementation:
+// every ranking — complete or not — pays a dense O(n log n) Fenwick pass
+// and the median sorts all m coordinates per element, sequentially on one
+// core. It is kept as the oracle the truncated, parallel, incremental
+// engine is pinned against (tests and cmd/bench), and as the honest
+// "before" side of the approx benchmarks.
+func AggregateFullUniverse(d *rankings.Dataset) (*rankings.Ranking, error) {
 	if err := CheckInput(d); err != nil {
 		return nil, err
 	}
@@ -127,6 +163,23 @@ func newFenwick(n int) *fenwick {
 }
 
 func (f *fenwick) zero() { clear(f.tree) }
+
+// resize repoints the tree at n slots, zeroed, reusing the backing array
+// when it is large enough — the compact encoder calls this once per
+// truncated ranking, so the refill is O(L), not O(max L seen).
+func (f *fenwick) resize(n int) {
+	if cap(f.tree) < n+1 {
+		f.tree = make([]int32, n+1)
+	} else {
+		f.tree = f.tree[:n+1]
+		clear(f.tree)
+	}
+	hb := 1
+	for hb<<1 <= n {
+		hb <<= 1
+	}
+	f.hibit = hb
+}
 
 // ones fills every slot with 1 directly (tree[i] covers i&-i slots).
 func (f *fenwick) ones() {

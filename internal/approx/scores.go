@@ -1,6 +1,7 @@
 package approx
 
 import (
+	"context"
 	"sort"
 
 	"rankagg/internal/core"
@@ -50,9 +51,33 @@ func (s ScoreRank) Name() string {
 // (core.MatrixFreeAggregator): no pair matrix is ever built or read.
 func (ScoreRank) MatrixFree() {}
 
-// Aggregate implements core.Aggregator. O(m·n + n log n) time, O(n)
-// memory: one int64 accumulator per element and one sort.
+// Aggregate implements core.Aggregator: the single-worker form of
+// AggregateCtx. Per ranking the truncation-aware accumulation costs O(L),
+// not O(n) — absent elements ride in the ScoreState base term — so a
+// toplists dataset totals in O(Σ L_i + n log n).
 func (s ScoreRank) Aggregate(d *rankings.Dataset) (*rankings.Ranking, error) {
+	rr, err := s.AggregateCtx(context.Background(), d, core.RunOptions{Workers: 1})
+	if err != nil {
+		return nil, err
+	}
+	return rr.Consensus, nil
+}
+
+// AggregateCtx implements core.CtxAggregator, with the same worker-
+// sharding, worker-invariance, cancellation and deadline semantics as
+// Lehmer.AggregateCtx.
+func (s ScoreRank) AggregateCtx(ctx context.Context, d *rankings.Dataset, opts core.RunOptions) (*core.RunResult, error) {
+	st, err := BuildScore(ctx, d, s.Optimistic, opts.WorkerBudget())
+	if err != nil {
+		return nil, err
+	}
+	return &core.RunResult{Consensus: st.Consensus()}, nil
+}
+
+// scoreFullUniverse is the pre-truncation batch accumulation — every
+// ranking pays an O(n) absent-element sweep — kept as the oracle the
+// ScoreState decomposition is pinned against in tests.
+func scoreFullUniverse(d *rankings.Dataset, optimistic bool) (*rankings.Ranking, error) {
 	if err := CheckInput(d); err != nil {
 		return nil, err
 	}
@@ -74,7 +99,7 @@ func (s ScoreRank) Aggregate(d *rankings.Dataset) (*rankings.Ranking, error) {
 		}
 		if l := p - 1; l < n {
 			absent := int64(n + l + 1)
-			if s.Optimistic {
+			if optimistic {
 				absent = int64(2 * (l + 1))
 			}
 			for e, ok := range seen {
@@ -84,12 +109,18 @@ func (s ScoreRank) Aggregate(d *rankings.Dataset) (*rankings.Ranking, error) {
 			}
 		}
 	}
+	return scoreBuckets(total), nil
+}
+
+// scoreBuckets orders elements by ascending total, tying exact equals.
+// Element ID breaks ordering (not bucket) ties for determinism — equal
+// sums still land in one shared bucket.
+func scoreBuckets(total []int64) *rankings.Ranking {
+	n := len(total)
 	order := make([]int, n)
 	for i := range order {
 		order[i] = i
 	}
-	// Ascending sum; element ID breaks ordering (not bucket) ties for
-	// determinism — equal sums still land in one shared bucket below.
 	sort.Slice(order, func(i, j int) bool {
 		if total[order[i]] != total[order[j]] {
 			return total[order[i]] < total[order[j]]
@@ -105,5 +136,5 @@ func (s ScoreRank) Aggregate(d *rankings.Dataset) (*rankings.Ranking, error) {
 		out.Buckets = append(out.Buckets, append([]int(nil), order[i:j]...))
 		i = j
 	}
-	return &out, nil
+	return &out
 }

@@ -1,0 +1,250 @@
+package cache
+
+import (
+	"container/list"
+	"sync"
+
+	"rankagg"
+)
+
+// ApproxCache is the approximation tier's session cache: a budgeted LRU of
+// *rankagg.ApproxSession values keyed on the dataset content hash, the
+// matrix-free sibling of Cache. Where Cache weighs entries by their O(n²)
+// pair matrix, ApproxCache weighs them by ApproxSession.StateBytes — the
+// O(n + Σ L_i) incremental aggregation state — so a fixed byte budget holds
+// orders of magnitude more approx-routed datasets than matrix-tier ones.
+//
+// It exists so that PATCH /v1/datasets/{hash} works on datasets the router
+// diverted to the approximation tier (including incomplete toplists
+// datasets, which can never live in the matrix-tier cache at all): Mutate
+// re-keys an entry around an ApplyDelta exactly as Cache.Mutate does for
+// matrix sessions. Lookups of a missing key are single-flighted.
+type ApproxCache struct {
+	maxEntries int
+	maxBytes   int64
+
+	mu      sync.Mutex
+	ll      *list.List // front = most recently used
+	items   map[string]*list.Element
+	flight  map[string]*approxFlight
+	bytes   int64
+	hits    int64
+	misses  int64
+	builds  int64
+	evicted int64
+	rekeys  int64
+}
+
+type approxEntry struct {
+	key   string
+	sess  *rankagg.ApproxSession
+	bytes int64
+}
+
+// approxFlight is one in-flight build; latecomers Wait and then read the
+// outcome.
+type approxFlight struct {
+	wg   sync.WaitGroup
+	sess *rankagg.ApproxSession
+	err  error
+}
+
+// NewApprox returns an approx-session cache bounded to maxEntries sessions
+// and maxBytes of aggregation state (either 0: unlimited).
+func NewApprox(maxEntries int, maxBytes int64) *ApproxCache {
+	return &ApproxCache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		items:      make(map[string]*list.Element),
+		flight:     make(map[string]*approxFlight),
+	}
+}
+
+// GetOrBuild returns the approx session cached under key, building and
+// inserting it via build on a miss. hit reports whether a ready entry
+// answered the lookup; concurrent misses on one key coalesce onto a single
+// build (an error is returned to all waiters and nothing is cached).
+func (c *ApproxCache) GetOrBuild(key string, build func() (*rankagg.ApproxSession, error)) (sess *rankagg.ApproxSession, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		c.mu.Unlock()
+		return el.Value.(*approxEntry).sess, true, nil
+	}
+	c.misses++
+	if fc, ok := c.flight[key]; ok {
+		c.mu.Unlock()
+		fc.wg.Wait()
+		return fc.sess, false, fc.err
+	}
+	fc := &approxFlight{}
+	fc.wg.Add(1)
+	c.flight[key] = fc
+	c.mu.Unlock()
+
+	sess, err = build()
+
+	c.mu.Lock()
+	delete(c.flight, key)
+	if err == nil {
+		c.builds++
+		c.insertLocked(key, sess)
+	}
+	c.mu.Unlock()
+	fc.sess, fc.err = sess, err
+	fc.wg.Done()
+	return sess, false, err
+}
+
+// Mutate looks up the session cached under oldKey and re-keys its entry in
+// place around a caller-supplied mutation, with exactly Cache.Mutate's
+// ownership contract: the entry is detached under the lock, mutate runs
+// outside it, and the entry is re-inserted under the newKey mutate returns
+// with its weight re-read from StateBytes (a delta can both grow the
+// dataset and drop a diverged Lehmer state, so the weight moves in either
+// direction). found reports whether oldKey held a ready entry; on a mutate
+// error the untouched entry is restored under oldKey unless a concurrent
+// rebuild got there first.
+func (c *ApproxCache) Mutate(oldKey string, mutate func(*rankagg.ApproxSession) (newKey string, err error)) (sess *rankagg.ApproxSession, newKey string, found bool, err error) {
+	c.mu.Lock()
+	el, ok := c.items[oldKey]
+	if !ok {
+		c.misses++
+		c.mu.Unlock()
+		return nil, "", false, nil
+	}
+	c.hits++
+	e := el.Value.(*approxEntry)
+	c.removeLocked(el)
+	c.mu.Unlock()
+
+	newKey, err = mutate(e.sess)
+
+	c.mu.Lock()
+	if err != nil {
+		c.insertLocked(oldKey, e.sess)
+		c.mu.Unlock()
+		return e.sess, "", true, err
+	}
+	c.rekeys++
+	c.insertLocked(newKey, e.sess)
+	c.mu.Unlock()
+	return e.sess, newKey, true, nil
+}
+
+// Peek returns the session cached under key without touching LRU order or
+// the counters — pure introspection.
+func (c *ApproxCache) Peek(key string) (*rankagg.ApproxSession, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	return el.Value.(*approxEntry).sess, true
+}
+
+// Remove drops the entry cached under key, reporting whether one was held.
+func (c *ApproxCache) Remove(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.removeLocked(el)
+	return true
+}
+
+// Keys returns the cached dataset hashes in most-recently-used order.
+func (c *ApproxCache) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := make([]string, 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		keys = append(keys, el.Value.(*approxEntry).key)
+	}
+	return keys
+}
+
+// Get returns the session cached under key without building on a miss.
+func (c *ApproxCache) Get(key string) (*rankagg.ApproxSession, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	return el.Value.(*approxEntry).sess, true
+}
+
+// insertLocked adds a fresh entry at the MRU position and evicts from the
+// LRU end until both budgets hold; the just-inserted entry is never
+// evicted, and a key collision keeps the existing entry (load-bearing for
+// Mutate's restore path, as in Cache.insertLocked).
+func (c *ApproxCache) insertLocked(key string, sess *rankagg.ApproxSession) {
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return
+	}
+	e := &approxEntry{key: key, sess: sess, bytes: sess.StateBytes()}
+	el := c.ll.PushFront(e)
+	c.items[key] = el
+	c.bytes += e.bytes
+	for c.overBudgetLocked() {
+		back := c.ll.Back()
+		if back == nil || back == el {
+			break
+		}
+		c.removeLocked(back)
+		c.evicted++
+	}
+}
+
+func (c *ApproxCache) overBudgetLocked() bool {
+	return (c.maxEntries > 0 && c.ll.Len() > c.maxEntries) ||
+		(c.maxBytes > 0 && c.bytes > c.maxBytes)
+}
+
+func (c *ApproxCache) removeLocked(el *list.Element) {
+	e := el.Value.(*approxEntry)
+	c.ll.Remove(el)
+	delete(c.items, e.key)
+	c.bytes -= e.bytes
+}
+
+// Len returns the number of cached approx sessions.
+func (c *ApproxCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Bytes returns the total state bytes currently cached.
+func (c *ApproxCache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Stats returns a snapshot of the counters, in the session-cache Stats
+// shape (the compaction counters stay 0 — approx state has no compact
+// sweep; deltas shrink it directly).
+func (c *ApproxCache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Builds:    c.builds,
+		Evictions: c.evicted,
+		Rekeys:    c.rekeys,
+		Entries:   c.ll.Len(),
+		Bytes:     c.bytes,
+	}
+}

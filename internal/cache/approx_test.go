@@ -1,0 +1,185 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"rankagg"
+	"rankagg/internal/gen"
+	"rankagg/internal/rankings"
+)
+
+// topSession builds an ApproxSession over an incomplete (toplists) dataset
+// — the shape that can only live in this cache, never the matrix-tier one.
+func topSession(t *testing.T, seed int64, m, n int) *rankagg.ApproxSession {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	d := gen.MallowsDataset(rng, m, n, 0.3)
+	for i, r := range d.Rankings {
+		keep := n/2 + rng.Intn(n/2)
+		var tr rankings.Ranking
+		for _, b := range r.Buckets {
+			if keep <= 0 {
+				break
+			}
+			tr.Buckets = append(tr.Buckets, b)
+			keep -= len(b)
+		}
+		d.Rankings[i] = &tr
+	}
+	as, err := rankagg.NewApproxSession(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return as
+}
+
+func TestApproxCacheGetOrBuildAndSingleFlight(t *testing.T) {
+	c := NewApprox(0, 0)
+	want := topSession(t, 1, 5, 16)
+	var builds int64
+
+	sess, hit, err := c.GetOrBuild("h1", func() (*rankagg.ApproxSession, error) {
+		atomic.AddInt64(&builds, 1)
+		return want, nil
+	})
+	if err != nil || hit || sess != want {
+		t.Fatalf("first lookup: sess=%p hit=%v err=%v", sess, hit, err)
+	}
+	sess, hit, err = c.GetOrBuild("h1", nil)
+	if err != nil || !hit || sess != want {
+		t.Fatalf("second lookup: sess=%p hit=%v err=%v", sess, hit, err)
+	}
+
+	// A storm of misses coalesces onto one build.
+	c2 := NewApprox(0, 0)
+	gate := make(chan struct{})
+	const waiters = 16
+	var wg sync.WaitGroup
+	results := make([]*rankagg.ApproxSession, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], _, _ = c2.GetOrBuild("h", func() (*rankagg.ApproxSession, error) {
+				atomic.AddInt64(&builds, 1)
+				<-gate
+				return want, nil
+			})
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+	if builds != 2 {
+		t.Fatalf("builds = %d, want 2 (one per cache)", builds)
+	}
+	for i, s := range results {
+		if s != want {
+			t.Fatalf("waiter %d got %p", i, s)
+		}
+	}
+
+	// Errors propagate and cache nothing.
+	boom := errors.New("boom")
+	if _, _, err := c.GetOrBuild("bad", func() (*rankagg.ApproxSession, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if _, hit, _ := c.GetOrBuild("bad", func() (*rankagg.ApproxSession, error) { return want, nil }); hit {
+		t.Fatal("failed build was cached")
+	}
+}
+
+// TestApproxCacheMutate drives the PATCH flow: the entry moves from the old
+// hash to the new one around an ApplyDelta, the byte weight is re-read, and
+// a mutate error restores the entry untouched.
+func TestApproxCacheMutate(t *testing.T) {
+	c := NewApprox(0, 0)
+	as := topSession(t, 2, 6, 20)
+	oldHash := as.Hash()
+	c.GetOrBuild(oldHash, func() (*rankagg.ApproxSession, error) { return as, nil })
+	if _, err := as.Run(context.Background(), "lehmer"); err != nil {
+		t.Fatal(err)
+	}
+	before := c.Bytes()
+
+	sess, newKey, found, err := c.Mutate(oldHash, func(s *rankagg.ApproxSession) (string, error) {
+		if err := s.AddRanking(rankings.FromPermutation([]int{3, 1, 0, 2})); err != nil {
+			return "", err
+		}
+		return s.Hash(), nil
+	})
+	if err != nil || !found || sess != as {
+		t.Fatalf("Mutate: sess=%p found=%v err=%v", sess, found, err)
+	}
+	if newKey == oldHash {
+		t.Fatal("hash did not rotate")
+	}
+	if _, ok := c.Peek(oldHash); ok {
+		t.Error("old key still cached")
+	}
+	if got, ok := c.Peek(newKey); !ok || got != as {
+		t.Error("entry not re-keyed to the new hash")
+	}
+	if c.Bytes() == before {
+		t.Error("byte weight not re-read after mutation")
+	}
+
+	// A failing mutation restores the entry under its old key.
+	_, _, found, err = c.Mutate(newKey, func(s *rankagg.ApproxSession) (string, error) {
+		return "", errors.New("delta rejected")
+	})
+	if err == nil || !found {
+		t.Fatalf("error Mutate: found=%v err=%v", found, err)
+	}
+	if _, ok := c.Peek(newKey); !ok {
+		t.Error("entry not restored after failed mutation")
+	}
+	if st := c.Stats(); st.Rekeys != 1 {
+		t.Errorf("Rekeys = %d, want 1", st.Rekeys)
+	}
+
+	// A miss reports found=false and runs nothing.
+	if _, _, found, _ := c.Mutate("absent", nil); found {
+		t.Error("Mutate of a missing key reported found")
+	}
+}
+
+// TestApproxCacheBudgetsAndEviction pins LRU eviction under the entry
+// budget and the over-budget-entry-still-serves rule.
+func TestApproxCacheBudgetsAndEviction(t *testing.T) {
+	c := NewApprox(2, 0)
+	for i := 0; i < 3; i++ {
+		as := topSession(t, int64(10+i), 4, 12)
+		c.GetOrBuild(fmt.Sprintf("h%d", i), func() (*rankagg.ApproxSession, error) { return as, nil })
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	if _, ok := c.Peek("h0"); ok {
+		t.Error("LRU entry h0 survived over-budget insert")
+	}
+	keys := c.Keys()
+	if len(keys) != 2 || keys[0] != "h2" || keys[1] != "h1" {
+		t.Errorf("Keys() = %v, want [h2 h1]", keys)
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Errorf("Evictions = %d, want 1", st.Evictions)
+	}
+
+	// Byte budget smaller than any session: the entry still inserts.
+	small := NewApprox(0, 1)
+	as := topSession(t, 20, 4, 12)
+	small.GetOrBuild("big", func() (*rankagg.ApproxSession, error) { return as, nil })
+	if small.Len() != 1 {
+		t.Fatalf("over-budget entry evicted itself (len=%d)", small.Len())
+	}
+
+	if !small.Remove("big") || small.Len() != 0 || small.Bytes() != 0 {
+		t.Error("Remove did not drop the entry and its weight")
+	}
+}

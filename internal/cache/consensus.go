@@ -105,9 +105,10 @@ func NewConsensus(maxBytes int64) *ConsensusCache {
 // at, recorded on the entry for introspection and invalidation-race
 // checks. Results flagged DeadlineHit are returned but never stored — an
 // incumbent cut off by a deadline depends on timing, not just on the spec,
-// so it must not answer for the converged consensus. Approx results are
-// not stored either: the matrix-free tier's runs are cheaper than the
-// entries they would pin.
+// so it must not answer for the converged consensus. Approx results ARE
+// stored: the matrix-free tier is deterministic for a given (dataset,
+// spec) — no seeds, no deadline cuts — and on the large universes the tier
+// exists for, even an O(m·n log n) re-encode is worth skipping.
 func (c *ConsensusCache) GetOrRun(datasetHash, specKey string, run func() (*rankagg.Result, uint64, error)) (res *rankagg.Result, hit bool, err error) {
 	key := datasetHash + "/" + specKey
 	c.mu.Lock()
@@ -134,7 +135,7 @@ func (c *ConsensusCache) GetOrRun(datasetHash, specKey string, run func() (*rank
 	delete(c.flight, key)
 	if err == nil {
 		c.runs++
-		if res != nil && !res.DeadlineHit && !res.Approx {
+		if res != nil && !res.DeadlineHit {
 			c.insertLocked(datasetHash, specKey, version, res)
 		}
 	}
@@ -149,9 +150,9 @@ func (c *ConsensusCache) GetOrRun(datasetHash, specKey string, run func() (*rank
 // persisted consensus entries straight into the cache so repeat traffic
 // hits before any solver runs. A key collision keeps the existing entry
 // (it was computed or preloaded just as legitimately); results a GetOrRun
-// would refuse to store (nil, deadline-cut, approx) are refused here too.
+// would refuse to store (nil, deadline-cut) are refused here too.
 func (c *ConsensusCache) Put(datasetHash, specKey string, version uint64, res *rankagg.Result) {
-	if res == nil || res.DeadlineHit || res.Approx {
+	if res == nil || res.DeadlineHit {
 		return
 	}
 	c.mu.Lock()

@@ -144,9 +144,10 @@ func TestConsensusByteBudgetEviction(t *testing.T) {
 	}
 }
 
-// TestConsensusDeadlineAndApproxNotCached verifies timing-dependent and
-// matrix-free results are returned but never stored.
-func TestConsensusDeadlineAndApproxNotCached(t *testing.T) {
+// TestConsensusDeadlineNotCachedApproxCached verifies timing-dependent
+// results are returned but never stored, while deterministic matrix-free
+// results are first-class cache citizens (Put included).
+func TestConsensusDeadlineNotCachedApproxCached(t *testing.T) {
 	c := NewConsensus(0)
 	var calls int64
 
@@ -160,8 +161,14 @@ func TestConsensusDeadlineAndApproxNotCached(t *testing.T) {
 	ap := testResult(5, 3)
 	ap.Approx = true
 	c.GetOrRun("ds", "a", runnerOf(ap, 1, &calls))
-	if _, hit, _ := c.GetOrRun("ds", "a", runnerOf(testResult(5, 3), 1, &calls)); hit {
-		t.Error("Approx result was cached")
+	if res, hit, _ := c.GetOrRun("ds", "a", nil); !hit || res != ap {
+		t.Error("Approx result was not cached")
+	}
+	ap2 := testResult(6, 3)
+	ap2.Approx = true
+	c.Put("ds", "a2", 1, ap2)
+	if res, hit, _ := c.GetOrRun("ds", "a2", nil); !hit || res != ap2 {
+		t.Error("Put refused an Approx result")
 	}
 }
 

@@ -33,20 +33,44 @@ type DatasetCreateResponse struct {
 	Persisted bool `json:"persisted"`
 }
 
-// handlePutDatasets creates a dataset by content: the body is the rankings
-// wire form (n/names/rankings), the handle is its content hash. With a
-// store the snapshot is fsync'd before the response and no matrix is built
-// — persistence is cheap, the O(m·n²) build is deferred to the first
-// aggregation. Without a store the dataset becomes a cache entry with an
-// eagerly built matrix (it must hold its own weight against the budget).
+// DatasetPutRequest is the PUT /v1/datasets body: the rankings wire form
+// (n/names/rankings), or "toplists" — one best-first element-ID list per
+// voter, the approximation tier's compact shape. A toplists dataset
+// decodes incomplete and is served exclusively by that tier; PATCHing it
+// later admits partial adds (more top-k lists).
+type DatasetPutRequest struct {
+	rankings.DatasetWire
+	TopLists [][]int `json:"toplists,omitempty"`
+}
+
+// handlePutDatasets creates a dataset by content: the handle is its
+// content hash. With a store the snapshot is fsync'd before the response
+// and no matrix is built — persistence is cheap, the O(m·n²) build is
+// deferred to the first aggregation. Without a store the dataset becomes a
+// cache entry: a matrix-tier session with an eagerly built matrix for
+// complete datasets (it must hold its own weight against the budget), an
+// approx-tier session for incomplete ones (there is no matrix to build).
 func (s *Server) handlePutDatasets(w http.ResponseWriter, r *http.Request) {
-	var wire rankings.DatasetWire
+	var wire DatasetPutRequest
 	body := http.MaxBytesReader(w, r.Body, s.maxBody)
 	if err := json.NewDecoder(body).Decode(&wire); err != nil {
 		s.writeError(w, http.StatusBadRequest, fmt.Sprintf("invalid request body: %v", err))
 		return
 	}
-	d, _, err := wire.Decode()
+	var (
+		d   *rankings.Dataset
+		err error
+	)
+	if len(wire.TopLists) > 0 {
+		if len(wire.Rankings) > 0 {
+			s.writeError(w, http.StatusBadRequest, "supply \"rankings\" or \"toplists\", not both")
+			return
+		}
+		tw := rankings.TopListsWire{N: wire.N, Names: wire.Names, TopLists: wire.TopLists}
+		d, _, err = tw.Decode()
+	} else {
+		d, _, err = wire.DatasetWire.Decode()
+	}
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -64,6 +88,27 @@ func (s *Server) handlePutDatasets(w http.ResponseWriter, r *http.Request) {
 		}
 		s.writeJSON(w, code, DatasetCreateResponse{
 			DatasetHash: hash, N: d.N, M: d.M(), Created: created, Persisted: true,
+		})
+		return
+	}
+	// Ephemeral create of an incomplete dataset: only the approx tier can
+	// hold it — its delta-maintainable session is the cache entry, weighed
+	// by its O(n + Σ L_i) state, no matrix admission to pass.
+	if !d.Complete() {
+		hash := d.Hash()
+		_, hit, err := s.approx.GetOrBuild(hash, func() (*rankagg.ApproxSession, error) {
+			return rankagg.NewApproxSession(d)
+		})
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		code := http.StatusOK
+		if !hit {
+			code = http.StatusCreated
+		}
+		s.writeJSON(w, code, DatasetCreateResponse{
+			DatasetHash: hash, N: d.N, M: d.M(), Created: !hit, Persisted: false,
 		})
 		return
 	}
@@ -110,9 +155,13 @@ type DatasetListEntry struct {
 	Version     uint64 `json:"version"`
 	Persisted   bool   `json:"persisted"`
 	Cached      bool   `json:"cached"`
+	// Approx reports the cached entry is an approximation-tier session
+	// (incremental aggregation state, no pair matrix).
+	Approx bool `json:"approx,omitempty"`
 	// LogRecords is a persisted dataset's pending delta-log length. Bytes
 	// is the dataset's footprint: on-disk bytes (snapshot + log) for
-	// persisted datasets, cached matrix bytes for cache-only ones.
+	// persisted datasets, cached matrix or approx-state bytes for
+	// cache-only ones.
 	LogRecords int   `json:"log_records,omitempty"`
 	Bytes      int64 `json:"bytes"`
 }
@@ -154,6 +203,27 @@ func (s *Server) handleListDatasets(w http.ResponseWriter, r *http.Request) {
 			Bytes:       sess.MatrixBytes(),
 		}
 	}
+	for _, key := range s.approx.Keys() {
+		if e, ok := byHash[key]; ok {
+			e.Cached = true
+			e.Approx = true
+			continue
+		}
+		sess, ok := s.approx.Peek(key)
+		if !ok {
+			continue // evicted between Keys and Peek
+		}
+		d := sess.Dataset()
+		byHash[key] = &DatasetListEntry{
+			DatasetHash: key,
+			N:           d.N,
+			M:           d.M(),
+			Version:     sess.Version(),
+			Cached:      true,
+			Approx:      true,
+			Bytes:       sess.StateBytes(),
+		}
+	}
 	out := make([]DatasetListEntry, 0, len(byHash))
 	for _, e := range byHash {
 		out = append(out, *e)
@@ -180,6 +250,9 @@ func (s *Server) handleDeleteDataset(w http.ResponseWriter, r *http.Request) {
 		persisted = deleted
 	}
 	cached := s.cache.Remove(hash)
+	if s.approx.Remove(hash) {
+		cached = true
+	}
 	s.consensus.InvalidateDataset(hash)
 	if !persisted && !cached {
 		s.writeError(w, http.StatusNotFound,
@@ -221,7 +294,9 @@ func (s *Server) handleDatasetAggregate(w http.ResponseWriter, r *http.Request) 
 			fmt.Sprintf("dataset %s is neither cached nor persisted; PUT it to /v1/datasets first", hash))
 		return
 	}
-	s.serveAggregateOn(w, r, spec, d, u, false)
+	// A stored toplists dataset is incomplete; flag it so admission routes
+	// it to the approximation tier — the only one that serves it.
+	s.serveAggregateOn(w, r, spec, d, u, !d.Complete())
 }
 
 // datasetByHash resolves a dataset handle to its rankings: the cached
@@ -231,6 +306,9 @@ func (s *Server) handleDatasetAggregate(w http.ResponseWriter, r *http.Request) 
 // datasets don't retain them).
 func (s *Server) datasetByHash(hash string) (*rankings.Dataset, *rankings.Universe, bool) {
 	if sess, ok := s.cache.Peek(hash); ok {
+		return sess.Dataset(), nil, true
+	}
+	if sess, ok := s.approx.Peek(hash); ok {
 		return sess.Dataset(), nil, true
 	}
 	if s.store == nil {

@@ -28,6 +28,8 @@ type metrics struct {
 	matrixBytes    atomic.Int64 // backing bytes of the most recently built (or PATCHed) pair matrix
 	approxRequests atomic.Int64 // aggregations served by the matrix-free approximation tier (requested or routed)
 	approxRouted   atomic.Int64 // over-budget aggregations the admission router diverted to the approx tier instead of 413ing
+	approxDeltas   atomic.Int64 // PATCH deltas absorbed by approx-tier incremental session state (no matrix, no rebuild)
+	encodeWorkers  atomic.Int64 // worker tokens granted to the most recent approx-tier run (encode sharding width)
 	rejectedMatrix atomic.Int64 // POSTs 413ed because the projected pair matrix exceeds the byte budget
 	rejectedDelta  atomic.Int64 // PATCHes 413ed because the delta would promote the matrix past the byte budget
 	warmStarts     atomic.Int64 // solver runs seeded from a pre-PATCH consensus (stats.warm_start)
@@ -118,6 +120,14 @@ func (m *metrics) write(w io.Writer, extra func(io.Writer)) {
 	fmt.Fprintf(w, "# HELP rankagg_approx_routed_total Over-budget aggregations the admission router diverted to the approximation tier instead of rejecting with 413.\n")
 	fmt.Fprintf(w, "# TYPE rankagg_approx_routed_total counter\n")
 	fmt.Fprintf(w, "rankagg_approx_routed_total %d\n", m.approxRouted.Load())
+
+	fmt.Fprintf(w, "# HELP rankagg_approx_delta_applied_total PATCH deltas absorbed by the approximation tier's incremental session state (O(n log n) per ranking, no matrix, no rebuild).\n")
+	fmt.Fprintf(w, "# TYPE rankagg_approx_delta_applied_total counter\n")
+	fmt.Fprintf(w, "rankagg_approx_delta_applied_total %d\n", m.approxDeltas.Load())
+
+	fmt.Fprintf(w, "# HELP rankagg_approx_encode_workers Worker tokens granted to the most recent approx-tier run — the width its encode passes shard across (consensus is worker-count invariant).\n")
+	fmt.Fprintf(w, "# TYPE rankagg_approx_encode_workers gauge\n")
+	fmt.Fprintf(w, "rankagg_approx_encode_workers %d\n", m.encodeWorkers.Load())
 
 	fmt.Fprintf(w, "# HELP rankagg_warm_starts_total Solver runs seeded from a pre-PATCH consensus instead of cold restarts.\n")
 	fmt.Fprintf(w, "# TYPE rankagg_warm_starts_total counter\n")

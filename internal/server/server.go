@@ -52,7 +52,9 @@
 // as a warm-start hint for the rotated hash: the next warm-startable solve
 // (BioConsert, Anneal) seeds from the pre-PATCH optimum instead of cold
 // restarts (rankagg_warm_starts_total, stats.warm_start in the response).
-// Deadline-cut and approx-tier results are never cached.
+// Approx-tier results are deterministic for a (dataset, spec) too — no
+// seed, no search — so they are cached and persisted exactly like exact
+// ones; only deadline-cut results are never cached.
 //
 // Dynamic datasets: PATCH applies add/remove ranking deltas to the cached
 // session of a hot dataset in O(n²) per ranking (Session.ApplyDelta over
@@ -70,12 +72,24 @@
 // (lehmer / avgrank / scores, substituted by dataset shape), marked with
 // approx: true and the X-Rankagg-Tier header, and counted in
 // rankagg_approx_routed_total. Top-list payloads ("toplists" instead of
-// "rankings") always run on that tier. -approx-mode force serves every
-// aggregation matrix-free; off restores the 413, counted in
-// rankagg_admission_rejected_total{reason="matrix-budget"}. Approx-tier
-// requests bypass the session cache entirely — there is no matrix to
-// share, and the O(m·n log n) run is cheaper than a cache round-trip for
-// the universes that land there.
+// "rankings") — and any dataset that resolves to an incomplete one —
+// always run on that tier. -approx-mode force serves every aggregation
+// matrix-free; off restores the 413, counted in
+// rankagg_admission_rejected_total{reason="matrix-budget"}.
+//
+// Approx-tier sessions: the tier keeps its own hash-keyed LRU of
+// rankagg.ApproxSession values — the delta-maintainable aggregation state
+// (per-element Lehmer multisets, score totals) weighed by StateBytes, a
+// tiny fraction of a pair matrix. That is what makes PATCH work on
+// approx-routed and toplists datasets: a PATCH whose hash misses the
+// matrix cache falls through to the approx cache and applies the delta to
+// the incremental state in O(n log n) per ranking
+// (rankagg_approx_delta_applied_total), partial adds included — a toplists
+// dataset absorbs more top-k lists. Persisted incomplete datasets replay
+// their delta log through the same ApplyDelta path on rebuild
+// (Store.RebuildApprox). Encode passes shard across the request's worker
+// tokens (rankagg_approx_encode_workers); the consensus is worker-count
+// invariant, so the answer never depends on load.
 //
 // Request scheduling: every aggregation holds at least one token of a
 // global worker budget (Config.Workers, default NumCPU) for its whole
@@ -119,7 +133,10 @@ type Config struct {
 	// budgets is created.
 	Cache *cache.Cache
 	// CacheEntries and CacheBytes bound the cache built when Cache is nil
-	// (0: 64 entries / 1 GiB; negative: that bound is unlimited).
+	// (0: 64 entries / 1 GiB; negative: that bound is unlimited). The
+	// approx-tier session cache reuses the entry bound with a sixteenth of
+	// the byte budget — its per-dataset state is a tiny fraction of a
+	// matrix.
 	CacheEntries int
 	CacheBytes   int64
 	// ConsensusBytes bounds the consensus cache — stored (dataset hash,
@@ -172,6 +189,7 @@ type Config struct {
 // and flip Drain before shutting the listener down.
 type Server struct {
 	cache       *cache.Cache
+	approx      *cache.ApproxCache
 	consensus   *cache.ConsensusCache
 	store       *store.Store
 	workers     int
@@ -198,22 +216,27 @@ func New(cfg Config) *Server {
 	if perRun <= 0 || perRun > workers {
 		perRun = workers
 	}
+	entries := cfg.CacheEntries
+	if entries == 0 {
+		entries = 64
+	} else if entries < 0 {
+		entries = 0 // cache.New's "unlimited"
+	}
+	bytes := cfg.CacheBytes
+	if bytes == 0 {
+		bytes = 1 << 30
+	} else if bytes < 0 {
+		bytes = 0
+	}
 	c := cfg.Cache
 	if c == nil {
-		entries := cfg.CacheEntries
-		if entries == 0 {
-			entries = 64
-		} else if entries < 0 {
-			entries = 0 // cache.New's "unlimited"
-		}
-		bytes := cfg.CacheBytes
-		if bytes == 0 {
-			bytes = 1 << 30
-		} else if bytes < 0 {
-			bytes = 0
-		}
 		c = cache.New(entries, bytes)
 	}
+	// The approx-tier session cache shares the session-cache budget knobs:
+	// its state is orders of magnitude smaller than a pair matrix, so the
+	// same entry bound with a sixteenth of the byte budget holds every
+	// approx-routed dataset the matrix budget ever diverts.
+	approxBytes := bytes / 16 // 0 (unlimited) stays 0
 	consensusBytes := cfg.ConsensusBytes
 	if consensusBytes == 0 {
 		consensusBytes = 64 << 20
@@ -238,6 +261,7 @@ func New(cfg Config) *Server {
 	}
 	s := &Server{
 		cache:       c,
+		approx:      cache.NewApprox(entries, approxBytes),
 		consensus:   cache.NewConsensus(consensusBytes),
 		store:       cfg.Store,
 		workers:     workers,
@@ -308,6 +332,9 @@ func (s *Server) InFlight() int64 { return s.metrics.inFlight.Load() }
 
 // CacheStats exposes the session cache counters.
 func (s *Server) CacheStats() cache.Stats { return s.cache.Stats() }
+
+// ApproxCacheStats exposes the approx-tier session cache counters.
+func (s *Server) ApproxCacheStats() cache.Stats { return s.approx.Stats() }
 
 // ConsensusStats exposes the consensus cache counters.
 func (s *Server) ConsensusStats() cache.ConsensusStats { return s.consensus.Stats() }
@@ -518,9 +545,14 @@ func (s *Server) serveAggregateOn(w http.ResponseWriter, r *http.Request, spec r
 	approxTier := rankagg.MatrixFree(runName)
 	routed := false
 	if !approxTier && fromTopLists {
+		// Incomplete datasets — top-list payloads, and stored toplists
+		// datasets resolved by hash (the hash surface raises fromTopLists
+		// for them) — only the approximation tier serves. An inline
+		// "rankings" payload that decodes incomplete keeps its 400 from the
+		// exact leg: "toplists" is the wire for partial data.
 		if s.approxMode == ApproxOff {
 			s.writeError(w, http.StatusBadRequest,
-				fmt.Sprintf("top-lists decode to an incomplete dataset only the approximation tier serves, and -approx-mode off disables substituting it for %q: request a matrix-free algorithm (lehmer, avgrank, scores) or POST normalized \"rankings\"", runName))
+				fmt.Sprintf("the dataset is incomplete (top-k lists) and only the approximation tier serves it, but -approx-mode off disables substituting it for %q: request a matrix-free algorithm (lehmer, avgrank, scores) or POST normalized \"rankings\"", runName))
 			return
 		}
 		approxTier = true
@@ -582,7 +614,7 @@ func (s *Server) serveAggregateOn(w http.ResponseWriter, r *http.Request, spec r
 		defer s.releaseWorkers(tokens)
 		s.metrics.inFlight.Add(1)
 		defer s.metrics.inFlight.Add(-1)
-		s.serveApprox(ctx, w, spec, d, u, runName, routed, tokens)
+		s.serveApprox(ctx, w, r, spec, d, u, runName, routed, tokens)
 		return
 	}
 
@@ -755,14 +787,18 @@ type inputError struct{ err error }
 func (e inputError) Error() string { return e.err.Error() }
 func (e inputError) Unwrap() error { return e.err }
 
-// serveApprox is the matrix-free leg of handleAggregate: the dataset never
-// touches the session cache (there is no matrix to share and nothing
-// O(n²) to amortize — the run IS the cheap part), runName is the
-// algorithm that actually executes (the requested one, or the admission
-// router's substitution), and the response is marked with approx: true
-// plus the X-Rankagg-Tier header. The worker tokens are already held by
-// the caller and released when it returns.
-func (s *Server) serveApprox(ctx context.Context, w http.ResponseWriter, spec rankagg.RunSpec, d *rankings.Dataset, u *rankings.Universe, runName string, routed bool, tokens int) {
+// serveApprox is the matrix-free leg of handleAggregate, structured like
+// the exact leg: the result is single-flighted through the consensus cache
+// (approx runs are deterministic for a (dataset, spec) — no seed, no
+// search — so a repeat request is an O(1) consensus hit), and on a miss
+// the solve runs on the approx-tier session cache's entry for the hash —
+// the delta-maintainable state a PATCH keeps current — rebuilt by
+// delta-log replay for persisted datasets. runName is the algorithm that
+// actually executes (the requested one, or the admission router's
+// substitution); the response is marked with approx: true plus the
+// X-Rankagg-Tier header. The worker tokens are already held by the caller
+// and released when it returns; the encode passes shard across them.
+func (s *Server) serveApprox(ctx context.Context, w http.ResponseWriter, r *http.Request, spec rankagg.RunSpec, d *rankings.Dataset, u *rankings.Universe, runName string, routed bool, tokens int) {
 	s.metrics.approxRequests.Add(1)
 	if routed {
 		s.metrics.approxRouted.Add(1)
@@ -771,31 +807,92 @@ func (s *Server) serveApprox(ctx context.Context, w http.ResponseWriter, spec ra
 	// The admission router may have substituted the algorithm; the token
 	// scheduler, not the client, decides the parallelism.
 	spec.Algorithm = runName
-	res, err := rankagg.RunMatrixFreeSpec(ctx, spec, d, rankagg.WithWorkers(tokens))
+	hash := d.Hash()
+	specKey, err := spec.Key()
 	if err != nil {
-		if errors.Is(err, context.Canceled) {
-			s.metrics.cancels.Add(1)
-			w.WriteHeader(statusClientClosedRequest)
-			return
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	var sessHit bool
+	res, consensusHit, err := s.consensus.GetOrRun(hash, specKey, func() (*rankagg.Result, uint64, error) {
+		sess, hit, err := s.approx.GetOrBuild(hash, func() (*rankagg.ApproxSession, error) {
+			// A persisted dataset reconstructs by snapshot load + delta-log
+			// replay through ApproxSession.ApplyDelta — the same path a live
+			// PATCH takes — so an evicted approx session (or a restarted
+			// process) resumes exactly where it left off. A store error
+			// falls back to a fresh session: d is in hand.
+			if s.store != nil && s.store.Has(hash) {
+				if sess, _, err := s.store.RebuildApprox(hash); err == nil {
+					return sess, nil
+				}
+			}
+			return rankagg.NewApproxSession(d)
+		})
+		if err != nil {
+			return nil, 0, inputError{err}
 		}
-		s.log.Printf("approx aggregate %s: %v", runName, err)
-		s.writeError(w, http.StatusUnprocessableEntity, err.Error())
+		sessHit = hit
+		version := sess.Version()
+		s.metrics.encodeWorkers.Store(int64(tokens))
+		// Pin the run to the request's hash: the cached session is dynamic,
+		// and a concurrent PATCH may rotate it away between the lookup above
+		// and the run — the pin fails under the session lock instead of
+		// mislabeling the result (or poisoning the consensus cache).
+		res, err := sess.RunSpecPinned(ctx, hash, spec, rankagg.WithWorkers(tokens))
+		if errors.Is(err, rankagg.ErrStalePairs) {
+			// Lost the race; serve from a private session over the request's
+			// own rankings rather than fighting over the cache entry.
+			sessHit = false
+			var priv *rankagg.ApproxSession
+			priv, err = rankagg.NewApproxSession(d)
+			if err != nil {
+				return nil, 0, inputError{err}
+			}
+			version = priv.Version()
+			res, err = priv.RunSpec(ctx, spec, rankagg.WithWorkers(tokens))
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		if s.store != nil {
+			s.store.SaveConsensus(hash, specKey, store.WireFromResult(res))
+		}
+		return res, version, nil
+	})
+	if err != nil {
+		var ie inputError
+		switch {
+		case errors.As(err, &ie):
+			s.writeError(w, http.StatusBadRequest, ie.Error())
+		case errors.Is(err, context.Canceled):
+			if r.Context().Err() != nil {
+				s.metrics.cancels.Add(1)
+				w.WriteHeader(statusClientClosedRequest)
+			} else {
+				s.writeError(w, http.StatusServiceUnavailable, "the identical in-flight request this one coalesced with was cancelled; retry")
+			}
+		default:
+			s.log.Printf("approx aggregate %s on %s: %v", runName, hash, err)
+			s.writeError(w, http.StatusUnprocessableEntity, err.Error())
+		}
 		return
 	}
 	if res.DeadlineHit {
 		s.metrics.deadlineHits.Add(1)
 	}
 	resp := AggregateResponse{
-		Algorithm:   res.Algorithm,
-		Consensus:   res.Consensus,
-		Score:       res.Score,
-		DeadlineHit: res.DeadlineHit,
-		ElapsedMS:   float64(time.Since(start).Nanoseconds()) / 1e6,
-		DatasetHash: d.Hash(),
-		Approx:      true,
-		N:           d.N,
-		M:           d.M(),
-		Stats:       res.Stats,
+		Algorithm:    res.Algorithm,
+		Consensus:    res.Consensus,
+		Score:        res.Score,
+		DeadlineHit:  res.DeadlineHit,
+		ElapsedMS:    float64(time.Since(start).Nanoseconds()) / 1e6,
+		DatasetHash:  hash,
+		CacheHit:     consensusHit || sessHit,
+		ConsensusHit: consensusHit,
+		Approx:       true,
+		N:            d.N,
+		M:            d.M(),
+		Stats:        res.Stats,
 	}
 	if u != nil {
 		resp.ConsensusNames = rankings.BucketNames(res.Consensus, u)
@@ -875,8 +972,14 @@ type PatchResponse struct {
 	// are 0 when the base session was not cached (a persisted dataset
 	// PATCHed cold — the store accepted the delta, and the next
 	// aggregation rebuilds by replay).
-	MatrixBuilds int     `json:"matrix_builds"`
-	MatrixDeltas int     `json:"matrix_deltas"`
+	MatrixBuilds int `json:"matrix_builds"`
+	MatrixDeltas int `json:"matrix_deltas"`
+	// Approx reports the delta was absorbed by the approximation tier's
+	// incremental session state — O(n log n) per ranking, no pair matrix
+	// anywhere (approx-routed and toplists datasets, which admit partial
+	// adds). ApproxDeltas is that session's cumulative delta count.
+	Approx       bool    `json:"approx,omitempty"`
+	ApproxDeltas int     `json:"approx_deltas,omitempty"`
 	ElapsedMS    float64 `json:"elapsed_ms"`
 }
 
@@ -940,9 +1043,10 @@ func (s *Server) handlePatchDataset(w http.ResponseWriter, r *http.Request) {
 		return sess.Hash(), nil
 	})
 	if !found {
-		s.metrics.deltaMisses.Add(1)
-		s.writeError(w, http.StatusNotFound,
-			fmt.Sprintf("dataset %s is not cached; POST the full dataset to /v1/aggregate, or PUT it to /v1/datasets to persist it", hash))
+		// Not a matrix-tier dataset — it may live in the approx tier
+		// (admission-routed, or an incomplete toplists dataset that can
+		// never hold a matrix at all).
+		s.patchApprox(w, hash, add, remove, start)
 		return
 	}
 	if err != nil {
@@ -969,6 +1073,55 @@ func (s *Server) handlePatchDataset(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// patchApprox is the PATCH leg for cache-only approx-tier datasets: the
+// delta folds into the session's incremental aggregation state in
+// O(n log n) per ranking (multiset insert/delete per Lehmer coordinate,
+// signed score accumulation) — there is no matrix, so no byte-budget
+// re-check either. Partial adds are legal exactly when the dataset is a
+// toplists one (ApproxSession.ApplyDelta validates). The entry re-keys to
+// the rotated hash atomically, like the matrix leg; a miss here too is the
+// 404 the client answers with a full POST.
+func (s *Server) patchApprox(w http.ResponseWriter, hash string, add, remove []*rankings.Ranking, start time.Time) {
+	var n, m, approxDeltas int
+	var version uint64
+	_, newKey, found, err := s.approx.Mutate(hash, func(sess *rankagg.ApproxSession) (string, error) {
+		if err := sess.ApplyDelta(add, remove); err != nil {
+			return "", err
+		}
+		d := sess.Dataset()
+		n, m = d.N, d.M()
+		approxDeltas = sess.DeltaCount()
+		version = sess.Version()
+		return sess.Hash(), nil
+	})
+	if !found {
+		s.metrics.deltaMisses.Add(1)
+		s.writeError(w, http.StatusNotFound,
+			fmt.Sprintf("dataset %s is not cached; POST the full dataset to /v1/aggregate, or PUT it to /v1/datasets to persist it", hash))
+		return
+	}
+	if err != nil {
+		s.writePatchError(w, err)
+		return
+	}
+	s.metrics.deltaApplied.Add(1)
+	s.metrics.approxDeltas.Add(1)
+	s.harvestWarmHint(hash, newKey, version)
+	w.Header().Set("Location", "/v1/datasets/"+newKey)
+	s.writeJSON(w, http.StatusOK, PatchResponse{
+		BaseHash:     hash,
+		DatasetHash:  newKey,
+		N:            n,
+		M:            m,
+		Added:        len(add),
+		Removed:      len(remove),
+		DeltaApplied: true,
+		Approx:       true,
+		ApproxDeltas: approxDeltas,
+		ElapsedMS:    float64(time.Since(start).Nanoseconds()) / 1e6,
+	})
+}
+
 // patchPersisted is the PATCH leg for store-backed datasets: validate and
 // budget-check first (an append-then-reject would poison the log), append
 // the delta as ONE fsync'd log record — the write-ahead point — and only
@@ -982,13 +1135,17 @@ func (s *Server) patchPersisted(w http.ResponseWriter, hash string, add, remove 
 			fmt.Sprintf("dataset %s rotated concurrently; re-GET the dataset for its current hash", hash))
 		return
 	}
-	curBytes := int64(0)
-	if sess, ok := s.cache.Peek(hash); ok {
-		curBytes = sess.MatrixBytes()
-	}
-	if err := s.checkDeltaBudget(d0, curBytes, len(add), len(remove)); err != nil {
-		s.writePatchError(w, err)
-		return
+	// Incomplete (toplists) datasets never build a matrix, so there is no
+	// byte budget to re-check — only the approx tier serves them.
+	if d0.Complete() {
+		curBytes := int64(0)
+		if sess, ok := s.cache.Peek(hash); ok {
+			curBytes = sess.MatrixBytes()
+		}
+		if err := s.checkDeltaBudget(d0, curBytes, len(add), len(remove)); err != nil {
+			s.writePatchError(w, err)
+			return
+		}
 	}
 	newHash, info, err := s.store.AppendPatch(hash, add, remove)
 	if err != nil {
@@ -1029,6 +1186,31 @@ func (s *Server) patchPersisted(w http.ResponseWriter, hash string, add, remove 
 	if !found {
 		matrixBuilds, matrixDeltas = 0, 0
 	}
+	// The approx-tier session, if cached, absorbs the same delta through
+	// its incremental state — with the same store-wins rule on any
+	// disagreement: drop the entry and let the next aggregation rebuild by
+	// delta-log replay (which runs this very delta path).
+	var approxDeltas int
+	approxApplied := false
+	_, aKey, aFound, aErr := s.approx.Mutate(hash, func(sess *rankagg.ApproxSession) (string, error) {
+		if err := sess.ApplyDelta(add, remove); err != nil {
+			return "", err
+		}
+		approxDeltas = sess.DeltaCount()
+		return sess.Hash(), nil
+	})
+	switch {
+	case aFound && aErr == nil && aKey == newHash:
+		approxApplied = true
+		s.metrics.approxDeltas.Add(1)
+	case aFound && aErr == nil:
+		s.approx.Remove(aKey)
+	case aFound:
+		s.approx.Remove(hash)
+	}
+	if !approxApplied {
+		approxDeltas = 0
+	}
 	s.metrics.deltaApplied.Add(1)
 	s.harvestWarmHint(hash, newHash, info.Version)
 	w.Header().Set("Location", "/v1/datasets/"+newHash)
@@ -1043,6 +1225,8 @@ func (s *Server) patchPersisted(w http.ResponseWriter, hash string, add, remove 
 		Persisted:    true,
 		MatrixBuilds: matrixBuilds,
 		MatrixDeltas: matrixDeltas,
+		Approx:       approxApplied,
+		ApproxDeltas: approxDeltas,
 		ElapsedMS:    float64(time.Since(start).Nanoseconds()) / 1e6,
 	})
 }
@@ -1087,9 +1271,11 @@ func (s *Server) writePatchError(w http.ResponseWriter, err error) {
 // rotation: they can never be hit again, so drop them now (freeing their
 // budget) and keep the best one as the rotated hash's consume-once
 // warm-start hint — the next warm-startable solve seeds from the
-// pre-PATCH optimum instead of cold restarts.
+// pre-PATCH optimum instead of cold restarts. An approx-tier result is
+// never planted as a hint: only exact-tier solvers consume hints, and the
+// approx session carries its own delta-adjusted warm scores internally.
 func (s *Server) harvestWarmHint(oldHash, newHash string, version uint64) {
-	if _, warm := s.consensus.InvalidateDataset(oldHash); warm != nil && newHash != oldHash {
+	if _, warm := s.consensus.InvalidateDataset(oldHash); warm != nil && !warm.Approx && newHash != oldHash {
 		s.consensus.PutWarmHint(newHash, warm, version)
 	}
 }
@@ -1115,7 +1301,14 @@ type DatasetInfoResponse struct {
 	// best pre-PATCH consensus, waiting for the next solve).
 	CachedConsensus int  `json:"cached_consensus"`
 	WarmHint        bool `json:"warm_hint"`
-	// Cached reports a live session is in the LRU; Persisted that the
+	// Approx reports the approximation tier's incremental session is live
+	// for this dataset; ApproxStateBytes is its resident aggregation-state
+	// size and ApproxDeltas how many PATCH deltas it has absorbed in place.
+	Approx           bool  `json:"approx,omitempty"`
+	ApproxStateBytes int64 `json:"approx_state_bytes,omitempty"`
+	ApproxDeltas     int   `json:"approx_deltas,omitempty"`
+	// Cached reports a live session is in an LRU — the matrix-tier cache,
+	// or the approx-tier one (Approx says which); Persisted that the
 	// durable store holds the dataset (either alone suffices to serve it).
 	// LogRecords is the persisted dataset's pending delta-log length and
 	// StoreBytes its on-disk footprint (snapshot + log).
@@ -1142,6 +1335,18 @@ func (s *Server) handleDatasetInfo(w http.ResponseWriter, r *http.Request) {
 		resp.MatrixBytes = sess.MatrixBytes()
 		resp.MatrixBuilds = sess.MatrixBuilds()
 		resp.MatrixDeltas = sess.MatrixDeltas()
+		resp.Cached = true
+	}
+	if asess, ok := s.approx.Peek(hash); ok {
+		resp.Approx = true
+		resp.ApproxStateBytes = asess.StateBytes()
+		resp.ApproxDeltas = asess.DeltaCount()
+		if !cached {
+			d := asess.Dataset()
+			resp.N, resp.M = d.N, d.M()
+			resp.Version = asess.Version()
+		}
+		cached = true
 		resp.Cached = true
 	}
 	if s.store != nil {
@@ -1216,6 +1421,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "# HELP rankagg_cache_bytes Pair-matrix bytes currently cached.\n")
 		fmt.Fprintf(w, "# TYPE rankagg_cache_bytes gauge\n")
 		fmt.Fprintf(w, "rankagg_cache_bytes %d\n", st.Bytes)
+		as := s.approx.Stats()
+		fmt.Fprintf(w, "# HELP rankagg_approx_cache_hits_total Approx-tier session cache lookups answered by a ready entry.\n")
+		fmt.Fprintf(w, "# TYPE rankagg_approx_cache_hits_total counter\n")
+		fmt.Fprintf(w, "rankagg_approx_cache_hits_total %d\n", as.Hits)
+		fmt.Fprintf(w, "# HELP rankagg_approx_cache_misses_total Approx-tier session cache lookups that found no ready entry.\n")
+		fmt.Fprintf(w, "# TYPE rankagg_approx_cache_misses_total counter\n")
+		fmt.Fprintf(w, "rankagg_approx_cache_misses_total %d\n", as.Misses)
+		fmt.Fprintf(w, "# HELP rankagg_approx_cache_rekeys_total Approx-tier entries re-keyed after a PATCH rotated the dataset hash.\n")
+		fmt.Fprintf(w, "# TYPE rankagg_approx_cache_rekeys_total counter\n")
+		fmt.Fprintf(w, "rankagg_approx_cache_rekeys_total %d\n", as.Rekeys)
+		fmt.Fprintf(w, "# HELP rankagg_approx_cache_entries Approx-tier sessions currently cached.\n")
+		fmt.Fprintf(w, "# TYPE rankagg_approx_cache_entries gauge\n")
+		fmt.Fprintf(w, "rankagg_approx_cache_entries %d\n", as.Entries)
+		fmt.Fprintf(w, "# HELP rankagg_approx_cache_bytes Incremental aggregation-state bytes currently cached by the approx tier.\n")
+		fmt.Fprintf(w, "# TYPE rankagg_approx_cache_bytes gauge\n")
+		fmt.Fprintf(w, "rankagg_approx_cache_bytes %d\n", as.Bytes)
 		cs := s.consensus.Stats()
 		fmt.Fprintf(w, "# HELP rankagg_consensus_hits_total Aggregations answered entirely from the consensus cache (no solver run).\n")
 		fmt.Fprintf(w, "# TYPE rankagg_consensus_hits_total counter\n")

@@ -1,0 +1,106 @@
+package store
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"rankagg"
+	"rankagg/internal/rankings"
+)
+
+// topRanking cuts a random permutation down to its best keep elements.
+func topRanking(rng *rand.Rand, n, keep int) *rankings.Ranking {
+	perm := rng.Perm(n)[:keep]
+	var buckets [][]int
+	for _, e := range perm {
+		buckets = append(buckets, []int{e})
+	}
+	return rankings.New(buckets...)
+}
+
+// TestRebuildApproxReplaysToplists: a persisted toplists dataset accepts
+// partial-add PATCHes (which the matrix-tier applyDelta path must also
+// admit), and RebuildApprox replays the pending log through the approx
+// delta path to the exact current state — same hash, same consensus as a
+// cold session over the current dataset.
+func TestRebuildApproxReplaysToplists(t *testing.T) {
+	s := open(t, t.TempDir(), 0)
+	rng := rand.New(rand.NewSource(7))
+	n := 20
+	rks := make([]*rankings.Ranking, 5)
+	for i := range rks {
+		rks[i] = topRanking(rng, n, 6+rng.Intn(8))
+	}
+	d := rankings.NewDataset(n, rks...)
+	hash, created, err := s.Create(d, nil)
+	if err != nil || !created {
+		t.Fatalf("Create: created=%v err=%v", created, err)
+	}
+
+	// Partial adds and a removal, each a separate log record.
+	hash = mustPatch(t, s, hash, []*rankings.Ranking{topRanking(rng, n, 5)}, nil)
+	hash = mustPatch(t, s, hash, []*rankings.Ranking{topRanking(rng, n, 9)}, nil)
+	hash = mustPatch(t, s, hash, nil, []*rankings.Ranking{rks[2]})
+
+	as, _, err := s.RebuildApprox(hash)
+	if err != nil {
+		t.Fatalf("RebuildApprox: %v", err)
+	}
+	if as.Hash() != hash {
+		t.Fatalf("replayed hash %s, want %s", as.Hash(), hash)
+	}
+	if as.DeltaCount() != 3 {
+		t.Errorf("DeltaCount = %d, want 3 (one per replayed record)", as.DeltaCount())
+	}
+	cur, _, err := s.Dataset(hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := as.Run(context.Background(), "lehmer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := rankagg.RunMatrixFree(context.Background(), "lehmer", cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Consensus.Equal(ref.Consensus) || res.Score != ref.Score {
+		t.Errorf("replayed session consensus/score (%v, %d) != cold (%v, %d)",
+			res.Consensus, res.Score, ref.Consensus, ref.Score)
+	}
+	if got := s.Stats().Replays; got != 1 {
+		t.Errorf("Stats.Replays = %d, want 1", got)
+	}
+
+	// The matrix-tier Rebuild must refuse this dataset (incomplete), not
+	// mangle it.
+	if _, _, err := s.Rebuild(hash); err == nil {
+		t.Error("Rebuild built a matrix session over a toplists dataset")
+	}
+
+	// A partial add on a COMPLETE persisted dataset is still rejected.
+	cd := randDataset(rng, 8, 3)
+	chash, _, err := s.Create(cd, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.AppendPatch(chash, []*rankings.Ranking{topRanking(rng, 8, 3)}, nil); err == nil {
+		t.Error("partial add on a complete persisted dataset accepted")
+	}
+
+	// An approx result survives the wire round trip with its flag.
+	w := WireFromResult(res)
+	if w == nil || !w.Approx {
+		t.Fatalf("WireFromResult dropped an approx result (%+v)", w)
+	}
+	back := w.Result()
+	if !back.Approx || back.Score != res.Score || !back.Consensus.Equal(res.Consensus) {
+		t.Error("approx result did not round-trip through ResultWire")
+	}
+	s.SaveConsensus(hash, "spec", w)
+	entries, _, _, ok := s.Consensus(hash)
+	if !ok || entries["spec"] == nil || !entries["spec"].Approx {
+		t.Error("persisted approx consensus entry lost its flag")
+	}
+}

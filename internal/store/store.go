@@ -712,6 +712,46 @@ func (s *Store) Rebuild(hash string) (*rankagg.Session, []string, error) {
 	return sess, names, nil
 }
 
+// RebuildApprox reconstructs the approximation-tier session of the dataset
+// at hash: an ApproxSession over the base snapshot (no pair matrix — the
+// incremental Lehmer/score state builds lazily on the first Run), with
+// every pending log record replayed through ApproxSession.ApplyDelta — the
+// exact code a live approx PATCH runs, so partial added rankings replay on
+// toplists datasets where Rebuild's matrix session would reject them. The
+// replay is counted and timed in Stats alongside matrix rebuilds.
+func (s *Store) RebuildApprox(hash string) (*rankagg.ApproxSession, []string, error) {
+	ds, ok := s.lookup(hash)
+	if !ok {
+		return nil, nil, ErrNotFound
+	}
+	ds.mu.Lock()
+	if ds.deleted || ds.curHash != hash {
+		ds.mu.Unlock()
+		return nil, nil, ErrStaleHash
+	}
+	base := ds.base
+	names := ds.names
+	pending := append([]logRecord(nil), ds.pending...)
+	ds.mu.Unlock()
+
+	start := time.Now()
+	sess, err := rankagg.NewApproxSession(base)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: rebuilding %s: %w", hash, err)
+	}
+	for _, rec := range pending {
+		if err := sess.ApplyDelta(rec.Add, rec.Remove); err != nil {
+			return nil, nil, fmt.Errorf("store: replaying %s (seq %d): %w", hash, rec.Seq, err)
+		}
+	}
+	if got := sess.Hash(); got != hash {
+		return nil, nil, fmt.Errorf("store: replay of %s reconstructed hash %s (%w)", hash, got, ErrStaleHash)
+	}
+	s.replays.Add(1)
+	s.replayNanos.Add(time.Since(start).Nanoseconds())
+	return sess, names, nil
+}
+
 // SaveConsensus persists one spec-keyed result for the dataset currently
 // at hash, spending the warm hint (a stored entry supersedes it — the hint
 // seeds exactly one solve). A result for a rotated-away hash is dropped
@@ -834,10 +874,12 @@ func (s *Store) Stats() Stats {
 // applyDelta applies one atomic delta to d, returning the new dataset:
 // removals matched by bucket-order equality (each dataset ranking consumed
 // at most once) and applied before the additions, which append in order —
-// Session.ApplyDelta's exact semantics and sentinel errors, so the store
-// and a cached session always agree on a delta's meaning and its resulting
-// content hash.
+// Session.ApplyDelta's exact semantics and sentinel errors (and, on
+// incomplete datasets, ApproxSession.ApplyDelta's partial-add rule), so the
+// store and a cached session always agree on a delta's meaning and its
+// resulting content hash.
 func applyDelta(d *rankings.Dataset, add, remove []*rankings.Ranking) (*rankings.Dataset, error) {
+	complete := d.Complete()
 	for _, r := range add {
 		if r == nil {
 			return nil, fmt.Errorf("store: nil ranking in delta")
@@ -845,8 +887,17 @@ func applyDelta(d *rankings.Dataset, add, remove []*rankings.Ranking) (*rankings
 		if err := r.Validate(); err != nil {
 			return nil, err
 		}
-		if r.MaxElement() >= d.N || r.Len() != d.N {
-			return nil, fmt.Errorf("store: added ranking %s must cover exactly the dataset universe of %d elements (normalize first)", r, d.N)
+		if r.Len() == 0 {
+			return nil, fmt.Errorf("store: empty ranking in delta")
+		}
+		if r.MaxElement() >= d.N {
+			return nil, fmt.Errorf("store: added ranking %s exceeds the dataset universe of %d elements", r, d.N)
+		}
+		// A complete dataset must stay complete (one partial ranking would
+		// invalidate the matrix tier's fast paths); a toplists dataset
+		// absorbs partial rankings — ApproxSession.ApplyDelta's exact rule.
+		if complete && r.Len() != d.N {
+			return nil, fmt.Errorf("store: added ranking %s must cover the complete dataset's universe of %d elements (partial adds apply only to toplists datasets)", r, d.N)
 		}
 	}
 	dropped := make([]bool, len(d.Rankings))

@@ -49,14 +49,18 @@ type ResultWire struct {
 	Consensus *rankings.Ranking   `json:"consensus"`
 	Score     int64               `json:"score"`
 	Proved    bool                `json:"proved"`
+	Approx    bool                `json:"approx,omitempty"`
 	Stats     rankagg.SearchStats `json:"stats"`
 }
 
 // WireFromResult converts a run result into its persisted form, or nil for
-// results that must not be persisted (nil, no consensus, deadline-cut or
-// approx-tier — the same exclusions the in-memory consensus cache applies).
+// results that must not be persisted (nil, no consensus or deadline-cut —
+// the same exclusions the in-memory consensus cache applies). Approx-tier
+// results persist like any other: they are deterministic for their
+// (dataset, spec), and the Approx flag survives the round trip so a
+// restarted server reports them honestly.
 func WireFromResult(res *rankagg.Result) *ResultWire {
-	if res == nil || res.Consensus == nil || res.DeadlineHit || res.Approx {
+	if res == nil || res.Consensus == nil || res.DeadlineHit {
 		return nil
 	}
 	return &ResultWire{
@@ -64,6 +68,7 @@ func WireFromResult(res *rankagg.Result) *ResultWire {
 		Consensus: res.Consensus,
 		Score:     res.Score,
 		Proved:    res.Proved,
+		Approx:    res.Approx,
 		Stats:     res.Stats,
 	}
 }
@@ -78,6 +83,7 @@ func (w *ResultWire) Result() *rankagg.Result {
 		Consensus: w.Consensus,
 		Score:     w.Score,
 		Proved:    w.Proved,
+		Approx:    w.Approx,
 		Stats:     w.Stats,
 	}
 }

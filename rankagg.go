@@ -55,10 +55,22 @@
 // they charge elements missing from a ranking) — run in O(m·n log n) with
 // O(n) working memory per ranking and never build the O(n²) pair matrix,
 // so they keep working on universes far past the matrix tier's ceiling.
-// They also accept incomplete datasets (top-k lists) directly. Session.Run
+// They also accept incomplete datasets (top-k lists) directly — and
+// truncation pays: a length-L list encodes over the compacted id space of
+// its present elements in O(L log L), so a toplists dataset costs
+// O(Σ L_i log L_i), not O(m·n log n). Encode passes shard across the
+// WithWorkers budget with a worker-count-invariant consensus. Session.Run
 // reports their results with Result.Approx set; MatrixFree tells callers
 // which tier a name belongs to, and ApproxDefault picks the variant best
 // suited to a dataset's shape.
+//
+// ApproxSession is the tier's stateful counterpart to Session: it holds
+// delta-maintainable aggregation state (per-element Lehmer coordinate
+// multisets, score totals) so AddRanking/RemoveRanking/ApplyDelta fold a
+// ranking in or out in O(L·(log L + log m)) and the next Run reads the
+// consensus straight from the maintained state instead of re-encoding the
+// dataset. Unlike Session it accepts incomplete datasets, including
+// partial-ranking deltas on them.
 package rankagg
 
 import (
